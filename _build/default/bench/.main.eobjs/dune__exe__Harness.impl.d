@@ -1,0 +1,1 @@
+bench/harness.ml: Array Dwv_core Dwv_expr Dwv_interval Dwv_la Dwv_nn Dwv_ode Dwv_reach Dwv_rl Dwv_systems Dwv_util Filename Fmt List Sys Unix

@@ -1,0 +1,337 @@
+(* Experiment harness shared by every table and figure of the paper
+   reproduction. Each (system, method) configuration is executed once; the
+   result feeds the Table 1 row, the Table 2 timing, and the corresponding
+   figure series. All runs are seeded and deterministic. *)
+
+module Box = Dwv_interval.Box
+module Verifier = Dwv_reach.Verifier
+module Flowpipe = Dwv_reach.Flowpipe
+module Spec = Dwv_core.Spec
+module Controller = Dwv_core.Controller
+module Learner = Dwv_core.Learner
+module Metrics = Dwv_core.Metrics
+module Evaluate = Dwv_core.Evaluate
+module Initset = Dwv_core.Initset
+module Env = Dwv_rl.Env
+module Svg = Dwv_rl.Svg
+module Ddpg = Dwv_rl.Ddpg
+module Mlp = Dwv_nn.Mlp
+module Activation = Dwv_nn.Activation
+module Rng = Dwv_util.Rng
+module Stats = Dwv_util.Stats
+module Table = Dwv_util.Table
+module Acc = Dwv_systems.Acc
+module Oscillator = Dwv_systems.Oscillator
+module Threed = Dwv_systems.Threed
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+(* Weakened warm start used across the NN experiments: strong enough that
+   the verifier produces finite flowpipes, weak enough that Algorithm 1
+   visibly has to repair the design (typical CI a handful of iterations,
+   matching the paper's single-digit CIs for "Ours"). *)
+let pretrain_config = { Dwv_nn.Pretrain.default_config with epochs = 100 }
+
+(* One Table-1 row. *)
+type row = {
+  label : string;
+  ci : string;             (* convergence iterations, mean(+-std) over seeds *)
+  sc : float;              (* safe-control rate, percent *)
+  gr : float;              (* goal-reaching rate, percent *)
+  verified : string;
+  seconds : float;         (* wall clock of the whole row *)
+}
+
+let pp_row_into table r =
+  Table.add_row table
+    [ r.label; r.ci; Fmt.str "%.1f%%" r.sc; Fmt.str "%.1f%%" r.gr; r.verified;
+      Fmt.str "%.1fs" r.seconds ]
+
+let table1_header = [ "method"; "CI"; "SC"; "GR"; "Verified result"; "wall" ]
+
+let ci_summary iterations =
+  let arr = Array.of_list (List.map float_of_int iterations) in
+  if Array.length arr = 1 then Fmt.str "%.0f" arr.(0)
+  else Fmt.str "%.0f(+-%.1f)" (Stats.mean arr) (Stats.std arr)
+
+(* ---------------------------------------------------------------- *)
+(* "Ours": Algorithm 1 over several seeds.                           *)
+
+type ours_run = {
+  results : Learner.result list;       (* one per seed *)
+  row : row;
+}
+
+let eval_rates ~sys ~spec ~controller_fn =
+  let rng = Rng.create 2024 in
+  Evaluate.rates ~n:500 ~rng ~sys ~controller:controller_fn ~spec ()
+
+let run_ours ~label ~spec ~sys ~sim ~metric ~verify ~init_for_seed ~cfg ~seeds () =
+  let (results, dt) =
+    timed (fun () ->
+        List.map
+          (fun seed ->
+            Learner.learn { cfg with Learner.seed } ~metric ~spec
+              ~verify ~init:(init_for_seed seed))
+          seeds)
+  in
+  let cis = List.map (fun (r : Learner.result) -> r.Learner.iterations) results in
+  let best = List.hd results in
+  let rates = eval_rates ~sys ~spec ~controller_fn:(sim best.Learner.controller) in
+  let verdicts = List.map (fun (r : Learner.result) -> r.Learner.verdict) results in
+  let verified =
+    if List.for_all (fun v -> v = Verifier.Reach_avoid) verdicts then "reach-avoid"
+    else
+      Fmt.str "%d/%d reach-avoid"
+        (List.length (List.filter (fun v -> v = Verifier.Reach_avoid) verdicts))
+        (List.length verdicts)
+  in
+  {
+    results;
+    row =
+      {
+        label;
+        ci = ci_summary cis;
+        sc = rates.Evaluate.safe_percent;
+        gr = rates.Evaluate.goal_percent;
+        verified;
+        seconds = dt;
+      };
+  }
+
+(* ---------------------------------------------------------------- *)
+(* Baselines.                                                        *)
+
+type svg_run = { svg : Svg.result; pipe : Flowpipe.t option; row : row }
+
+(* Verify a trained neural policy with the given closed-loop verifier;
+   [None] when the system has no NN verifier (ACC, which linearizes). *)
+let run_svg ~label ~spec ~sys ~cfg ~policy_sizes ~policy_acts ~output_scale ~verify_net
+    ~seed () =
+  let env = Env.make ~sys ~spec () in
+  let ((svg : Svg.result), dt) =
+    timed (fun () ->
+        let policy = Mlp.create ~sizes:policy_sizes ~acts:policy_acts (Rng.create seed) in
+        Svg.train { cfg with Svg.seed } ~env ~policy ~output_scale)
+  in
+  let controller_fn x = Array.map (fun v -> output_scale *. v) (Mlp.forward svg.Svg.policy x) in
+  let rates = eval_rates ~sys ~spec ~controller_fn in
+  let pipe = verify_net svg.Svg.policy output_scale in
+  let verified =
+    match pipe with
+    | None -> "n/a"
+    | Some p ->
+      if Flowpipe.diverged p then "Unknown (diverged)"
+      else
+        Verifier.verdict_to_string
+          (Verifier.check ~unsafe:spec.Spec.unsafe ~goal:spec.Spec.goal p)
+  in
+  let ci =
+    if svg.Svg.converged then string_of_int svg.Svg.steps
+    else Fmt.str ">%d (cap)" svg.Svg.steps
+  in
+  {
+    svg;
+    pipe;
+    row =
+      { label; ci; sc = rates.Evaluate.safe_percent; gr = rates.Evaluate.goal_percent;
+        verified; seconds = dt };
+  }
+
+type ddpg_run = { ddpg : Ddpg.result; pipe : Flowpipe.t option; row : row }
+
+let run_ddpg ~label ~spec ~sys ~cfg ~actor_sizes ~output_scale ~verify_net ~seed () =
+  let env = Env.make ~sys ~spec () in
+  let ((ddpg : Ddpg.result), dt) =
+    timed (fun () ->
+        let rng = Rng.create seed in
+        (* ReLU hidden layers, Tanh output - the paper's baseline design *)
+        let acts =
+          List.init
+            (List.length actor_sizes - 1)
+            (fun i ->
+              if i = List.length actor_sizes - 2 then Activation.Tanh else Activation.Relu)
+        in
+        let actor = Mlp.create ~sizes:actor_sizes ~acts rng in
+        let n = Env.state_dim env and m = Env.action_dim env in
+        let critic =
+          Mlp.create ~sizes:[ n + m; 32; 1 ] ~acts:[ Activation.Relu; Activation.Linear ] rng
+        in
+        Ddpg.train { cfg with Ddpg.seed } ~env ~actor ~critic ~output_scale)
+  in
+  let controller_fn x = Array.map (fun v -> output_scale *. v) (Mlp.forward ddpg.Ddpg.actor x) in
+  let rates = eval_rates ~sys ~spec ~controller_fn in
+  let pipe = verify_net ddpg.Ddpg.actor output_scale in
+  let verified =
+    match pipe with
+    | None -> "n/a"
+    | Some p ->
+      if Flowpipe.diverged p then "Unknown (diverged)"
+      else
+        Verifier.verdict_to_string
+          (Verifier.check ~unsafe:spec.Spec.unsafe ~goal:spec.Spec.goal p)
+  in
+  let ci =
+    if ddpg.Ddpg.converged then Fmt.str "%d eps" ddpg.Ddpg.episodes
+    else Fmt.str ">%d eps (cap)" ddpg.Ddpg.episodes
+  in
+  {
+    ddpg;
+    pipe;
+    row =
+      { label; ci; sc = rates.Evaluate.safe_percent; gr = rates.Evaluate.goal_percent;
+        verified; seconds = dt };
+  }
+
+(* ---------------------------------------------------------------- *)
+(* ACC specifics.                                                     *)
+
+(* The RL baselines train on an affinely normalized copy of the ACC
+   plant: x_hat = (x - center)/scale with center (140, 45), scale
+   (20, 10). Raw coordinates (s ~ 123, v ~ 50) saturate freshly
+   initialized networks and blow up critic targets; the normalization is
+   a bijection, so safety/goal semantics (and hence SC/GR) transfer
+   exactly. "Ours" does not need it - the verifier works on the raw
+   plant. *)
+let acc_norm_center = [| 140.0; 45.0 |]
+let acc_norm_scale = [| 20.0; 10.0 |]
+
+let acc_normalize x =
+  Array.init 2 (fun i -> (x.(i) -. acc_norm_center.(i)) /. acc_norm_scale.(i))
+
+let acc_normalized_sys =
+  (* s' = v_f - v with s = 140 + 20 s^, v = 45 + 10 v^ *)
+  let open Dwv_expr.Expr in
+  let v_raw = add (const 45.0) (scale 10.0 (var 1)) in
+  Dwv_ode.Sampled_system.make
+    ~f:
+      [|
+        scale (1.0 /. 20.0) (sub (const Acc.v_front) v_raw);
+        scale (1.0 /. 10.0) (add (scale Acc.k_drag v_raw) (input 0));
+      |]
+    ~n:2 ~m:1 ~delta:Acc.delta
+
+let acc_normalize_box box =
+  Box.make
+    ~lo:(acc_normalize (Box.lo box))
+    ~hi:(acc_normalize (Box.hi box))
+
+let acc_normalized_spec =
+  Spec.make ~name:"acc-normalized"
+    ~x0:(acc_normalize_box Acc.spec.Spec.x0)
+    ~unsafe:(acc_normalize_box Acc.spec.Spec.unsafe)
+    ~goal:(acc_normalize_box Acc.spec.Spec.goal)
+    ~delta:Acc.spec.Spec.delta ~steps:Acc.spec.Spec.steps
+
+(* Linearize neural baselines for the linear verifier. *)
+
+(* Least-squares fit u ~ theta . (s, v, 1) over the operating envelope. *)
+let linearize_acc_policy forward =
+  let rng = Rng.create 13 in
+  let samples = 400 in
+  let xs =
+    Array.init samples (fun _ ->
+        [| Rng.uniform rng ~lo:118.0 ~hi:160.0; Rng.uniform rng ~lo:35.0 ~hi:55.0; 1.0 |])
+  in
+  let ys = Array.map (fun x -> (forward [| x.(0); x.(1) |] : float)) xs in
+  let ata = Dwv_la.Mat.zeros 3 3 and aty = Array.make 3 0.0 in
+  Array.iteri
+    (fun k x ->
+      for i = 0 to 2 do
+        aty.(i) <- aty.(i) +. (x.(i) *. ys.(k));
+        for j = 0 to 2 do
+          Dwv_la.Mat.set ata i j (Dwv_la.Mat.get ata i j +. (x.(i) *. x.(j)))
+        done
+      done)
+    xs;
+  Dwv_la.Mat.solve ata aty
+
+(* Baseline nets read normalized observations, so the raw control law is
+   u(x) = scale * net(normalize x); the verifier gets its least-squares
+   linearization over the operating envelope. *)
+let acc_verify_net net output_scale =
+  let theta =
+    linearize_acc_policy (fun x -> output_scale *. (Mlp.forward net (acc_normalize x)).(0))
+  in
+  Some (Acc.verify (Acc.controller_of_theta theta))
+
+(* ---------------------------------------------------------------- *)
+(* Per-system experiment bundles.                                    *)
+
+let acc_learn_cfg alpha =
+  { Learner.default_config with max_iters = 300; alpha; beta = alpha; perturbation = 1e-3 }
+
+(* Random initial designs for the ACC CI spread: stable pole placements
+   with randomized speed, mirroring "randomly initialize theta" within
+   the analyzable region. *)
+let acc_init_for_seed seed =
+  let rng = Rng.create (1000 + seed) in
+  Acc.controller_of_theta
+    [| Rng.uniform rng ~lo:0.05 ~hi:0.15; Rng.uniform rng ~lo:(-0.7) ~hi:(-0.4); 0.0 |]
+
+let nn_learn_cfg =
+  { Learner.default_config with
+    max_iters = 12; alpha = 0.05; beta = 0.05; perturbation = 0.02;
+    gradient_mode = Learner.Spsa 2 }
+
+let osc_init_for_seed seed =
+  Oscillator.pretrained_controller ~config:pretrain_config (Rng.create seed)
+
+let threed_init_for_seed seed =
+  Threed.pretrained_controller ~config:pretrain_config (Rng.create seed)
+
+let reachnn_osc = Verifier.Bernstein (Dwv_reach.Nn_reach_bernstein.default_config ~n:2)
+let reachnn_3d = Verifier.Bernstein (Dwv_reach.Nn_reach_bernstein.default_config ~n:3)
+
+(* ---------------------------------------------------------------- *)
+(* SVG rendering of the reachable-set figures.                       *)
+
+let plots_dir = "bench_plots"
+
+let ensure_plots_dir () =
+  if not (Sys.file_exists plots_dir) then Sys.mkdir plots_dir 0o755
+
+(* Render a flowpipe corridor with the specification regions into
+   bench_plots/<name>.svg; [dims] selects the two plotted state
+   dimensions. *)
+let save_corridor_svg ~name ~title ~(spec : Spec.t) ?(dims = (0, 1)) ?clip pipe =
+  let module Svg_plot = Dwv_util.Svg_plot in
+  let module I = Dwv_interval.Interval in
+  ensure_plots_dir ();
+  let dx, dy = dims in
+  let plot =
+    Svg_plot.create ~title
+      ~x_label:(Fmt.str "x%d" dx)
+      ~y_label:(Fmt.str "x%d" dy)
+      ()
+  in
+  (* display clipping, for specification regions that extend far past the
+     interesting window (the ACC unsafe half-space encoding) *)
+  let clipped box = match clip with None -> Some box | Some c -> Box.intersect box c in
+  let add_region kind label box =
+    match clipped box with
+    | None -> ()
+    | Some box ->
+      Svg_plot.add_box ~kind ~label plot
+        ~x_lo:(I.lo (Box.get box dx))
+        ~x_hi:(I.hi (Box.get box dx))
+        ~y_lo:(I.lo (Box.get box dy))
+        ~y_hi:(I.hi (Box.get box dy))
+  in
+  List.iter
+    (fun box ->
+      Svg_plot.add_box ~kind:`Reach plot
+        ~x_lo:(I.lo (Box.get box dx))
+        ~x_hi:(I.hi (Box.get box dx))
+        ~y_lo:(I.lo (Box.get box dy))
+        ~y_hi:(I.hi (Box.get box dy)))
+    (Flowpipe.step_boxes pipe);
+  add_region `Initial "X0" spec.Spec.x0;
+  add_region `Goal "Xg" spec.Spec.goal;
+  add_region `Unsafe "Xu" spec.Spec.unsafe;
+  let path = Filename.concat plots_dir (name ^ ".svg") in
+  Svg_plot.save path plot;
+  Fmt.pr "  [figure written to %s]@." path

@@ -1,0 +1,515 @@
+(* Benchmark harness: regenerates every table and figure of the paper.
+
+     dune exec bench/main.exe            -- everything
+     dune exec bench/main.exe -- table1  -- a single section
+
+   Sections: table1, table2, fig4, fig5, fig6, fig7, fig8, tightness,
+   micro (Bechamel kernel benchmarks, one per table/figure). *)
+
+open Harness
+
+(* ---------------------------------------------------------------- *)
+(* Section: Table 1 - ACC block                                      *)
+
+type acc_bundle = {
+  acc_g : ours_run;
+  acc_w : ours_run;
+  acc_svg : svg_run;
+  acc_ddpg : ddpg_run;
+}
+
+let run_acc () =
+  let seeds = [ 1; 2; 3; 4; 5 ] in
+  let acc_g =
+    run_ours ~label:"Ours(G, Flow*-style)" ~spec:Acc.spec ~sys:Acc.sampled
+      ~sim:Acc.sim_controller ~metric:Metrics.Geometric ~verify:Acc.verify
+      ~init_for_seed:acc_init_for_seed ~cfg:(acc_learn_cfg 0.2) ~seeds ()
+  in
+  let acc_w =
+    run_ours ~label:"Ours(W, Flow*-style)" ~spec:Acc.spec ~sys:Acc.sampled
+      ~sim:Acc.sim_controller ~metric:Metrics.Wasserstein ~verify:Acc.verify
+      ~init_for_seed:acc_init_for_seed ~cfg:(acc_learn_cfg 0.4) ~seeds ()
+  in
+  (* baselines train and evaluate on the normalized copy of the plant
+     (affine bijection: SC/GR transfer exactly; see Harness) *)
+  let acc_svg =
+    run_svg ~label:"SVG" ~spec:acc_normalized_spec ~sys:acc_normalized_sys
+      ~cfg:{ Svg.default_config with horizon = Acc.spec.steps; max_steps = 400; lr = 3e-3 }
+      ~policy_sizes:[ 2; 16; 1 ]
+      ~policy_acts:[ Activation.Tanh; Activation.Tanh ]
+      ~output_scale:40.0 ~verify_net:acc_verify_net ~seed:3 ()
+  in
+  let acc_ddpg =
+    run_ddpg ~label:"DDPG" ~spec:acc_normalized_spec ~sys:acc_normalized_sys
+      ~cfg:
+        { Ddpg.default_config with
+          max_episodes = 300; steps_per_episode = Acc.spec.steps; warmup_steps = 500;
+          eval_every = 25; noise_sigma = 0.2 }
+      ~actor_sizes:[ 2; 16; 1 ] ~output_scale:40.0 ~verify_net:acc_verify_net ~seed:3 ()
+  in
+  { acc_g; acc_w; acc_svg; acc_ddpg }
+
+let print_table1_acc b =
+  let t = Table.create table1_header in
+  pp_row_into t b.acc_svg.row;
+  pp_row_into t b.acc_ddpg.row;
+  pp_row_into t b.acc_w.row;
+  pp_row_into t b.acc_g.row;
+  Fmt.pr "--- Table 1 / ACC, linear controller ---@.%s@." (Table.render t)
+
+(* ---------------------------------------------------------------- *)
+(* Section: Table 1 - NN blocks (oscillator, 3-D system)             *)
+
+type nn_bundle = {
+  ours : (string * ours_run) list;   (* (label, run) per metric x tool *)
+  nn_svg : svg_run;
+  nn_ddpg : ddpg_run;
+}
+
+let polar_verify_net ~system net output_scale =
+  match system with
+  | `Osc ->
+    Some
+      (Oscillator.verify ~method_:Dwv_reach.Verifier.Polar ~slots:Oscillator.tight_slots
+         (Controller.net ~output_scale net))
+  | `Threed ->
+    Some
+      (Threed.verify ~method_:Dwv_reach.Verifier.Polar ~slots:Threed.tight_slots
+         (Controller.net ~output_scale net))
+
+let run_oscillator () =
+  let seeds = [ 1; 2 ] in
+  let run label metric method_ =
+    ( label,
+      run_ours ~label ~spec:Oscillator.spec ~sys:Oscillator.sampled
+        ~sim:Oscillator.sim_controller ~metric
+        ~verify:(Oscillator.verify ~method_)
+        ~init_for_seed:osc_init_for_seed ~cfg:nn_learn_cfg ~seeds () )
+  in
+  let ours =
+    [
+      run "Ours(W, ReachNN-style)" Metrics.Wasserstein reachnn_osc;
+      run "Ours(G, ReachNN-style)" Metrics.Geometric reachnn_osc;
+      run "Ours(W, POLAR-style)" Metrics.Wasserstein Dwv_reach.Verifier.Polar;
+      run "Ours(G, POLAR-style)" Metrics.Geometric Dwv_reach.Verifier.Polar;
+    ]
+  in
+  let nn_svg =
+    run_svg ~label:"SVG" ~spec:Oscillator.spec ~sys:Oscillator.sampled
+      ~cfg:
+        { Svg.default_config with
+          horizon = Oscillator.spec.steps; max_steps = 400; lr = 5e-3 }
+      ~policy_sizes:[ 2; 24; 24; 1 ]
+      ~policy_acts:[ Activation.Tanh; Activation.Tanh; Activation.Tanh ]
+      ~output_scale:Oscillator.output_scale
+      ~verify_net:(fun n s -> polar_verify_net ~system:`Osc n s)
+      ~seed:3 ()
+  in
+  let nn_ddpg =
+    run_ddpg ~label:"DDPG" ~spec:Oscillator.spec ~sys:Oscillator.sampled
+      ~cfg:
+        { Ddpg.default_config with
+          max_episodes = 500; steps_per_episode = Oscillator.spec.steps;
+          warmup_steps = 300; eval_every = 25 }
+      ~actor_sizes:[ 2; 24; 24; 1 ] ~output_scale:Oscillator.output_scale
+      ~verify_net:(fun n s -> polar_verify_net ~system:`Osc n s)
+      ~seed:3 ()
+  in
+  { ours; nn_svg; nn_ddpg }
+
+let run_threed () =
+  let seeds = [ 1; 2 ] in
+  let run label metric method_ =
+    ( label,
+      run_ours ~label ~spec:Threed.spec ~sys:Threed.sampled ~sim:Threed.sim_controller
+        ~metric
+        ~verify:(Threed.verify ~method_)
+        ~init_for_seed:threed_init_for_seed ~cfg:nn_learn_cfg ~seeds () )
+  in
+  let ours =
+    [
+      run "Ours(W, ReachNN-style)" Metrics.Wasserstein reachnn_3d;
+      run "Ours(G, ReachNN-style)" Metrics.Geometric reachnn_3d;
+      run "Ours(W, POLAR-style)" Metrics.Wasserstein Dwv_reach.Verifier.Polar;
+      run "Ours(G, POLAR-style)" Metrics.Geometric Dwv_reach.Verifier.Polar;
+    ]
+  in
+  let nn_svg =
+    run_svg ~label:"SVG" ~spec:Threed.spec ~sys:Threed.sampled
+      ~cfg:{ Svg.default_config with horizon = Threed.spec.steps; max_steps = 400; lr = 5e-3 }
+      ~policy_sizes:[ 3; 24; 24; 1 ]
+      ~policy_acts:[ Activation.Tanh; Activation.Tanh; Activation.Tanh ]
+      ~output_scale:Threed.output_scale
+      ~verify_net:(fun n s -> polar_verify_net ~system:`Threed n s)
+      ~seed:3 ()
+  in
+  let nn_ddpg =
+    run_ddpg ~label:"DDPG" ~spec:Threed.spec ~sys:Threed.sampled
+      ~cfg:
+        { Ddpg.default_config with
+          max_episodes = 500; steps_per_episode = Threed.spec.steps; warmup_steps = 300;
+          eval_every = 25 }
+      ~actor_sizes:[ 3; 24; 24; 1 ] ~output_scale:Threed.output_scale
+      ~verify_net:(fun n s -> polar_verify_net ~system:`Threed n s)
+      ~seed:3 ()
+  in
+  { ours; nn_svg; nn_ddpg }
+
+let print_table1_nn ~title b =
+  let t = Table.create table1_header in
+  pp_row_into t b.nn_svg.row;
+  pp_row_into t b.nn_ddpg.row;
+  List.iter (fun ((_, r) : string * ours_run) -> pp_row_into t r.row) b.ours;
+  Fmt.pr "--- Table 1 / %s, NN controller ---@.%s@." title (Table.render t)
+
+(* ---------------------------------------------------------------- *)
+(* Section: Table 2 - verifier runtime per learning iteration        *)
+
+let time_calls ~n f =
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to n do
+    ignore (f ())
+  done;
+  (Unix.gettimeofday () -. t0) /. float_of_int n
+
+let print_table2 () =
+  let t = Table.create [ "cell"; "per verifier call"; "per learning iteration" ] in
+  let osc_init = osc_init_for_seed 1 and threed_init = threed_init_for_seed 1 in
+  (* an SPSA-2 iteration issues 2*2 perturbed calls + 1 verdict call *)
+  let calls_per_nn_iter = 5.0 in
+  (* an ACC coordinate iteration issues 2*3 + 1 calls *)
+  let calls_per_acc_iter = 7.0 in
+  let add label per_call factor =
+    Table.add_row t
+      [ label; Fmt.str "%.3fs" per_call; Fmt.str "%.3fs" (per_call *. factor) ]
+  in
+  let acc = time_calls ~n:20 (fun () -> Acc.verify (acc_init_for_seed 1)) in
+  add "ACC (Flow*-style)" acc calls_per_acc_iter;
+  let osc_rnn =
+    time_calls ~n:2 (fun () -> Oscillator.verify ~method_:reachnn_osc osc_init)
+  in
+  add "Oscillator (ReachNN-style)" osc_rnn calls_per_nn_iter;
+  let osc_polar =
+    time_calls ~n:2 (fun () -> Oscillator.verify ~method_:Dwv_reach.Verifier.Polar osc_init)
+  in
+  add "Oscillator (POLAR-style)" osc_polar calls_per_nn_iter;
+  let td_rnn = time_calls ~n:2 (fun () -> Threed.verify ~method_:reachnn_3d threed_init) in
+  add "3D (ReachNN-style)" td_rnn calls_per_nn_iter;
+  let td_polar =
+    time_calls ~n:2 (fun () -> Threed.verify ~method_:Dwv_reach.Verifier.Polar threed_init)
+  in
+  add "3D (POLAR-style)" td_polar calls_per_nn_iter;
+  Fmt.pr "--- Table 2: average verifier runtime ---@.%s@." (Table.render t)
+
+(* ---------------------------------------------------------------- *)
+(* Figures: learning curves and reachable-set corridors as series.   *)
+
+let print_history ~title (r : Learner.result) =
+  Fmt.pr "--- %s ---@." title;
+  Fmt.pr "iter  safety-score  goal-score  objective  verdict@.";
+  List.iter
+    (fun (h : Learner.history_point) ->
+      Fmt.pr "%4d  %12.5g  %10.5g  %9.5g  %s@." h.Learner.iter h.Learner.scores.Metrics.safety
+        h.Learner.scores.Metrics.goal h.Learner.objective
+        (Dwv_reach.Verifier.verdict_to_string h.Learner.verdict))
+    r.Learner.history;
+  Fmt.pr "@."
+
+let print_corridor ~label ?(every = 6) pipe =
+  Fmt.pr "%s%s:@." label
+    (if Dwv_reach.Flowpipe.diverged pipe then "  [DIVERGED - the paper's NAN case]" else "");
+  List.iteri
+    (fun k box ->
+      if k mod every = 0 then
+        Fmt.pr "  step %3d  %a@." k Dwv_interval.Box.pp box)
+    (Dwv_reach.Flowpipe.step_boxes pipe);
+  Fmt.pr "  final     %a@." Dwv_interval.Box.pp (Dwv_reach.Flowpipe.final_box pipe)
+
+let print_fig4 (b : acc_bundle) =
+  print_history ~title:"Fig. 4: learning with geometric metric, ACC (d_u / d_g per iteration)"
+    (List.hd b.acc_g.results)
+
+let print_fig5 (b : nn_bundle) =
+  match List.assoc_opt "Ours(W, POLAR-style)" b.ours with
+  | Some r ->
+    print_history ~title:"Fig. 5: learning with Wasserstein metric, oscillator"
+      (List.hd r.results)
+  | None -> ()
+
+let acc_display_clip =
+  Dwv_interval.Box.make ~lo:[| 110.0; 30.0 |] ~hi:[| 170.0; 60.0 |]
+
+let print_fig6 (b : acc_bundle) =
+  Fmt.pr "--- Fig. 6: ACC reachable corridors (goal s in [145,155], unsafe s <= 120) ---@.";
+  let svg name pipe =
+    save_corridor_svg ~name ~title:("Fig 6: ACC " ^ name) ~spec:Acc.spec
+      ~clip:acc_display_clip pipe
+  in
+  print_corridor ~label:"Ours(G)" ~every:20 (List.hd b.acc_g.results).Learner.pipe;
+  svg "fig6_ours_g" (List.hd b.acc_g.results).Learner.pipe;
+  print_corridor ~label:"Ours(W)" ~every:20 (List.hd b.acc_w.results).Learner.pipe;
+  svg "fig6_ours_w" (List.hd b.acc_w.results).Learner.pipe;
+  (match b.acc_svg.pipe with
+  | Some p ->
+    print_corridor ~label:"SVG (linearized)" ~every:20 p;
+    svg "fig6_svg" p
+  | None -> ());
+  (match b.acc_ddpg.pipe with
+  | Some p ->
+    print_corridor ~label:"DDPG (linearized)" ~every:20 p;
+    svg "fig6_ddpg" p
+  | None -> ());
+  Fmt.pr "@."
+
+let print_fig7 (b : nn_bundle) =
+  Fmt.pr "--- Fig. 7: oscillator reachable corridors and X_I ---@.";
+  (match List.assoc_opt "Ours(G, POLAR-style)" b.ours with
+  | Some r ->
+    let first = List.hd r.results in
+    print_corridor ~label:"Ours(G, POLAR-style)" first.Learner.pipe;
+    save_corridor_svg ~name:"fig7_ours_g_polar" ~title:"Fig 7: oscillator Ours(G, POLAR)"
+      ~spec:Oscillator.spec first.Learner.pipe;
+    (* Algorithm 2 on the learned controller *)
+    let xi =
+      Initset.search ~max_depth:2
+        ~verify:(fun cell ->
+          Oscillator.verify_from ~method_:Dwv_reach.Verifier.Polar cell
+            first.Learner.controller)
+        ~goal:Oscillator.spec.Spec.goal ~x0:Oscillator.spec.Spec.x0 ()
+    in
+    Fmt.pr "%a@." Initset.pp_result xi
+  | None -> ());
+  (match b.nn_svg.pipe with
+  | Some p -> print_corridor ~label:"SVG (POLAR-style verification)" p
+  | None -> ());
+  (match b.nn_ddpg.pipe with
+  | Some p -> print_corridor ~label:"DDPG (POLAR-style verification)" p
+  | None -> ());
+  Fmt.pr "@."
+
+let print_fig8 (b : nn_bundle) =
+  Fmt.pr "--- Fig. 8: 3-D system reachable corridors ---@.";
+  (match List.assoc_opt "Ours(G, POLAR-style)" b.ours with
+  | Some r ->
+    print_corridor ~label:"Ours(G, POLAR-style)" ~every:3 (List.hd r.results).Learner.pipe;
+    save_corridor_svg ~name:"fig8_ours_g_polar" ~title:"Fig 8: 3-D system Ours(G, POLAR)"
+      ~spec:Threed.spec ~dims:(0, 1) (List.hd r.results).Learner.pipe
+  | None -> ());
+  (match List.assoc_opt "Ours(W, POLAR-style)" b.ours with
+  | Some r -> print_corridor ~label:"Ours(W, POLAR-style)" ~every:3 (List.hd r.results).Learner.pipe
+  | None -> ());
+  (match b.nn_svg.pipe with
+  | Some p -> print_corridor ~label:"SVG (POLAR-style verification)" ~every:3 p
+  | None -> ());
+  (match b.nn_ddpg.pipe with
+  | Some p -> print_corridor ~label:"DDPG (POLAR-style verification)" ~every:3 p
+  | None -> ());
+  Fmt.pr "@."
+
+(* ---------------------------------------------------------------- *)
+(* Section: verification-tightness ablation (end of Sec. 4)          *)
+
+let print_tightness () =
+  Fmt.pr "--- Tightness ablation: ReachNN-style Bernstein degree on the oscillator ---@.";
+  let init = osc_init_for_seed 1 in
+  let t = Table.create [ "Bernstein degree"; "per call"; "final width"; "CI"; "verdict" ] in
+  List.iter
+    (fun deg ->
+      let method_ =
+        Dwv_reach.Verifier.Bernstein { degrees = [| deg; deg |]; samples_per_dim = 24 }
+      in
+      let per_call = time_calls ~n:1 (fun () -> Oscillator.verify ~method_ init) in
+      let pipe = Oscillator.verify ~method_ init in
+      let r =
+        Learner.learn { nn_learn_cfg with Learner.max_iters = 12; seed = 1 }
+          ~metric:Metrics.Geometric ~spec:Oscillator.spec ~verify:(Oscillator.verify ~method_)
+          ~init
+      in
+      Table.add_row t
+        [ string_of_int deg; Fmt.str "%.2fs" per_call;
+          (if Dwv_reach.Flowpipe.diverged pipe then "diverged"
+           else Fmt.str "%.4f" (Dwv_reach.Flowpipe.final_width pipe));
+          string_of_int r.Learner.iterations;
+          Dwv_reach.Verifier.verdict_to_string r.Learner.verdict ])
+    [ 1; 2; 3 ];
+  Fmt.pr "%s@." (Table.render t);
+  (* the other two tightness knobs: the symbolic-remainder budget of the
+     POLAR-style verifier, and the no-symbols (interval-only) baseline
+     that exhibits the full wrapping effect *)
+  Fmt.pr "--- Tightness ablation: symbolic-remainder budget (POLAR-style) ---@.";
+  let t2 = Table.create [ "configuration"; "per call"; "final width" ] in
+  List.iter
+    (fun slots ->
+      let per_call =
+        time_calls ~n:1 (fun () ->
+            Oscillator.verify ~method_:Dwv_reach.Verifier.Polar ~slots init)
+      in
+      let pipe = Oscillator.verify ~method_:Dwv_reach.Verifier.Polar ~slots init in
+      Table.add_row t2
+        [ Fmt.str "%d slots" slots; Fmt.str "%.2fs" per_call;
+          (if Dwv_reach.Flowpipe.diverged pipe then "diverged"
+           else Fmt.str "%.4f" (Dwv_reach.Flowpipe.final_width pipe)) ])
+    [ 4; 6; 8 ];
+  (match init with
+  | Controller.Net { net; output_scale } ->
+    let per_call =
+      time_calls ~n:1 (fun () ->
+          Dwv_reach.Interval_reach.nn_flowpipe ~order:3 ~f:Oscillator.dynamics ~delta:0.1
+            ~steps:Oscillator.spec.Spec.steps ~net ~output_scale
+            ~x0:Oscillator.spec.Spec.x0 ())
+    in
+    let pipe =
+      Dwv_reach.Interval_reach.nn_flowpipe ~order:3 ~f:Oscillator.dynamics ~delta:0.1
+        ~steps:Oscillator.spec.Spec.steps ~net ~output_scale ~x0:Oscillator.spec.Spec.x0 ()
+    in
+    Table.add_row t2
+      [ "interval-only (no symbols)"; Fmt.str "%.2fs" per_call;
+        (if Dwv_reach.Flowpipe.diverged pipe then
+           Fmt.str "diverged at step %d (wrapping effect)" (Dwv_reach.Flowpipe.steps pipe)
+         else Fmt.str "%.4f" (Dwv_reach.Flowpipe.final_width pipe)) ]
+  | Controller.Linear _ -> ());
+  Fmt.pr "%s@." (Table.render t2)
+
+(* ---------------------------------------------------------------- *)
+(* Section: Bechamel kernel microbenchmarks, one per table/figure.   *)
+
+let micro_tests () =
+  let open Bechamel in
+  let acc_pipe = Acc.verify (acc_init_for_seed 1) in
+  let osc_init = osc_init_for_seed 1 in
+  let osc_tms = Dwv_taylor.Tm_vec.of_box ~total_vars:8 ~order:3 Oscillator.spec.Spec.x0 in
+  let osc_net, osc_scale =
+    match osc_init with
+    | Controller.Net { net; output_scale } -> (net, output_scale)
+    | _ -> assert false
+  in
+  let lie3d = Dwv_reach.Taylor_reach.lie_table ~f:Threed.dynamics ~order:3 in
+  let tms3d = Dwv_taylor.Tm_vec.of_box ~total_vars:9 ~order:3 Threed.spec.Spec.x0 in
+  let u3d = [| Dwv_taylor.Taylor_model.const ~nvars:9 ~order:3 0.5 |] in
+  Test.make_grouped ~name:"dwv"
+    [
+      (* Table 1 kernel: metric evaluation over a full flowpipe *)
+      Test.make ~name:"table1/metric-scores"
+        (Staged.stage (fun () ->
+             ignore
+               (Metrics.scores Metrics.Geometric ~unsafe:Acc.spec.Spec.unsafe
+                  ~goal:Acc.spec.Spec.goal acc_pipe)));
+      (* Table 2 kernel: one Flow*-style verifier call *)
+      Test.make ~name:"table2/acc-verifier-call"
+        (Staged.stage (fun () -> ignore (Acc.verify (acc_init_for_seed 1))));
+      (* Fig. 4 kernel: one central-difference probe on the ACC design *)
+      Test.make ~name:"fig4/gradient-probe"
+        (Staged.stage (fun () ->
+             let p = Acc.verify (Acc.controller_of_theta [| 0.101; -0.5; 0.0 |]) in
+             let m = Acc.verify (Acc.controller_of_theta [| 0.099; -0.5; 0.0 |]) in
+             ignore
+               ( Metrics.scores Metrics.Geometric ~unsafe:Acc.spec.Spec.unsafe
+                   ~goal:Acc.spec.Spec.goal p,
+                 Metrics.scores Metrics.Geometric ~unsafe:Acc.spec.Spec.unsafe
+                   ~goal:Acc.spec.Spec.goal m )));
+      (* Fig. 5 kernel: Wasserstein distance between boxes *)
+      Test.make ~name:"fig5/wasserstein-w2"
+        (Staged.stage (fun () ->
+             ignore
+               (Dwv_transport.Box_w2.w2_containment
+                  (Dwv_reach.Flowpipe.final_box acc_pipe)
+                  Acc.spec.Spec.goal)));
+      (* Fig. 6 kernel: one zonotope image under the closed-loop map *)
+      Test.make ~name:"fig6/zonotope-step"
+        (Staged.stage
+           (let z = Dwv_geometry.Zonotope.of_box (Acc.augment_box Acc.spec.Spec.x0) in
+            let ad, bd = Dwv_reach.Linear_reach.discretize ~delta:0.1 Acc.lti_augmented in
+            let acl =
+              Dwv_la.Mat.add ad (Dwv_la.Mat.matmul bd (Dwv_la.Mat.of_rows [ [| 0.6; -2.4; 0.0 |] ]))
+            in
+            fun () -> ignore (Dwv_geometry.Zonotope.linear_map acl z)));
+      (* Fig. 7 kernel: POLAR-style abstraction of the NN over the state *)
+      Test.make ~name:"fig7/polar-nn-abstraction"
+        (Staged.stage (fun () ->
+             ignore
+               (Dwv_reach.Nn_reach_taylor.control_models ~net:osc_net ~output_scale:osc_scale
+                  osc_tms)));
+      (* Fig. 8 kernel: one validated Taylor step of the 3-D system *)
+      Test.make ~name:"fig8/taylor-step-3d"
+        (Staged.stage (fun () ->
+             ignore (Dwv_reach.Taylor_reach.step ~f:Threed.dynamics ~lie:lie3d ~delta:0.2 tms3d u3d)));
+      (* tightness kernel: one Bernstein abstraction of the NN *)
+      Test.make ~name:"tightness/bernstein-abstraction"
+        (Staged.stage (fun () ->
+             ignore
+               (Dwv_reach.Nn_reach_bernstein.control_models ~net:osc_net
+                  ~output_scale:osc_scale
+                  ~config:(Dwv_reach.Nn_reach_bernstein.default_config ~n:2)
+                  osc_tms)));
+    ]
+
+let print_micro () =
+  let open Bechamel in
+  let open Toolkit in
+  Fmt.pr "--- Bechamel kernel microbenchmarks (one per table/figure) ---@.";
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:false () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] (micro_tests ()) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let t = Table.create [ "kernel"; "time per run" ] in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name est ->
+      let ns =
+        match Analyze.OLS.estimates est with Some [ v ] -> v | _ -> Float.nan
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  List.iter
+    (fun (name, ns) ->
+      let human =
+        if ns > 1e9 then Fmt.str "%.2f s" (ns /. 1e9)
+        else if ns > 1e6 then Fmt.str "%.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Fmt.str "%.2f us" (ns /. 1e3)
+        else Fmt.str "%.0f ns" ns
+      in
+      Table.add_row t [ name; human ])
+    (List.sort compare !rows);
+  Fmt.pr "%s@." (Table.render t)
+
+(* ---------------------------------------------------------------- *)
+
+let flush_section () = Format.pp_print_flush Format.std_formatter ()
+
+let () =
+  let sections =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as rest) -> rest
+    | _ -> [ "table1"; "table2"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8"; "tightness"; "micro" ]
+  in
+  let want s = List.mem s sections in
+  if want "table2" then begin print_table2 (); flush_section () end;
+  if want "micro" then begin print_micro (); flush_section () end;
+  let acc = if List.exists want [ "table1"; "fig4"; "fig6" ] then Some (run_acc ()) else None in
+  Option.iter
+    (fun b ->
+      if want "table1" then print_table1_acc b;
+      if want "fig4" then print_fig4 b;
+      if want "fig6" then print_fig6 b;
+      flush_section ())
+    acc;
+  let threed = if List.exists want [ "table1"; "fig8" ] then Some (run_threed ()) else None in
+  Option.iter
+    (fun b ->
+      if want "table1" then print_table1_nn ~title:"3D system" b;
+      if want "fig8" then print_fig8 b;
+      flush_section ())
+    threed;
+  let osc =
+    if List.exists want [ "table1"; "fig5"; "fig7" ] then Some (run_oscillator ()) else None
+  in
+  Option.iter
+    (fun b ->
+      if want "table1" then print_table1_nn ~title:"Oscillator" b;
+      if want "fig5" then print_fig5 b;
+      if want "fig7" then print_fig7 b;
+      flush_section ())
+    osc;
+  if want "tightness" then begin print_tightness (); flush_section () end

@@ -1,0 +1,271 @@
+(* dwv: command-line front end to the design-while-verify framework.
+
+     dwv info     -s acc                    print a system's spec
+     dwv verify   -s oscillator -t polar    verify the warm-start design
+     dwv learn    -s acc -m G               run Algorithm 1
+     dwv simulate -s threed -n 500          Monte-Carlo SC/GR rates
+     dwv initset  -s acc                    run Algorithm 2 *)
+
+module Box = Dwv_interval.Box
+module Verifier = Dwv_reach.Verifier
+module Flowpipe = Dwv_reach.Flowpipe
+module Spec = Dwv_core.Spec
+module Controller = Dwv_core.Controller
+module Learner = Dwv_core.Learner
+module Metrics = Dwv_core.Metrics
+module Evaluate = Dwv_core.Evaluate
+module Initset = Dwv_core.Initset
+module Rng = Dwv_util.Rng
+
+(* Uniform handle over the three benchmark systems. *)
+type system = {
+  spec : Spec.t;
+  sampled : Dwv_ode.Sampled_system.t;
+  init : Rng.t -> Controller.t;
+  verify : Verifier.nn_method option -> Controller.t -> Flowpipe.t;
+  verify_from : Verifier.nn_method option -> Box.t -> Controller.t -> Flowpipe.t;
+  sim : Controller.t -> float array -> float array;
+  default_cfg : Learner.config;
+}
+
+let acc_system =
+  let module A = Dwv_systems.Acc in
+  {
+    spec = A.spec;
+    sampled = A.sampled;
+    init = (fun _ -> A.initial_controller);
+    verify = (fun _ c -> A.verify c);
+    verify_from = (fun _ cell c -> A.verify_from cell c);
+    sim = A.sim_controller;
+    default_cfg = { Learner.default_config with max_iters = 150; alpha = 0.2; beta = 0.2 };
+  }
+
+let nn_cfg =
+  { Learner.default_config with
+    max_iters = 20; alpha = 0.05; beta = 0.05; perturbation = 0.02;
+    gradient_mode = Learner.Spsa 2 }
+
+let oscillator_system =
+  let module O = Dwv_systems.Oscillator in
+  {
+    spec = O.spec;
+    sampled = O.sampled;
+    init = (fun rng -> O.pretrained_controller rng);
+    verify = (fun m c -> O.verify ?method_:m c);
+    verify_from = (fun m cell c -> O.verify_from ?method_:m cell c);
+    sim = O.sim_controller;
+    default_cfg = nn_cfg;
+  }
+
+let threed_system =
+  let module T = Dwv_systems.Threed in
+  {
+    spec = T.spec;
+    sampled = T.sampled;
+    init = (fun rng -> T.pretrained_controller rng);
+    verify = (fun m c -> T.verify ?method_:m c);
+    verify_from = (fun m cell c -> T.verify_from ?method_:m cell c);
+    sim = T.sim_controller;
+    default_cfg = nn_cfg;
+  }
+
+let pendulum_system =
+  let module P = Dwv_systems.Pendulum in
+  {
+    spec = P.spec;
+    sampled = P.sampled;
+    init = (fun rng -> P.pretrained_controller rng);
+    verify = (fun m c -> P.verify ?method_:m c);
+    verify_from = (fun m cell c -> P.verify_from ?method_:m cell c);
+    sim = P.sim_controller;
+    default_cfg = nn_cfg;
+  }
+
+let system_of_name = function
+  | "acc" -> Ok acc_system
+  | "oscillator" | "osc" -> Ok oscillator_system
+  | "threed" | "3d" -> Ok threed_system
+  | "pendulum" -> Ok pendulum_system
+  | s ->
+    Error (`Msg ("unknown system: " ^ s ^ " (expected acc | oscillator | threed | pendulum)"))
+
+let method_of_name system_name = function
+  | "polar" -> Ok (Some Verifier.Polar)
+  | "reachnn" ->
+    let n = if system_name = "threed" || system_name = "3d" then 3 else 2 in
+    Ok (Some (Verifier.Bernstein (Dwv_reach.Nn_reach_bernstein.default_config ~n)))
+  | "default" -> Ok None
+  | s -> Error (`Msg ("unknown tool: " ^ s ^ " (expected polar | reachnn)"))
+
+let metric_of_name = function
+  | "G" | "g" | "geometric" -> Ok Metrics.Geometric
+  | "W" | "w" | "wasserstein" -> Ok Metrics.Wasserstein
+  | s -> Error (`Msg ("unknown metric: " ^ s ^ " (expected G | W)"))
+
+open Cmdliner
+
+let system_arg =
+  let doc = "Benchmark system: acc, oscillator or threed." in
+  Arg.(required & opt (some string) None & info [ "s"; "system" ] ~docv:"SYSTEM" ~doc)
+
+let tool_arg =
+  let doc = "Verification tool for NN systems: polar or reachnn." in
+  Arg.(value & opt string "default" & info [ "t"; "tool" ] ~docv:"TOOL" ~doc)
+
+let seed_arg =
+  let doc = "Random seed (controller init, SPSA directions, rollouts)." in
+  Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let or_die = function Ok v -> v | Error (`Msg m) -> Fmt.epr "dwv: %s@." m; exit 2
+
+let controller_arg =
+  let doc = "Load a saved controller instead of the warm-start design." in
+  Arg.(value & opt (some file) None & info [ "c"; "controller" ] ~docv:"FILE" ~doc)
+
+let initial_controller sys ~controller_file ~seed =
+  match controller_file with
+  | Some path -> Controller.load path
+  | None -> sys.init (Rng.create seed)
+
+let info_cmd =
+  let run name =
+    let sys = or_die (system_of_name name) in
+    Fmt.pr "%a@." Spec.pp sys.spec
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Print a benchmark system's reach-avoid specification")
+    Term.(const run $ system_arg)
+
+let verify_cmd =
+  let run name tool seed controller_file =
+    let sys = or_die (system_of_name name) in
+    let method_ = or_die (method_of_name name tool) in
+    let c = initial_controller sys ~controller_file ~seed in
+    let t0 = Sys.time () in
+    let pipe = sys.verify method_ c in
+    let verdict = Verifier.check ~unsafe:sys.spec.Spec.unsafe ~goal:sys.spec.Spec.goal pipe in
+    Fmt.pr "%a@.verdict: %a (%.2fs cpu)@." Flowpipe.pp pipe Verifier.pp_verdict verdict
+      (Sys.time () -. t0)
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Verify a design once (warm start, or a saved controller)")
+    Term.(const run $ system_arg $ tool_arg $ seed_arg $ controller_arg)
+
+let learn_cmd =
+  let metric_arg =
+    Arg.(value & opt string "G" & info [ "m"; "metric" ] ~docv:"METRIC" ~doc:"G or W.")
+  in
+  let iters_arg =
+    Arg.(value & opt (some int) None & info [ "iters" ] ~docv:"N" ~doc:"Iteration budget.")
+  in
+  let save_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE" ~doc:"Save the learned controller to this file.")
+  in
+  let run name tool metric_name iters seed controller_file save =
+    let sys = or_die (system_of_name name) in
+    let method_ = or_die (method_of_name name tool) in
+    let metric = or_die (metric_of_name metric_name) in
+    let cfg =
+      match iters with
+      | Some n -> { sys.default_cfg with Learner.max_iters = n; seed }
+      | None -> { sys.default_cfg with seed }
+    in
+    let r =
+      Learner.learn cfg ~metric ~spec:sys.spec ~verify:(sys.verify method_)
+        ~init:(initial_controller sys ~controller_file ~seed)
+    in
+    Fmt.pr "CI = %d (%d verifier calls), verdict: %a@." r.Learner.iterations
+      r.Learner.verifier_calls Verifier.pp_verdict r.Learner.verdict;
+    Fmt.pr "final reachable box: %a@." Box.pp (Flowpipe.final_box r.Learner.pipe);
+    List.iter
+      (fun (h : Learner.history_point) ->
+        Fmt.pr "  it %2d: objective=%.5g safety=%.5g goal=%.5g %a@." h.Learner.iter
+          h.Learner.objective h.Learner.scores.Metrics.safety h.Learner.scores.Metrics.goal
+          Verifier.pp_verdict h.Learner.verdict)
+      r.Learner.history;
+    match save with
+    | Some path ->
+      Controller.save path r.Learner.controller;
+      Fmt.pr "saved controller to %s@." path
+    | None -> ()
+  in
+  Cmd.v (Cmd.info "learn" ~doc:"Run Algorithm 1 (verification-in-the-loop learning)")
+    Term.(
+      const run $ system_arg $ tool_arg $ metric_arg $ iters_arg $ seed_arg $ controller_arg
+      $ save_arg)
+
+let simulate_cmd =
+  let n_arg = Arg.(value & opt int 500 & info [ "n" ] ~docv:"N" ~doc:"Number of rollouts.") in
+  let run name n seed controller_file =
+    let sys = or_die (system_of_name name) in
+    let c = initial_controller sys ~controller_file ~seed in
+    let rng = Rng.create (seed + 1) in
+    let rates =
+      Evaluate.rates ~n ~rng ~sys:sys.sampled ~controller:(sys.sim c) ~spec:sys.spec ()
+    in
+    Fmt.pr "%a@." Evaluate.pp_rates rates
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Monte-Carlo SC/GR rates of a design")
+    Term.(const run $ system_arg $ n_arg $ seed_arg $ controller_arg)
+
+let initset_cmd =
+  let depth_arg =
+    Arg.(value & opt int 3 & info [ "depth" ] ~docv:"D" ~doc:"Max bisection depth.")
+  in
+  let run name tool depth seed controller_file =
+    let sys = or_die (system_of_name name) in
+    let method_ = or_die (method_of_name name tool) in
+    let c = initial_controller sys ~controller_file ~seed in
+    let r =
+      Initset.search ~max_depth:depth
+        ~verify:(fun cell -> sys.verify_from method_ cell c)
+        ~goal:sys.spec.Spec.goal ~x0:sys.spec.Spec.x0 ()
+    in
+    Fmt.pr "%a@." Initset.pp_result r
+  in
+  Cmd.v (Cmd.info "initset" ~doc:"Run Algorithm 2 (reach-avoid initial-set search)")
+    Term.(const run $ system_arg $ tool_arg $ depth_arg $ seed_arg $ controller_arg)
+
+(* Parse-and-evaluate a dynamics expression: exposes the text front end
+   for user-defined systems. *)
+let parse_cmd =
+  let expr_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPR" ~doc:"Expression text.")
+  in
+  let at_arg =
+    Arg.(
+      value
+      & opt (list float) []
+      & info [ "at" ] ~docv:"X0,X1,..." ~doc:"State values to evaluate at.")
+  in
+  let u_arg =
+    Arg.(
+      value & opt (list float) [] & info [ "u" ] ~docv:"U0,..." ~doc:"Input values.")
+  in
+  let run src at u =
+    match Dwv_expr.Parser.parse src with
+    | Error msg ->
+      Fmt.epr "parse error: %s@." msg;
+      exit 2
+    | Ok e ->
+      Fmt.pr "ast: %a@." Dwv_expr.Expr.pp e;
+      if at <> [] then
+        Fmt.pr "value at x=[%a], u=[%a]: %g@."
+          Fmt.(list ~sep:comma float)
+          at
+          Fmt.(list ~sep:comma float)
+          u
+          (Dwv_expr.Expr.eval e ~x:(Array.of_list at) ~u:(Array.of_list u))
+  in
+  Cmd.v (Cmd.info "parse" ~doc:"Parse (and optionally evaluate) a dynamics expression")
+    Term.(const run $ expr_arg $ at_arg $ u_arg)
+
+let () =
+  let doc = "Design-while-verify: correct-by-construction control learning" in
+  let main =
+    Cmd.group (Cmd.info "dwv" ~doc)
+      [ info_cmd; verify_cmd; learn_cmd; simulate_cmd; initset_cmd; parse_cmd ]
+  in
+  exit (Cmd.eval main)

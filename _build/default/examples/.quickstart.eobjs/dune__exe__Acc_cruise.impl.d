@@ -1,0 +1,1 @@
+examples/acc_cruise.ml: Array Dwv_core Dwv_interval Dwv_la Dwv_nn Dwv_reach Dwv_rl Dwv_systems Dwv_util Fmt List

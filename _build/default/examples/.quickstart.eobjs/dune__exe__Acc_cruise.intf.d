@@ -1,0 +1,1 @@
+examples/acc_cruise.mli:

@@ -1,0 +1,1 @@
+examples/initset_search.ml: Dwv_core Dwv_interval Dwv_reach Dwv_systems Fmt List

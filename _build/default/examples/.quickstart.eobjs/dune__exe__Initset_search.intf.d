@@ -1,0 +1,1 @@
+examples/initset_search.mli:

@@ -1,0 +1,1 @@
+examples/oscillator_nn.mli:

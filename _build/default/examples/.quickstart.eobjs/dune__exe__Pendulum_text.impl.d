@@ -1,0 +1,1 @@
+examples/pendulum_text.ml: Array Dwv_core Dwv_expr Dwv_interval Dwv_nn Dwv_ode Dwv_reach Dwv_util Fmt List

@@ -1,0 +1,1 @@
+examples/threed_nn.ml: Dwv_core Dwv_interval Dwv_reach Dwv_systems Dwv_util Fmt List

@@ -1,0 +1,1 @@
+examples/threed_nn.mli:

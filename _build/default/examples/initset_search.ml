@@ -1,0 +1,39 @@
+(* Algorithm 2 in isolation: certify the reach-avoid initial set X_I of a
+   DELIBERATELY under-tuned controller, illustrating why goal-reaching may
+   hold only on part of X_0 (the incompleteness discussion of Sec. 3.4).
+
+   Run with: dune exec examples/initset_search.exe *)
+
+module Acc = Dwv_systems.Acc
+module Initset = Dwv_core.Initset
+module Verifier = Dwv_reach.Verifier
+module Box = Dwv_interval.Box
+
+let () =
+  Fmt.pr "=== Algorithm 2: initial-set search on ACC ===@.@.";
+  (* a gain whose transient brushes the goal band right at its edge:
+     only part of X_0 is formally certified to enter it, so Algorithm 2
+     carves out a strict subset X_I of X_0 *)
+  let controller = Acc.controller_of_theta [| 0.55; -2.0; 1.83 |] in
+  let whole = Acc.verify controller in
+  Fmt.pr "whole X0: verdict %a, final box %a@.@." Verifier.pp_verdict
+    (Verifier.check ~unsafe:Acc.spec.unsafe ~goal:Acc.spec.goal whole)
+    Box.pp
+    (Dwv_reach.Flowpipe.final_box whole);
+  List.iter
+    (fun depth ->
+      let r =
+        Initset.search ~max_depth:depth
+          ~verify:(fun cell -> Acc.verify_from cell controller)
+          ~goal:Acc.spec.goal ~x0:Acc.spec.x0 ()
+      in
+      Fmt.pr "max_depth = %d -> coverage %.1f%% with %d verifier calls@." depth
+        (100.0 *. r.Initset.coverage) r.Initset.verifier_calls)
+    [ 0; 1; 2; 3; 4; 5 ];
+  Fmt.pr "@.finest partition:@.";
+  let r =
+    Initset.search ~max_depth:5
+      ~verify:(fun cell -> Acc.verify_from cell controller)
+      ~goal:Acc.spec.goal ~x0:Acc.spec.x0 ()
+  in
+  Fmt.pr "%a@." Initset.pp_result r

@@ -1,0 +1,48 @@
+(* The 3-D polynomial system under a neural controller - the scenario of
+   Fig. 8, including the divergence ("NAN") failure mode of verifying an
+   unprepared network.
+
+   Run with: dune exec examples/threed_nn.exe *)
+
+module Threed = Dwv_systems.Threed
+module Learner = Dwv_core.Learner
+module Metrics = Dwv_core.Metrics
+module Evaluate = Dwv_core.Evaluate
+module Verifier = Dwv_reach.Verifier
+module Flowpipe = Dwv_reach.Flowpipe
+module Box = Dwv_interval.Box
+module Rng = Dwv_util.Rng
+
+let () =
+  Fmt.pr "=== 3-D system: NN controller with verification in the loop ===@.";
+  Fmt.pr "%a@.@." Dwv_core.Spec.pp Threed.spec;
+  let rng = Rng.create 7 in
+  (* first, the Fig. 8 failure mode: a raw random network almost always
+     drives the reachability analysis into divergence *)
+  let raw = Threed.initial_controller (Rng.split rng) in
+  let raw_pipe = Threed.verify ~method_:Verifier.Polar raw in
+  Fmt.pr "raw random network: %a after %d steps -> verdict %a@."
+    (fun ppf d -> Fmt.string ppf (if d then "verification DIVERGED (the paper's NAN)" else "completed"))
+    (Flowpipe.diverged raw_pipe) (Flowpipe.steps raw_pipe) Verifier.pp_verdict
+    (Verifier.check ~unsafe:Threed.spec.unsafe ~goal:Threed.spec.goal raw_pipe);
+  (* design-while-verify from the warm start *)
+  let init = Threed.pretrained_controller rng in
+  let cfg =
+    { Learner.default_config with
+      max_iters = 15; alpha = 0.05; beta = 0.05; perturbation = 0.02;
+      gradient_mode = Learner.Spsa 2 }
+  in
+  let r =
+    Learner.learn cfg ~metric:Metrics.Geometric ~spec:Threed.spec
+      ~verify:(Threed.verify ~method_:Verifier.Polar) ~init
+  in
+  Fmt.pr "ours: CI = %d, verdict %a@." r.iterations Verifier.pp_verdict r.verdict;
+  let rates =
+    Evaluate.rates ~n:500 ~rng ~sys:Threed.sampled
+      ~controller:(Threed.sim_controller r.controller) ~spec:Threed.spec ()
+  in
+  Fmt.pr "simulation: %a@.@." Evaluate.pp_rates rates;
+  Fmt.pr "verified reachable corridor:@.";
+  List.iteri
+    (fun k box -> if k mod 3 = 0 then Fmt.pr "  t=%3.1f  %a@." (0.2 *. float_of_int k) Box.pp box)
+    (Flowpipe.step_boxes r.pipe)

@@ -1,0 +1,1 @@
+lib/core/controller.ml: Array Buffer Dwv_la Dwv_nn Fmt Fun List Printf String

@@ -1,0 +1,1 @@
+lib/core/controller.mli: Dwv_la Dwv_nn Format

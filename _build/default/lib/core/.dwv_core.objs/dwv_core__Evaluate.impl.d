@@ -1,0 +1,1 @@
+lib/core/evaluate.ml: Array Dwv_interval Dwv_ode Dwv_util Fmt Spec

@@ -1,0 +1,1 @@
+lib/core/evaluate.mli: Dwv_ode Dwv_util Format Spec

@@ -1,0 +1,1 @@
+lib/core/falsifier.ml: Array Dwv_interval Dwv_ode Dwv_util Float Fmt Spec

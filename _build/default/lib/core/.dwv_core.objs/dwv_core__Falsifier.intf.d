@@ -1,0 +1,1 @@
+lib/core/falsifier.mli: Dwv_interval Dwv_ode Dwv_util Format Spec

@@ -1,0 +1,1 @@
+lib/core/initset.ml: Array Dwv_interval Dwv_reach Fmt List

@@ -1,0 +1,1 @@
+lib/core/initset.mli: Dwv_interval Dwv_reach Format

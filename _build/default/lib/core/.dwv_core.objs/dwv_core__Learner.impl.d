@@ -1,0 +1,1 @@
+lib/core/learner.ml: Array Controller Dwv_reach Dwv_util Float List Logs Metrics Spec

@@ -1,0 +1,1 @@
+lib/core/learner.mli: Controller Dwv_reach Metrics Spec

@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Dwv_geometry Dwv_interval Dwv_reach Dwv_transport Float Fmt List

@@ -1,0 +1,1 @@
+lib/core/metrics.mli: Dwv_interval Dwv_reach Format

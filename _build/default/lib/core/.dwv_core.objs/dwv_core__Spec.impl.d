@@ -1,0 +1,1 @@
+lib/core/spec.ml: Dwv_interval Fmt

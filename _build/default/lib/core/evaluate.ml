@@ -1,0 +1,52 @@
+(* Experimental (simulation-based) evaluation: the SC and GR columns of
+   Table 1. The system is discretized with zero-order hold and simulated
+   from random initial states; a rollout is SAFE when no (densely sampled)
+   state enters the unsafe box, and GOAL-REACHING when some state enters
+   the goal box within the horizon. The paper uses 500 rollouts. *)
+
+module Box = Dwv_interval.Box
+module Sampled_system = Dwv_ode.Sampled_system
+module Rng = Dwv_util.Rng
+module Stats = Dwv_util.Stats
+
+type rollout = { safe : bool; reached : bool; trace : Sampled_system.trace }
+
+let rollout ?substeps ~sys ~controller ~(spec : Spec.t) x0 =
+  let trace = Sampled_system.simulate ?substeps sys ~controller ~x0 ~steps:spec.Spec.steps in
+  let safe = Array.for_all (Spec.point_safe spec) trace.Sampled_system.dense in
+  let reached = Array.exists (Spec.point_in_goal spec) trace.Sampled_system.dense in
+  { safe; reached; trace }
+
+type rates = { safe_percent : float; goal_percent : float; n : int }
+
+let rates ?(n = 500) ?substeps ~rng ~sys ~controller ~spec () =
+  if n < 1 then invalid_arg "Evaluate.rates: need at least one rollout";
+  let safe = Array.make n false and reached = Array.make n false in
+  for i = 0 to n - 1 do
+    let x0 = Box.sample rng spec.Spec.x0 in
+    let r = rollout ?substeps ~sys ~controller ~spec x0 in
+    safe.(i) <- r.safe;
+    reached.(i) <- r.reached
+  done;
+  {
+    safe_percent = Stats.rate_percent safe;
+    goal_percent = Stats.rate_percent reached;
+    n;
+  }
+
+(* A single concrete counterexample to safety, if one of [n] random
+   rollouts finds it (used to justify "Unsafe" verdicts for baselines the
+   formal analysis cannot decide). *)
+let find_unsafe_rollout ?(n = 500) ?substeps ~rng ~sys ~controller ~spec () =
+  let rec loop i =
+    if i >= n then None
+    else begin
+      let x0 = Box.sample rng spec.Spec.x0 in
+      let r = rollout ?substeps ~sys ~controller ~spec x0 in
+      if not r.safe then Some x0 else loop (i + 1)
+    end
+  in
+  loop 0
+
+let pp_rates ppf r =
+  Fmt.pf ppf "SC = %.1f%%, GR = %.1f%% (n = %d)" r.safe_percent r.goal_percent r.n

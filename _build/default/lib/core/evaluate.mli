@@ -1,0 +1,44 @@
+(** Simulation-based evaluation (the SC / GR columns of Table 1): Monte
+    Carlo rollouts of the discretized closed loop. *)
+
+type rollout = {
+  safe : bool;     (** no densely-sampled state entered the unsafe box *)
+  reached : bool;  (** some state entered the goal box within the horizon *)
+  trace : Dwv_ode.Sampled_system.trace;
+}
+
+(** One rollout from a concrete initial state. *)
+val rollout :
+  ?substeps:int ->
+  sys:Dwv_ode.Sampled_system.t ->
+  controller:(float array -> float array) ->
+  spec:Spec.t ->
+  float array ->
+  rollout
+
+type rates = { safe_percent : float; goal_percent : float; n : int }
+
+(** Safe-control and goal-reaching percentages over [n] (default 500)
+    uniformly sampled initial states. *)
+val rates :
+  ?n:int ->
+  ?substeps:int ->
+  rng:Dwv_util.Rng.t ->
+  sys:Dwv_ode.Sampled_system.t ->
+  controller:(float array -> float array) ->
+  spec:Spec.t ->
+  unit ->
+  rates
+
+(** First sampled initial state whose rollout violates safety, if any. *)
+val find_unsafe_rollout :
+  ?n:int ->
+  ?substeps:int ->
+  rng:Dwv_util.Rng.t ->
+  sys:Dwv_ode.Sampled_system.t ->
+  controller:(float array -> float array) ->
+  spec:Spec.t ->
+  unit ->
+  float array option
+
+val pp_rates : Format.formatter -> rates -> unit

@@ -1,0 +1,43 @@
+(** Falsification: concrete counterexample search by robustness
+    minimization (random multistart + coordinate hill climbing over X₀).
+    A found counterexample definitively refutes the property — the
+    complement of the verifier's sound-but-incomplete positive verdicts. *)
+
+(** Signed distance from a point to a box: negative inside. *)
+val signed_distance : Dwv_interval.Box.t -> float array -> float
+
+type property =
+  | Safety          (** falsified when some state enters the unsafe box *)
+  | Goal_reaching   (** falsified when no state ever enters the goal box *)
+
+(** Trace robustness of one rollout; positive iff the property holds. *)
+val robustness :
+  sys:Dwv_ode.Sampled_system.t ->
+  controller:(float array -> float array) ->
+  spec:Spec.t ->
+  property:property ->
+  float array ->
+  float
+
+type counterexample = {
+  x0 : float array;
+  robustness : float;
+  property : property;
+}
+
+(** [search ~rng ~sys ~controller ~spec ~property ()] returns a concrete
+    falsifying initial state, or [None] if none was found within
+    [attempts] (default 50) starts and [refine_iters] (default 8)
+    hill-climbing sweeps. *)
+val search :
+  ?attempts:int ->
+  ?refine_iters:int ->
+  rng:Dwv_util.Rng.t ->
+  sys:Dwv_ode.Sampled_system.t ->
+  controller:(float array -> float array) ->
+  spec:Spec.t ->
+  property:property ->
+  unit ->
+  counterexample option
+
+val pp_counterexample : Format.formatter -> counterexample -> unit

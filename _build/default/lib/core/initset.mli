@@ -1,0 +1,36 @@
+(** Algorithm 2: search for the reach-avoid initial set X_I ⊆ X₀ on which
+    goal-reaching is formally certified (adaptive bisection refinement of
+    the paper's even-partition scheme). *)
+
+type result = {
+  verified : Dwv_interval.Box.t list;  (** the cells of X_I *)
+  rejected : Dwv_interval.Box.t list;  (** failed at maximal depth *)
+  coverage : float;                    (** |X_I| / |X₀| *)
+  verifier_calls : int;
+}
+
+(** [search ~verify ~goal ~x0 ()] certifies cells whose flowpipe has some
+    sample-instant enclosure inside [goal]; failing cells are bisected up
+    to [max_depth] (default 4). [verify] runs the verifier from an
+    arbitrary initial cell. *)
+val search :
+  ?max_depth:int ->
+  verify:(Dwv_interval.Box.t -> Dwv_reach.Flowpipe.t) ->
+  goal:Dwv_interval.Box.t ->
+  x0:Dwv_interval.Box.t ->
+  unit ->
+  result
+
+(** The paper's literal even-partition scheme: rounds of 2^r cells per
+    dimension up to [max_rounds] (default 4), stopping when a round adds
+    no coverage. Same limit behaviour as {!search}, more verifier calls;
+    kept for fidelity and as a test oracle. *)
+val search_even :
+  ?max_rounds:int ->
+  verify:(Dwv_interval.Box.t -> Dwv_reach.Flowpipe.t) ->
+  goal:Dwv_interval.Box.t ->
+  x0:Dwv_interval.Box.t ->
+  unit ->
+  result
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,176 @@
+(* Algorithm 1: verification-in-the-loop control learning.
+
+   Repeat until the verifier proves reach-avoid or the iteration budget is
+   exhausted: perturb the controller parameters, re-verify each
+   perturbation, read off the metric scores, form a central-difference
+   gradient estimate, and take a step that increases both the safety and
+   the goal score. The verifier has no analytic form, hence the difference
+   method of Eq. (5); for high-dimensional (neural) controllers we use the
+   SPSA form of the same estimator (random +-1 directions), for low-
+   dimensional linear gains exact coordinate-wise differences. *)
+
+module Verifier = Dwv_reach.Verifier
+module Flowpipe = Dwv_reach.Flowpipe
+module Rng = Dwv_util.Rng
+
+type gradient_mode =
+  | Coordinate      (* one +-p probe per parameter: 2 * dim verifier calls *)
+  | Spsa of int     (* k random direction pairs: 2 * k verifier calls *)
+
+type config = {
+  max_iters : int;            (* N of Algorithm 1 *)
+  alpha : float;              (* step length on the safety score *)
+  beta : float;               (* step length on the goal score *)
+  perturbation : float;       (* p of the difference method *)
+  gradient_mode : gradient_mode;
+  normalize_gradients : bool; (* scale each estimate to unit norm so that
+                                 alpha/beta are trust-region step sizes *)
+  plateau_patience : int;     (* halve the steps after this many iterations
+                                 without objective improvement (0 = never);
+                                 normalized fixed-size steps otherwise cycle
+                                 around kinks of the metric (e.g. the
+                                 saturation boundary of the safety score) *)
+  seed : int;
+}
+
+let default_config =
+  {
+    max_iters = 200;
+    alpha = 0.1;
+    beta = 0.1;
+    perturbation = 1e-3;
+    gradient_mode = Coordinate;
+    normalize_gradients = true;
+    plateau_patience = 25;
+    seed = 0;
+  }
+
+type history_point = {
+  iter : int;
+  scores : Metrics.scores;
+  objective : float;
+  verdict : Verifier.verdict;
+}
+
+type result = {
+  controller : Controller.t;
+  verdict : Verifier.verdict;
+  iterations : int;               (* convergence iterations (CI of Table 1) *)
+  verifier_calls : int;
+  history : history_point list;   (* learning curve, Figs. 4 and 5 *)
+  pipe : Flowpipe.t;              (* flowpipe of the returned controller *)
+}
+
+let vec_norm v = sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 v)
+
+let normalize v =
+  let n = vec_norm v in
+  if n < 1e-12 then v else Array.map (fun x -> x /. n) v
+
+(* Central-difference estimate of the gradients of both scores at theta.
+   Returns (grad_safety, grad_goal). *)
+let estimate_gradients cfg ~rng ~evaluate ~calls theta =
+  let dim = Array.length theta in
+  let g_safety = Array.make dim 0.0 and g_goal = Array.make dim 0.0 in
+  let p = cfg.perturbation in
+  let probe direction =
+    let plus = Array.mapi (fun i x -> x +. (p *. direction.(i))) theta in
+    let minus = Array.mapi (fun i x -> x -. (p *. direction.(i))) theta in
+    let s_plus = evaluate plus and s_minus = evaluate minus in
+    calls := !calls + 2;
+    let ds = (s_plus.Metrics.safety -. s_minus.Metrics.safety) /. (2.0 *. p) in
+    let dg = (s_plus.Metrics.goal -. s_minus.Metrics.goal) /. (2.0 *. p) in
+    (ds, dg)
+  in
+  (match cfg.gradient_mode with
+  | Coordinate ->
+    for i = 0 to dim - 1 do
+      let direction = Array.make dim 0.0 in
+      direction.(i) <- 1.0;
+      let ds, dg = probe direction in
+      g_safety.(i) <- ds;
+      g_goal.(i) <- dg
+    done
+  | Spsa k ->
+    if k < 1 then invalid_arg "Learner: Spsa needs at least one direction";
+    for _ = 1 to k do
+      let direction = Rng.rademacher rng dim in
+      let ds, dg = probe direction in
+      (* SPSA estimator: grad_i ~ df * d_i / (2p); d_i = +-1 so the
+         division is a multiplication *)
+      for i = 0 to dim - 1 do
+        g_safety.(i) <- g_safety.(i) +. (ds *. direction.(i) /. float_of_int k);
+        g_goal.(i) <- g_goal.(i) +. (dg *. direction.(i) /. float_of_int k)
+      done
+    done);
+  if cfg.normalize_gradients then (normalize g_safety, normalize g_goal)
+  else (g_safety, g_goal)
+
+let learn ?(log = false) cfg ~metric ~(spec : Spec.t) ~verify ~init =
+  let rng = Rng.create cfg.seed in
+  let unsafe = spec.Spec.unsafe and goal = spec.Spec.goal in
+  let calls = ref 0 in
+  let evaluate theta =
+    Metrics.scores metric ~unsafe ~goal (verify (Controller.with_params init theta))
+  in
+  let theta = ref (Controller.params init) in
+  let history = ref [] in
+  (* Track the best-objective iterate: when the budget runs out without a
+     formal certificate, returning the best design seen (rather than the
+     last SPSA wander) is what a practitioner would deploy. *)
+  let best = ref None in
+  (* plateau-triggered step decay (see config) *)
+  let alpha = ref cfg.alpha and beta = ref cfg.beta in
+  let stagnation = ref 0 in
+  let rec iterate i =
+    let controller = Controller.with_params init !theta in
+    let pipe = verify controller in
+    incr calls;
+    let verdict = Verifier.check ~unsafe ~goal pipe in
+    let scores = Metrics.scores metric ~unsafe ~goal pipe in
+    let objective = Metrics.objective scores in
+    let point = { iter = i; scores; objective; verdict } in
+    history := point :: !history;
+    (match !best with
+    | Some (o, _, _, _) when o >= objective -> incr stagnation
+    | _ ->
+      best := Some (objective, controller, pipe, verdict);
+      stagnation := 0);
+    if cfg.plateau_patience > 0 && !stagnation >= cfg.plateau_patience then begin
+      alpha := Float.max (!alpha /. 2.0) (cfg.alpha /. 32.0);
+      beta := Float.max (!beta /. 2.0) (cfg.beta /. 32.0);
+      stagnation := 0
+    end;
+    if log then
+      Logs.info (fun m ->
+          m "iter %d: %a verdict=%a" i Metrics.pp_scores scores Verifier.pp_verdict verdict);
+    if verdict = Verifier.Reach_avoid || i >= cfg.max_iters then begin
+      let controller, pipe, verdict =
+        if verdict = Verifier.Reach_avoid then (controller, pipe, verdict)
+        else
+          match !best with
+          | Some (_, c, p, v) -> (c, p, v)
+          | None -> (controller, pipe, verdict)
+      in
+      {
+        controller;
+        verdict;
+        iterations = i;
+        verifier_calls = !calls;
+        history = List.rev !history;
+        pipe;
+      }
+    end
+    else begin
+      let g_safety, g_goal = estimate_gradients cfg ~rng ~evaluate ~calls !theta in
+      (* theta <- theta + alpha * grad(safety) + beta * grad(goal): ascend
+         both scores (the paper's line 6 with both metrics oriented
+         larger-is-better) *)
+      theta :=
+        Array.mapi
+          (fun j x -> x +. (!alpha *. g_safety.(j)) +. (!beta *. g_goal.(j)))
+          !theta;
+      iterate (i + 1)
+    end
+  in
+  iterate 0

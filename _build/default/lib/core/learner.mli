@@ -1,0 +1,54 @@
+(** Algorithm 1: verification-in-the-loop control learning with the
+    difference-method gradient of Eq. (5). *)
+
+type gradient_mode =
+  | Coordinate   (** exact central differences, 2·dim verifier calls/iter *)
+  | Spsa of int  (** k random ±1 direction pairs, 2·k calls/iter *)
+
+type config = {
+  max_iters : int;            (** N of Algorithm 1 *)
+  alpha : float;              (** step length on the safety score *)
+  beta : float;               (** step length on the goal score *)
+  perturbation : float;       (** p of the difference method *)
+  gradient_mode : gradient_mode;
+  normalize_gradients : bool; (** treat α/β as trust-region step sizes *)
+  plateau_patience : int;
+      (** halve the step sizes after this many iterations without
+          objective improvement (0 disables); prevents cycling around
+          kinks such as the safety-score saturation boundary *)
+  seed : int;
+}
+
+(** 200 iterations, α = β = 0.1, p = 1e-3, coordinate gradients,
+    normalized, patience 25, seed 0. *)
+val default_config : config
+
+type history_point = {
+  iter : int;
+  scores : Metrics.scores;
+  objective : float;
+  verdict : Dwv_reach.Verifier.verdict;
+}
+
+type result = {
+  controller : Controller.t;
+  verdict : Dwv_reach.Verifier.verdict;
+  iterations : int;             (** convergence iterations (Table 1 CI) *)
+  verifier_calls : int;
+  history : history_point list; (** learning curve (Figs. 4/5) *)
+  pipe : Dwv_reach.Flowpipe.t;  (** flowpipe of the returned controller *)
+}
+
+(** Run Algorithm 1. [verify] is the verifier Ψ closed over the system;
+    [init] provides both the controller family and the initial θ. Stops at
+    the first formally proved reach-avoid verdict or after
+    [cfg.max_iters]; in the latter case the best-objective iterate (not
+    the last) is returned. *)
+val learn :
+  ?log:bool ->
+  config ->
+  metric:Metrics.kind ->
+  spec:Spec.t ->
+  verify:(Controller.t -> Dwv_reach.Flowpipe.t) ->
+  init:Controller.t ->
+  result

@@ -1,0 +1,54 @@
+(** The verification feedback metrics of Section 3.2: geometric distances
+    (Eq. (2)/(3)) and the Wasserstein distance (Eq. (4)) over the
+    verifier's flowpipe, normalized to a pair of larger-is-better scores
+    shared by the learner. *)
+
+type kind = Geometric | Wasserstein
+
+(** "G" / "W" (the paper's table labels). *)
+val kind_to_string : kind -> string
+
+type scores = {
+  safety : float;  (** d_u, or W(r, unsafe) — larger is safer *)
+  goal : float;    (** d_g, or −W(r, goal) — larger is closer to the goal *)
+}
+
+(** Penalty scores for a diverged verification (slightly graded by how far
+    the pipe got before blowing up). *)
+val diverged_scores : Dwv_reach.Flowpipe.t -> scores
+
+(** The geometric d_u of Eq. (2) over the segment boxes. *)
+val geometric_d_u : unsafe:Dwv_interval.Box.t -> Dwv_reach.Flowpipe.t -> float
+
+(** The geometric d_g of Eq. (3) over the sample-instant boxes. *)
+val geometric_d_g : goal:Dwv_interval.Box.t -> Dwv_reach.Flowpipe.t -> float
+
+(** The safety score saturates at [safety_cap] (default: half the
+    goal-to-unsafe separation in the metric's own units) so that a design
+    already far from X_u takes its gradient from the goal term alone. *)
+val geometric :
+  ?safety_cap:float ->
+  unsafe:Dwv_interval.Box.t ->
+  goal:Dwv_interval.Box.t ->
+  Dwv_reach.Flowpipe.t ->
+  scores
+
+val wasserstein :
+  ?safety_cap:float ->
+  unsafe:Dwv_interval.Box.t ->
+  goal:Dwv_interval.Box.t ->
+  Dwv_reach.Flowpipe.t ->
+  scores
+
+val scores :
+  ?safety_cap:float ->
+  kind ->
+  unsafe:Dwv_interval.Box.t ->
+  goal:Dwv_interval.Box.t ->
+  Dwv_reach.Flowpipe.t ->
+  scores
+
+(** safety + goal, oriented so larger is better (learning-curve scalar). *)
+val objective : scores -> float
+
+val pp_scores : Format.formatter -> scores -> unit

@@ -1,0 +1,36 @@
+(* Reach-avoid specifications (Definition 1): starting anywhere in the
+   initial set, never touch the unsafe set within the horizon and be
+   provably inside the goal set at some sample instant. All three sets are
+   boxes, exactly as in the paper's experiments. *)
+
+module Box = Dwv_interval.Box
+
+type t = {
+  name : string;
+  x0 : Box.t;          (* initial set X_0 *)
+  unsafe : Box.t;      (* unsafe set X_u *)
+  goal : Box.t;        (* goal set X_g *)
+  delta : float;       (* sampling period *)
+  steps : int;         (* horizon T = steps * delta *)
+}
+
+let make ~name ~x0 ~unsafe ~goal ~delta ~steps =
+  if delta <= 0.0 then invalid_arg "Spec.make: delta must be positive";
+  if steps < 1 then invalid_arg "Spec.make: need at least one step";
+  let d = Box.dim x0 in
+  if Box.dim unsafe <> d || Box.dim goal <> d then
+    invalid_arg "Spec.make: all sets must share the state dimension";
+  { name; x0; unsafe; goal; delta; steps }
+
+let horizon t = t.delta *. float_of_int t.steps
+
+let dim t = Box.dim t.x0
+
+(* Pointwise checks used by the Monte-Carlo evaluation. *)
+let point_safe t x = not (Box.contains t.unsafe x)
+
+let point_in_goal t x = Box.contains t.goal x
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%s:@ X0 = %a@ Xu = %a@ Xg = %a@ delta = %g, steps = %d (T = %g)@]"
+    t.name Box.pp t.x0 Box.pp t.unsafe Box.pp t.goal t.delta t.steps (horizon t)

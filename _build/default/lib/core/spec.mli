@@ -1,0 +1,36 @@
+(** Reach-avoid specifications (Definition 1 of the paper): box-shaped
+    initial, unsafe and goal sets over a sampled horizon. *)
+
+type t = {
+  name : string;
+  x0 : Dwv_interval.Box.t;
+  unsafe : Dwv_interval.Box.t;
+  goal : Dwv_interval.Box.t;
+  delta : float;
+  steps : int;
+}
+
+(** Build with validation (positive delta, at least one step, matching
+    dimensions). *)
+val make :
+  name:string ->
+  x0:Dwv_interval.Box.t ->
+  unsafe:Dwv_interval.Box.t ->
+  goal:Dwv_interval.Box.t ->
+  delta:float ->
+  steps:int ->
+  t
+
+(** Time horizon T = steps · delta. *)
+val horizon : t -> float
+
+(** State dimension of the specification sets. *)
+val dim : t -> int
+
+(** Is this concrete state outside the unsafe box? *)
+val point_safe : t -> float array -> bool
+
+(** Is this concrete state inside the goal box? *)
+val point_in_goal : t -> float array -> bool
+
+val pp : Format.formatter -> t -> unit

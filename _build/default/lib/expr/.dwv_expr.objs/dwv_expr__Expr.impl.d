@@ -1,0 +1,1 @@
+lib/expr/expr.ml: Array Dwv_interval Fmt

@@ -1,0 +1,1 @@
+lib/expr/parser.ml: Array Expr Float Fmt List String

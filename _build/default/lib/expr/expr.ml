@@ -1,0 +1,197 @@
+(* Symbolic expressions for system dynamics.
+
+   A dynamics right-hand side f(x, u) is written once as a vector of [t]
+   values and then consumed in four ways:
+     - numeric evaluation        (simulation, Monte-Carlo evaluation)
+     - interval evaluation       (a-priori enclosures in the verifier)
+     - symbolic differentiation  (Lie derivatives for Taylor flowpipes,
+                                  exact Jacobians for the SVG baseline)
+     - Taylor-model evaluation   (in dwv_taylor, via [fold]) *)
+
+type t =
+  | Const of float
+  | Var of int      (* state component x_i *)
+  | Input of int    (* control component u_j, held constant within a step *)
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Neg of t
+  | Pow of t * int  (* integer power, exponent >= 0 *)
+  | Sin of t
+  | Cos of t
+  | Exp of t
+  | Tanh of t
+
+let const c = Const c
+let var i = Var i
+let input j = Input j
+
+(* Smart constructors with constant folding; keep expressions small because
+   Lie derivatives are taken repeatedly. *)
+let rec add a b =
+  match (a, b) with
+  | Const 0.0, e | e, Const 0.0 -> e
+  | Const x, Const y -> Const (x +. y)
+  | Const _, _ -> add b a
+  | _ -> Add (a, b)
+
+let sub a b =
+  match (a, b) with
+  | e, Const 0.0 -> e
+  | Const 0.0, e -> Neg e
+  | Const x, Const y -> Const (x -. y)
+  | _ -> Sub (a, b)
+
+let rec mul a b =
+  match (a, b) with
+  | Const 0.0, _ | _, Const 0.0 -> Const 0.0
+  | Const 1.0, e | e, Const 1.0 -> e
+  | Const x, Const y -> Const (x *. y)
+  | _, Const _ -> mul b a
+  | _ -> Mul (a, b)
+
+let div a b =
+  match (a, b) with
+  | _, Const 0.0 -> invalid_arg "Expr.div: division by constant zero"
+  | e, Const 1.0 -> e
+  | Const x, Const y -> Const (x /. y)
+  | Const 0.0, _ -> Const 0.0
+  | _ -> Div (a, b)
+
+let neg = function
+  | Const c -> Const (-.c)
+  | Neg e -> e
+  | e -> Neg e
+
+let pow e n =
+  if n < 0 then invalid_arg "Expr.pow: negative exponent";
+  match (e, n) with
+  | _, 0 -> Const 1.0
+  | e, 1 -> e
+  | Const c, n -> Const (c ** float_of_int n)
+  | e, n -> Pow (e, n)
+
+let sin_ = function Const c -> Const (sin c) | e -> Sin e
+let cos_ = function Const c -> Const (cos c) | e -> Cos e
+let exp_ = function Const c -> Const (exp c) | e -> Exp e
+let tanh_ = function Const c -> Const (tanh c) | e -> Tanh e
+
+let scale s e = mul (Const s) e
+
+(* Generic catamorphism: interpret the AST in any algebra. Used by the
+   Taylor-model evaluator to avoid a dependency cycle. *)
+let rec fold ~const ~var ~input ~add ~sub ~mul ~div ~neg ~pow ~sin ~cos ~exp ~tanh e =
+  let go = fold ~const ~var ~input ~add ~sub ~mul ~div ~neg ~pow ~sin ~cos ~exp ~tanh in
+  match e with
+  | Const c -> const c
+  | Var i -> var i
+  | Input j -> input j
+  | Add (a, b) -> add (go a) (go b)
+  | Sub (a, b) -> sub (go a) (go b)
+  | Mul (a, b) -> mul (go a) (go b)
+  | Div (a, b) -> div (go a) (go b)
+  | Neg a -> neg (go a)
+  | Pow (a, n) -> pow (go a) n
+  | Sin a -> sin (go a)
+  | Cos a -> cos (go a)
+  | Exp a -> exp (go a)
+  | Tanh a -> tanh (go a)
+
+let rec eval e ~x ~u =
+  match e with
+  | Const c -> c
+  | Var i -> x.(i)
+  | Input j -> u.(j)
+  | Add (a, b) -> eval a ~x ~u +. eval b ~x ~u
+  | Sub (a, b) -> eval a ~x ~u -. eval b ~x ~u
+  | Mul (a, b) -> eval a ~x ~u *. eval b ~x ~u
+  | Div (a, b) -> eval a ~x ~u /. eval b ~x ~u
+  | Neg a -> -.eval a ~x ~u
+  | Pow (a, n) -> eval a ~x ~u ** float_of_int n
+  | Sin a -> sin (eval a ~x ~u)
+  | Cos a -> cos (eval a ~x ~u)
+  | Exp a -> exp (eval a ~x ~u)
+  | Tanh a -> tanh (eval a ~x ~u)
+
+module I = Dwv_interval.Interval
+
+let rec ieval e ~x ~u =
+  match e with
+  | Const c -> I.of_point c
+  | Var i -> x.(i)
+  | Input j -> u.(j)
+  | Add (a, b) -> I.add (ieval a ~x ~u) (ieval b ~x ~u)
+  | Sub (a, b) -> I.sub (ieval a ~x ~u) (ieval b ~x ~u)
+  | Mul (a, b) -> I.mul (ieval a ~x ~u) (ieval b ~x ~u)
+  | Div (a, b) -> I.div (ieval a ~x ~u) (ieval b ~x ~u)
+  | Neg a -> I.neg (ieval a ~x ~u)
+  | Pow (a, n) -> I.pow_int (ieval a ~x ~u) n
+  | Sin a -> I.sin_ (ieval a ~x ~u)
+  | Cos a -> I.cos_ (ieval a ~x ~u)
+  | Exp a -> I.exp_ (ieval a ~x ~u)
+  | Tanh a -> I.tanh_ (ieval a ~x ~u)
+
+type wrt = Wrt_var of int | Wrt_input of int
+
+(* Symbolic partial derivative. *)
+let rec diff e ~wrt =
+  let d e = diff e ~wrt in
+  match e with
+  | Const _ -> Const 0.0
+  | Var i -> (match wrt with Wrt_var j when i = j -> Const 1.0 | _ -> Const 0.0)
+  | Input i -> (match wrt with Wrt_input j when i = j -> Const 1.0 | _ -> Const 0.0)
+  | Add (a, b) -> add (d a) (d b)
+  | Sub (a, b) -> sub (d a) (d b)
+  | Mul (a, b) -> add (mul (d a) b) (mul a (d b))
+  | Div (a, b) -> div (sub (mul (d a) b) (mul a (d b))) (pow b 2)
+  | Neg a -> neg (d a)
+  | Pow (a, n) -> mul (scale (float_of_int n) (pow a (n - 1))) (d a)
+  | Sin a -> mul (cos_ a) (d a)
+  | Cos a -> neg (mul (sin_ a) (d a))
+  | Exp a -> mul (exp_ a) (d a)
+  | Tanh a -> mul (sub (Const 1.0) (pow (tanh_ a) 2)) (d a)
+
+(* Lie derivative of g along the vector field f (u treated as constant
+   within a sampling period, so no Input-derivative term):
+   L_f g = sum_i (dg/dx_i) f_i. *)
+let lie_derivative ~f g =
+  let n = Array.length f in
+  let acc = ref (Const 0.0) in
+  for i = 0 to n - 1 do
+    acc := add !acc (mul (diff g ~wrt:(Wrt_var i)) f.(i))
+  done;
+  !acc
+
+(* Jacobians of a vector field, used for the SVG baseline's exact model
+   gradients. *)
+let jacobian_x f ~n =
+  Array.map (fun fi -> Array.init n (fun j -> diff fi ~wrt:(Wrt_var j))) f
+
+let jacobian_u f ~m =
+  Array.map (fun fi -> Array.init m (fun j -> diff fi ~wrt:(Wrt_input j))) f
+
+let eval_vec f ~x ~u = Array.map (fun fi -> eval fi ~x ~u) f
+
+let ieval_vec f ~x ~u = Array.map (fun fi -> ieval fi ~x ~u) f
+
+let rec size = function
+  | Const _ | Var _ | Input _ -> 1
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) -> 1 + size a + size b
+  | Neg a | Sin a | Cos a | Exp a | Tanh a -> 1 + size a
+  | Pow (a, _) -> 1 + size a
+
+let rec pp ppf = function
+  | Const c -> Fmt.pf ppf "%.6g" c
+  | Var i -> Fmt.pf ppf "x%d" i
+  | Input j -> Fmt.pf ppf "u%d" j
+  | Add (a, b) -> Fmt.pf ppf "(%a + %a)" pp a pp b
+  | Sub (a, b) -> Fmt.pf ppf "(%a - %a)" pp a pp b
+  | Mul (a, b) -> Fmt.pf ppf "(%a * %a)" pp a pp b
+  | Div (a, b) -> Fmt.pf ppf "(%a / %a)" pp a pp b
+  | Neg a -> Fmt.pf ppf "-%a" pp a
+  | Pow (a, n) -> Fmt.pf ppf "%a^%d" pp a n
+  | Sin a -> Fmt.pf ppf "sin(%a)" pp a
+  | Cos a -> Fmt.pf ppf "cos(%a)" pp a
+  | Exp a -> Fmt.pf ppf "exp(%a)" pp a
+  | Tanh a -> Fmt.pf ppf "tanh(%a)" pp a

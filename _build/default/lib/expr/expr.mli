@@ -1,0 +1,103 @@
+(** Symbolic expressions for system dynamics f(x, u).
+
+    One AST, four interpreters: numeric evaluation, interval evaluation,
+    symbolic differentiation (Lie derivatives / Jacobians), and — via
+    {!fold} — Taylor-model evaluation in [dwv_taylor]. *)
+
+type t =
+  | Const of float
+  | Var of int      (** state component x_i *)
+  | Input of int    (** control component u_j (constant within a step) *)
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Neg of t
+  | Pow of t * int
+  | Sin of t
+  | Cos of t
+  | Exp of t
+  | Tanh of t
+
+(** {1 Smart constructors (constant folding)} *)
+
+val const : float -> t
+val var : int -> t
+val input : int -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** Raises [Invalid_argument] on division by the constant zero. *)
+val div : t -> t -> t
+
+val neg : t -> t
+
+(** Integer power; raises on a negative exponent. *)
+val pow : t -> int -> t
+
+val sin_ : t -> t
+val cos_ : t -> t
+val exp_ : t -> t
+val tanh_ : t -> t
+
+(** Multiply by a scalar constant. *)
+val scale : float -> t -> t
+
+(** {1 Interpreters} *)
+
+(** Catamorphism: interpret the AST in an arbitrary algebra. *)
+val fold :
+  const:(float -> 'a) ->
+  var:(int -> 'a) ->
+  input:(int -> 'a) ->
+  add:('a -> 'a -> 'a) ->
+  sub:('a -> 'a -> 'a) ->
+  mul:('a -> 'a -> 'a) ->
+  div:('a -> 'a -> 'a) ->
+  neg:('a -> 'a) ->
+  pow:('a -> int -> 'a) ->
+  sin:('a -> 'a) ->
+  cos:('a -> 'a) ->
+  exp:('a -> 'a) ->
+  tanh:('a -> 'a) ->
+  t ->
+  'a
+
+(** Numeric evaluation at state [x] and input [u]. *)
+val eval : t -> x:float array -> u:float array -> float
+
+(** Interval evaluation (sound range enclosure). *)
+val ieval :
+  t ->
+  x:Dwv_interval.Interval.t array ->
+  u:Dwv_interval.Interval.t array ->
+  Dwv_interval.Interval.t
+
+type wrt = Wrt_var of int | Wrt_input of int
+
+(** Symbolic partial derivative. *)
+val diff : t -> wrt:wrt -> t
+
+(** Lie derivative of [g] along the field [f] (inputs held constant):
+    L_f g = Σᵢ (∂g/∂xᵢ) fᵢ. *)
+val lie_derivative : f:t array -> t -> t
+
+(** Symbolic Jacobian ∂f/∂x, [n] the state dimension. *)
+val jacobian_x : t array -> n:int -> t array array
+
+(** Symbolic Jacobian ∂f/∂u, [m] the input dimension. *)
+val jacobian_u : t array -> m:int -> t array array
+
+val eval_vec : t array -> x:float array -> u:float array -> float array
+
+val ieval_vec :
+  t array ->
+  x:Dwv_interval.Interval.t array ->
+  u:Dwv_interval.Interval.t array ->
+  Dwv_interval.Interval.t array
+
+(** Node count (expression size). *)
+val size : t -> int
+
+val pp : Format.formatter -> t -> unit

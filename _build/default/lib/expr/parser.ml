@@ -1,0 +1,196 @@
+(* A small recursive-descent parser for dynamics expressions, so systems
+   can be defined in configuration text rather than OCaml:
+
+     expr   := term  (('+' | '-') term)*
+     term   := factor (('*' | '/') factor)*
+     factor := atom ('^' nat)?
+     atom   := number | xN | uN | fn '(' expr ')' | '(' expr ')' | '-' factor
+     fn     := sin | cos | exp | tanh
+
+   Example: "(1 - x0^2) * x1 - x0 + u0" is the Van der Pol x2'. *)
+
+type token =
+  | Num of float
+  | Var of int
+  | Input of int
+  | Fn of string
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Caret
+  | Lparen
+  | Rparen
+
+exception Parse_error of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Parse_error s)) fmt
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some src.[!pos] else None in
+  while !pos < n do
+    match src.[!pos] with
+    | ' ' | '\t' | '\n' | '\r' -> incr pos
+    | '+' -> tokens := Plus :: !tokens; incr pos
+    | '-' -> tokens := Minus :: !tokens; incr pos
+    | '*' -> tokens := Star :: !tokens; incr pos
+    | '/' -> tokens := Slash :: !tokens; incr pos
+    | '^' -> tokens := Caret :: !tokens; incr pos
+    | '(' -> tokens := Lparen :: !tokens; incr pos
+    | ')' -> tokens := Rparen :: !tokens; incr pos
+    | c when is_digit c || c = '.' ->
+      let start = !pos in
+      while
+        match peek () with
+        | Some c -> is_digit c || c = '.' || c = 'e' || c = 'E'
+                    || ((c = '+' || c = '-')
+                        && !pos > start
+                        && (src.[!pos - 1] = 'e' || src.[!pos - 1] = 'E'))
+        | None -> false
+      do
+        incr pos
+      done;
+      let text = String.sub src start (!pos - start) in
+      (match float_of_string_opt text with
+      | Some v -> tokens := Num v :: !tokens
+      | None -> fail "invalid number %S" text)
+    | c when is_alpha c ->
+      let start = !pos in
+      while
+        match peek () with Some c -> is_alpha c || is_digit c | None -> false
+      do
+        incr pos
+      done;
+      let word = String.sub src start (!pos - start) in
+      let index_of prefix =
+        let suffix = String.sub word 1 (String.length word - 1) in
+        match int_of_string_opt suffix with
+        | Some i when i >= 0 -> i
+        | _ -> fail "expected an index after %S in %S" prefix word
+      in
+      (match word.[0] with
+      | 'x' when String.length word > 1 -> tokens := Var (index_of "x") :: !tokens
+      | 'u' when String.length word > 1 -> tokens := Input (index_of "u") :: !tokens
+      | _ ->
+        (match word with
+        | "sin" | "cos" | "exp" | "tanh" -> tokens := Fn word :: !tokens
+        | "pi" -> tokens := Num Float.pi :: !tokens
+        | _ -> fail "unknown identifier %S" word))
+    | c -> fail "unexpected character %C" c
+  done;
+  List.rev !tokens
+
+(* Recursive descent over a mutable token stream. *)
+let parse_tokens tokens =
+  let stream = ref tokens in
+  let peek () = match !stream with [] -> None | t :: _ -> Some t in
+  let advance () = match !stream with [] -> fail "unexpected end of input" | _ :: r -> stream := r in
+  let expect t name =
+    match peek () with
+    | Some t' when t' = t -> advance ()
+    | _ -> fail "expected %s" name
+  in
+  let rec expr () =
+    let acc = ref (term ()) in
+    let rec loop () =
+      match peek () with
+      | Some Plus ->
+        advance ();
+        acc := Expr.add !acc (term ());
+        loop ()
+      | Some Minus ->
+        advance ();
+        acc := Expr.sub !acc (term ());
+        loop ()
+      | _ -> ()
+    in
+    loop ();
+    !acc
+  and term () =
+    let acc = ref (factor ()) in
+    let rec loop () =
+      match peek () with
+      | Some Star ->
+        advance ();
+        acc := Expr.mul !acc (factor ());
+        loop ()
+      | Some Slash ->
+        advance ();
+        acc := Expr.div !acc (factor ());
+        loop ()
+      | _ -> ()
+    in
+    loop ();
+    !acc
+  and factor () =
+    let base = atom () in
+    match peek () with
+    | Some Caret -> (
+      advance ();
+      match peek () with
+      | Some (Num v) when Float.is_integer v && v >= 0.0 ->
+        advance ();
+        Expr.pow base (int_of_float v)
+      | _ -> fail "expected a non-negative integer exponent after '^'")
+    | _ -> base
+  and atom () =
+    match peek () with
+    | Some (Num v) ->
+      advance ();
+      Expr.const v
+    | Some (Var i) ->
+      advance ();
+      Expr.var i
+    | Some (Input i) ->
+      advance ();
+      Expr.input i
+    | Some Minus ->
+      advance ();
+      Expr.neg (factor ())
+    | Some Lparen ->
+      advance ();
+      let e = expr () in
+      expect Rparen "')'";
+      e
+    | Some (Fn name) ->
+      advance ();
+      expect Lparen "'(' after function name";
+      let e = expr () in
+      expect Rparen "')'";
+      (match name with
+      | "sin" -> Expr.sin_ e
+      | "cos" -> Expr.cos_ e
+      | "exp" -> Expr.exp_ e
+      | "tanh" -> Expr.tanh_ e
+      | _ -> assert false)
+    | Some _ -> fail "unexpected token"
+    | None -> fail "unexpected end of input"
+  in
+  let e = expr () in
+  if !stream <> [] then fail "trailing input";
+  e
+
+let parse src =
+  match parse_tokens (tokenize src) with
+  | e -> Ok e
+  | exception Parse_error msg -> Error msg
+
+let parse_exn src =
+  match parse src with Ok e -> e | Error msg -> invalid_arg ("Parser.parse_exn: " ^ msg)
+
+(* Parse a whole right-hand side, one expression per state component. *)
+let parse_system srcs =
+  let rec go acc = function
+    | [] -> Ok (Array.of_list (List.rev acc))
+    | src :: rest -> (
+      match parse src with
+      | Ok e -> go (e :: acc) rest
+      | Error msg -> Error (Fmt.str "component %d: %s" (List.length acc) msg))
+  in
+  go [] srcs

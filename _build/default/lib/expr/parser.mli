@@ -1,0 +1,13 @@
+(** Parser for dynamics expressions, e.g.
+    ["(1 - x0^2) * x1 - x0 + u0"] (the Van der Pol x₂'). State variables
+    are [xN], inputs [uN]; functions sin, cos, exp, tanh; [pi] is a
+    constant; [^] takes a non-negative integer exponent. *)
+
+(** Parse one expression. *)
+val parse : string -> (Expr.t, string) result
+
+(** Raises [Invalid_argument] on parse errors. *)
+val parse_exn : string -> Expr.t
+
+(** Parse a whole right-hand side (one expression per state component). *)
+val parse_system : string list -> (Expr.t array, string) result

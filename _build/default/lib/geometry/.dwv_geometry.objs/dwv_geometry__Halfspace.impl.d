@@ -1,0 +1,1 @@
+lib/geometry/halfspace.ml: Array Dwv_interval Float Fmt Zonotope

@@ -1,0 +1,1 @@
+lib/geometry/halfspace.mli: Dwv_interval Format Zonotope

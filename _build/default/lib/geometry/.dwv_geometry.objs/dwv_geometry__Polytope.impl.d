@@ -1,0 +1,1 @@
+lib/geometry/polytope.ml: Array Dwv_interval Fmt Halfspace List

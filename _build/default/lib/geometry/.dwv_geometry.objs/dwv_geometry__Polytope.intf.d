@@ -1,0 +1,1 @@
+lib/geometry/polytope.mli: Dwv_interval Format Halfspace Zonotope

@@ -1,0 +1,1 @@
+lib/geometry/setops.ml: Dwv_interval Float List

@@ -1,0 +1,1 @@
+lib/geometry/setops.mli: Dwv_interval

@@ -1,0 +1,1 @@
+lib/geometry/zonotope.ml: Array Dwv_interval Dwv_la Dwv_util Float Fmt

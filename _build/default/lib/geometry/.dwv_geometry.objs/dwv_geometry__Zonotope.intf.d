@@ -1,0 +1,1 @@
+lib/geometry/zonotope.mli: Dwv_interval Dwv_la Dwv_util Format

@@ -1,0 +1,67 @@
+(* Halfspaces { x | <normal, x> <= offset }.
+
+   The ACC unsafe region of the paper is the halfspace s <= 120; the box
+   substitution used by the metrics is validated against the exact
+   halfspace checks in this module (see Dwv_systems.Acc and the bench
+   cross-checks). Zonotope-vs-halfspace tests are exact thanks to the
+   support function. *)
+
+module Box = Dwv_interval.Box
+module I = Dwv_interval.Interval
+
+type t = { normal : float array; offset : float }
+
+let make ~normal ~offset =
+  if Array.length normal = 0 then invalid_arg "Halfspace.make: empty normal";
+  let norm = sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 normal) in
+  if norm < 1e-300 then invalid_arg "Halfspace.make: zero normal";
+  { normal = Array.copy normal; offset }
+
+let dim t = Array.length t.normal
+
+(* <normal, x> *)
+let dot_point t x =
+  if Array.length x <> dim t then invalid_arg "Halfspace.dot_point: dimension mismatch";
+  let acc = ref 0.0 in
+  Array.iteri (fun i n -> acc := !acc +. (n *. x.(i))) t.normal;
+  !acc
+
+let contains t x = dot_point t x <= t.offset
+
+(* Range of <normal, x> over a box (tight: interval arithmetic on an
+   affine form is exact). *)
+let dot_box t (box : Box.t) =
+  if Box.dim box <> dim t then invalid_arg "Halfspace.dot_box: dimension mismatch";
+  let acc = ref I.zero in
+  Array.iteri (fun i n -> acc := I.add !acc (I.scale n (Box.get box i))) t.normal;
+  !acc
+
+(* Exact box tests. *)
+let box_intersects t box = I.lo (dot_box t box) <= t.offset
+
+let box_inside t box = I.hi (dot_box t box) <= t.offset
+
+let box_avoids t box = I.lo (dot_box t box) > t.offset
+
+(* Exact zonotope tests via the support function: the minimum of
+   <normal, x> over Z is -support(Z, -normal). *)
+let zonotope_intersects t z =
+  let neg = Array.map (fun v -> -.v) t.normal in
+  -.Zonotope.support z neg <= t.offset
+
+let zonotope_inside t z = Zonotope.support z t.normal <= t.offset
+
+(* Signed Euclidean distance from a point to the boundary hyperplane
+   (negative inside the halfspace). *)
+let signed_distance t x =
+  let norm = sqrt (Array.fold_left (fun acc v -> acc +. (v *. v)) 0.0 t.normal) in
+  (dot_point t x -. t.offset) /. norm
+
+(* Euclidean gap between a box and the halfspace as sets (0 when they
+   touch). *)
+let box_gap t box =
+  let norm = sqrt (Array.fold_left (fun acc v -> acc +. (v *. v)) 0.0 t.normal) in
+  Float.max 0.0 ((I.lo (dot_box t box) -. t.offset) /. norm)
+
+let pp ppf t =
+  Fmt.pf ppf "{x | %a . x <= %g}" Fmt.(array ~sep:comma (fmt "%g")) t.normal t.offset

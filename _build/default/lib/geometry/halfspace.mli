@@ -1,0 +1,39 @@
+(** Halfspaces \{ x | ⟨normal, x⟩ ≤ offset \} with exact box and zonotope
+    tests (the ACC unsafe region is the halfspace s ≤ 120). *)
+
+type t = { normal : float array; offset : float }
+
+(** Raises on an empty or zero normal. *)
+val make : normal:float array -> offset:float -> t
+
+val dim : t -> int
+
+(** ⟨normal, x⟩. *)
+val dot_point : t -> float array -> float
+
+val contains : t -> float array -> bool
+
+(** Tight range of ⟨normal, x⟩ over a box. *)
+val dot_box : t -> Dwv_interval.Box.t -> Dwv_interval.Interval.t
+
+(** Exact: the box meets the halfspace. *)
+val box_intersects : t -> Dwv_interval.Box.t -> bool
+
+(** Exact: the box lies entirely inside the halfspace. *)
+val box_inside : t -> Dwv_interval.Box.t -> bool
+
+(** Exact: the box lies entirely outside (complement). *)
+val box_avoids : t -> Dwv_interval.Box.t -> bool
+
+(** Exact zonotope tests (support function). *)
+val zonotope_intersects : t -> Zonotope.t -> bool
+
+val zonotope_inside : t -> Zonotope.t -> bool
+
+(** Signed Euclidean distance to the boundary (negative inside). *)
+val signed_distance : t -> float array -> float
+
+(** Euclidean gap between a box and the halfspace (0 when touching). *)
+val box_gap : t -> Dwv_interval.Box.t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,59 @@
+(* Convex polytopes in halfspace representation (an intersection of
+   halfspaces). The exact-by-construction operations (membership,
+   box containment, box avoidance) are used as cross-checks of the
+   box-shaped specification sets; the intersection test is a sound
+   over-approximation (an exact test would need an LP, which the
+   reproduction deliberately avoids). *)
+
+module Box = Dwv_interval.Box
+
+type t = { halfspaces : Halfspace.t list; dim : int }
+
+let of_halfspaces = function
+  | [] -> invalid_arg "Polytope.of_halfspaces: empty list"
+  | h :: _ as hs ->
+    let dim = Halfspace.dim h in
+    if List.exists (fun h' -> Halfspace.dim h' <> dim) hs then
+      invalid_arg "Polytope.of_halfspaces: mixed dimensions";
+    { halfspaces = hs; dim }
+
+(* A box as the intersection of 2n axis-aligned halfspaces. *)
+let of_box (box : Box.t) =
+  let n = Box.dim box in
+  let axis i sign bound =
+    let normal = Array.make n 0.0 in
+    normal.(i) <- sign;
+    Halfspace.make ~normal ~offset:bound
+  in
+  let hs =
+    List.concat
+      (List.init n (fun i ->
+           let iv = Box.get box i in
+           [ axis i 1.0 (Dwv_interval.Interval.hi iv);
+             axis i (-1.0) (-.Dwv_interval.Interval.lo iv) ]))
+  in
+  { halfspaces = hs; dim = n }
+
+let dim t = t.dim
+
+let halfspaces t = t.halfspaces
+
+let contains t x = List.for_all (fun h -> Halfspace.contains h x) t.halfspaces
+
+(* Exact: every point of the box satisfies every constraint. *)
+let contains_box t box = List.for_all (fun h -> Halfspace.box_inside h box) t.halfspaces
+
+(* Exact emptiness of the intersection with a box would need an LP; this
+   necessary condition (every constraint individually intersects the box)
+   is a sound over-approximation: [false] proves emptiness, [true] is
+   inconclusive in general (exact when the polytope is axis-aligned). *)
+let may_intersect_box t box =
+  List.for_all (fun h -> Halfspace.box_intersects h box) t.halfspaces
+
+(* Exact: the box avoids the polytope whenever it avoids one halfspace. *)
+let box_avoids t box = List.exists (fun h -> Halfspace.box_avoids h box) t.halfspaces
+
+let zonotope_inside t z = List.for_all (fun h -> Halfspace.zonotope_inside h z) t.halfspaces
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(list ~sep:cut Halfspace.pp) t.halfspaces

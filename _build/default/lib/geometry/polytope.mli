@@ -1,0 +1,31 @@
+(** Convex polytopes in halfspace (H-) representation. Membership,
+    box-containment and box-avoidance tests are exact; box-intersection
+    is a sound over-approximation (no LP solver by design). *)
+
+type t
+
+(** Raises on an empty list or mixed dimensions. *)
+val of_halfspaces : Halfspace.t list -> t
+
+(** A box as 2n axis-aligned halfspaces. *)
+val of_box : Dwv_interval.Box.t -> t
+
+val dim : t -> int
+val halfspaces : t -> Halfspace.t list
+val contains : t -> float array -> bool
+
+(** Exact: box ⊆ polytope. *)
+val contains_box : t -> Dwv_interval.Box.t -> bool
+
+(** Sound over-approximation of intersection: [false] proves the box and
+    the polytope are disjoint; [true] is inconclusive (exact for
+    axis-aligned polytopes). *)
+val may_intersect_box : t -> Dwv_interval.Box.t -> bool
+
+(** Exact: the box avoids the polytope (certified by one halfspace). *)
+val box_avoids : t -> Dwv_interval.Box.t -> bool
+
+(** Exact: zonotope ⊆ polytope (support functions). *)
+val zonotope_inside : t -> Zonotope.t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,34 @@
+(* Set operations over flowpipes viewed as lists of box segments. These are
+   the primitives from which the paper's geometric distance metrics
+   (Eq. (2) and (3)) are assembled. *)
+
+module Box = Dwv_interval.Box
+
+let any_intersects segments target = List.exists (fun b -> Box.intersects b target) segments
+
+(* Sum of per-segment overlap volumes: a smooth, conservative measure of
+   how much of the flowpipe touches [target]. (Overlapping segments are
+   counted multiply; see DESIGN.md "Reproduction caveats".) *)
+let sum_intersection_volume segments target =
+  List.fold_left (fun acc b -> acc +. Box.intersection_volume b target) 0.0 segments
+
+let max_intersection_volume segments target =
+  List.fold_left (fun acc b -> Float.max acc (Box.intersection_volume b target)) 0.0 segments
+
+(* Minimum squared distance from any segment to the target set. *)
+let min_sq_distance segments target =
+  match segments with
+  | [] -> invalid_arg "Setops.min_sq_distance: empty flowpipe"
+  | _ -> List.fold_left (fun acc b -> Float.min acc (Box.sq_distance b target)) infinity segments
+
+(* Does some segment land entirely inside the target? This is the formal
+   goal-reaching test of Algorithm 2: exists t, reach(t) subseteq X_g. *)
+let any_subset segments target = List.exists (fun b -> Box.subset b target) segments
+
+let hull segments =
+  match segments with
+  | [] -> invalid_arg "Setops.hull: empty flowpipe"
+  | _ -> Box.hull_list segments
+
+(* Total volume counted with multiplicity (cheap flowpipe size proxy). *)
+let total_volume segments = List.fold_left (fun acc b -> acc +. Box.volume b) 0.0 segments

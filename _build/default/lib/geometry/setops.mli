@@ -1,0 +1,25 @@
+(** Set operations over flowpipes (lists of box segments): the primitives
+    behind the geometric metrics of Eq. (2)/(3) and the formal reach-avoid
+    checks. *)
+
+(** Does any segment touch the target box? *)
+val any_intersects : Dwv_interval.Box.t list -> Dwv_interval.Box.t -> bool
+
+(** Sum of per-segment overlap volumes (multiplicity-counted). *)
+val sum_intersection_volume : Dwv_interval.Box.t list -> Dwv_interval.Box.t -> float
+
+(** Largest single-segment overlap volume. *)
+val max_intersection_volume : Dwv_interval.Box.t list -> Dwv_interval.Box.t -> float
+
+(** Min squared Euclidean distance from the flowpipe to the target;
+    raises on an empty flowpipe. *)
+val min_sq_distance : Dwv_interval.Box.t list -> Dwv_interval.Box.t -> float
+
+(** Formal goal-reaching test: some segment entirely inside the target. *)
+val any_subset : Dwv_interval.Box.t list -> Dwv_interval.Box.t -> bool
+
+(** Interval hull of all segments; raises on an empty flowpipe. *)
+val hull : Dwv_interval.Box.t list -> Dwv_interval.Box.t
+
+(** Multiplicity-counted total volume. *)
+val total_volume : Dwv_interval.Box.t list -> float

@@ -1,0 +1,117 @@
+(* Zonotopes: affine images of the unit hypercube,
+   Z = { c + G zeta | zeta in [-1,1]^m }.
+
+   Closed under linear maps and Minkowski sums, which makes them exact for
+   the discretized LTI closed loop x+ = (A_d + B_d theta^T) x that the
+   Flow*-style linear verifier propagates. *)
+
+module Mat = Dwv_la.Mat
+module Vec = Dwv_la.Vec
+module I = Dwv_interval.Interval
+module Box = Dwv_interval.Box
+
+type t = { center : float array; generators : Mat.t (* n rows, m columns *) }
+
+let make ~center ~generators =
+  let n, _m = Mat.dims generators in
+  if Array.length center <> n then invalid_arg "Zonotope.make: dimension mismatch";
+  { center = Array.copy center; generators = Mat.copy generators }
+
+let dim z = Array.length z.center
+
+let num_generators z = snd (Mat.dims z.generators)
+
+let center z = Array.copy z.center
+
+(* A box is a zonotope with one axis-aligned generator per dimension. *)
+let of_box (box : Box.t) =
+  let n = Box.dim box in
+  let center = Box.center box in
+  let radii = Box.radii box in
+  let generators = Mat.init n n (fun i j -> if i = j then radii.(i) else 0.0) in
+  { center; generators }
+
+(* Interval hull: center_i +- sum_j |G_ij|. *)
+let to_box z =
+  let n = dim z and m = num_generators z in
+  Array.init n (fun i ->
+      let r = ref 0.0 in
+      for j = 0 to m - 1 do
+        r := !r +. Float.abs (Mat.get z.generators i j)
+      done;
+      I.make (z.center.(i) -. !r) (z.center.(i) +. !r))
+
+(* Exact image under a linear map. *)
+let linear_map a z =
+  { center = Mat.matvec a z.center; generators = Mat.matmul a z.generators }
+
+let translate v z =
+  if Array.length v <> dim z then invalid_arg "Zonotope.translate: dimension mismatch";
+  { z with center = Vec.add z.center v }
+
+let affine_map a b z = translate b (linear_map a z)
+
+(* Exact Minkowski sum: concatenate generator lists. *)
+let minkowski_sum a b =
+  if dim a <> dim b then invalid_arg "Zonotope.minkowski_sum: dimension mismatch";
+  let n = dim a in
+  let ma = num_generators a and mb = num_generators b in
+  let generators =
+    Mat.init n (ma + mb) (fun i j ->
+        if j < ma then Mat.get a.generators i j else Mat.get b.generators i (j - ma))
+  in
+  { center = Vec.add a.center b.center; generators }
+
+(* Support function in direction d: h(d) = <c, d> + sum_j |<g_j, d>|. *)
+let support z d =
+  if Array.length d <> dim z then invalid_arg "Zonotope.support: dimension mismatch";
+  let m = num_generators z in
+  let acc = ref (Vec.dot z.center d) in
+  for j = 0 to m - 1 do
+    acc := !acc +. Float.abs (Vec.dot (Mat.col z.generators j) d)
+  done;
+  !acc
+
+(* Girard order reduction: keep the [keep] generators with the largest
+   1-norm and over-approximate the rest by an axis-aligned box. Sound. *)
+let reduce_order ~max_generators z =
+  let n = dim z and m = num_generators z in
+  if m <= max_generators || max_generators < n then z
+  else begin
+    let keep = max_generators - n in
+    let norms =
+      Array.init m (fun j ->
+          let g = Mat.col z.generators j in
+          (Array.fold_left (fun acc x -> acc +. Float.abs x) 0.0 g, j))
+    in
+    Array.sort (fun (a, _) (b, _) -> compare b a) norms;
+    let kept = Array.sub norms 0 keep in
+    let rest = Array.sub norms keep (m - keep) in
+    (* absorb the small generators into per-axis radii *)
+    let radii = Array.make n 0.0 in
+    Array.iter
+      (fun (_, j) ->
+        for i = 0 to n - 1 do
+          radii.(i) <- radii.(i) +. Float.abs (Mat.get z.generators i j)
+        done)
+      rest;
+    let generators =
+      Mat.init n (keep + n) (fun i j ->
+          if j < keep then Mat.get z.generators i (snd kept.(j))
+          else if j - keep = i then radii.(i)
+          else 0.0)
+    in
+    { z with generators }
+  end
+
+(* A point of the zonotope for a given coefficient vector in [-1,1]^m. *)
+let point z zeta =
+  if Array.length zeta <> num_generators z then invalid_arg "Zonotope.point: bad coefficients";
+  Vec.add z.center (Mat.matvec z.generators zeta)
+
+let sample rng z =
+  let m = num_generators z in
+  point z (Array.init m (fun _ -> Dwv_util.Rng.uniform rng ~lo:(-1.0) ~hi:1.0))
+
+let pp ppf z =
+  Fmt.pf ppf "@[<hov 2>{center = %a;@ generators =@ %a}@]" Vec.pp z.center Mat.pp z.generators

@@ -1,0 +1,45 @@
+(** Zonotopes Z = \{ c + G·ζ | ζ ∈ [-1,1]^m \}: exact under linear maps
+    and Minkowski sums; the set representation of the Flow*-style linear
+    verifier. *)
+
+type t
+
+(** Build from a center and an n×m generator matrix. *)
+val make : center:float array -> generators:Dwv_la.Mat.t -> t
+
+val dim : t -> int
+val num_generators : t -> int
+val center : t -> float array
+
+(** A box as a zonotope (one axis-aligned generator per dimension). *)
+val of_box : Dwv_interval.Box.t -> t
+
+(** Interval hull (tight per axis). *)
+val to_box : t -> Dwv_interval.Box.t
+
+(** Exact image under a linear map. *)
+val linear_map : Dwv_la.Mat.t -> t -> t
+
+val translate : float array -> t -> t
+
+(** [affine_map a b z] = a·z + b (exact). *)
+val affine_map : Dwv_la.Mat.t -> float array -> t -> t
+
+(** Exact Minkowski sum (generator concatenation). *)
+val minkowski_sum : t -> t -> t
+
+(** Support function h(d) = ⟨c,d⟩ + Σⱼ |⟨gⱼ,d⟩|. *)
+val support : t -> float array -> float
+
+(** Girard reduction to at most [max_generators] generators (sound
+    over-approximation; no-op if already small enough or the budget is
+    below the dimension). *)
+val reduce_order : max_generators:int -> t -> t
+
+(** The point c + G·ζ. *)
+val point : t -> float array -> float array
+
+(** Uniform random point of the generator cube image. *)
+val sample : Dwv_util.Rng.t -> t -> float array
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/interval/box.ml: Array Dwv_util Float Fmt Fun Interval List

@@ -1,0 +1,1 @@
+lib/interval/box.mli: Dwv_util Format Interval

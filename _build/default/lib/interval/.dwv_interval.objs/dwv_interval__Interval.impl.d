@@ -1,0 +1,1 @@
+lib/interval/interval.ml: Dwv_util Float Fmt List

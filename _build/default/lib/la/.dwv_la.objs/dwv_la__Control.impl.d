@@ -1,0 +1,1 @@
+lib/la/control.ml: Array Eig Float List Mat

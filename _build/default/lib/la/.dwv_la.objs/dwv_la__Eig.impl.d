@@ -1,0 +1,1 @@
+lib/la/eig.ml: Array Float List Mat

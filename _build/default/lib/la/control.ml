@@ -1,0 +1,82 @@
+(* Classical linear control design helpers: controllability, Ackermann
+   pole placement for single-input systems, and stability margins. Used
+   to construct principled initial designs (the "random initialisation"
+   of Algorithm 1 is drawn from stabilizing pole placements) and to
+   cross-check learned closed loops. *)
+
+(* Controllability matrix [B, AB, ..., A^{n-1}B] for single-input B. *)
+let controllability_matrix a b =
+  let n, cols = Mat.dims a in
+  if n <> cols then invalid_arg "Control.controllability_matrix: square A required";
+  let bn, bm = Mat.dims b in
+  if bn <> n || bm <> 1 then invalid_arg "Control.controllability_matrix: B must be n x 1";
+  let c = Mat.zeros n n in
+  let col = ref (Mat.col b 0) in
+  for j = 0 to n - 1 do
+    if j > 0 then col := Mat.matvec a !col;
+    for i = 0 to n - 1 do
+      Mat.set c i j !col.(i)
+    done
+  done;
+  c
+
+let controllable a b =
+  match Mat.lu_decompose (controllability_matrix a b) with
+  | _ -> true
+  | exception Failure _ -> false
+
+(* Coefficients of the monic polynomial with the given roots:
+   prod (s - r_i) = s^n + c_{n-1} s^{n-1} + ... + c_0, returned as
+   [| c_0; ...; c_{n-1} |]. Roots must be real (use conjugate-pair
+   expansions for complex placements). *)
+let poly_from_roots roots =
+  let coeffs = Array.make (Array.length roots + 1) 0.0 in
+  coeffs.(0) <- 1.0;
+  let deg = ref 0 in
+  Array.iter
+    (fun r ->
+      incr deg;
+      (* multiply by (s - r) *)
+      for k = !deg downto 1 do
+        coeffs.(k) <- coeffs.(k - 1) -. (r *. coeffs.(k))
+      done;
+      coeffs.(0) <- -.r *. coeffs.(0))
+    roots;
+  (* coeffs currently holds ascending powers with leading 1 at index deg *)
+  Array.sub coeffs 0 (Array.length roots)
+
+(* phi(A) = A^n + c_{n-1} A^{n-1} + ... + c_0 I. *)
+let matrix_polynomial a coeffs =
+  let n, _ = Mat.dims a in
+  let deg = Array.length coeffs in
+  let acc = ref (Mat.identity n) in
+  (* Horner: ((A + c_{n-1} I) A + c_{n-2} I) A + ... *)
+  for k = deg - 1 downto 0 do
+    acc := Mat.add (Mat.matmul !acc a) (Mat.scale coeffs.(k) (Mat.identity n))
+  done;
+  !acc
+
+(* Ackermann's formula: the unique K with eig(A - B K) at the given real
+   poles, for a controllable single-input pair. Raises [Failure] when the
+   pair is uncontrollable. *)
+let ackermann a b ~poles =
+  let n, _ = Mat.dims a in
+  if Array.length poles <> n then invalid_arg "Control.ackermann: need n poles";
+  let c = controllability_matrix a b in
+  let phi = matrix_polynomial a (poly_from_roots poles) in
+  (* K = e_n^T C^{-1} phi(A): solve C^T y = e_n, then K = y^T phi *)
+  let e_n = Array.init n (fun i -> if i = n - 1 then 1.0 else 0.0) in
+  let y = Mat.solve (Mat.transpose c) e_n in
+  Mat.vecmat y phi
+
+(* Stability margin of the closed loop A - B K (continuous time):
+   -max Re(lambda); positive iff Hurwitz stable. *)
+let closed_loop_margin a b k =
+  let n, _ = Mat.dims a in
+  ignore n;
+  let bk =
+    Mat.init (fst (Mat.dims a)) (snd (Mat.dims a)) (fun i j -> Mat.get b i 0 *. k.(j))
+  in
+  let acl = Mat.sub a bk in
+  List.fold_left (fun acc (l : Eig.complex) -> Float.min acc (-.l.Eig.re)) infinity
+    (Eig.eigenvalues acl)

@@ -1,0 +1,22 @@
+(** Classical linear control design: controllability, Ackermann pole
+    placement (single input), closed-loop stability margins. *)
+
+(** Controllability matrix [B, AB, …, Aⁿ⁻¹B]; raises unless A is square
+    and B is n×1. *)
+val controllability_matrix : Mat.t -> Mat.t -> Mat.t
+
+(** True iff the controllability matrix is nonsingular. *)
+val controllable : Mat.t -> Mat.t -> bool
+
+(** Ascending coefficients [c₀; …; c_{n−1}] of Π(s − rᵢ) (monic). *)
+val poly_from_roots : float array -> float array
+
+(** φ(A) = Aⁿ + c_{n−1}Aⁿ⁻¹ + … + c₀ I for ascending [coeffs]. *)
+val matrix_polynomial : Mat.t -> float array -> Mat.t
+
+(** Ackermann's formula: the K placing eig(A − BK) at the given real
+    poles. Raises [Failure] for uncontrollable pairs. *)
+val ackermann : Mat.t -> Mat.t -> poles:float array -> float array
+
+(** −max Re λ(A − BK): positive iff the closed loop is Hurwitz stable. *)
+val closed_loop_margin : Mat.t -> Mat.t -> float array -> float

@@ -1,0 +1,193 @@
+(* Eigenvalues of small dense real matrices by the shifted QR algorithm
+   on an upper Hessenberg form (Givens rotations, Wilkinson-style shifts,
+   2x2 trailing-block deflation for complex pairs).
+
+   Used for closed-loop stability analysis: the learned sampled-data loop
+   x+ = (A_d + B_d K) x is asymptotically stable iff the spectral radius
+   is below one, which gives an independent sanity check of the verifier's
+   contraction behaviour. *)
+
+type complex = { re : float; im : float }
+
+let modulus { re; im } = sqrt ((re *. re) +. (im *. im))
+
+(* Eigenvalues of a 2x2 block [[a b];[c d]]. *)
+let eig2 a b c d =
+  let tr = a +. d and det = (a *. d) -. (b *. c) in
+  let disc = (tr *. tr /. 4.0) -. det in
+  if disc >= 0.0 then begin
+    let s = sqrt disc in
+    [ { re = (tr /. 2.0) +. s; im = 0.0 }; { re = (tr /. 2.0) -. s; im = 0.0 } ]
+  end
+  else begin
+    let s = sqrt (-.disc) in
+    [ { re = tr /. 2.0; im = s }; { re = tr /. 2.0; im = -.s } ]
+  end
+
+(* Householder reduction to upper Hessenberg form (in place on a copy). *)
+let hessenberg m =
+  let n, cols = Mat.dims m in
+  if n <> cols then invalid_arg "Eig.hessenberg: square matrix required";
+  let h = Mat.copy m in
+  for k = 0 to n - 3 do
+    (* zero entries below the first subdiagonal of column k *)
+    let alpha = ref 0.0 in
+    for i = k + 1 to n - 1 do
+      alpha := !alpha +. (Mat.get h i k ** 2.0)
+    done;
+    let alpha = sqrt !alpha in
+    if alpha > 1e-300 then begin
+      let alpha = if Mat.get h (k + 1) k > 0.0 then -.alpha else alpha in
+      (* v = x - alpha e1 *)
+      let v = Array.make n 0.0 in
+      v.(k + 1) <- Mat.get h (k + 1) k -. alpha;
+      for i = k + 2 to n - 1 do
+        v.(i) <- Mat.get h i k
+      done;
+      let vnorm2 = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 v in
+      if vnorm2 > 1e-300 then begin
+        (* H := (I - 2 v v^T / |v|^2) H (I - 2 v v^T / |v|^2) *)
+        (* left multiply *)
+        for j = 0 to n - 1 do
+          let dot = ref 0.0 in
+          for i = k + 1 to n - 1 do
+            dot := !dot +. (v.(i) *. Mat.get h i j)
+          done;
+          let f = 2.0 *. !dot /. vnorm2 in
+          for i = k + 1 to n - 1 do
+            Mat.set h i j (Mat.get h i j -. (f *. v.(i)))
+          done
+        done;
+        (* right multiply *)
+        for i = 0 to n - 1 do
+          let dot = ref 0.0 in
+          for j = k + 1 to n - 1 do
+            dot := !dot +. (Mat.get h i j *. v.(j))
+          done;
+          let f = 2.0 *. !dot /. vnorm2 in
+          for j = k + 1 to n - 1 do
+            Mat.set h i j (Mat.get h i j -. (f *. v.(j)))
+          done
+        done
+      end
+    end
+  done;
+  h
+
+(* Shifted QR iteration with Givens rotations on a Hessenberg matrix,
+   deflating from the bottom. *)
+let eigenvalues ?(max_sweeps = 500) m =
+  let n, cols = Mat.dims m in
+  if n <> cols then invalid_arg "Eig.eigenvalues: square matrix required";
+  if n = 0 then []
+  else if n = 1 then [ { re = Mat.get m 0 0; im = 0.0 } ]
+  else begin
+    let h = hessenberg m in
+    let eigs = ref [] in
+    let hi = ref (n - 1) in
+    let sweeps = ref 0 in
+    let subdiag_small i =
+      Float.abs (Mat.get h i (i - 1))
+      <= 1e-13 *. (Float.abs (Mat.get h i i) +. Float.abs (Mat.get h (i - 1) (i - 1)) +. 1e-30)
+    in
+    while !hi > 0 && !sweeps < max_sweeps do
+      incr sweeps;
+      (* deflate converged eigenvalues at the bottom *)
+      let progress = ref true in
+      while !progress && !hi >= 0 do
+        progress := false;
+        if !hi = 0 then begin
+          eigs := { re = Mat.get h 0 0; im = 0.0 } :: !eigs;
+          hi := -1
+        end
+        else if subdiag_small !hi then begin
+          eigs := { re = Mat.get h !hi !hi; im = 0.0 } :: !eigs;
+          decr hi;
+          progress := true
+        end
+        else if !hi >= 1 && (!hi = 1 || subdiag_small (!hi - 1)) then begin
+          (* isolated trailing 2x2 block: take its (possibly complex)
+             eigenvalues directly when it will not split further *)
+          let a = Mat.get h (!hi - 1) (!hi - 1)
+          and b = Mat.get h (!hi - 1) !hi
+          and c = Mat.get h !hi (!hi - 1)
+          and d = Mat.get h !hi !hi in
+          let tr = a +. d and det = (a *. d) -. (b *. c) in
+          let disc = (tr *. tr /. 4.0) -. det in
+          if disc < 0.0 || !sweeps > max_sweeps / 2 then begin
+            eigs := eig2 a b c d @ !eigs;
+            hi := !hi - 2;
+            progress := true
+          end
+        end
+      done;
+      if !hi > 0 then begin
+        (* Wilkinson shift from the trailing 2x2 block *)
+        let a = Mat.get h (!hi - 1) (!hi - 1)
+        and b = Mat.get h (!hi - 1) !hi
+        and c = Mat.get h !hi (!hi - 1)
+        and d = Mat.get h !hi !hi in
+        let tr = a +. d and det = (a *. d) -. (b *. c) in
+        let disc = (tr *. tr /. 4.0) -. det in
+        let shift =
+          if disc >= 0.0 then begin
+            let s = sqrt disc in
+            let l1 = (tr /. 2.0) +. s and l2 = (tr /. 2.0) -. s in
+            if Float.abs (l1 -. d) < Float.abs (l2 -. d) then l1 else l2
+          end
+          else tr /. 2.0
+        in
+        (* QR step on the active block [0 .. hi] via Givens rotations *)
+        let top = !hi in
+        (* shift *)
+        for i = 0 to top do
+          Mat.set h i i (Mat.get h i i -. shift)
+        done;
+        (* factor: apply Givens to zero subdiagonal, remembering rotations *)
+        let cs = Array.make top 0.0 and sn = Array.make top 0.0 in
+        for i = 0 to top - 1 do
+          let a = Mat.get h i i and b = Mat.get h (i + 1) i in
+          let r = sqrt ((a *. a) +. (b *. b)) in
+          let c0 = if r > 1e-300 then a /. r else 1.0 in
+          let s0 = if r > 1e-300 then b /. r else 0.0 in
+          cs.(i) <- c0;
+          sn.(i) <- s0;
+          for j = i to top do
+            let x = Mat.get h i j and y = Mat.get h (i + 1) j in
+            Mat.set h i j ((c0 *. x) +. (s0 *. y));
+            Mat.set h (i + 1) j ((-.s0 *. x) +. (c0 *. y))
+          done
+        done;
+        (* RQ: apply the transposed rotations on the right *)
+        for i = 0 to top - 1 do
+          let c0 = cs.(i) and s0 = sn.(i) in
+          for j = 0 to min (i + 2) top do
+            let x = Mat.get h j i and y = Mat.get h j (i + 1) in
+            Mat.set h j i ((c0 *. x) +. (s0 *. y));
+            Mat.set h j (i + 1) ((-.s0 *. x) +. (c0 *. y))
+          done
+        done;
+        (* unshift *)
+        for i = 0 to top do
+          Mat.set h i i (Mat.get h i i +. shift)
+        done
+      end
+    done;
+    (* anything left unconverged: surface the diagonal (best effort) *)
+    if !hi >= 0 then
+      for i = 0 to !hi do
+        eigs := { re = Mat.get h i i; im = 0.0 } :: !eigs
+      done;
+    !eigs
+  end
+
+let spectral_radius ?max_sweeps m =
+  List.fold_left (fun acc l -> Float.max acc (modulus l)) 0.0 (eigenvalues ?max_sweeps m)
+
+(* Continuous-time stability: all eigenvalues strictly in the left half
+   plane (up to the margin). *)
+let hurwitz_stable ?(margin = 0.0) m =
+  List.for_all (fun l -> l.re < -.margin) (eigenvalues m)
+
+(* Discrete-time (Schur) stability: spectral radius below one. *)
+let schur_stable ?(margin = 0.0) m = spectral_radius m < 1.0 -. margin

@@ -1,0 +1,22 @@
+(** Eigenvalues of small dense real matrices (Hessenberg reduction +
+    shifted QR with Givens rotations), for closed-loop stability
+    analysis. *)
+
+type complex = { re : float; im : float }
+
+val modulus : complex -> float
+
+(** Householder reduction to upper Hessenberg form. *)
+val hessenberg : Mat.t -> Mat.t
+
+(** All eigenvalues (complex-conjugate pairs from trailing 2×2 blocks). *)
+val eigenvalues : ?max_sweeps:int -> Mat.t -> complex list
+
+(** max |λ|. *)
+val spectral_radius : ?max_sweeps:int -> Mat.t -> float
+
+(** Continuous-time stability: every Re λ < −margin (default 0). *)
+val hurwitz_stable : ?margin:float -> Mat.t -> bool
+
+(** Discrete-time stability: spectral radius < 1 − margin (default 0). *)
+val schur_stable : ?margin:float -> Mat.t -> bool

@@ -1,0 +1,68 @@
+(* Dense float vectors. The whole reproduction works on very small state
+   dimensions (2-3) and modest NN parameter counts (hundreds), so plain
+   float arrays are the right representation. *)
+
+type t = float array
+
+let create n x = Array.make n x
+
+let zeros n = Array.make n 0.0
+
+let init = Array.init
+
+let of_array = Array.copy
+
+let copy = Array.copy
+
+let dim = Array.length
+
+let get (v : t) i = v.(i)
+
+let set (v : t) i x = v.(i) <- x
+
+let map = Array.map
+
+let map2 f a b =
+  if Array.length a <> Array.length b then invalid_arg "Vec.map2: dimension mismatch";
+  Array.init (Array.length a) (fun i -> f a.(i) b.(i))
+
+let add a b = map2 ( +. ) a b
+
+let sub a b = map2 ( -. ) a b
+
+let mul a b = map2 ( *. ) a b
+
+let scale s = Array.map (fun x -> s *. x)
+
+let axpy ~alpha x y = map2 (fun xi yi -> (alpha *. xi) +. yi) x y
+
+let dot a b =
+  if Array.length a <> Array.length b then invalid_arg "Vec.dot: dimension mismatch";
+  let acc = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let norm2 a = sqrt (dot a a)
+
+let norm_inf a = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0.0 a
+
+let dist2 a b = norm2 (sub a b)
+
+let sum = Array.fold_left ( +. ) 0.0
+
+let concat = Array.append
+
+let slice v ~pos ~len = Array.sub v pos len
+
+let blit ~src ~dst ~pos = Array.blit src 0 dst pos (Array.length src)
+
+let equal ?(eps = 1e-12) a b =
+  Array.length a = Array.length b
+  && (let ok = ref true in
+      Array.iteri (fun i x -> if Float.abs (x -. b.(i)) > eps then ok := false) a;
+      !ok)
+
+let pp ppf v =
+  Fmt.pf ppf "[@[%a@]]" Fmt.(array ~sep:(any ";@ ") (fmt "%.6g")) v

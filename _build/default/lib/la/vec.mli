@@ -1,0 +1,58 @@
+(** Dense float vectors (thin layer over [float array]). *)
+
+type t = float array
+
+(** [create n x] is the n-vector filled with [x]. *)
+val create : int -> float -> t
+
+(** All-zero vector. *)
+val zeros : int -> t
+
+(** [init n f] is [| f 0; ...; f (n-1) |]. *)
+val init : int -> (int -> float) -> t
+
+(** Defensive copy of an array. *)
+val of_array : float array -> t
+
+val copy : t -> t
+val dim : t -> int
+val get : t -> int -> float
+val set : t -> int -> float -> unit
+val map : (float -> float) -> t -> t
+
+(** Pointwise combination; raises on dimension mismatch. *)
+val map2 : (float -> float -> float) -> t -> t -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+
+(** Pointwise (Hadamard) product. *)
+val mul : t -> t -> t
+
+val scale : float -> t -> t
+
+(** [axpy ~alpha x y = alpha*x + y]. *)
+val axpy : alpha:float -> t -> t -> t
+
+val dot : t -> t -> float
+
+(** Euclidean norm. *)
+val norm2 : t -> float
+
+(** Max-abs norm. *)
+val norm_inf : t -> float
+
+(** Euclidean distance. *)
+val dist2 : t -> t -> float
+
+val sum : t -> float
+val concat : t -> t -> t
+val slice : t -> pos:int -> len:int -> t
+
+(** Copy [src] into [dst] starting at [pos]. *)
+val blit : src:t -> dst:t -> pos:int -> unit
+
+(** Componentwise comparison with absolute tolerance (default 1e-12). *)
+val equal : ?eps:float -> t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

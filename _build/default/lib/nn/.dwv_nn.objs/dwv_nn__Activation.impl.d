@@ -1,0 +1,1 @@
+lib/nn/activation.ml: Array Dwv_util Float Fmt

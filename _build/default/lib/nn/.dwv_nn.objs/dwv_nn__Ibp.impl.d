@@ -1,0 +1,1 @@
+lib/nn/ibp.ml: Activation Array Dwv_interval Dwv_la Mlp

@@ -1,0 +1,1 @@
+lib/nn/ibp.mli: Activation Dwv_interval Dwv_la Mlp

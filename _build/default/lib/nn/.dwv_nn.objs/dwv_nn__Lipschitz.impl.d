@@ -1,0 +1,1 @@
+lib/nn/lipschitz.ml: Activation Array Dwv_interval Dwv_la Dwv_util Float Ibp Mlp

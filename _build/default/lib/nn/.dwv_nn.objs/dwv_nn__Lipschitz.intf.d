@@ -1,0 +1,1 @@
+lib/nn/lipschitz.mli: Activation Dwv_interval Dwv_util Mlp

@@ -1,0 +1,1 @@
+lib/nn/mlp.ml: Activation Array Dwv_la Dwv_util Fmt List

@@ -1,0 +1,1 @@
+lib/nn/mlp.mli: Activation Dwv_la Dwv_util Format

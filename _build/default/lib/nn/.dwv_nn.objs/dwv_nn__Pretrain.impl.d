@@ -1,0 +1,1 @@
+lib/nn/pretrain.ml: Adam Array Dwv_interval Dwv_util Mlp

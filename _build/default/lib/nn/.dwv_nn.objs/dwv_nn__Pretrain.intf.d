@@ -1,0 +1,1 @@
+lib/nn/pretrain.mli: Dwv_interval Dwv_util Mlp

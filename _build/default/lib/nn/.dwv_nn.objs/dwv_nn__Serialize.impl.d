@@ -1,0 +1,1 @@
+lib/nn/serialize.ml: Activation Array Buffer Dwv_la Dwv_util Fun List Mlp Printf String

@@ -1,0 +1,20 @@
+(** Activations for neural controllers (the paper's nets use ReLU hidden
+    layers and a Tanh output layer). *)
+
+type t = Relu | Tanh | Sigmoid | Linear
+
+val apply : t -> float -> float
+
+(** Derivative at a pre-activation value. *)
+val derivative : t -> float -> float
+
+(** Global Lipschitz constant of the activation. *)
+val lipschitz : t -> float
+
+val apply_vec : t -> float array -> float array
+val to_string : t -> string
+
+(** Raises [Invalid_argument] on an unknown name. *)
+val of_string : string -> t
+
+val pp : Format.formatter -> t -> unit

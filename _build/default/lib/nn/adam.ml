@@ -1,0 +1,32 @@
+(* Adam optimizer (Kingma & Ba) over flat parameter vectors. Both RL
+   baselines use it; the verification-in-the-loop learner itself uses plain
+   step-size updates as in Algorithm 1, so Adam lives here with the NN
+   substrate. *)
+
+type t = {
+  mutable m : float array;   (* first-moment estimate *)
+  mutable v : float array;   (* second-moment estimate *)
+  mutable step_count : int;
+  lr : float;
+  beta1 : float;
+  beta2 : float;
+  eps : float;
+}
+
+let create ?(lr = 1e-3) ?(beta1 = 0.9) ?(beta2 = 0.999) ?(eps = 1e-8) dim =
+  { m = Array.make dim 0.0; v = Array.make dim 0.0; step_count = 0; lr; beta1; beta2; eps }
+
+(* One descent step: returns params - lr * mhat / (sqrt vhat + eps).
+   Pass the gradient of the quantity to MINIMIZE. *)
+let step t ~params ~grad =
+  let dim = Array.length t.m in
+  if Array.length params <> dim || Array.length grad <> dim then
+    invalid_arg "Adam.step: dimension mismatch";
+  t.step_count <- t.step_count + 1;
+  let k = float_of_int t.step_count in
+  let bc1 = 1.0 -. (t.beta1 ** k) and bc2 = 1.0 -. (t.beta2 ** k) in
+  Array.init dim (fun i ->
+      t.m.(i) <- (t.beta1 *. t.m.(i)) +. ((1.0 -. t.beta1) *. grad.(i));
+      t.v.(i) <- (t.beta2 *. t.v.(i)) +. ((1.0 -. t.beta2) *. grad.(i) *. grad.(i));
+      let mhat = t.m.(i) /. bc1 and vhat = t.v.(i) /. bc2 in
+      params.(i) -. (t.lr *. mhat /. (sqrt vhat +. t.eps)))

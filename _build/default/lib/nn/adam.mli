@@ -1,0 +1,10 @@
+(** Adam optimizer over flat parameter vectors. *)
+
+type t
+
+(** Fresh state for a parameter vector of the given dimension. *)
+val create : ?lr:float -> ?beta1:float -> ?beta2:float -> ?eps:float -> int -> t
+
+(** One minimisation step; returns the updated parameters. Raises on a
+    dimension mismatch with the state. *)
+val step : t -> params:float array -> grad:float array -> float array

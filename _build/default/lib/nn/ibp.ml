@@ -1,0 +1,43 @@
+(* Interval bound propagation (IBP) through an MLP: sound per-layer box
+   enclosures of the network output. Coarse compared with the Taylor-model
+   abstractions (no cross-input correlation survives an affine layer), but
+   cheap; used by the interval-only fallback verifier and by the local
+   Lipschitz bound. *)
+
+module I = Dwv_interval.Interval
+module Box = Dwv_interval.Box
+module Mat = Dwv_la.Mat
+
+let apply_activation (act : Activation.t) iv =
+  match act with
+  | Activation.Relu -> I.relu iv
+  | Activation.Tanh -> I.tanh_ iv
+  | Activation.Sigmoid -> I.sigmoid_ iv
+  | Activation.Linear -> iv
+
+let affine (weights : Mat.t) (bias : float array) (h : I.t array) =
+  let rows, cols = Mat.dims weights in
+  if cols <> Array.length h then invalid_arg "Ibp.affine: arity mismatch";
+  Array.init rows (fun i ->
+      let acc = ref (I.of_point bias.(i)) in
+      for j = 0 to cols - 1 do
+        acc := I.add !acc (I.scale (Mat.get weights i j) h.(j))
+      done;
+      !acc)
+
+(* Pre-activation ranges of every layer. *)
+let preactivations (net : Mlp.t) (box : Box.t) =
+  let h = ref (Array.copy box) in
+  Array.map
+    (fun (l : Mlp.layer) ->
+      let pre = affine l.Mlp.weights l.Mlp.bias !h in
+      h := Array.map (apply_activation l.Mlp.act) pre;
+      pre)
+    (Mlp.layers net)
+
+(* Sound box enclosure of net(box). *)
+let forward (net : Mlp.t) (box : Box.t) : Box.t =
+  let pres = preactivations net box in
+  let last = Array.length pres - 1 in
+  let out_act = (Mlp.layers net).(last).Mlp.act in
+  Array.map (apply_activation out_act) pres.(last)

@@ -1,0 +1,19 @@
+(** Interval bound propagation through an MLP: sound (coarse) box
+    enclosures of the output. *)
+
+val apply_activation :
+  Activation.t -> Dwv_interval.Interval.t -> Dwv_interval.Interval.t
+
+(** Sound affine layer on intervals. *)
+val affine :
+  Dwv_la.Mat.t ->
+  float array ->
+  Dwv_interval.Interval.t array ->
+  Dwv_interval.Interval.t array
+
+(** Pre-activation ranges of every layer over a box. *)
+val preactivations :
+  Mlp.t -> Dwv_interval.Box.t -> Dwv_interval.Interval.t array array
+
+(** Sound box enclosure of net(box). *)
+val forward : Mlp.t -> Dwv_interval.Box.t -> Dwv_interval.Box.t

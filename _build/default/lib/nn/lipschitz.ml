@@ -1,0 +1,153 @@
+(* Lipschitz bounds for MLPs: the product of layer operator norms times
+   activation constants. Used as the remainder ingredient of the
+   Bernstein (ReachNN-style) abstraction of neural controllers.
+
+   ||f(x) - f(y)|| <= (prod_l  L_act_l * ||W_l||_2) ||x - y||. *)
+
+module Mat = Dwv_la.Mat
+
+(* Global 2-norm Lipschitz bound. *)
+let bound (net : Mlp.t) =
+  Array.fold_left
+    (fun acc (l : Mlp.layer) ->
+      acc *. Activation.lipschitz l.act *. Mat.spectral_norm l.weights)
+    1.0 (Mlp.layers net)
+
+(* Cheaper (looser) Frobenius-norm variant, useful as a sanity
+   cross-check: ||W||_2 <= ||W||_F. *)
+let bound_frobenius (net : Mlp.t) =
+  Array.fold_left
+    (fun acc (l : Mlp.layer) -> acc *. Activation.lipschitz l.act *. Mat.norm_fro l.weights)
+    1.0 (Mlp.layers net)
+
+(* Local Lipschitz bound over a box by interval propagation of the
+   Jacobian: J = W_L D_{L-1} W_{L-1} ... D_1 W_1 with D_l =
+   diag(act'(pre_l)) bounded over the box by interval forward propagation.
+   The interval matrix product is accumulated entrywise in magnitude; the
+   final 2-norm is bounded by sqrt(||M||_1 ||M||_inf). Vastly tighter than
+   the global spectral product when activations saturate or ReLUs are
+   locally sign-definite. *)
+
+module I = Dwv_interval.Interval
+
+let act_deriv_range (act : Activation.t) (pre : I.t) =
+  match act with
+  | Activation.Relu ->
+    if I.lo pre >= 0.0 then I.one
+    else if I.hi pre <= 0.0 then I.zero
+    else I.make 0.0 1.0
+  | Activation.Linear -> I.one
+  | Activation.Tanh ->
+    (* (tanh)' = 1 - tanh^2: monotone decreasing in |x| *)
+    let m = Float.min (Float.abs (I.lo pre)) (Float.abs (I.hi pre)) in
+    let m = if I.contains pre 0.0 then 0.0 else m in
+    let biggest = Float.max (Float.abs (I.lo pre)) (Float.abs (I.hi pre)) in
+    I.make (1.0 -. (tanh biggest ** 2.0)) (1.0 -. (tanh m ** 2.0))
+  | Activation.Sigmoid ->
+    let s x = Dwv_util.Floatx.sigmoid x in
+    let d x = s x *. (1.0 -. s x) in
+    let m = if I.contains pre 0.0 then 0.0
+            else Float.min (Float.abs (I.lo pre)) (Float.abs (I.hi pre)) in
+    let biggest = Float.max (Float.abs (I.lo pre)) (Float.abs (I.hi pre)) in
+    I.make (d biggest) (d m)
+
+(* Interval forward pass returning the pre-activation ranges per layer
+   (interval bound propagation; see Ibp). *)
+let preactivation_ranges = Ibp.preactivations
+
+let local_bound (net : Mlp.t) (box : Dwv_interval.Box.t) =
+  let pres = preactivation_ranges net box in
+  (* accumulate |J| entrywise: start with |W_1|, then |D| |W| products *)
+  let layers = Mlp.layers net in
+  let abs_mat m = Mat.map Float.abs m in
+  let acc = ref (abs_mat layers.(0).Mlp.weights) in
+  (* apply D_1 .. and subsequent layers *)
+  for l = 0 to Array.length layers - 1 do
+    let d_ranges = Array.map (act_deriv_range layers.(l).Mlp.act) pres.(l) in
+    let rows, cols = Mat.dims !acc in
+    let scaled =
+      Mat.init rows cols (fun i j ->
+          let di = d_ranges.(i) in
+          let mag = Float.max (Float.abs (I.lo di)) (Float.abs (I.hi di)) in
+          mag *. Mat.get !acc i j)
+    in
+    acc := scaled;
+    if l + 1 < Array.length layers then
+      acc := Mat.matmul (abs_mat layers.(l + 1).Mlp.weights) !acc
+  done;
+  let m = !acc in
+  let norm1 =
+    (* max absolute column sum *)
+    let rows, cols = Mat.dims m in
+    let worst = ref 0.0 in
+    for j = 0 to cols - 1 do
+      let s = ref 0.0 in
+      for i = 0 to rows - 1 do
+        s := !s +. Float.abs (Mat.get m i j)
+      done;
+      if !s > !worst then worst := !s
+    done;
+    !worst
+  in
+  sqrt (norm1 *. Mat.norm_inf m)
+
+(* Bound on the diagonal second derivatives sup |d^2 f_k / d x_i^2| of a
+   SINGLE-hidden-layer network with smooth activations, per input i and
+   output k (maximized over outputs). With g_k the output pre-activation:
+
+     d^2 f_k/dx_i^2 = act_out''(g_k) (dg_k/dx_i)^2 + act_out'(g_k) d^2 g_k/dx_i^2
+     |dg_k/dx_i|     <= sum_j |W2_kj| |act'| |W1_ji|
+     |d^2 g_k/dx_i^2| <= sum_j |W2_kj| |act''| W1_ji^2
+
+   using the global bounds |act'| <= 1, |tanh''| <= 4/(3 sqrt 3),
+   |sigmoid''| <= 0.0963. Returns [None] for architectures the closed
+   form does not cover (deeper nets, ReLU). Feeds the curvature-based
+   Bernstein remainder, which scales with width^2 and therefore does not
+   feed back into flowpipe growth. *)
+let second_derivative_sup (act : Activation.t) =
+  match act with
+  | Activation.Tanh -> Some (4.0 /. (3.0 *. sqrt 3.0))
+  | Activation.Sigmoid -> Some 0.09623
+  | Activation.Linear -> Some 0.0
+  | Activation.Relu -> None
+
+let hessian_diag_bound (net : Mlp.t) =
+  match Mlp.layers net with
+  | [| l1; l2 |] -> (
+    match (second_derivative_sup l1.Mlp.act, second_derivative_sup l2.Mlp.act) with
+    | Some c_hidden, Some c_out ->
+      let h, n = Mat.dims l1.Mlp.weights in
+      let m, _ = Mat.dims l2.Mlp.weights in
+      let bound = Array.make n 0.0 in
+      for i = 0 to n - 1 do
+        for k = 0 to m - 1 do
+          let p = ref 0.0 and q = ref 0.0 in
+          for j = 0 to h - 1 do
+            let w2 = Float.abs (Mat.get l2.Mlp.weights k j) in
+            let w1 = Mat.get l1.Mlp.weights j i in
+            p := !p +. (w2 *. Float.abs w1);
+            q := !q +. (w2 *. c_hidden *. (w1 *. w1))
+          done;
+          let m_ik = (c_out *. !p *. !p) +. !q in
+          if m_ik > bound.(i) then bound.(i) <- m_ik
+        done
+      done;
+      Some bound
+    | _ -> None)
+  | _ -> None
+
+(* Empirical (unsound, diagnostic-only) estimate by sampling finite
+   differences; handy in tests to confirm the analytic bound dominates. *)
+let estimate ?(samples = 1000) ~rng ~box (net : Mlp.t) =
+  let worst = ref 0.0 in
+  for _ = 1 to samples do
+    let x = Dwv_interval.Box.sample rng box in
+    let y = Dwv_interval.Box.sample rng box in
+    let dx = Dwv_la.Vec.dist2 x y in
+    if dx > 1e-9 then begin
+      let df = Dwv_la.Vec.dist2 (Mlp.forward net x) (Mlp.forward net y) in
+      let ratio = df /. dx in
+      if ratio > !worst then worst := ratio
+    end
+  done;
+  !worst

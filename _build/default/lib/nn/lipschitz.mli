@@ -1,0 +1,27 @@
+(** Lipschitz bounds for MLPs (ingredient of the Bernstein remainder). *)
+
+(** Sound global 2-norm bound: Πₗ L_act(l)·‖Wₗ‖₂. *)
+val bound : Mlp.t -> float
+
+(** Looser Frobenius-norm variant (‖W‖₂ ≤ ‖W‖_F). *)
+val bound_frobenius : Mlp.t -> float
+
+(** Pre-activation interval ranges of every layer over a box. *)
+val preactivation_ranges :
+  Mlp.t -> Dwv_interval.Box.t -> Dwv_interval.Interval.t array array
+
+(** Sound local Lipschitz bound over a box (interval Jacobian product);
+    much tighter than {!bound} when activations saturate or ReLUs are
+    locally sign-definite. *)
+val local_bound : Mlp.t -> Dwv_interval.Box.t -> float
+
+(** Global bound on |act''|; [None] for non-smooth activations (ReLU). *)
+val second_derivative_sup : Activation.t -> float option
+
+(** Per-input bound on sup |∂²f_k/∂x_i²| (max over outputs) for
+    single-hidden-layer smooth networks; [None] otherwise. *)
+val hessian_diag_bound : Mlp.t -> float array option
+
+(** Empirical sampled estimate over a box (diagnostic only, not sound). *)
+val estimate :
+  ?samples:int -> rng:Dwv_util.Rng.t -> box:Dwv_interval.Box.t -> Mlp.t -> float

@@ -1,0 +1,65 @@
+(* Supervised warm start for neural controllers: behavior-clone an
+   analytic prior control law on states sampled from a training region.
+
+   Verification-in-the-loop learning needs the verifier to produce a
+   finite flowpipe before its metrics carry any signal; a freshly random
+   network usually drives the plant into reachable-set blow-up (the Fig. 8
+   divergence). Cloning a crude stabilizing prior puts the initial design
+   inside the analyzable region; all formal guarantees still come
+   exclusively from the verification loop that follows. *)
+
+module Box = Dwv_interval.Box
+module Rng = Dwv_util.Rng
+
+type config = {
+  epochs : int;
+  batch_size : int;
+  lr : float;
+  samples : int;   (* size of the sampled training set *)
+}
+
+let default_config = { epochs = 600; batch_size = 32; lr = 1e-2; samples = 512 }
+
+(* Mean squared error of scale*net(x) against the prior on the sampled
+   set; useful as a stopping diagnostic and in tests. *)
+let mse ~net ~output_scale ~target inputs =
+  let total = ref 0.0 in
+  Array.iter
+    (fun x ->
+      let out = Mlp.forward net x in
+      let want = target x in
+      Array.iteri
+        (fun k o ->
+          let d = (output_scale *. o) -. want.(k) in
+          total := !total +. (d *. d))
+        out)
+    inputs;
+  !total /. float_of_int (Array.length inputs)
+
+(* Clone [target] (a full-magnitude control law) into [net] whose output
+   is scaled by [output_scale]. Returns the trained network. *)
+let behavior_clone ?(config = default_config) ~rng ~region ~target ~output_scale net =
+  let inputs = Array.init config.samples (fun _ -> Box.sample rng region) in
+  let net = ref (Mlp.copy net) in
+  let opt = Adam.create ~lr:config.lr (Mlp.num_params !net) in
+  for _ = 1 to config.epochs do
+    let grad = Array.make (Mlp.num_params !net) 0.0 in
+    for _ = 1 to config.batch_size do
+      let x = inputs.(Rng.int rng config.samples) in
+      let out, cache = Mlp.forward_cached !net x in
+      let want = target x in
+      let d_out =
+        Array.mapi
+          (fun k o ->
+            2.0 *. output_scale
+            *. ((output_scale *. o) -. want.(k))
+            /. float_of_int config.batch_size)
+          out
+      in
+      let g, _ = Mlp.backward !net cache d_out in
+      let flat = Mlp.flatten_grads !net g in
+      Array.iteri (fun i v -> grad.(i) <- grad.(i) +. v) flat
+    done;
+    net := Mlp.unflatten !net (Adam.step opt ~params:(Mlp.flatten !net) ~grad)
+  done;
+  !net

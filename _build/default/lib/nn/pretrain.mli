@@ -1,0 +1,26 @@
+(** Behavior-cloning warm start for neural controllers: regress
+    output_scale·net(x) onto an analytic prior over a sampled region, so
+    the verification loop starts from an analyzable design. *)
+
+type config = { epochs : int; batch_size : int; lr : float; samples : int }
+
+val default_config : config
+
+(** Mean squared error of the scaled network against the prior. *)
+val mse :
+  net:Mlp.t ->
+  output_scale:float ->
+  target:(float array -> float array) ->
+  float array array ->
+  float
+
+(** Train a copy of [net] to imitate [target] on uniform samples of
+    [region]. *)
+val behavior_clone :
+  ?config:config ->
+  rng:Dwv_util.Rng.t ->
+  region:Dwv_interval.Box.t ->
+  target:(float array -> float array) ->
+  output_scale:float ->
+  Mlp.t ->
+  Mlp.t

@@ -1,0 +1,114 @@
+(* Plain-text serialization of networks, so learned controllers can be
+   saved by the CLI and reloaded for verification or deployment. The
+   format is line-oriented and versioned:
+
+     mlp 1
+     layers <count>
+     layer <rows> <cols> <activation>
+     <row 0 of weights, space separated>
+     ...
+     <bias, space separated>
+     (next layer...)
+
+   Floats are printed with %.17g so round-trips are exact. *)
+
+module Mat = Dwv_la.Mat
+
+let float_to_string v = Printf.sprintf "%.17g" v
+
+let floats_to_line a = String.concat " " (Array.to_list (Array.map float_to_string a))
+
+let line_to_floats line =
+  line
+  |> String.split_on_char ' '
+  |> List.filter (fun s -> s <> "")
+  |> List.map (fun s ->
+         match float_of_string_opt s with
+         | Some v -> v
+         | None -> failwith ("Serialize: invalid float " ^ s))
+  |> Array.of_list
+
+let mlp_to_string (net : Mlp.t) =
+  let buf = Buffer.create 1024 in
+  let layers = Mlp.layers net in
+  Buffer.add_string buf "mlp 1\n";
+  Buffer.add_string buf (Printf.sprintf "layers %d\n" (Array.length layers));
+  Array.iter
+    (fun (l : Mlp.layer) ->
+      let rows, cols = Mat.dims l.weights in
+      Buffer.add_string buf
+        (Printf.sprintf "layer %d %d %s\n" rows cols (Activation.to_string l.act));
+      for i = 0 to rows - 1 do
+        Buffer.add_string buf (floats_to_line (Mat.row l.weights i));
+        Buffer.add_char buf '\n'
+      done;
+      Buffer.add_string buf (floats_to_line l.bias);
+      Buffer.add_char buf '\n')
+    layers;
+  Buffer.contents buf
+
+let mlp_of_string text =
+  let lines = ref (String.split_on_char '\n' text) in
+  let next () =
+    match !lines with
+    | [] -> failwith "Serialize: unexpected end of input"
+    | l :: rest ->
+      lines := rest;
+      String.trim l
+  in
+  let rec next_nonempty () =
+    let l = next () in
+    if l = "" then next_nonempty () else l
+  in
+  (match next_nonempty () with
+  | "mlp 1" -> ()
+  | other -> failwith ("Serialize: unsupported header " ^ other));
+  let n_layers =
+    match String.split_on_char ' ' (next_nonempty ()) with
+    | [ "layers"; n ] -> int_of_string n
+    | _ -> failwith "Serialize: expected 'layers <count>'"
+  in
+  if n_layers < 1 then failwith "Serialize: need at least one layer";
+  let sizes = ref [] and acts = ref [] and params = ref [] in
+  for _ = 1 to n_layers do
+    match String.split_on_char ' ' (next_nonempty ()) with
+    | [ "layer"; rows; cols; act ] ->
+      let rows = int_of_string rows and cols = int_of_string cols in
+      if !sizes = [] then sizes := [ cols ];
+      sizes := rows :: !sizes;
+      acts := Activation.of_string act :: !acts;
+      let weights =
+        Array.init rows (fun _ ->
+            let row = line_to_floats (next_nonempty ()) in
+            if Array.length row <> cols then failwith "Serialize: bad weight row length";
+            row)
+      in
+      let bias = line_to_floats (next_nonempty ()) in
+      if Array.length bias <> rows then failwith "Serialize: bad bias length";
+      params := (weights, bias) :: !params
+    | _ -> failwith "Serialize: expected 'layer <rows> <cols> <act>'"
+  done;
+  let sizes = List.rev !sizes and acts = List.rev !acts in
+  (* build an arbitrary net of the right shape, then overwrite params *)
+  let skeleton = Mlp.create ~sizes ~acts (Dwv_util.Rng.create 0) in
+  let theta =
+    List.rev !params
+    |> List.concat_map (fun (weights, bias) ->
+           Array.to_list (Array.concat (Array.to_list weights)) @ Array.to_list bias)
+    |> Array.of_list
+  in
+  Mlp.unflatten skeleton theta
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let save_mlp path net = write_file path (mlp_to_string net)
+
+let load_mlp path = mlp_of_string (read_file path)

@@ -1,0 +1,7 @@
+(** Versioned plain-text (de)serialization of MLPs; float round-trips are
+    exact. All readers raise [Failure] on malformed input. *)
+
+val mlp_to_string : Mlp.t -> string
+val mlp_of_string : string -> Mlp.t
+val save_mlp : string -> Mlp.t -> unit
+val load_mlp : string -> Mlp.t

@@ -1,0 +1,1 @@
+lib/ode/rk45.ml: Array Dwv_expr Dwv_util Float List

@@ -1,0 +1,1 @@
+lib/ode/rk45.mli: Dwv_expr

@@ -1,0 +1,1 @@
+lib/ode/sampled_system.ml: Array Dwv_expr Dwv_interval Float List Rk4

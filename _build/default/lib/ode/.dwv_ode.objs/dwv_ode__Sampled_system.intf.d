@@ -1,0 +1,1 @@
+lib/ode/sampled_system.mli: Dwv_expr Dwv_interval

@@ -1,0 +1,40 @@
+(* Classical fourth-order Runge-Kutta for the numeric (non-validated)
+   simulation side of the reproduction: Monte-Carlo evaluation of learned
+   controllers and the environment the RL baselines train in. *)
+
+module Expr = Dwv_expr.Expr
+
+let axpy alpha x y = Array.mapi (fun i xi -> (alpha *. xi) +. y.(i)) x
+
+(* One RK4 step of x' = f(x, u) with u held constant. *)
+let step ~f ~u ~h x =
+  let eval x = Expr.eval_vec f ~x ~u in
+  let k1 = eval x in
+  let k2 = eval (axpy (h /. 2.0) k1 x) in
+  let k3 = eval (axpy (h /. 2.0) k2 x) in
+  let k4 = eval (axpy h k3 x) in
+  Array.mapi
+    (fun i xi -> xi +. (h /. 6.0 *. (k1.(i) +. (2.0 *. k2.(i)) +. (2.0 *. k3.(i)) +. k4.(i))))
+    x
+
+(* Integrate over [0, duration] with [substeps] RK4 steps, returning the
+   final state. *)
+let integrate ~f ~u ~duration ~substeps x =
+  if substeps < 1 then invalid_arg "Rk4.integrate: substeps must be >= 1";
+  let h = duration /. float_of_int substeps in
+  let x = ref x in
+  for _ = 1 to substeps do
+    x := step ~f ~u ~h !x
+  done;
+  !x
+
+(* Same, but also return the intermediate states (for dense safety
+   checking of simulated traces). *)
+let integrate_dense ~f ~u ~duration ~substeps x =
+  if substeps < 1 then invalid_arg "Rk4.integrate_dense: substeps must be >= 1";
+  let h = duration /. float_of_int substeps in
+  let states = Array.make (substeps + 1) x in
+  for i = 1 to substeps do
+    states.(i) <- step ~f ~u ~h states.(i - 1)
+  done;
+  states

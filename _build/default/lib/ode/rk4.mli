@@ -1,0 +1,25 @@
+(** Classical RK4 integration of x' = f(x, u) with u held constant
+    (zero-order hold). Non-validated; used for simulation and RL training,
+    never for formal guarantees. *)
+
+(** One RK4 step of size [h]. *)
+val step :
+  f:Dwv_expr.Expr.t array -> u:float array -> h:float -> float array -> float array
+
+(** Integrate over [0, duration] with [substeps] equal steps. *)
+val integrate :
+  f:Dwv_expr.Expr.t array ->
+  u:float array ->
+  duration:float ->
+  substeps:int ->
+  float array ->
+  float array
+
+(** As {!integrate} but returning all substep states (index 0 = initial). *)
+val integrate_dense :
+  f:Dwv_expr.Expr.t array ->
+  u:float array ->
+  duration:float ->
+  substeps:int ->
+  float array ->
+  float array array

@@ -1,0 +1,108 @@
+(* Dormand-Prince 5(4) adaptive Runge-Kutta (the ode45 scheme): embedded
+   4th/5th-order pair with proportional step control. Used where fixed-step
+   RK4 would need very small steps for accuracy (stiff-ish learned
+   closed loops, long evaluation horizons); the fixed-step RK4 remains the
+   default for the RL environments, where per-step cost dominates. *)
+
+module Expr = Dwv_expr.Expr
+
+(* Butcher tableau of Dormand-Prince 5(4). *)
+let c2 = 1.0 /. 5.0
+let c3 = 3.0 /. 10.0
+let c4 = 4.0 /. 5.0
+let c5 = 8.0 /. 9.0
+
+let a21 = 1.0 /. 5.0
+let a31 = 3.0 /. 40.0
+let a32 = 9.0 /. 40.0
+let a41 = 44.0 /. 45.0
+let a42 = -56.0 /. 15.0
+let a43 = 32.0 /. 9.0
+let a51 = 19372.0 /. 6561.0
+let a52 = -25360.0 /. 2187.0
+let a53 = 64448.0 /. 6561.0
+let a54 = -212.0 /. 729.0
+let a61 = 9017.0 /. 3168.0
+let a62 = -355.0 /. 33.0
+let a63 = 46732.0 /. 5247.0
+let a64 = 49.0 /. 176.0
+let a65 = -5103.0 /. 18656.0
+
+(* 5th-order solution weights (also the a7j row: FSAL). *)
+let b1 = 35.0 /. 384.0
+let b3 = 500.0 /. 1113.0
+let b4 = 125.0 /. 192.0
+let b5 = -2187.0 /. 6784.0
+let b6 = 11.0 /. 84.0
+
+(* embedded 4th-order weights *)
+let e1 = 5179.0 /. 57600.0
+let e3 = 7571.0 /. 16695.0
+let e4 = 393.0 /. 640.0
+let e5 = -92097.0 /. 339200.0
+let e6 = 187.0 /. 2100.0
+let e7 = 1.0 /. 40.0
+
+let combine x coeffs h =
+  Array.mapi
+    (fun i xi ->
+      let acc = ref xi in
+      List.iter (fun (c, (k : float array)) -> acc := !acc +. (h *. c *. k.(i))) coeffs;
+      !acc)
+    x
+
+(* One trial step of size h: returns (5th-order solution, error estimate
+   in the scaled max norm). *)
+let trial ~f ~u ~rtol ~atol x h =
+  let eval x = Expr.eval_vec f ~x ~u in
+  let k1 = eval x in
+  let k2 = eval (combine x [ (a21, k1) ] h) in
+  let k3 = eval (combine x [ (a31, k1); (a32, k2) ] h) in
+  let k4 = eval (combine x [ (a41, k1); (a42, k2); (a43, k3) ] h) in
+  let k5 = eval (combine x [ (a51, k1); (a52, k2); (a53, k3); (a54, k4) ] h) in
+  let k6 =
+    eval (combine x [ (a61, k1); (a62, k2); (a63, k3); (a64, k4); (a65, k5) ] h)
+  in
+  let x5 = combine x [ (b1, k1); (b3, k3); (b4, k4); (b5, k5); (b6, k6) ] h in
+  let k7 = eval x5 in
+  let x4 =
+    combine x [ (e1, k1); (e3, k3); (e4, k4); (e5, k5); (e6, k6); (e7, k7) ] h
+  in
+  let err = ref 0.0 in
+  Array.iteri
+    (fun i v5 ->
+      let scale = atol +. (rtol *. Float.max (Float.abs x.(i)) (Float.abs v5)) in
+      err := Float.max !err (Float.abs (v5 -. x4.(i)) /. scale))
+    x5;
+  (x5, !err)
+
+(* ignore c-coefficients: u is constant over the step (ZOH), so stage
+   times never enter the right-hand side *)
+let _ = (c2, c3, c4, c5)
+
+type stats = { steps_accepted : int; steps_rejected : int }
+
+let integrate ?(rtol = 1e-8) ?(atol = 1e-10) ?(h0 = 1e-3) ?(max_steps = 100_000) ~f ~u
+    ~duration x0 =
+  if duration < 0.0 then invalid_arg "Rk45.integrate: negative duration";
+  let x = ref (Array.copy x0) in
+  let t = ref 0.0 in
+  let h = ref (Float.min h0 (Float.max duration 1e-300)) in
+  let accepted = ref 0 and rejected = ref 0 in
+  let count = ref 0 in
+  while !t < duration && !count < max_steps do
+    incr count;
+    let h_eff = Float.min !h (duration -. !t) in
+    let x5, err = trial ~f ~u ~rtol ~atol !x h_eff in
+    if err <= 1.0 then begin
+      x := x5;
+      t := !t +. h_eff;
+      incr accepted
+    end
+    else incr rejected;
+    (* proportional controller with the usual safety factor and clamps *)
+    let factor = 0.9 *. (Float.max err 1e-10 ** -0.2) in
+    h := h_eff *. Dwv_util.Floatx.clamp ~lo:0.2 ~hi:5.0 factor
+  done;
+  if !t < duration then failwith "Rk45.integrate: step budget exhausted";
+  (!x, { steps_accepted = !accepted; steps_rejected = !rejected })

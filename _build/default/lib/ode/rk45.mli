@@ -1,0 +1,17 @@
+(** Dormand–Prince 5(4) adaptive Runge–Kutta (ode45) for x' = f(x, u)
+    with u held constant. *)
+
+type stats = { steps_accepted : int; steps_rejected : int }
+
+(** Integrate over [0, duration] with adaptive steps; raises [Failure]
+    when [max_steps] (default 100000) is exhausted before the horizon. *)
+val integrate :
+  ?rtol:float ->
+  ?atol:float ->
+  ?h0:float ->
+  ?max_steps:int ->
+  f:Dwv_expr.Expr.t array ->
+  u:float array ->
+  duration:float ->
+  float array ->
+  float array * stats

@@ -1,0 +1,39 @@
+(** Sampled-data closed loops: plant x' = f(x,u), controller sampled every
+    [delta] seconds with zero-order hold (the system model of Section 2). *)
+
+type t = {
+  f : Dwv_expr.Expr.t array;
+  n : int;
+  m : int;
+  delta : float;
+}
+
+(** Build; raises unless [|f| = n] and [delta > 0]. *)
+val make : f:Dwv_expr.Expr.t array -> n:int -> m:int -> delta:float -> t
+
+type trace = {
+  states : float array array;  (** state at sample instants, length steps+1 *)
+  inputs : float array array;  (** ZOH input per period, length steps *)
+  dense : float array array;   (** all RK4 substep states *)
+}
+
+(** Closed-loop simulation for [steps] periods ([substeps] RK4 steps per
+    period, default 10). *)
+val simulate :
+  ?substeps:int ->
+  t ->
+  controller:(float array -> float array) ->
+  x0:float array ->
+  steps:int ->
+  trace
+
+(** One-period transition map under a constant input. *)
+val step : ?substeps:int -> t -> u:float array -> float array -> float array
+
+(** Max-abs bound on any component of f over the given boxes (for
+    inter-sample flowpipe bloating). *)
+val field_bound :
+  t ->
+  x:Dwv_interval.Interval.t array ->
+  u:Dwv_interval.Interval.t array ->
+  float

@@ -1,0 +1,1 @@
+lib/poly/bernstein.ml: Array Dwv_interval Dwv_util Float Poly

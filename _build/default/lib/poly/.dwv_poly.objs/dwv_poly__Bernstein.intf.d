@@ -1,0 +1,1 @@
+lib/poly/bernstein.mli: Dwv_interval Poly

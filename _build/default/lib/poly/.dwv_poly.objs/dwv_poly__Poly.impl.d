@@ -1,0 +1,1 @@
+lib/poly/poly.ml: Array Dwv_interval Float Fmt Int List Map

@@ -1,0 +1,254 @@
+(* Sparse multivariate polynomials: the polynomial part of Taylor models
+   and the target representation for Bernstein approximations of neural
+   network controllers.
+
+   Representation: a monomial's exponent vector is packed into a single
+   OCaml int, 4 bits per variable (so nvars <= 15 and every exponent
+   <= 15 — far above the Taylor-model orders used anywhere in the
+   reproduction). Packing makes monomial multiplication a plain integer
+   addition and keeps the coefficient map cheap, which is what makes long
+   closed-loop flowpipes affordable; with array-keyed maps the oscillator
+   verification is ~20x slower. *)
+
+module M = Map.Make (Int)
+
+type t = { nvars : int; terms : float M.t }
+
+let max_vars = 15
+let max_exponent = 15
+let bits_per_var = 4
+
+(* 0x111...1: one low bit per nibble, [nvars] nibbles. *)
+let parity_mask nvars =
+  let m = ref 0 in
+  for _ = 1 to nvars do
+    m := (!m lsl bits_per_var) lor 1
+  done;
+  !m
+
+let check_nvars nvars =
+  if nvars < 1 || nvars > max_vars then
+    invalid_arg "Poly: nvars must be between 1 and 15"
+
+let encode expts =
+  let key = ref 0 in
+  for i = Array.length expts - 1 downto 0 do
+    let e = expts.(i) in
+    if e < 0 || e > max_exponent then invalid_arg "Poly: exponent out of range [0, 15]";
+    key := (!key lsl bits_per_var) lor e
+  done;
+  !key
+
+let decode nvars key =
+  Array.init nvars (fun i -> (key lsr (i * bits_per_var)) land max_exponent)
+
+let exponent_of key i = (key lsr (i * bits_per_var)) land max_exponent
+
+let key_degree nvars key =
+  let d = ref 0 in
+  for i = 0 to nvars - 1 do
+    d := !d + exponent_of key i
+  done;
+  !d
+
+let zero nvars =
+  check_nvars nvars;
+  { nvars; terms = M.empty }
+
+let const nvars c =
+  check_nvars nvars;
+  if c = 0.0 then { nvars; terms = M.empty } else { nvars; terms = M.singleton 0 c }
+
+let var nvars i =
+  check_nvars nvars;
+  if i < 0 || i >= nvars then invalid_arg "Poly.var: index out of range";
+  { nvars; terms = M.singleton (1 lsl (i * bits_per_var)) 1.0 }
+
+let nvars p = p.nvars
+
+let is_zero p = M.is_empty p.terms
+
+let num_terms p = M.cardinal p.terms
+
+let degree p = M.fold (fun k _ acc -> max acc (key_degree p.nvars k)) p.terms 0
+
+let constant_term p = match M.find_opt 0 p.terms with Some c -> c | None -> 0.0
+
+let add_key p key c =
+  let prev = match M.find_opt key p.terms with Some x -> x | None -> 0.0 in
+  let s = prev +. c in
+  { p with terms = (if s = 0.0 then M.remove key p.terms else M.add key s p.terms) }
+
+let add_term p expts c =
+  if Array.length expts <> p.nvars then invalid_arg "Poly.add_term: arity mismatch";
+  add_key p (encode expts) c
+
+let of_terms nvars l = List.fold_left (fun p (e, c) -> add_term p e c) (zero nvars) l
+
+let to_terms p = M.fold (fun k c acc -> (decode p.nvars k, c) :: acc) p.terms []
+
+let map_coeffs f p =
+  { p with
+    terms =
+      M.fold
+        (fun k c acc ->
+          let c' = f c in
+          if c' = 0.0 then acc else M.add k c' acc)
+        p.terms M.empty }
+
+let neg p = map_coeffs (fun c -> -.c) p
+
+let scale s p = if s = 0.0 then zero p.nvars else map_coeffs (fun c -> s *. c) p
+
+let add a b =
+  if a.nvars <> b.nvars then invalid_arg "Poly.add: arity mismatch";
+  let terms =
+    M.union (fun _ x y -> let s = x +. y in if s = 0.0 then None else Some s) a.terms b.terms
+  in
+  { a with terms }
+
+let sub a b = add a (neg b)
+
+(* Monomial product = key addition (no nibble carries as long as the
+   combined per-variable exponents stay <= 15, guaranteed for the orders
+   used by Taylor models). *)
+let mul a b =
+  if a.nvars <> b.nvars then invalid_arg "Poly.mul: arity mismatch";
+  let acc = ref M.empty in
+  M.iter
+    (fun ka ca ->
+      M.iter
+        (fun kb cb ->
+          let k = ka + kb in
+          let c = ca *. cb in
+          acc :=
+            M.update k
+              (function
+                | None -> Some c
+                | Some prev -> let s = prev +. c in if s = 0.0 then None else Some s)
+              !acc)
+        b.terms)
+    a.terms;
+  { a with terms = !acc }
+
+let rec pow p n =
+  if n < 0 then invalid_arg "Poly.pow: negative exponent"
+  else if n = 0 then const p.nvars 1.0
+  else if n = 1 then p
+  else begin
+    let half = pow p (n / 2) in
+    let sq = mul half half in
+    if n mod 2 = 0 then sq else mul p sq
+  end
+
+(* Split into (terms of degree <= order, terms of degree > order); the
+   second component is what a Taylor model moves into its remainder. *)
+let truncate ~order p =
+  let keep, drop = M.partition (fun k _ -> key_degree p.nvars k <= order) p.terms in
+  ({ p with terms = keep }, { p with terms = drop })
+
+(* Split into (terms not involving variable i, terms involving it); used
+   to retire a disturbance symbol by bounding its contribution. *)
+let split_var p i =
+  if i < 0 || i >= p.nvars then invalid_arg "Poly.split_var: index out of range";
+  let keep, drop = M.partition (fun k _ -> exponent_of k i = 0) p.terms in
+  ({ p with terms = keep }, { p with terms = drop })
+
+let eval p x =
+  if Array.length x <> p.nvars then invalid_arg "Poly.eval: arity mismatch";
+  M.fold
+    (fun k c acc ->
+      let term = ref c in
+      for i = 0 to p.nvars - 1 do
+        for _ = 1 to exponent_of k i do
+          term := !term *. x.(i)
+        done
+      done;
+      acc +. !term)
+    p.terms 0.0
+
+(* Generic evaluation in any commutative algebra; used to substitute Taylor
+   models (or intervals) for the variables. [var_pow i k] must be the k-th
+   power of variable i with k >= 1. *)
+let eval_gen p ~const ~var_pow ~add ~mul =
+  M.fold
+    (fun key c acc ->
+      let term = ref (const c) in
+      for i = 0 to p.nvars - 1 do
+        let k = exponent_of key i in
+        if k > 0 then term := mul !term (var_pow i k)
+      done;
+      add acc !term)
+    p.terms (const 0.0)
+
+module I = Dwv_interval.Interval
+
+(* Sound range enclosure of p over the box (interval evaluation of each
+   monomial; tight powers via Interval.pow_int). *)
+let ieval p (box : Dwv_interval.Box.t) =
+  if Dwv_interval.Box.dim box <> p.nvars then invalid_arg "Poly.ieval: arity mismatch";
+  M.fold
+    (fun key c acc ->
+      let term = ref (I.of_point c) in
+      for i = 0 to p.nvars - 1 do
+        let k = exponent_of key i in
+        if k > 0 then term := I.mul !term (I.pow_int box.(i) k)
+      done;
+      I.add acc !term)
+    p.terms I.zero
+
+(* Enclosure over the canonical Taylor-model domain [-1,1]^n, on the fast
+   path: a monomial with all exponents even ranges over [0, c] (or [c, 0]),
+   any other monomial over [-|c|, |c|]. Pure float arithmetic. *)
+let bound_unit p =
+  let mask = parity_mask p.nvars in
+  let lo = ref 0.0 and hi = ref 0.0 in
+  M.iter
+    (fun key c ->
+      if key = 0 then begin
+        (* constant monomial: exact *)
+        lo := !lo +. c;
+        hi := !hi +. c
+      end
+      else if key land mask = 0 then begin
+        (* all exponents even (some positive): monomial value in [0, 1] *)
+        if c >= 0.0 then hi := !hi +. c else lo := !lo +. c
+      end
+      else begin
+        let a = Float.abs c in
+        lo := !lo -. a;
+        hi := !hi +. a
+      end)
+    p.terms;
+  I.make !lo !hi
+
+(* Partial derivative. *)
+let diff p i =
+  if i < 0 || i >= p.nvars then invalid_arg "Poly.diff: index out of range";
+  M.fold
+    (fun key c acc ->
+      let e = exponent_of key i in
+      if e = 0 then acc
+      else add_key acc (key - (1 lsl (i * bits_per_var))) (c *. float_of_int e))
+    p.terms (zero p.nvars)
+
+let equal ?(eps = 0.0) a b =
+  a.nvars = b.nvars
+  &&
+  let d = sub a b in
+  M.for_all (fun _ c -> Float.abs c <= eps) d.terms
+
+let pp ppf p =
+  if is_zero p then Fmt.string ppf "0"
+  else begin
+    let first = ref true in
+    M.iter
+      (fun key c ->
+        if !first then first := false else Fmt.string ppf " + ";
+        Fmt.pf ppf "%.6g" c;
+        for i = 0 to p.nvars - 1 do
+          let k = exponent_of key i in
+          if k > 0 then Fmt.pf ppf "*z%d^%d" i k
+        done)
+      p.terms
+  end

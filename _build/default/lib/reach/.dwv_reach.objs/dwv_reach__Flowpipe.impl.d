@@ -1,0 +1,1 @@
+lib/reach/flowpipe.ml: Array Dwv_interval Fmt

@@ -1,0 +1,1 @@
+lib/reach/flowpipe.mli: Dwv_interval Format

@@ -1,0 +1,1 @@
+lib/reach/interval_reach.ml: Array Dwv_expr Dwv_interval Dwv_nn Float Flowpipe List Taylor_reach

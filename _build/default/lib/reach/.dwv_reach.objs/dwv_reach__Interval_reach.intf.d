@@ -1,0 +1,1 @@
+lib/reach/interval_reach.mli: Dwv_expr Dwv_interval Dwv_nn Flowpipe Taylor_reach

@@ -1,0 +1,1 @@
+lib/reach/linear_reach.ml: Array Dwv_geometry Dwv_interval Dwv_la Float Flowpipe List

@@ -1,0 +1,1 @@
+lib/reach/linear_reach.mli: Dwv_geometry Dwv_interval Dwv_la Flowpipe

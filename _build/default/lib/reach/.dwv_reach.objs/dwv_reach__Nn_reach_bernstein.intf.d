@@ -1,0 +1,1 @@
+lib/reach/nn_reach_bernstein.mli: Dwv_interval Dwv_nn Dwv_poly Dwv_taylor

@@ -1,0 +1,1 @@
+lib/reach/nn_reach_taylor.ml: Array Dwv_la Dwv_nn Dwv_taylor

@@ -1,0 +1,1 @@
+lib/reach/taylor_reach.mli: Dwv_expr Dwv_interval Dwv_taylor

@@ -1,0 +1,1 @@
+lib/reach/verifier.ml: Array Dwv_geometry Dwv_interval Dwv_nn Dwv_taylor Float Flowpipe Fmt List Nn_reach_bernstein Nn_reach_taylor Taylor_reach

@@ -1,0 +1,1 @@
+lib/reach/verifier.mli: Dwv_expr Dwv_interval Dwv_nn Flowpipe Format Nn_reach_bernstein

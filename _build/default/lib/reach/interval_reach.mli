@@ -1,0 +1,26 @@
+(** Interval-only (box) reachability — the wrapping-effect ablation
+    baseline: IBP controller abstraction + interval Taylor steps, no
+    symbolic variables. *)
+
+(** One validated period in pure interval arithmetic: (box at δ, segment
+    enclosure); [None] on enclosure failure. *)
+val step :
+  f:Dwv_expr.Expr.t array ->
+  lie:Taylor_reach.lie_table ->
+  delta:float ->
+  Dwv_interval.Box.t ->
+  Dwv_interval.Box.t ->
+  (Dwv_interval.Box.t * Dwv_interval.Box.t) option
+
+(** Closed-loop box flowpipe under u = output_scale·net(x) with ZOH. *)
+val nn_flowpipe :
+  ?blowup_width:float ->
+  ?order:int ->
+  f:Dwv_expr.Expr.t array ->
+  delta:float ->
+  steps:int ->
+  net:Dwv_nn.Mlp.t ->
+  output_scale:float ->
+  x0:Dwv_interval.Box.t ->
+  unit ->
+  Flowpipe.t

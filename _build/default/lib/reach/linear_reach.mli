@@ -1,0 +1,39 @@
+(** Flow*-style reachability for LTI plants x' = Ax + Bu under sampled
+    linear state feedback u = Kx with zero-order hold. Sample-instant sets
+    are exact zonotope images; inter-sample enclosures use a Picard-style
+    box argument. *)
+
+type lti = { a : Dwv_la.Mat.t; b : Dwv_la.Mat.t }
+
+(** Exact ZOH discretisation: (A_d, B_d) with A_d = e^{Aδ},
+    B_d = (∫₀^δ e^{As} ds)·B. *)
+val discretize : delta:float -> lti -> Dwv_la.Mat.t * Dwv_la.Mat.t
+
+(** Interval range of K·x over a zonotope. *)
+val gain_range : gain:Dwv_la.Mat.t -> Dwv_geometry.Zonotope.t -> Dwv_interval.Box.t
+
+(** Interval evaluation of Ax + Bu over boxes. *)
+val field_range :
+  lti -> x:Dwv_interval.Box.t -> u:Dwv_interval.Box.t -> Dwv_interval.Box.t
+
+(** Sound enclosure of the one-period flow from [x_box] under a constant
+    input in [u_box]; [None] when the inflation loop fails. *)
+val intersample_enclosure :
+  lti ->
+  x_box:Dwv_interval.Box.t ->
+  x_next_box:Dwv_interval.Box.t ->
+  u_box:Dwv_interval.Box.t ->
+  delta:float ->
+  Dwv_interval.Box.t option
+
+(** Flowpipe for [steps] periods; marks divergence when any box exceeds
+    [blowup_width] (default 1e7) or turns non-finite. *)
+val flowpipe :
+  ?blowup_width:float ->
+  sys:lti ->
+  gain:Dwv_la.Mat.t ->
+  x0:Dwv_interval.Box.t ->
+  delta:float ->
+  steps:int ->
+  unit ->
+  Flowpipe.t

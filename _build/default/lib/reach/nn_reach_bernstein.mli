@@ -1,0 +1,23 @@
+(** ReachNN-style neural-controller abstraction: Bernstein polynomial over
+    the current reach box + Lipschitz/sampling remainder. *)
+
+type config = {
+  degrees : int array;     (** Bernstein degree per state dimension *)
+  samples_per_dim : int;   (** remainder-estimation grid resolution *)
+}
+
+(** Degree 3 per dimension, 6 remainder samples per dimension. *)
+val default_config : n:int -> config
+
+(** Evaluate a polynomial in normalized [0,1]ⁿ grid coordinates on the
+    state models of the given box. *)
+val poly_on_models :
+  poly:Dwv_poly.Poly.t -> box:Dwv_interval.Box.t -> Dwv_taylor.Tm_vec.t -> Dwv_taylor.Taylor_model.t
+
+(** Models of u = output_scale · net(x) over the symbolic state [x]. *)
+val control_models :
+  net:Dwv_nn.Mlp.t ->
+  output_scale:float ->
+  config:config ->
+  Dwv_taylor.Tm_vec.t ->
+  Dwv_taylor.Tm_vec.t

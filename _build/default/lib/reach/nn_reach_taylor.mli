@@ -1,0 +1,14 @@
+(** POLAR-style neural-controller abstraction: layer-by-layer Taylor-model
+    propagation (affine layers exact; tanh/sigmoid via Taylor expansion
+    with Lagrange remainder; ReLU via chord relaxation). *)
+
+(** Sound Taylor model of one activation applied to a model. *)
+val apply_activation : Dwv_nn.Activation.t -> Dwv_taylor.Taylor_model.t -> Dwv_taylor.Taylor_model.t
+
+(** Exact affine layer on Taylor models. *)
+val affine :
+  Dwv_la.Mat.t -> float array -> Dwv_taylor.Taylor_model.t array -> Dwv_taylor.Taylor_model.t array
+
+(** Models of u = output_scale · net(x) over the symbolic state [x]. *)
+val control_models :
+  net:Dwv_nn.Mlp.t -> output_scale:float -> Dwv_taylor.Tm_vec.t -> Dwv_taylor.Tm_vec.t

@@ -1,0 +1,34 @@
+(** Validated Taylor-method integration of one sampling period (the
+    flowpipe kernel shared by the ReachNN- and POLAR-style verifiers):
+    symbolic Lie derivatives evaluated on Taylor models, Lagrange
+    remainder bounded over an interval-Picard a-priori enclosure. *)
+
+(** [lie.(j).(i)] = j-th Lie derivative of coordinate i, j = 0..order+1. *)
+type lie_table = Dwv_expr.Expr.t array array
+
+(** Precompute Lie derivatives of the identity up to [order]+1. *)
+val lie_table : f:Dwv_expr.Expr.t array -> order:int -> lie_table
+
+(** A-priori enclosure of the flow over [0, delta] (interval Picard with
+    geometric inflation); [None] on failure. *)
+val apriori_enclosure :
+  f:Dwv_expr.Expr.t array ->
+  x_box:Dwv_interval.Box.t ->
+  u_box:Dwv_interval.Box.t ->
+  delta:float ->
+  Dwv_interval.Box.t option
+
+type step_result = {
+  state : Dwv_taylor.Tm_vec.t;    (** models of x(delta) *)
+  segment : Dwv_interval.Box.t;   (** enclosure of x(t), t in [0, delta] *)
+}
+
+(** One sampling period under the (already abstracted) control models [u].
+    [None] when the a-priori enclosure cannot be established (blow-up). *)
+val step :
+  f:Dwv_expr.Expr.t array ->
+  lie:lie_table ->
+  delta:float ->
+  Dwv_taylor.Tm_vec.t ->
+  Dwv_taylor.Tm_vec.t ->
+  step_result option

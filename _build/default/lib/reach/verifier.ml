@@ -1,0 +1,149 @@
+(* The verifier interface Psi of the paper: run a reachability analysis of
+   the closed loop and judge the reach-avoid property on the resulting
+   flowpipe.
+
+   Verdict semantics (all with respect to over-approximate enclosures):
+     - Reach_avoid : no segment touches the unsafe set AND some
+                     sample-instant box lies entirely inside the goal;
+                     the property is formally PROVED.
+     - Unsafe      : some segment box lies entirely inside the unsafe set,
+                     so a real trajectory is certainly unsafe.
+     - Unknown     : everything else (spurious intersection possible, goal
+                     not provably reached, or the analysis diverged). *)
+
+module Box = Dwv_interval.Box
+module Setops = Dwv_geometry.Setops
+module Tm_vec = Dwv_taylor.Tm_vec
+
+type verdict = Reach_avoid | Unsafe | Unknown
+
+let verdict_to_string = function
+  | Reach_avoid -> "reach-avoid"
+  | Unsafe -> "Unsafe"
+  | Unknown -> "Unknown"
+
+let pp_verdict ppf v = Fmt.string ppf (verdict_to_string v)
+
+(* First sample instant whose enclosure is contained in the goal. *)
+let goal_step ~goal pipe =
+  let boxes = Array.of_list (Flowpipe.step_boxes pipe) in
+  let rec find i =
+    if i >= Array.length boxes then None
+    else if Box.subset boxes.(i) goal then Some i
+    else find (i + 1)
+  in
+  find 1 (* the initial set itself does not count as goal-reaching *)
+
+let safety_ok ~unsafe pipe =
+  not (Setops.any_intersects (Flowpipe.all_boxes pipe) unsafe)
+
+let certainly_unsafe ~unsafe pipe =
+  List.exists (fun b -> Box.subset b unsafe) (Flowpipe.all_boxes pipe)
+
+let check ~unsafe ~goal pipe =
+  if Flowpipe.diverged pipe then Unknown
+  else if certainly_unsafe ~unsafe pipe then Unsafe
+  else if not (safety_ok ~unsafe pipe) then Unknown
+  else
+    match goal_step ~goal pipe with
+    | Some _ -> Reach_avoid
+    | None -> Unknown
+
+(* ------------------------------------------------------------------ *)
+(* Closed-loop flowpipe for neural-network controllers: abstract the
+   controller over the current symbolic state with the chosen method, then
+   integrate one period with the validated Taylor kernel. *)
+
+type nn_method =
+  | Polar                                   (* layerwise Taylor models *)
+  | Bernstein of Nn_reach_bernstein.config  (* Bernstein + remainder *)
+
+let nn_method_name = function
+  | Polar -> "POLAR"
+  | Bernstein _ -> "ReachNN"
+
+let box_is_sane ~blowup_width b =
+  Array.for_all
+    (fun iv ->
+      Float.is_finite (Dwv_interval.Interval.lo iv)
+      && Float.is_finite (Dwv_interval.Interval.hi iv))
+    b
+  && Box.max_width b <= blowup_width
+
+let nn_flowpipe ?(blowup_width = 1e4) ?(order = 3) ?(disturbance_slots = 8) ~f ~delta
+    ~steps ~net ~output_scale ~method_ ~x0 () =
+  let lie = Taylor_reach.lie_table ~f ~order in
+  let control x =
+    match method_ with
+    | Polar -> Nn_reach_taylor.control_models ~net ~output_scale x
+    | Bernstein config -> Nn_reach_bernstein.control_models ~net ~output_scale ~config x
+  in
+  let n = Box.dim x0 in
+  let m = Dwv_nn.Mlp.n_out net in
+  let step_boxes = ref [ x0 ] and segment_boxes = ref [] in
+  let diverged = ref false in
+  let x =
+    ref (Tm_vec.of_box ~total_vars:(n + (disturbance_slots * m)) ~order x0)
+  in
+  (* Symbolic remainders (as in POLAR): each period's control
+     over-approximation error becomes a fresh symbol z_slot instead of a
+     detached interval, so the feedback loop can contract past
+     disturbances; slots are recycled round-robin, retiring the oldest
+     symbol into the interval remainder once the loop has had
+     [disturbance_slots] periods to damp it. *)
+  let step_index = ref 0 in
+  (* Interval blow-up inside a Taylor-model operation (overflow to
+     infinity, division by a zero-straddling range, ...) is the "NAN"
+     failure mode of Fig. 8: record it as divergence. *)
+  (try
+     for _ = 1 to steps do
+       match
+         let slot_base = n + (!step_index mod disturbance_slots * m) in
+         incr step_index;
+         x := Array.map (fun tm ->
+             let tm = ref tm in
+             for j = 0 to m - 1 do
+               tm := Dwv_taylor.Taylor_model.absorb_var (slot_base + j) !tm
+             done;
+             !tm)
+             !x;
+         let u = control !x in
+         let u =
+           Array.mapi
+             (fun j tm ->
+               Dwv_taylor.Taylor_model.symbolize_remainder ~slot:(slot_base + j)
+                 (Dwv_taylor.Taylor_model.sweep tm))
+             u
+         in
+         Taylor_reach.step ~f ~lie ~delta !x u
+       with
+       | None ->
+         diverged := true;
+         raise Exit
+       | Some { state; segment } ->
+         let next_box = Tm_vec.bound_box state in
+         if not (box_is_sane ~blowup_width next_box && box_is_sane ~blowup_width segment)
+         then begin
+           diverged := true;
+           raise Exit
+         end;
+         segment_boxes := segment :: !segment_boxes;
+         step_boxes := next_box :: !step_boxes;
+         x := state
+       | exception (Invalid_argument _ | Failure _) ->
+         diverged := true;
+         raise Exit
+     done
+   with Exit -> ());
+  Flowpipe.make
+    ~step_boxes:(Array.of_list (List.rev !step_boxes))
+    ~segment_boxes:(Array.of_list (List.rev !segment_boxes))
+    ~delta ~diverged:!diverged
+
+(* Convenience: run an NN flowpipe and judge it in one call. *)
+let verify_nn ?blowup_width ?order ~f ~delta ~steps ~net ~output_scale ~method_ ~x0
+    ~unsafe ~goal () =
+  let pipe =
+    nn_flowpipe ?blowup_width ?order ~f ~delta ~steps ~net ~output_scale ~method_ ~x0 ()
+  in
+  (pipe, check ~unsafe ~goal pipe)

@@ -1,0 +1,65 @@
+(** The verifier interface Ψ: flowpipe computation plus the reach-avoid
+    judgement used by the learner's stopping rule. *)
+
+type verdict =
+  | Reach_avoid  (** property formally proved on the enclosures *)
+  | Unsafe       (** a segment box lies inside the unsafe set: certainly unsafe *)
+  | Unknown      (** inconclusive (possible spurious intersection / divergence) *)
+
+val verdict_to_string : verdict -> string
+val pp_verdict : Format.formatter -> verdict -> unit
+
+(** First sample instant (>= 1) whose enclosure is inside the goal. *)
+val goal_step : goal:Dwv_interval.Box.t -> Flowpipe.t -> int option
+
+(** No segment touches the unsafe set. *)
+val safety_ok : unsafe:Dwv_interval.Box.t -> Flowpipe.t -> bool
+
+(** Some segment lies entirely inside the unsafe set. *)
+val certainly_unsafe : unsafe:Dwv_interval.Box.t -> Flowpipe.t -> bool
+
+(** Judge a flowpipe against the reach-avoid specification. *)
+val check : unsafe:Dwv_interval.Box.t -> goal:Dwv_interval.Box.t -> Flowpipe.t -> verdict
+
+(** Controller-abstraction method for neural controllers. *)
+type nn_method =
+  | Polar                                   (** layerwise Taylor models *)
+  | Bernstein of Nn_reach_bernstein.config  (** Bernstein + remainder *)
+
+val nn_method_name : nn_method -> string
+
+(** Closed-loop flowpipe of x' = f(x, u), u = output_scale·net(x) sampled
+    with ZOH. [order] is the Taylor-model order (default 3); the pipe is
+    marked diverged when a box exceeds [blowup_width] (default 1e4).
+    [disturbance_slots] (default 8) is the symbolic-remainder budget: each
+    period's control abstraction error rides a fresh symbol that the
+    contractive loop can cancel, recycled round-robin. *)
+val nn_flowpipe :
+  ?blowup_width:float ->
+  ?order:int ->
+  ?disturbance_slots:int ->
+  f:Dwv_expr.Expr.t array ->
+  delta:float ->
+  steps:int ->
+  net:Dwv_nn.Mlp.t ->
+  output_scale:float ->
+  method_:nn_method ->
+  x0:Dwv_interval.Box.t ->
+  unit ->
+  Flowpipe.t
+
+(** Flowpipe + verdict in one call. *)
+val verify_nn :
+  ?blowup_width:float ->
+  ?order:int ->
+  f:Dwv_expr.Expr.t array ->
+  delta:float ->
+  steps:int ->
+  net:Dwv_nn.Mlp.t ->
+  output_scale:float ->
+  method_:nn_method ->
+  x0:Dwv_interval.Box.t ->
+  unsafe:Dwv_interval.Box.t ->
+  goal:Dwv_interval.Box.t ->
+  unit ->
+  Flowpipe.t * verdict

@@ -1,0 +1,1 @@
+lib/rl/ddpg.ml: Array Dwv_core Dwv_nn Dwv_util Env List Logs Replay

@@ -1,0 +1,1 @@
+lib/rl/ddpg.mli: Dwv_nn Env

@@ -1,0 +1,1 @@
+lib/rl/env.ml: Array Dwv_core Dwv_interval Dwv_la Dwv_ode Float

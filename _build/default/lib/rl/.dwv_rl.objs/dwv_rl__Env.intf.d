@@ -1,0 +1,1 @@
+lib/rl/env.mli: Dwv_core Dwv_ode Dwv_util

@@ -1,0 +1,1 @@
+lib/rl/svg.ml: Array Dwv_nn Dwv_ode Dwv_util Env List Logs Option

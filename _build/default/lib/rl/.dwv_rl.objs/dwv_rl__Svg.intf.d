@@ -1,0 +1,1 @@
+lib/rl/svg.mli: Dwv_nn Dwv_ode Env

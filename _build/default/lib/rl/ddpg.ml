@@ -1,0 +1,160 @@
+(* Deep deterministic policy gradient (Lillicrap et al., ICLR 2016): the
+   model-free design-then-verify baseline of Table 1. Standard recipe:
+   actor-critic MLPs, target networks with Polyak averaging, uniform
+   replay, Gaussian exploration noise. Convergence ("CI" in Table 1) is
+   the number of training episodes until a periodic deterministic
+   evaluation reaches the goal safely on every rollout. *)
+
+module Mlp = Dwv_nn.Mlp
+module Adam = Dwv_nn.Adam
+module Rng = Dwv_util.Rng
+module Spec = Dwv_core.Spec
+
+type config = {
+  gamma : float;
+  tau : float;                  (* target-network Polyak factor *)
+  batch_size : int;
+  buffer_capacity : int;
+  actor_lr : float;
+  critic_lr : float;
+  noise_sigma : float;          (* exploration noise, fraction of u scale *)
+  noise_decay : float;          (* per-episode multiplicative decay *)
+  warmup_steps : int;           (* steps of uniform-random actions *)
+  max_episodes : int;
+  steps_per_episode : int;
+  eval_every : int;             (* episodes between convergence checks *)
+  eval_rollouts : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    gamma = 0.98;
+    tau = 0.01;
+    batch_size = 64;
+    buffer_capacity = 50_000;
+    actor_lr = 1e-3;
+    critic_lr = 1e-3;
+    noise_sigma = 0.3;
+    noise_decay = 0.999;
+    warmup_steps = 500;
+    max_episodes = 2_000;
+    steps_per_episode = 60;
+    eval_every = 25;
+    eval_rollouts = 10;
+    seed = 0;
+  }
+
+type result = {
+  actor : Mlp.t;
+  output_scale : float;
+  episodes : int;         (* convergence episodes, or the cap *)
+  converged : bool;
+  reward_history : float array;  (* per-episode returns *)
+}
+
+let concat = Array.append
+
+let train ?(log = false) cfg ~env ~actor ~critic ~output_scale =
+  let rng = Rng.create cfg.seed in
+  let actor = ref (Mlp.copy actor) and critic = ref (Mlp.copy critic) in
+  let actor_target = ref (Mlp.copy !actor) and critic_target = ref (Mlp.copy !critic) in
+  let actor_opt = Adam.create ~lr:cfg.actor_lr (Mlp.num_params !actor) in
+  let critic_opt = Adam.create ~lr:cfg.critic_lr (Mlp.num_params !critic) in
+  let buffer = Replay.create cfg.buffer_capacity in
+  let m = Env.action_dim env in
+  let total_steps = ref 0 in
+  let sigma = ref (cfg.noise_sigma *. output_scale) in
+  let rewards = ref [] in
+  let converged = ref false and episodes = ref cfg.max_episodes in
+
+  let policy x = Array.map (fun v -> output_scale *. v) (Mlp.forward !actor x) in
+
+  let update () =
+    let batch = Replay.sample buffer rng cfg.batch_size in
+    let bsz = float_of_int cfg.batch_size in
+    (* critic: minimize mean squared TD error *)
+    let critic_grad = Array.make (Mlp.num_params !critic) 0.0 in
+    Array.iter
+      (fun (tr : Replay.transition) ->
+        let a' =
+          Array.map (fun v -> output_scale *. v) (Mlp.forward !actor_target tr.next_state)
+        in
+        let q' = (Mlp.forward !critic_target (concat tr.next_state a')).(0) in
+        let y =
+          tr.reward +. (if tr.terminated then 0.0 else cfg.gamma *. q')
+        in
+        let q, cache = Mlp.forward_cached !critic (concat tr.state tr.action) in
+        let d_out = [| 2.0 *. (q.(0) -. y) /. bsz |] in
+        let g, _ = Mlp.backward !critic cache d_out in
+        let flat = Mlp.flatten_grads !critic g in
+        Array.iteri (fun i v -> critic_grad.(i) <- critic_grad.(i) +. v) flat)
+      batch;
+    critic := Mlp.unflatten !critic (Adam.step critic_opt ~params:(Mlp.flatten !critic) ~grad:critic_grad);
+    (* actor: maximize mean Q(s, mu(s)) *)
+    let actor_grad = Array.make (Mlp.num_params !actor) 0.0 in
+    Array.iter
+      (fun (tr : Replay.transition) ->
+        let out, acache = Mlp.forward_cached !actor tr.state in
+        let a = Array.map (fun v -> output_scale *. v) out in
+        let _q, ccache = Mlp.forward_cached !critic (concat tr.state a) in
+        let _, d_in = Mlp.backward !critic ccache [| 1.0 |] in
+        let n = Env.state_dim env in
+        (* d(-Q)/d(actor output) = -scale * dQ/du *)
+        let d_out =
+          Array.init m (fun j -> -.output_scale *. d_in.(n + j) /. bsz)
+        in
+        let g, _ = Mlp.backward !actor acache d_out in
+        let flat = Mlp.flatten_grads !actor g in
+        Array.iteri (fun i v -> actor_grad.(i) <- actor_grad.(i) +. v) flat)
+      batch;
+    actor := Mlp.unflatten !actor (Adam.step actor_opt ~params:(Mlp.flatten !actor) ~grad:actor_grad);
+    actor_target := Mlp.soft_update ~tau:cfg.tau ~src:!actor !actor_target;
+    critic_target := Mlp.soft_update ~tau:cfg.tau ~src:!critic !critic_target
+  in
+
+  (try
+     for ep = 1 to cfg.max_episodes do
+       let x = ref (Env.reset env rng) in
+       let ep_reward = ref 0.0 in
+       (try
+          for _ = 1 to cfg.steps_per_episode do
+            incr total_steps;
+            let u =
+              if !total_steps <= cfg.warmup_steps then
+                Array.init m (fun _ -> Rng.uniform rng ~lo:(-.output_scale) ~hi:output_scale)
+              else
+                Array.map (fun v -> v +. Rng.gaussian_scaled rng ~mu:0.0 ~sigma:!sigma) (policy !x)
+            in
+            let r = Env.step env !x u in
+            Replay.push buffer
+              { Replay.state = !x; action = u; reward = r.Env.reward;
+                next_state = r.Env.next_state; terminated = r.Env.terminated };
+            ep_reward := !ep_reward +. r.Env.reward;
+            x := r.Env.next_state;
+            if Replay.size buffer >= cfg.batch_size && !total_steps > cfg.warmup_steps then
+              update ();
+            if r.Env.terminated then raise Exit
+          done
+        with Exit -> ());
+       rewards := !ep_reward :: !rewards;
+       sigma := !sigma *. cfg.noise_decay;
+       if log && ep mod 50 = 0 then
+         Logs.info (fun f -> f "ddpg episode %d: return %.2f" ep !ep_reward);
+       if ep mod cfg.eval_every = 0
+          && Env.policy_succeeds env rng ~policy ~steps:cfg.steps_per_episode
+               ~rollouts:cfg.eval_rollouts
+       then begin
+         converged := true;
+         episodes := ep;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  {
+    actor = !actor;
+    output_scale;
+    episodes = !episodes;
+    converged = !converged;
+    reward_history = Array.of_list (List.rev !rewards);
+  }

@@ -1,0 +1,41 @@
+(** Deep deterministic policy gradient (Lillicrap et al. 2016) — the
+    model-free design-then-verify baseline. *)
+
+type config = {
+  gamma : float;
+  tau : float;
+  batch_size : int;
+  buffer_capacity : int;
+  actor_lr : float;
+  critic_lr : float;
+  noise_sigma : float;
+  noise_decay : float;
+  warmup_steps : int;
+  max_episodes : int;
+  steps_per_episode : int;
+  eval_every : int;
+  eval_rollouts : int;
+  seed : int;
+}
+
+val default_config : config
+
+type result = {
+  actor : Dwv_nn.Mlp.t;
+  output_scale : float;
+  episodes : int;   (** convergence episodes (Table 1 CI), or the cap *)
+  converged : bool;
+  reward_history : float array;
+}
+
+(** Train; the critic must accept state ++ action and output one value.
+    Convergence = all periodic deterministic evaluation rollouts reach the
+    goal without entering the unsafe set. *)
+val train :
+  ?log:bool ->
+  config ->
+  env:Env.t ->
+  actor:Dwv_nn.Mlp.t ->
+  critic:Dwv_nn.Mlp.t ->
+  output_scale:float ->
+  result

@@ -1,0 +1,96 @@
+(* The episodic environment the design-then-verify baselines train in: the
+   sampled-data closed loop of the plant, with the reward the paper
+   specifies for DDPG and SVG — "minimize the Euclidean distance to the
+   goal set center and maximize the distance to the unsafe set center". *)
+
+module Box = Dwv_interval.Box
+module Vec = Dwv_la.Vec
+module Spec = Dwv_core.Spec
+module Sampled_system = Dwv_ode.Sampled_system
+
+type t = {
+  sys : Sampled_system.t;
+  spec : Spec.t;
+  unsafe_weight : float;   (* weight of the distance-from-unsafe bonus *)
+  action_penalty : float;  (* small quadratic control penalty *)
+  goal_bonus : float;      (* terminal bonus on entering the goal box *)
+  crash_penalty : float;   (* terminal penalty on entering the unsafe box *)
+  substeps : int;
+}
+
+let make ?(unsafe_weight = 0.2) ?(action_penalty = 1e-4) ?(goal_bonus = 10.0)
+    ?(crash_penalty = 50.0) ?(substeps = 4) ~sys ~spec () =
+  { sys; spec; unsafe_weight; action_penalty; goal_bonus; crash_penalty; substeps }
+
+let state_dim t = t.sys.Sampled_system.n
+let action_dim t = t.sys.Sampled_system.m
+let sys t = t.sys
+let spec t = t.spec
+
+let reset t rng = Box.sample rng t.spec.Spec.x0
+
+(* Dense shaping reward at a state (before terminal bonuses). *)
+let shaping t ~x ~u =
+  let goal_c = Box.center t.spec.Spec.goal in
+  let unsafe_c = Box.center t.spec.Spec.unsafe in
+  let d_goal = Vec.dist2 x goal_c in
+  let d_unsafe = Vec.dist2 x unsafe_c in
+  let u_cost = Array.fold_left (fun acc ui -> acc +. (ui *. ui)) 0.0 u in
+  -.d_goal +. (t.unsafe_weight *. d_unsafe) -. (t.action_penalty *. u_cost)
+
+(* Analytic gradient of the shaping reward, for the model-based SVG
+   baseline's backward pass: (d r/d x, d r/d u). *)
+let shaping_grad t ~x ~u =
+  let goal_c = Box.center t.spec.Spec.goal in
+  let unsafe_c = Box.center t.spec.Spec.unsafe in
+  let d_goal = Float.max (Vec.dist2 x goal_c) 1e-9 in
+  let d_unsafe = Float.max (Vec.dist2 x unsafe_c) 1e-9 in
+  let gx =
+    Array.init (Array.length x) (fun i ->
+        (-.(x.(i) -. goal_c.(i)) /. d_goal)
+        +. (t.unsafe_weight *. (x.(i) -. unsafe_c.(i)) /. d_unsafe))
+  in
+  let gu = Array.map (fun ui -> -2.0 *. t.action_penalty *. ui) u in
+  (gx, gu)
+
+type step_result = {
+  next_state : float array;
+  reward : float;
+  terminated : bool;   (* absorbed: crashed or reached the goal *)
+  crashed : bool;
+  reached : bool;
+}
+
+let step t x u =
+  let next_state = Sampled_system.step ~substeps:t.substeps t.sys ~u x in
+  let crashed = not (Spec.point_safe t.spec next_state) in
+  let reached = Spec.point_in_goal t.spec next_state in
+  let reward =
+    shaping t ~x:next_state ~u
+    +. (if reached then t.goal_bonus else 0.0)
+    -. (if crashed then t.crash_penalty else 0.0)
+  in
+  { next_state; reward; terminated = crashed || reached; crashed; reached }
+
+(* Deterministic evaluation: does [policy] reach the goal without crashing
+   on every one of [rollouts] random starts within [steps] periods? Both
+   baselines use this as their convergence criterion. *)
+let policy_succeeds t rng ~policy ~steps ~rollouts =
+  let one_rollout () =
+    let x = ref (reset t rng) in
+    let crashed = ref false and reached = ref false in
+    let i = ref 0 in
+    while (not (!crashed || !reached)) && !i < steps do
+      incr i;
+      let r = step t !x (policy !x) in
+      if r.crashed then crashed := true
+      else if r.reached then reached := true
+      else x := r.next_state
+    done;
+    !reached && not !crashed
+  in
+  let ok = ref true in
+  for _ = 1 to rollouts do
+    if !ok && not (one_rollout ()) then ok := false
+  done;
+  !ok

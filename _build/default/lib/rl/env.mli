@@ -1,0 +1,52 @@
+(** Episodic RL environment over a sampled-data closed loop with the
+    paper's baseline reward: −‖x − goal_center‖ + λ‖x − unsafe_center‖,
+    plus terminal bonuses/penalties and a small action cost. *)
+
+type t
+
+val make :
+  ?unsafe_weight:float ->
+  ?action_penalty:float ->
+  ?goal_bonus:float ->
+  ?crash_penalty:float ->
+  ?substeps:int ->
+  sys:Dwv_ode.Sampled_system.t ->
+  spec:Dwv_core.Spec.t ->
+  unit ->
+  t
+
+val state_dim : t -> int
+val action_dim : t -> int
+val sys : t -> Dwv_ode.Sampled_system.t
+val spec : t -> Dwv_core.Spec.t
+
+(** Uniform initial state from X₀. *)
+val reset : t -> Dwv_util.Rng.t -> float array
+
+(** Dense shaping reward (no terminal terms). *)
+val shaping : t -> x:float array -> u:float array -> float
+
+(** Analytic (∂r/∂x, ∂r/∂u) of the shaping reward (for SVG's BPTT). *)
+val shaping_grad : t -> x:float array -> u:float array -> float array * float array
+
+type step_result = {
+  next_state : float array;
+  reward : float;
+  terminated : bool;
+  crashed : bool;
+  reached : bool;
+}
+
+(** One sampling period under action [u]. *)
+val step : t -> float array -> float array -> step_result
+
+(** Deterministic success check: every one of [rollouts] random starts
+    reaches the goal without crashing within [steps] periods (the
+    baselines' convergence criterion). *)
+val policy_succeeds :
+  t ->
+  Dwv_util.Rng.t ->
+  policy:(float array -> float array) ->
+  steps:int ->
+  rollouts:int ->
+  bool

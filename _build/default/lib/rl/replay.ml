@@ -1,0 +1,37 @@
+(* Uniform-sampling ring-buffer replay memory for DDPG. *)
+
+type transition = {
+  state : float array;
+  action : float array;
+  reward : float;
+  next_state : float array;
+  terminated : bool;
+}
+
+type t = {
+  buffer : transition option array;
+  mutable write_pos : int;
+  mutable size : int;
+}
+
+let create capacity =
+  if capacity < 1 then invalid_arg "Replay.create: capacity must be positive";
+  { buffer = Array.make capacity None; write_pos = 0; size = 0 }
+
+let capacity t = Array.length t.buffer
+
+let size t = t.size
+
+let push t transition =
+  t.buffer.(t.write_pos) <- Some transition;
+  t.write_pos <- (t.write_pos + 1) mod capacity t;
+  if t.size < capacity t then t.size <- t.size + 1
+
+let get t i =
+  match t.buffer.(i) with
+  | Some tr -> tr
+  | None -> invalid_arg "Replay.get: empty slot"
+
+let sample t rng n =
+  if t.size = 0 then invalid_arg "Replay.sample: empty buffer";
+  Array.init n (fun _ -> get t (Dwv_util.Rng.int rng t.size))

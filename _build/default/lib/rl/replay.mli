@@ -1,0 +1,24 @@
+(** Ring-buffer replay memory with uniform sampling (DDPG). *)
+
+type transition = {
+  state : float array;
+  action : float array;
+  reward : float;
+  next_state : float array;
+  terminated : bool;
+}
+
+type t
+
+(** Raises unless the capacity is positive. *)
+val create : int -> t
+
+val capacity : t -> int
+val size : t -> int
+
+(** Insert, overwriting the oldest entry when full. *)
+val push : t -> transition -> unit
+
+(** [n] transitions sampled uniformly with replacement; raises on an
+    empty buffer. *)
+val sample : t -> Dwv_util.Rng.t -> int -> transition array

@@ -1,0 +1,166 @@
+(* Stochastic value gradients (Heess et al., NeurIPS 2015): the
+   model-based design-then-verify baseline. Since the plant model is known
+   symbolically, the return of a finite-horizon rollout is differentiated
+   through the dynamics by backpropagation-through-time; the dynamics
+   Jacobians of the one-period transition map are obtained by central
+   finite differences (the map itself is an RK4 integral), the reward
+   gradient analytically from Env.shaping_grad, and the policy Jacobian by
+   network backprop. CI counts gradient steps. *)
+
+module Mlp = Dwv_nn.Mlp
+module Adam = Dwv_nn.Adam
+module Rng = Dwv_util.Rng
+module Sampled_system = Dwv_ode.Sampled_system
+
+type config = {
+  gamma : float;
+  horizon : int;            (* rollout length (sampling periods) *)
+  lr : float;
+  rollouts_per_step : int;  (* gradient averaged over this many rollouts *)
+  max_steps : int;          (* gradient-step cap *)
+  fd_eps : float;           (* finite-difference epsilon for Jacobians *)
+  eval_every : int;
+  eval_rollouts : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    gamma = 0.99;
+    horizon = 60;
+    lr = 3e-3;
+    rollouts_per_step = 4;
+    max_steps = 600;
+    fd_eps = 1e-5;
+    eval_every = 10;
+    eval_rollouts = 10;
+    seed = 0;
+  }
+
+type result = {
+  policy : Mlp.t;
+  output_scale : float;
+  steps : int;        (* convergence gradient steps, or the cap *)
+  converged : bool;
+  return_history : float array;
+}
+
+(* Central-difference Jacobians of the one-period map x -> step(x, u):
+   (d next/d x, d next/d u), stored column-wise as arrays of columns. *)
+let step_jacobians ~sys ~eps x u =
+  let n = Array.length x and m = Array.length u in
+  let step x u = Sampled_system.step ~substeps:4 sys ~u x in
+  let col_x j =
+    let xp = Array.copy x and xm = Array.copy x in
+    xp.(j) <- xp.(j) +. eps;
+    xm.(j) <- xm.(j) -. eps;
+    let fp = step xp u and fm = step xm u in
+    Array.init n (fun i -> (fp.(i) -. fm.(i)) /. (2.0 *. eps))
+  in
+  let col_u j =
+    let up = Array.copy u and um = Array.copy u in
+    up.(j) <- up.(j) +. eps;
+    um.(j) <- um.(j) -. eps;
+    let fp = step x up and fm = step x um in
+    Array.init n (fun i -> (fp.(i) -. fm.(i)) /. (2.0 *. eps))
+  in
+  (Array.init n col_x, Array.init m col_u)
+
+(* One BPTT pass: returns (undiscounted return, gradient of the discounted
+   return w.r.t. the policy parameters). *)
+let rollout_gradient cfg ~env ~policy ~output_scale x0 =
+  let sys = Env.sys env in
+  let n = Env.state_dim env and m = Env.action_dim env in
+  let h = cfg.horizon in
+  (* forward pass, caching everything the backward pass needs *)
+  let states = Array.make (h + 1) x0 in
+  let actions = Array.make h [||] in
+  let caches = Array.make h None in
+  let ret = ref 0.0 in
+  for t = 0 to h - 1 do
+    let out, cache = Mlp.forward_cached policy states.(t) in
+    let u = Array.map (fun v -> output_scale *. v) out in
+    actions.(t) <- u;
+    caches.(t) <- Some cache;
+    states.(t + 1) <- Sampled_system.step ~substeps:4 sys ~u states.(t);
+    ret := !ret +. Env.shaping env ~x:states.(t + 1) ~u
+  done;
+  (* backward pass *)
+  let theta_grad = Array.make (Mlp.num_params policy) 0.0 in
+  let gx = ref (Array.make n 0.0) in
+  (* dG_{t+1}/dx_{t+1} *)
+  for t = h - 1 downto 0 do
+    let x = states.(t) and u = actions.(t) and x' = states.(t + 1) in
+    let rx, ru = Env.shaping_grad env ~x:x' ~u in
+    let ax_cols, bu_cols = step_jacobians ~sys ~eps:cfg.fd_eps x u in
+    (* v = r_x + gamma * gx  (gradient arriving at x_{t+1}) *)
+    let v = Array.init n (fun i -> rx.(i) +. (cfg.gamma *. !gx.(i))) in
+    (* q_u = r_u + B^T v *)
+    let q_u =
+      Array.init m (fun j ->
+          ru.(j) +. Array.fold_left ( +. ) 0.0 (Array.mapi (fun i b -> b *. v.(i)) bu_cols.(j)))
+    in
+    (* policy backward: d_out = gamma^t * scale * q_u yields both the
+       theta contribution and J_pi^T q_u for the state recursion *)
+    let cache = Option.get caches.(t) in
+    let discount = cfg.gamma ** float_of_int t in
+    let d_out = Array.map (fun q -> discount *. output_scale *. q) q_u in
+    let g, d_in = Mlp.backward policy cache d_out in
+    let flat = Mlp.flatten_grads policy g in
+    Array.iteri (fun i gv -> theta_grad.(i) <- theta_grad.(i) +. gv) flat;
+    (* gx_t = A^T v + J^T q_u; d_in equals J^T (discount * q_u), so undo
+       the discount before reuse *)
+    let jq = Array.map (fun d -> d /. discount) d_in in
+    gx :=
+      Array.init n (fun j ->
+          let atv = ref 0.0 in
+          for i = 0 to n - 1 do
+            atv := !atv +. (ax_cols.(j).(i) *. v.(i))
+          done;
+          !atv +. jq.(j))
+  done;
+  (!ret, theta_grad)
+
+let train ?(log = false) cfg ~env ~policy ~output_scale =
+  let rng = Rng.create cfg.seed in
+  let policy = ref (Mlp.copy policy) in
+  let opt = Adam.create ~lr:cfg.lr (Mlp.num_params !policy) in
+  let returns = ref [] in
+  let converged = ref false and steps_taken = ref cfg.max_steps in
+  (try
+     for step = 1 to cfg.max_steps do
+       let dim = Mlp.num_params !policy in
+       let grad = Array.make dim 0.0 in
+       let avg_return = ref 0.0 in
+       for _ = 1 to cfg.rollouts_per_step do
+         let x0 = Env.reset env rng in
+         let ret, g = rollout_gradient cfg ~env ~policy:!policy ~output_scale x0 in
+         avg_return := !avg_return +. (ret /. float_of_int cfg.rollouts_per_step);
+         Array.iteri
+           (fun i v -> grad.(i) <- grad.(i) +. (v /. float_of_int cfg.rollouts_per_step))
+           g
+       done;
+       (* ascend the return: Adam minimizes, so feed the negated gradient *)
+       let neg = Array.map (fun v -> -.v) grad in
+       policy := Mlp.unflatten !policy (Adam.step opt ~params:(Mlp.flatten !policy) ~grad:neg);
+       returns := !avg_return :: !returns;
+       if log && step mod 25 = 0 then
+         Logs.info (fun f -> f "svg step %d: return %.2f" step !avg_return);
+       if step mod cfg.eval_every = 0
+          && (let p x = Array.map (fun v -> output_scale *. v) (Mlp.forward !policy x) in
+              Env.policy_succeeds env rng ~policy:p ~steps:cfg.horizon
+                ~rollouts:cfg.eval_rollouts)
+       then begin
+         converged := true;
+         steps_taken := step;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  {
+    policy = !policy;
+    output_scale;
+    steps = !steps_taken;
+    converged = !converged;
+    return_history = Array.of_list (List.rev !returns);
+  }

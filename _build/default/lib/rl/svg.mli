@@ -1,0 +1,51 @@
+(** Stochastic value gradients (Heess et al. 2015) — the model-based
+    design-then-verify baseline: BPTT through the known dynamics with
+    finite-difference transition Jacobians and analytic reward gradients. *)
+
+type config = {
+  gamma : float;
+  horizon : int;
+  lr : float;
+  rollouts_per_step : int;
+  max_steps : int;
+  fd_eps : float;
+  eval_every : int;
+  eval_rollouts : int;
+  seed : int;
+}
+
+val default_config : config
+
+type result = {
+  policy : Dwv_nn.Mlp.t;
+  output_scale : float;
+  steps : int;     (** convergence gradient steps (Table 1 CI), or the cap *)
+  converged : bool;
+  return_history : float array;
+}
+
+(** Central-difference Jacobians (∂next/∂x as columns, ∂next/∂u as
+    columns) of the one-period transition map. *)
+val step_jacobians :
+  sys:Dwv_ode.Sampled_system.t ->
+  eps:float ->
+  float array ->
+  float array ->
+  float array array * float array array
+
+(** Return and parameter gradient of one BPTT rollout from [x0]. *)
+val rollout_gradient :
+  config ->
+  env:Env.t ->
+  policy:Dwv_nn.Mlp.t ->
+  output_scale:float ->
+  float array ->
+  float * float array
+
+val train :
+  ?log:bool ->
+  config ->
+  env:Env.t ->
+  policy:Dwv_nn.Mlp.t ->
+  output_scale:float ->
+  result

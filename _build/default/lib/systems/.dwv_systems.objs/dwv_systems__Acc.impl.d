@@ -1,0 +1,1 @@
+lib/systems/acc.ml: Array Dwv_core Dwv_expr Dwv_interval Dwv_la Dwv_ode Dwv_reach

@@ -1,0 +1,1 @@
+lib/systems/acc.mli: Dwv_core Dwv_expr Dwv_interval Dwv_ode Dwv_reach

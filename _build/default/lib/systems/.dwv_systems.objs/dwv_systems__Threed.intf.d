@@ -1,0 +1,1 @@
+lib/systems/threed.mli: Dwv_core Dwv_expr Dwv_interval Dwv_nn Dwv_ode Dwv_reach Dwv_util

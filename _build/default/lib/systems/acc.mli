@@ -1,0 +1,39 @@
+(** Linear adaptive cruise control (Section 4): affine plant
+    s' = v_f − v, v' = kv + u with linear (biased) state feedback,
+    verified by the Flow*-style zonotope engine on a constant-augmented
+    LTI model. *)
+
+val v_front : float
+val k_drag : float
+val delta : float
+val steps : int
+
+(** 2-D plant in specification coordinates (constant v_f folded in). *)
+val dynamics : Dwv_expr.Expr.t array
+
+val sampled : Dwv_ode.Sampled_system.t
+
+(** X₀ = [122,124]×[48,52], X_u = {s ≤ 120} (as a deep box),
+    X_g = [145,155]×[39.5,40.5]. *)
+val spec : Dwv_core.Spec.t
+
+(** Constant-augmented 3-D LTI model used by the verifier. *)
+val lti_augmented : Dwv_reach.Linear_reach.lti
+
+(** θ = [θ_s; θ_v; bias] ↦ the linear controller u = θ_s s + θ_v v + b. *)
+val controller_of_theta : float array -> Dwv_core.Controller.t
+
+(** Stable but far-from-goal starting design. *)
+val initial_controller : Dwv_core.Controller.t
+
+(** Append the constant coordinate c = 1 to a 2-D box. *)
+val augment_box : Dwv_interval.Box.t -> Dwv_interval.Box.t
+
+(** Verifier Ψ from an arbitrary initial cell (for Algorithm 2). *)
+val verify_from : Dwv_interval.Box.t -> Dwv_core.Controller.t -> Dwv_reach.Flowpipe.t
+
+(** Verifier Ψ from X₀. *)
+val verify : Dwv_core.Controller.t -> Dwv_reach.Flowpipe.t
+
+(** Control law on the 2-D simulation state. *)
+val sim_controller : Dwv_core.Controller.t -> float array -> float array

@@ -1,0 +1,41 @@
+(** Damped pendulum — an extension benchmark with trigonometric dynamics
+    (built through the text parser), verified like the paper's NN
+    systems. *)
+
+val damping : float
+val delta : float
+val steps : int
+val dynamics : Dwv_expr.Expr.t array
+val sampled : Dwv_ode.Sampled_system.t
+val spec : Dwv_core.Spec.t
+val output_scale : float
+val network_sizes : int list
+val network_acts : Dwv_nn.Activation.t list
+val initial_controller : Dwv_util.Rng.t -> Dwv_core.Controller.t
+
+(** Feedback-linearizing warm-start prior. *)
+val prior_law : float array -> float array
+
+val pretrain_region : Dwv_interval.Box.t
+
+val pretrained_controller :
+  ?config:Dwv_nn.Pretrain.config -> Dwv_util.Rng.t -> Dwv_core.Controller.t
+
+val tm_order : int
+val fast_slots : int
+val tight_slots : int
+
+val verify_from :
+  ?method_:Dwv_reach.Verifier.nn_method ->
+  ?slots:int ->
+  Dwv_interval.Box.t ->
+  Dwv_core.Controller.t ->
+  Dwv_reach.Flowpipe.t
+
+val verify :
+  ?method_:Dwv_reach.Verifier.nn_method ->
+  ?slots:int ->
+  Dwv_core.Controller.t ->
+  Dwv_reach.Flowpipe.t
+
+val sim_controller : Dwv_core.Controller.t -> float array -> float array

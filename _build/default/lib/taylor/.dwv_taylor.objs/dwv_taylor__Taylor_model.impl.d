@@ -1,0 +1,1 @@
+lib/taylor/taylor_model.ml: Array Dwv_expr Dwv_interval Dwv_poly Dwv_util Float Fmt Hashtbl List

@@ -1,0 +1,1 @@
+lib/taylor/taylor_model.mli: Dwv_expr Dwv_interval Dwv_poly Format

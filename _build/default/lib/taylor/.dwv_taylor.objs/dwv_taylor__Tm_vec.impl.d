@@ -1,0 +1,1 @@
+lib/taylor/tm_vec.ml: Array Dwv_interval Fmt Taylor_model

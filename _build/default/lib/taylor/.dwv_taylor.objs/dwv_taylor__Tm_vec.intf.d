@@ -1,0 +1,1 @@
+lib/taylor/tm_vec.mli: Dwv_expr Dwv_interval Format Taylor_model

@@ -1,0 +1,44 @@
+(* Vectors of Taylor models: the symbolic state of the flowpipe
+   integrator. The symbolic variables z in [-1,1]^k parameterize the
+   initial set (and nothing else), so the model of x_i at time t describes
+   how the reachable state depends on where in X_0 the trajectory began. *)
+
+module I = Dwv_interval.Interval
+module Box = Dwv_interval.Box
+
+type t = Taylor_model.t array
+
+(* Identity parameterization of a box: x_i = mid_i + rad_i * z_i. The
+   models can carry extra symbols beyond the box dimensions ([total_vars])
+   reserved as disturbance slots for symbolic remainders. *)
+let of_box ?total_vars ~order (box : Box.t) : t =
+  let n = Box.dim box in
+  let nvars = match total_vars with Some v -> v | None -> n in
+  if nvars < n then invalid_arg "Tm_vec.of_box: total_vars below the box dimension";
+  Array.init n (fun i ->
+      let tm = Taylor_model.var ~nvars ~order i in
+      Taylor_model.shift (I.mid box.(i)) (Taylor_model.scale (I.rad box.(i)) tm))
+
+let dim (v : t) = Array.length v
+
+(* Interval hull of the models: the box enclosure of the set they
+   represent. *)
+let bound_box (v : t) : Box.t = Array.map Taylor_model.bound v
+
+let map = Array.map
+
+let add (a : t) (b : t) : t = Array.map2 Taylor_model.add a b
+
+let scale s (v : t) : t = Array.map (Taylor_model.scale s) v
+
+(* Evaluate a vector field (array of expressions) on the symbolic state. *)
+let eval_field ~f ~(x : t) ~(u : t) : t =
+  Array.map (fun fi -> Taylor_model.of_expr ~x ~u fi) f
+
+(* Widen every component's remainder by +-eps (used to guarantee progress
+   in enclosure refinement). *)
+let widen eps (v : t) : t =
+  Array.map (Taylor_model.add_remainder (I.make (-.eps) eps)) v
+
+let pp ppf (v : t) =
+  Fmt.pf ppf "@[<v>%a@]" Fmt.(array ~sep:cut Taylor_model.pp) v

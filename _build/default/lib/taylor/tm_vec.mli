@@ -1,0 +1,25 @@
+(** Vectors of Taylor models — the symbolic state of the flowpipe. *)
+
+type t = Taylor_model.t array
+
+(** Identity parameterization of a box: xᵢ = midᵢ + radᵢ·zᵢ.
+    [total_vars] (≥ box dimension) reserves extra symbols as disturbance
+    slots for symbolic remainders. *)
+val of_box : ?total_vars:int -> order:int -> Dwv_interval.Box.t -> t
+
+val dim : t -> int
+
+(** Box enclosure of the represented set. *)
+val bound_box : t -> Dwv_interval.Box.t
+
+val map : (Taylor_model.t -> Taylor_model.t) -> t -> t
+val add : t -> t -> t
+val scale : float -> t -> t
+
+(** Evaluate a vector field of expressions on the symbolic state. *)
+val eval_field : f:Dwv_expr.Expr.t array -> x:t -> u:t -> t
+
+(** Widen every component remainder by ±eps. *)
+val widen : float -> t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/transport/assignment.ml: Array Dwv_util

@@ -1,0 +1,1 @@
+lib/transport/box_w2.ml: Dwv_interval List Ot1d

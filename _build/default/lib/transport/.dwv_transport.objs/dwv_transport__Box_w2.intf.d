@@ -1,0 +1,1 @@
+lib/transport/box_w2.mli: Dwv_interval

@@ -1,0 +1,1 @@
+lib/transport/ot1d.ml: Array Dwv_interval Dwv_util Float

@@ -1,0 +1,1 @@
+lib/transport/ot1d.mli: Dwv_interval

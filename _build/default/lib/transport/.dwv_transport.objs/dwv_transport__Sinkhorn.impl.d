@@ -1,0 +1,1 @@
+lib/transport/sinkhorn.ml: Array Dwv_interval Dwv_util Float List

@@ -1,0 +1,1 @@
+lib/transport/sinkhorn.mli: Dwv_interval

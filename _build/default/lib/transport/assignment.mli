@@ -1,0 +1,13 @@
+(** Exact optimal transport between equal-size uniform point clouds
+    (Hungarian algorithm, O(n³)): the oracle validating Sinkhorn and the
+    closed-form box distances. *)
+
+(** Minimum-cost perfect matching on a square cost matrix:
+    (assignment row → column, total cost). Raises on empty or non-square
+    input. *)
+val solve_matrix : float array array -> int array * float
+
+(** Exact W₂² between uniform measures on two equal-size point sets. *)
+val w2_sq_points : float array array -> float array array -> float
+
+val w2_points : float array array -> float array array -> float

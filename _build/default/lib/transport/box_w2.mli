@@ -1,0 +1,21 @@
+(** Exact W₂ between uniform measures on boxes (per-axis decomposition of
+    the monotone coupling); the closed form behind the paper's Wasserstein
+    metric on reachable sets. *)
+
+(** Squared W₂; raises on dimension mismatch. *)
+val w2_sq : Dwv_interval.Box.t -> Dwv_interval.Box.t -> float
+
+val w2 : Dwv_interval.Box.t -> Dwv_interval.Box.t -> float
+
+(** Squared Wasserstein containment gap: W₂ from uniform-on-[a] to the
+    nearest uniform measure supported inside the target; zero iff a is
+    contained in the target. *)
+val w2_sq_containment : Dwv_interval.Box.t -> Dwv_interval.Box.t -> float
+
+val w2_containment : Dwv_interval.Box.t -> Dwv_interval.Box.t -> float
+
+(** W₂ between the final flowpipe segment (the paper's r_θ) and a target. *)
+val w2_last_segment : Dwv_interval.Box.t list -> Dwv_interval.Box.t -> float
+
+(** W₂ between the hull of the flowpipe and a target. *)
+val w2_hull : Dwv_interval.Box.t list -> Dwv_interval.Box.t -> float

@@ -1,0 +1,20 @@
+(** Exact one-dimensional optimal transport (quantile coupling). *)
+
+(** W₂² between uniform measures on two intervals:
+    (Δmid)² + (Δrad)²/3. *)
+val w2_sq_uniform : Dwv_interval.Interval.t -> Dwv_interval.Interval.t -> float
+
+val w2_uniform : Dwv_interval.Interval.t -> Dwv_interval.Interval.t -> float
+
+(** W₁ between uniform measures on two intervals. *)
+val w1_uniform : Dwv_interval.Interval.t -> Dwv_interval.Interval.t -> float
+
+(** Squared W₂ from uniform-on-[a] to the nearest uniform measure
+    supported inside the target interval; zero iff a ⊆ target. *)
+val w2_sq_to_subinterval : Dwv_interval.Interval.t -> Dwv_interval.Interval.t -> float
+
+(** W₂² between equal-size empirical samples (order-statistics matching).
+    Raises on empty or mismatched sample counts. *)
+val w2_sq_empirical : float array -> float array -> float
+
+val w2_empirical : float array -> float array -> float

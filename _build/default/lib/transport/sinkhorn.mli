@@ -1,0 +1,20 @@
+(** Entropic optimal transport (Sinkhorn–Knopp) between weighted point
+    clouds; generalises the Wasserstein metric beyond boxes and serves as
+    an independent oracle for {!Box_w2} in tests. *)
+
+type cloud = { points : float array array; weights : float array }
+
+(** Equal weights over the given points; raises on an empty cloud. *)
+val uniform_cloud : float array array -> cloud
+
+(** Deterministic grid discretisation of a box ([per_dim]ⁿ cell centers). *)
+val cloud_of_box : per_dim:int -> Dwv_interval.Box.t -> cloud
+
+type result = { cost : float; iterations : int; converged : bool }
+
+(** Entropic OT with squared Euclidean cost. [epsilon] is the entropic
+    regularisation (default 0.01). *)
+val solve : ?epsilon:float -> ?max_iters:int -> ?tol:float -> cloud -> cloud -> result
+
+(** √(transport cost): entropic-regularised W₂. *)
+val w2 : ?epsilon:float -> ?max_iters:int -> ?tol:float -> cloud -> cloud -> float

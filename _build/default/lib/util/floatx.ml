@@ -1,0 +1,36 @@
+(* Float helpers shared across the numeric substrates. *)
+
+let clamp ~lo ~hi x = if x < lo then lo else if x > hi then hi else x
+
+let approx_eq ?(eps = 1e-9) a b =
+  let scale = Float.max 1.0 (Float.max (Float.abs a) (Float.abs b)) in
+  Float.abs (a -. b) <= eps *. scale
+
+let is_finite x = Float.is_finite x
+
+let sq x = x *. x
+
+(* Linear interpolation: [lerp a b 0. = a], [lerp a b 1. = b]. *)
+let lerp a b t = a +. ((b -. a) *. t)
+
+let sign x = if x > 0.0 then 1.0 else if x < 0.0 then -1.0 else 0.0
+
+(* Numerically-stable logistic sigmoid. *)
+let sigmoid x = if x >= 0.0 then 1.0 /. (1.0 +. exp (-.x)) else (let e = exp x in e /. (1.0 +. e))
+
+let linspace lo hi n =
+  if n < 2 then invalid_arg "Floatx.linspace: need at least 2 points";
+  Array.init n (fun i -> lerp lo hi (float_of_int i /. float_of_int (n - 1)))
+
+(* Sum with Kahan compensation; keeps metric accumulations stable when many
+   small flowpipe-segment volumes are added. *)
+let kahan_sum a =
+  let sum = ref 0.0 and comp = ref 0.0 in
+  Array.iter
+    (fun x ->
+      let y = x -. !comp in
+      let t = !sum +. y in
+      comp := t -. !sum -. y;
+      sum := t)
+    a;
+  !sum

@@ -1,0 +1,28 @@
+(** Float helpers shared across the numeric substrates. *)
+
+(** Clamp [x] into [lo, hi]. *)
+val clamp : lo:float -> hi:float -> float -> float
+
+(** Relative-tolerance comparison (default eps 1e-9). *)
+val approx_eq : ?eps:float -> float -> float -> bool
+
+(** True iff neither NaN nor infinite. *)
+val is_finite : float -> bool
+
+(** Square. *)
+val sq : float -> float
+
+(** Linear interpolation between [a] (t=0) and [b] (t=1). *)
+val lerp : float -> float -> float -> float
+
+(** -1., 0. or 1. *)
+val sign : float -> float
+
+(** Numerically-stable logistic sigmoid. *)
+val sigmoid : float -> float
+
+(** [linspace lo hi n] gives n evenly spaced points including both ends. *)
+val linspace : float -> float -> int -> float array
+
+(** Kahan-compensated summation. *)
+val kahan_sum : float array -> float

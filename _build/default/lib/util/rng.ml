@@ -1,0 +1,74 @@
+(* Deterministic pseudo-random numbers for reproducible experiments.
+
+   The generator is splitmix64 (Steele, Lea & Flood, OOPSLA'14): a tiny,
+   statistically solid 64-bit generator with a trivially splittable state.
+   All experiment code threads an explicit [t] value so that every table and
+   figure in the paper reproduction is bit-reproducible across runs. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t =
+  let seed = next_int64 t in
+  { state = seed }
+
+(* Uniform float in [0, 1): use the top 53 bits. *)
+let float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let uniform t ~lo ~hi = lo +. ((hi -. lo) *. float t)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* keep 62 bits so the Int64 -> int conversion stays non-negative *)
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  r mod bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(* Standard normal via Box-Muller. *)
+let gaussian t =
+  let rec nonzero () =
+    let u = float t in
+    if u > 1e-12 then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = float t in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let gaussian_scaled t ~mu ~sigma = mu +. (sigma *. gaussian t)
+
+(* A random unit-norm direction in dimension [n]; used by the SPSA-style
+   perturbations of Algorithm 1. *)
+let direction t n =
+  let v = Array.init n (fun _ -> gaussian t) in
+  let norm = sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 v) in
+  if norm < 1e-12 then Array.make n (1.0 /. sqrt (float_of_int n))
+  else Array.map (fun x -> x /. norm) v
+
+(* Rademacher +-1 vector, the classical SPSA perturbation distribution. *)
+let rademacher t n = Array.init n (fun _ -> if bool t then 1.0 else -1.0)
+
+let uniform_in_box t ~lo ~hi =
+  Array.init (Array.length lo) (fun i -> uniform t ~lo:lo.(i) ~hi:hi.(i))
+
+let shuffle_in_place t a =
+  let n = Array.length a in
+  for i = n - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

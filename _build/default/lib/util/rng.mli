@@ -1,0 +1,51 @@
+(** Deterministic splittable pseudo-random generator (splitmix64).
+
+    Every stochastic component of the reproduction (controller
+    initialisation, SPSA perturbations, DDPG exploration noise, Monte-Carlo
+    evaluation rollouts) draws from an explicit [t] so experiments are
+    bit-reproducible. *)
+
+type t
+
+(** [create seed] builds a generator from an integer seed. *)
+val create : int -> t
+
+(** Independent copy (same future stream). *)
+val copy : t -> t
+
+(** Derive an independent generator; the parent stream advances by one. *)
+val split : t -> t
+
+(** Raw 64 random bits. *)
+val next_int64 : t -> int64
+
+(** Uniform in [0, 1). *)
+val float : t -> float
+
+(** Uniform in [lo, hi). *)
+val uniform : t -> lo:float -> hi:float -> float
+
+(** Uniform integer in [0, bound). Raises [Invalid_argument] if
+    [bound <= 0]. *)
+val int : t -> int -> int
+
+(** Fair coin. *)
+val bool : t -> bool
+
+(** Standard normal deviate (Box-Muller). *)
+val gaussian : t -> float
+
+(** Normal deviate with the given mean and standard deviation. *)
+val gaussian_scaled : t -> mu:float -> sigma:float -> float
+
+(** Uniform direction on the unit sphere of dimension [n]. *)
+val direction : t -> int -> float array
+
+(** Vector of n independent +/-1 entries (SPSA perturbation). *)
+val rademacher : t -> int -> float array
+
+(** Uniform sample from the axis-aligned box with corners [lo] and [hi]. *)
+val uniform_in_box : t -> lo:float array -> hi:float array -> float array
+
+(** Fisher-Yates shuffle. *)
+val shuffle_in_place : t -> 'a array -> unit

@@ -1,0 +1,57 @@
+(* Small descriptive-statistics helpers used by the evaluation harness
+   (safe-control / goal-reaching rates, convergence-iteration spreads). *)
+
+let mean a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.mean: empty array";
+  Array.fold_left ( +. ) 0.0 a /. float_of_int n
+
+let variance a =
+  let n = Array.length a in
+  if n < 2 then 0.0
+  else begin
+    let m = mean a in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 a in
+    acc /. float_of_int (n - 1)
+  end
+
+let std a = sqrt (variance a)
+
+let min_max a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.min_max: empty array";
+  let lo = ref a.(0) and hi = ref a.(0) in
+  for i = 1 to n - 1 do
+    if a.(i) < !lo then lo := a.(i);
+    if a.(i) > !hi then hi := a.(i)
+  done;
+  (!lo, !hi)
+
+let quantile a q =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.quantile: empty array";
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantile: q outside [0,1]";
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (floor pos) and hi = int_of_float (ceil pos) in
+  let frac = pos -. floor pos in
+  ((1.0 -. frac) *. sorted.(lo)) +. (frac *. sorted.(hi))
+
+let median a = quantile a 0.5
+
+(* Rate of [true] entries, as a percentage in [0, 100]. *)
+let rate_percent bits =
+  let n = Array.length bits in
+  if n = 0 then invalid_arg "Stats.rate_percent: empty array";
+  let hits = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 bits in
+  100.0 *. float_of_int hits /. float_of_int n
+
+type summary = { mean : float; std : float; min : float; max : float; n : int }
+
+let summarize a =
+  let lo, hi = min_max a in
+  { mean = mean a; std = std a; min = lo; max = hi; n = Array.length a }
+
+let pp_summary ppf s =
+  Fmt.pf ppf "%.3g(+-%.2g) [%.3g, %.3g] n=%d" s.mean s.std s.min s.max s.n

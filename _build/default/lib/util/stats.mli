@@ -1,0 +1,29 @@
+(** Descriptive statistics for the experiment harness. *)
+
+(** Arithmetic mean. Raises [Invalid_argument] on an empty array. *)
+val mean : float array -> float
+
+(** Unbiased sample variance (0 for fewer than two samples). *)
+val variance : float array -> float
+
+(** Sample standard deviation. *)
+val std : float array -> float
+
+(** Minimum and maximum. Raises [Invalid_argument] on an empty array. *)
+val min_max : float array -> float * float
+
+(** Linear-interpolation quantile, [q] in [0,1]. *)
+val quantile : float array -> float -> float
+
+(** Median. *)
+val median : float array -> float
+
+(** Percentage of [true] entries, in [0,100]. *)
+val rate_percent : bool array -> float
+
+type summary = { mean : float; std : float; min : float; max : float; n : int }
+
+(** Mean / std / min / max / count of a sample. *)
+val summarize : float array -> summary
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,152 @@
+(* A minimal SVG scene writer for 2-D reachable-set figures: axis-aligned
+   rectangles (flowpipe segments, goal/unsafe regions), polylines
+   (trajectories), and an automatic data-to-viewport transform. No
+   dependencies; output is a standalone .svg file. *)
+
+type rect = {
+  x_lo : float;
+  x_hi : float;
+  y_lo : float;
+  y_hi : float;
+  fill : string;
+  fill_opacity : float;
+  stroke : string;
+  label : string option;
+}
+
+type polyline = { points : (float * float) list; stroke : string; width : float }
+
+type t = {
+  mutable rects : rect list;
+  mutable lines : polyline list;
+  title : string;
+  x_label : string;
+  y_label : string;
+}
+
+let create ?(x_label = "x0") ?(y_label = "x1") ~title () =
+  { rects = []; lines = []; title; x_label; y_label }
+
+let add_rect ?(fill = "#88aadd") ?(fill_opacity = 0.35) ?(stroke = "none") ?label t ~x_lo
+    ~x_hi ~y_lo ~y_hi =
+  if x_lo > x_hi || y_lo > y_hi then invalid_arg "Svg_plot.add_rect: empty rectangle";
+  t.rects <- { x_lo; x_hi; y_lo; y_hi; fill; fill_opacity; stroke; label } :: t.rects
+
+(* Convenience for the common region kinds of reach-avoid figures. *)
+let add_box ?label ~kind t ~x_lo ~x_hi ~y_lo ~y_hi =
+  let fill, opacity, stroke =
+    match kind with
+    | `Reach -> ("#4477cc", 0.25, "none")
+    | `Goal -> ("#44aa66", 0.30, "#227744")
+    | `Unsafe -> ("#cc4444", 0.35, "#882222")
+    | `Initial -> ("#999999", 0.45, "#555555")
+  in
+  add_rect ?label ~fill ~fill_opacity:opacity ~stroke t ~x_lo ~x_hi ~y_lo ~y_hi
+
+let add_polyline ?(stroke = "#222222") ?(width = 1.0) t points =
+  if List.length points < 2 then invalid_arg "Svg_plot.add_polyline: need two points";
+  t.lines <- { points; stroke; width } :: t.lines
+
+let bounds t =
+  let xs = ref [] and ys = ref [] in
+  List.iter
+    (fun r ->
+      xs := r.x_lo :: r.x_hi :: !xs;
+      ys := r.y_lo :: r.y_hi :: !ys)
+    t.rects;
+  List.iter
+    (fun l ->
+      List.iter
+        (fun (x, y) ->
+          xs := x :: !xs;
+          ys := y :: !ys)
+        l.points)
+    t.lines;
+  match (!xs, !ys) with
+  | [], _ | _, [] -> invalid_arg "Svg_plot.render: empty scene"
+  | xs, ys ->
+    let min_l = List.fold_left Float.min infinity in
+    let max_l = List.fold_left Float.max neg_infinity in
+    (min_l xs, max_l xs, min_l ys, max_l ys)
+
+let render ?(width = 640) ?(height = 480) t =
+  let x_min, x_max, y_min, y_max = bounds t in
+  let pad_x = 0.05 *. Float.max (x_max -. x_min) 1e-9 in
+  let pad_y = 0.05 *. Float.max (y_max -. y_min) 1e-9 in
+  let x_min = x_min -. pad_x and x_max = x_max +. pad_x in
+  let y_min = y_min -. pad_y and y_max = y_max +. pad_y in
+  let margin = 50.0 in
+  let w = float_of_int width and h = float_of_int height in
+  let sx x = margin +. ((x -. x_min) /. (x_max -. x_min) *. (w -. (2.0 *. margin))) in
+  (* SVG y axis points down *)
+  let sy y = h -. margin -. ((y -. y_min) /. (y_max -. y_min) *. (h -. (2.0 *. margin))) in
+  let buf = Buffer.create 4096 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  p "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\">\n" width height;
+  p "<rect width=\"%d\" height=\"%d\" fill=\"white\"/>\n" width height;
+  p "<text x=\"%g\" y=\"24\" font-family=\"sans-serif\" font-size=\"16\">%s</text>\n"
+    margin t.title;
+  (* axes *)
+  p
+    "<line x1=\"%g\" y1=\"%g\" x2=\"%g\" y2=\"%g\" stroke=\"#333\" stroke-width=\"1\"/>\n"
+    margin (h -. margin) (w -. margin) (h -. margin);
+  p
+    "<line x1=\"%g\" y1=\"%g\" x2=\"%g\" y2=\"%g\" stroke=\"#333\" stroke-width=\"1\"/>\n"
+    margin margin margin (h -. margin);
+  p
+    "<text x=\"%g\" y=\"%g\" font-family=\"sans-serif\" font-size=\"12\">%s</text>\n"
+    (w /. 2.0) (h -. 12.0) t.x_label;
+  p
+    "<text x=\"14\" y=\"%g\" font-family=\"sans-serif\" font-size=\"12\" \
+     transform=\"rotate(-90 14 %g)\">%s</text>\n"
+    (h /. 2.0) (h /. 2.0) t.y_label;
+  (* axis extrema labels *)
+  p "<text x=\"%g\" y=\"%g\" font-family=\"sans-serif\" font-size=\"10\">%.3g</text>\n"
+    margin
+    (h -. margin +. 14.0)
+    x_min;
+  p "<text x=\"%g\" y=\"%g\" font-family=\"sans-serif\" font-size=\"10\">%.3g</text>\n"
+    (w -. margin)
+    (h -. margin +. 14.0)
+    x_max;
+  p "<text x=\"%g\" y=\"%g\" font-family=\"sans-serif\" font-size=\"10\">%.3g</text>\n"
+    (margin -. 40.0)
+    (h -. margin) y_min;
+  p "<text x=\"%g\" y=\"%g\" font-family=\"sans-serif\" font-size=\"10\">%.3g</text>\n"
+    (margin -. 40.0) margin y_max;
+  (* rectangles, oldest first so later additions draw on top *)
+  List.iter
+    (fun r ->
+      p
+        "<rect x=\"%g\" y=\"%g\" width=\"%g\" height=\"%g\" fill=\"%s\" \
+         fill-opacity=\"%g\" stroke=\"%s\"/>\n"
+        (sx r.x_lo) (sy r.y_hi)
+        (sx r.x_hi -. sx r.x_lo)
+        (sy r.y_lo -. sy r.y_hi)
+        r.fill r.fill_opacity r.stroke;
+      match r.label with
+      | Some text ->
+        p
+          "<text x=\"%g\" y=\"%g\" font-family=\"sans-serif\" font-size=\"11\" \
+           fill=\"#333\">%s</text>\n"
+          (sx r.x_lo +. 3.0)
+          (sy r.y_hi -. 4.0)
+          text
+      | None -> ())
+    (List.rev t.rects);
+  List.iter
+    (fun l ->
+      let pts =
+        String.concat " " (List.map (fun (x, y) -> Printf.sprintf "%g,%g" (sx x) (sy y)) l.points)
+      in
+      p "<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" stroke-width=\"%g\"/>\n" pts
+        l.stroke l.width)
+    (List.rev t.lines);
+  p "</svg>\n";
+  Buffer.contents buf
+
+let save ?width ?height path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render ?width ?height t))

@@ -1,0 +1,40 @@
+(** Minimal SVG scene writer for 2-D reach-avoid figures: rectangles
+    (flowpipe segments, goal/unsafe regions), polylines (trajectories),
+    automatic data-to-viewport transform. *)
+
+type t
+
+val create : ?x_label:string -> ?y_label:string -> title:string -> unit -> t
+
+(** Raw rectangle; raises on an empty extent. *)
+val add_rect :
+  ?fill:string ->
+  ?fill_opacity:float ->
+  ?stroke:string ->
+  ?label:string ->
+  t ->
+  x_lo:float ->
+  x_hi:float ->
+  y_lo:float ->
+  y_hi:float ->
+  unit
+
+(** Region in one of the standard reach-avoid colors. *)
+val add_box :
+  ?label:string ->
+  kind:[ `Reach | `Goal | `Unsafe | `Initial ] ->
+  t ->
+  x_lo:float ->
+  x_hi:float ->
+  y_lo:float ->
+  y_hi:float ->
+  unit
+
+(** Polyline; raises with fewer than two points. *)
+val add_polyline : ?stroke:string -> ?width:float -> t -> (float * float) list -> unit
+
+(** Render to SVG text (default 640×480); raises on an empty scene. *)
+val render : ?width:int -> ?height:int -> t -> string
+
+(** Write the rendered SVG to a file. *)
+val save : ?width:int -> ?height:int -> string -> t -> unit

@@ -1,0 +1,41 @@
+(* Aligned plain-text tables for the benchmark harness output, so the
+   reproduced Table 1 / Table 2 print in the same row/column layout as the
+   paper. *)
+
+type t = { header : string list; mutable rows : string list list }
+
+let create header = { header; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.header then
+    invalid_arg "Table.add_row: row width does not match header";
+  t.rows <- t.rows @ [ row ]
+
+let widths t =
+  let cols = List.length t.header in
+  let w = Array.make cols 0 in
+  let scan row = List.iteri (fun i cell -> w.(i) <- max w.(i) (String.length cell)) row in
+  scan t.header;
+  List.iter scan t.rows;
+  w
+
+let render t =
+  let w = widths t in
+  let buf = Buffer.create 256 in
+  let pad i s = s ^ String.make (w.(i) - String.length s) ' ' in
+  let line row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad i cell))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  line t.header;
+  let total = Array.fold_left ( + ) 0 w + (2 * (Array.length w - 1)) in
+  Buffer.add_string buf (String.make total '-');
+  Buffer.add_char buf '\n';
+  List.iter line t.rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)

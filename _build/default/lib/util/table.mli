@@ -1,0 +1,15 @@
+(** Aligned plain-text tables for benchmark output. *)
+
+type t
+
+(** A table with the given column headers. *)
+val create : string list -> t
+
+(** Append one row; must have the same arity as the header. *)
+val add_row : t -> string list -> unit
+
+(** Render with aligned columns and a rule under the header. *)
+val render : t -> string
+
+(** [print t] writes [render t] to stdout. *)
+val print : t -> unit

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Dwv_core Dwv_expr Dwv_interval Dwv_la Dwv_nn Dwv_ode Dwv_reach Dwv_transport Dwv_util Filename Float Fun List Sys

@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Array Dwv_expr Dwv_interval Dwv_systems Float Fmt List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_geometry.ml: Alcotest Array Dwv_geometry Dwv_interval Dwv_la Dwv_util Float List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Dwv_core Dwv_interval Dwv_nn Dwv_reach Dwv_systems Dwv_util

@@ -1,0 +1,1 @@
+test/test_interval.ml: Alcotest Dwv_interval Dwv_util Float List QCheck QCheck_alcotest

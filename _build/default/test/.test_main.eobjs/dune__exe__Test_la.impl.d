@@ -1,0 +1,1 @@
+test/test_la.ml: Alcotest Array Dwv_la Float List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_core Test_expr Test_geometry Test_integration Test_interval Test_la Test_nn Test_ode Test_poly Test_reach Test_rl Test_systems Test_taylor Test_transport Test_util

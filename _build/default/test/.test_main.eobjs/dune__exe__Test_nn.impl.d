@@ -1,0 +1,1 @@
+test/test_nn.ml: Alcotest Array Dwv_interval Dwv_la Dwv_nn Dwv_util Filename Float Fun List Printf QCheck QCheck_alcotest Sys

@@ -1,0 +1,1 @@
+test/test_ode.ml: Alcotest Array Dwv_expr Dwv_interval Dwv_ode Dwv_systems Float QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_poly.ml: Alcotest Array Dwv_interval Dwv_poly Float List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_reach.ml: Alcotest Array Dwv_core Dwv_expr Dwv_interval Dwv_la Dwv_nn Dwv_ode Dwv_reach Dwv_systems Dwv_taylor Dwv_util Fun List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_rl.ml: Alcotest Array Dwv_core Dwv_expr Dwv_interval Dwv_nn Dwv_ode Dwv_rl Dwv_util List Printf

@@ -1,0 +1,1 @@
+test/test_systems.ml: Alcotest Array Dwv_core Dwv_expr Dwv_interval Dwv_la Dwv_nn Dwv_ode Dwv_reach Dwv_systems Dwv_util Float

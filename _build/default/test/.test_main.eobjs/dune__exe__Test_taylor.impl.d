@@ -1,0 +1,1 @@
+test/test_taylor.ml: Alcotest Array Dwv_expr Dwv_interval Dwv_poly Dwv_taylor Dwv_util Float QCheck QCheck_alcotest

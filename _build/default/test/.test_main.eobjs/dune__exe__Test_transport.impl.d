@@ -1,0 +1,1 @@
+test/test_transport.ml: Alcotest Array Dwv_interval Dwv_transport Dwv_util Float QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Dwv_util Filename Float Fun Hashtbl List String Sys

@@ -1,0 +1,466 @@
+(* Tests for dwv_core: specs, controllers, both metrics, Algorithm 1 on a
+   synthetic verifier (cheap and fully controlled), Algorithm 2, and the
+   Monte-Carlo evaluation. *)
+
+module Box = Dwv_interval.Box
+module I = Dwv_interval.Interval
+module Mat = Dwv_la.Mat
+module Expr = Dwv_expr.Expr
+module Flowpipe = Dwv_reach.Flowpipe
+module Verifier = Dwv_reach.Verifier
+module Spec = Dwv_core.Spec
+module Controller = Dwv_core.Controller
+module Metrics = Dwv_core.Metrics
+module Learner = Dwv_core.Learner
+module Initset = Dwv_core.Initset
+module Evaluate = Dwv_core.Evaluate
+module Mlp = Dwv_nn.Mlp
+module Activation = Dwv_nn.Activation
+module Rng = Dwv_util.Rng
+
+let box2 lo0 hi0 lo1 hi1 = Box.make ~lo:[| lo0; lo1 |] ~hi:[| hi0; hi1 |]
+
+(* ---------------- spec ---------------- *)
+
+let spec_fixture () =
+  Spec.make ~name:"toy" ~x0:(box2 0.0 0.2 0.0 0.2) ~unsafe:(box2 0.4 0.6 0.4 0.6)
+    ~goal:(box2 0.8 1.2 0.0 0.4) ~delta:0.1 ~steps:10
+
+let test_spec_accessors () =
+  let s = spec_fixture () in
+  Alcotest.(check (float 1e-12)) "horizon" 1.0 (Spec.horizon s);
+  Alcotest.(check int) "dim" 2 (Spec.dim s);
+  Alcotest.(check bool) "safe point" true (Spec.point_safe s [| 0.0; 0.0 |]);
+  Alcotest.(check bool) "unsafe point" false (Spec.point_safe s [| 0.5; 0.5 |]);
+  Alcotest.(check bool) "goal point" true (Spec.point_in_goal s [| 1.0; 0.2 |])
+
+let test_spec_validation () =
+  Alcotest.check_raises "dim mismatch"
+    (Invalid_argument "Spec.make: all sets must share the state dimension") (fun () ->
+      ignore
+        (Spec.make ~name:"bad" ~x0:(box2 0.0 1.0 0.0 1.0)
+           ~unsafe:(Box.make ~lo:[| 0.0 |] ~hi:[| 1.0 |])
+           ~goal:(box2 0.0 1.0 0.0 1.0) ~delta:0.1 ~steps:1))
+
+(* ---------------- controller ---------------- *)
+
+let test_linear_controller_roundtrip () =
+  let c = Controller.linear (Mat.of_rows [ [| 1.0; -2.0; 0.5 |] ]) in
+  Alcotest.(check int) "params" 3 (Controller.num_params c);
+  let theta = Controller.params c in
+  Alcotest.(check (array (float 1e-15))) "flatten" [| 1.0; -2.0; 0.5 |] theta;
+  let c2 = Controller.with_params c [| 0.0; 1.0; 0.0 |] in
+  Alcotest.(check (array (float 1e-15))) "eval" [| 5.0 |] (Controller.eval c2 [| 9.0; 5.0; 1.0 |])
+
+let test_net_controller_roundtrip () =
+  let net = Mlp.create ~sizes:[ 2; 3; 1 ] ~acts:[ Activation.Tanh; Activation.Tanh ] (Rng.create 0) in
+  let c = Controller.net ~output_scale:2.5 net in
+  let theta = Controller.params c in
+  let c2 = Controller.with_params c theta in
+  let x = [| 0.2; -0.4 |] in
+  Alcotest.(check (array (float 1e-15))) "same outputs" (Controller.eval c x) (Controller.eval c2 x);
+  Alcotest.(check (float 1e-12)) "scaling applied"
+    (2.5 *. (Mlp.forward net x).(0))
+    (Controller.eval c x).(0)
+
+let test_controller_wrong_length () =
+  let c = Controller.linear (Mat.of_rows [ [| 1.0; 2.0 |] ]) in
+  Alcotest.check_raises "length" (Invalid_argument "Controller.with_params: wrong length")
+    (fun () -> ignore (Controller.with_params c [| 1.0 |]))
+
+let test_controller_persistence_linear () =
+  let c = Controller.linear (Mat.of_rows [ [| 0.673833; -2.43385; -0.015944 |] ]) in
+  let restored = Controller.of_string (Controller.to_string c) in
+  Alcotest.(check (array (float 0.0))) "exact params" (Controller.params c)
+    (Controller.params restored)
+
+let test_controller_persistence_net () =
+  let net = Mlp.create ~sizes:[ 2; 4; 1 ] ~acts:[ Activation.Tanh; Activation.Tanh ] (Rng.create 1) in
+  let c = Controller.net ~output_scale:4.0 net in
+  let restored = Controller.of_string (Controller.to_string c) in
+  let x = [| -0.4; 0.3 |] in
+  Alcotest.(check (array (float 0.0))) "identical law" (Controller.eval c x)
+    (Controller.eval restored x)
+
+let test_controller_persistence_file () =
+  let c = Controller.linear (Mat.of_rows [ [| 1.5; -0.25 |] ]) in
+  let path = Filename.temp_file "dwv_ctrl" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Controller.save path c;
+      Alcotest.(check (array (float 0.0))) "file roundtrip" (Controller.params c)
+        (Controller.params (Controller.load path)))
+
+let test_controller_of_string_garbage () =
+  List.iter
+    (fun text ->
+      match Controller.of_string text with
+      | _ -> Alcotest.failf "expected failure for %S" text
+      | exception Failure _ -> ())
+    [ ""; "controller tabular 1 1\n0\n"; "controller linear 2 2\n1 2 3\n" ]
+
+(* ---------------- metrics ---------------- *)
+
+let mk_pipe ?(diverged = false) boxes =
+  Flowpipe.make ~step_boxes:(Array.of_list boxes)
+    ~segment_boxes:(Array.of_list (List.tl boxes))
+    ~delta:0.1 ~diverged
+
+let test_geometric_d_u_branches () =
+  let unsafe = box2 0.4 0.6 0.4 0.6 in
+  (* clear pipe: positive distance branch *)
+  let clear = mk_pipe [ box2 0.0 0.1 0.0 0.1; box2 0.1 0.2 0.0 0.1 ] in
+  Alcotest.(check bool) "positive" true (Metrics.geometric_d_u ~unsafe clear > 0.0);
+  (* penetrating pipe: negative volume branch *)
+  let hit = mk_pipe [ box2 0.0 0.1 0.0 0.1; box2 0.45 0.55 0.45 0.55 ] in
+  Alcotest.(check bool) "negative" true (Metrics.geometric_d_u ~unsafe hit < 0.0)
+
+let test_geometric_d_u_value () =
+  let unsafe = box2 2.0 3.0 0.0 1.0 in
+  let pipe = mk_pipe [ box2 0.0 1.0 0.0 1.0; box2 0.5 1.0 0.0 1.0 ] in
+  (* min gap = 1.0 along x, aligned in y: d = 1.0^2 *)
+  Alcotest.(check (float 1e-12)) "squared distance" 1.0 (Metrics.geometric_d_u ~unsafe pipe)
+
+let test_geometric_d_g_branches () =
+  let goal = box2 0.8 1.2 0.0 0.4 in
+  let hit = mk_pipe [ box2 0.0 0.1 0.0 0.1; box2 0.9 1.1 0.1 0.3 ] in
+  Alcotest.(check (float 1e-12)) "overlap volume" (0.2 *. 0.2) (Metrics.geometric_d_g ~goal hit);
+  let miss = mk_pipe [ box2 0.0 0.1 0.0 0.1; box2 0.2 0.3 0.0 0.1 ] in
+  Alcotest.(check bool) "negative branch" true (Metrics.geometric_d_g ~goal miss < 0.0)
+
+let test_wasserstein_scores () =
+  let unsafe = box2 10.0 11.0 10.0 11.0 and goal = box2 0.9 1.1 0.9 1.1 in
+  let pipe = mk_pipe [ box2 0.0 0.1 0.0 0.1; box2 0.95 1.05 0.95 1.05 ] in
+  let s = Metrics.wasserstein ~unsafe ~goal pipe in
+  (* final box inside the goal: containment gap exactly zero *)
+  Alcotest.(check (float 1e-12)) "goal gap zero" 0.0 s.Metrics.goal;
+  (* far from unsafe: saturated at the containment-gap cap *)
+  let cap = Dwv_transport.Box_w2.w2_containment goal unsafe /. 2.0 in
+  Alcotest.(check (float 1e-9)) "saturated" cap s.Metrics.safety
+
+let test_wasserstein_safety_sees_giant_unsafe () =
+  (* a huge unsafe region (the ACC half-space encoding): plain W2 to its
+     uniform distribution is dominated by the radius mismatch and hides
+     contact; the containment gap must be small for a touching segment
+     and larger for a clear one *)
+  let unsafe = box2 0.0 120.0 (-100.0) 200.0 and goal = box2 145.0 155.0 39.5 40.5 in
+  let touching = mk_pipe [ box2 150.0 151.0 40.0 41.0; box2 119.5 120.5 40.0 41.0 ] in
+  let clear = mk_pipe [ box2 150.0 151.0 40.0 41.0; box2 140.0 141.0 40.0 41.0 ] in
+  let s_touch = Metrics.wasserstein ~unsafe ~goal touching in
+  let s_clear = Metrics.wasserstein ~unsafe ~goal clear in
+  Alcotest.(check bool) "touching scores low" true
+    (s_touch.Metrics.safety < 0.2 *. s_clear.Metrics.safety)
+
+let test_wasserstein_sees_midcourse_graze () =
+  (* a pipe whose LAST box is far from X_u but which grazes it mid-course
+     must score lower than a clear pipe *)
+  let unsafe = box2 0.4 0.6 0.4 0.6 and goal = box2 2.0 2.2 2.0 2.2 in
+  let graze = mk_pipe [ box2 0.0 0.1 0.0 0.1; box2 0.45 0.55 0.45 0.55; box2 2.0 2.2 2.0 2.2 ] in
+  let clear = mk_pipe [ box2 0.0 0.1 0.0 0.1; box2 0.0 0.2 1.9 2.1; box2 2.0 2.2 2.0 2.2 ] in
+  let s_graze = Metrics.wasserstein ~unsafe ~goal graze in
+  let s_clear = Metrics.wasserstein ~unsafe ~goal clear in
+  Alcotest.(check bool) "graze scores lower" true
+    (s_graze.Metrics.safety < s_clear.Metrics.safety)
+
+let test_diverged_scores_graded () =
+  let unsafe = box2 10.0 11.0 10.0 11.0 and goal = box2 0.9 1.1 0.9 1.1 in
+  let short = mk_pipe ~diverged:true [ box2 0.0 0.1 0.0 0.1; box2 0.1 0.2 0.0 0.1 ] in
+  let longer =
+    mk_pipe ~diverged:true
+      [ box2 0.0 0.1 0.0 0.1; box2 0.1 0.2 0.0 0.1; box2 0.2 0.3 0.0 0.1 ]
+  in
+  let s_short = Metrics.scores Metrics.Geometric ~unsafe ~goal short in
+  let s_long = Metrics.scores Metrics.Geometric ~unsafe ~goal longer in
+  Alcotest.(check bool) "deep penalty" true (s_short.Metrics.safety < -1e5);
+  Alcotest.(check bool) "progress rewarded" true
+    (s_long.Metrics.safety > s_short.Metrics.safety)
+
+let test_safety_cap_override () =
+  let unsafe = box2 10.0 11.0 10.0 11.0 and goal = box2 0.9 1.1 0.9 1.1 in
+  let pipe = mk_pipe [ box2 0.0 0.1 0.0 0.1; box2 0.95 1.05 0.95 1.05 ] in
+  let s = Metrics.scores ~safety_cap:0.123 Metrics.Wasserstein ~unsafe ~goal pipe in
+  Alcotest.(check (float 1e-12)) "explicit cap" 0.123 s.Metrics.safety
+
+(* ---------------- learner on a synthetic verifier ---------------- *)
+
+(* Synthetic problem: theta in R^2 places the endpoint of a straight-line
+   "trajectory" of small boxes from the origin. Goal sits at (1.0, 0.2),
+   the unsafe box at (0.5, 0.5); learning must move theta from near the
+   origin into the goal. One verifier call is microseconds, so the
+   learner's mechanics can be tested exhaustively. *)
+let synthetic_spec =
+  Spec.make ~name:"synthetic" ~x0:(box2 (-0.02) 0.02 (-0.02) 0.02)
+    ~unsafe:(box2 0.4 0.6 0.4 0.6) ~goal:(box2 0.9 1.1 0.1 0.3) ~delta:0.1 ~steps:10
+
+let synthetic_verify controller =
+  let theta = Controller.params controller in
+  let segments = 10 in
+  let boxes =
+    List.init (segments + 1) (fun k ->
+        let t = float_of_int k /. float_of_int segments in
+        let cx = t *. theta.(0) and cy = t *. theta.(1) in
+        box2 (cx -. 0.02) (cx +. 0.02) (cy -. 0.02) (cy +. 0.02))
+  in
+  Flowpipe.make ~step_boxes:(Array.of_list boxes)
+    ~segment_boxes:(Array.of_list (List.tl boxes))
+    ~delta:0.1 ~diverged:false
+
+let synthetic_init = Controller.linear (Mat.of_rows [ [| 0.05; 0.05 |] ])
+
+let test_learner_converges_geometric () =
+  let cfg = { Learner.default_config with max_iters = 300; alpha = 0.05; beta = 0.05 } in
+  let r =
+    Learner.learn cfg ~metric:Metrics.Geometric ~spec:synthetic_spec ~verify:synthetic_verify
+      ~init:synthetic_init
+  in
+  Alcotest.(check bool) "verified" true (r.Learner.verdict = Verifier.Reach_avoid);
+  let theta = Controller.params r.Learner.controller in
+  Alcotest.(check bool) "theta in goal region" true
+    (theta.(0) > 0.9 && theta.(0) < 1.1 && theta.(1) > 0.1 && theta.(1) < 0.3)
+
+let test_learner_converges_wasserstein () =
+  let cfg = { Learner.default_config with max_iters = 400; alpha = 0.05; beta = 0.05 } in
+  let r =
+    Learner.learn cfg ~metric:Metrics.Wasserstein ~spec:synthetic_spec
+      ~verify:synthetic_verify ~init:synthetic_init
+  in
+  Alcotest.(check bool) "verified" true (r.Learner.verdict = Verifier.Reach_avoid)
+
+let test_learner_spsa_mode () =
+  let cfg =
+    { Learner.default_config with
+      max_iters = 600; alpha = 0.04; beta = 0.04; gradient_mode = Learner.Spsa 3; seed = 1 }
+  in
+  let r =
+    Learner.learn cfg ~metric:Metrics.Geometric ~spec:synthetic_spec ~verify:synthetic_verify
+      ~init:synthetic_init
+  in
+  Alcotest.(check bool) "verified" true (r.Learner.verdict = Verifier.Reach_avoid)
+
+let test_learner_stops_immediately_when_verified () =
+  let init = Controller.linear (Mat.of_rows [ [| 1.0; 0.2 |] ]) in
+  let cfg = { Learner.default_config with max_iters = 50 } in
+  let r =
+    Learner.learn cfg ~metric:Metrics.Geometric ~spec:synthetic_spec ~verify:synthetic_verify
+      ~init
+  in
+  Alcotest.(check int) "CI = 0" 0 r.Learner.iterations;
+  Alcotest.(check int) "single call" 1 r.Learner.verifier_calls
+
+let test_learner_respects_budget () =
+  (* an unreachable goal: the learner must stop at max_iters *)
+  let hopeless =
+    Spec.make ~name:"hopeless" ~x0:(box2 (-0.02) 0.02 (-0.02) 0.02)
+      ~unsafe:(box2 40.0 60.0 40.0 60.0) ~goal:(box2 90.0 91.0 90.0 91.0) ~delta:0.1 ~steps:10
+  in
+  let cfg = { Learner.default_config with max_iters = 7; alpha = 1e-4; beta = 1e-4 } in
+  let r =
+    Learner.learn cfg ~metric:Metrics.Geometric ~spec:hopeless ~verify:synthetic_verify
+      ~init:synthetic_init
+  in
+  Alcotest.(check int) "stopped at budget" 7 r.Learner.iterations;
+  Alcotest.(check bool) "not verified" true (r.Learner.verdict <> Verifier.Reach_avoid)
+
+let test_learner_history_monotone_iters () =
+  let cfg = { Learner.default_config with max_iters = 20; alpha = 0.02; beta = 0.02 } in
+  let r =
+    Learner.learn cfg ~metric:Metrics.Geometric ~spec:synthetic_spec ~verify:synthetic_verify
+      ~init:synthetic_init
+  in
+  let iters = List.map (fun (h : Learner.history_point) -> h.Learner.iter) r.Learner.history in
+  Alcotest.(check (list int)) "contiguous" (List.init (List.length iters) Fun.id) iters
+
+(* ---------------- initset (Algorithm 2) ---------------- *)
+
+(* Toy verifier for cells: the flow translates a cell by (+1, 0). Only
+   cells starting with x in [0, 0.5] land inside the goal box. *)
+let initset_verify cell =
+  let moved = Box.translate [| 1.0; 0.0 |] cell in
+  Flowpipe.make ~step_boxes:[| cell; moved |] ~segment_boxes:[| Box.hull cell moved |]
+    ~delta:0.1 ~diverged:false
+
+let test_initset_partial_coverage () =
+  let x0 = box2 0.0 1.0 0.0 1.0 in
+  let goal = box2 1.0 1.5 0.0 1.0 in
+  let r = Initset.search ~max_depth:4 ~verify:initset_verify ~goal ~x0 () in
+  Alcotest.(check bool) "coverage close to half" true
+    (r.Initset.coverage > 0.4 && r.Initset.coverage < 0.6);
+  (* verified cells truly map into the goal *)
+  List.iter
+    (fun cell ->
+      Alcotest.(check bool) "cell maps into goal" true
+        (Box.subset (Box.translate [| 1.0; 0.0 |] cell) goal))
+    r.Initset.verified
+
+let test_initset_full_coverage () =
+  let x0 = box2 0.2 0.4 0.2 0.4 in
+  let goal = box2 1.0 1.6 0.0 1.0 in
+  let r = Initset.search ~verify:initset_verify ~goal ~x0 () in
+  Alcotest.(check (float 1e-9)) "full" 1.0 r.Initset.coverage;
+  Alcotest.(check int) "single call" 1 r.Initset.verifier_calls
+
+let test_initset_even_matches_adaptive () =
+  (* the paper's even-partition scheme and the adaptive bisection must
+     certify (approximately) the same region - even partition at round r
+     equals bisection depth 2r in 2-D, so compare coverages *)
+  let x0 = box2 0.0 1.0 0.0 1.0 in
+  let goal = box2 1.0 1.5 0.0 1.0 in
+  let adaptive = Initset.search ~max_depth:6 ~verify:initset_verify ~goal ~x0 () in
+  let even = Initset.search_even ~max_rounds:4 ~verify:initset_verify ~goal ~x0 () in
+  Alcotest.(check bool) "coverage agrees within a grid cell" true
+    (Float.abs (adaptive.Initset.coverage -. even.Initset.coverage) < 0.15);
+  (* every even-scheme cell is genuinely certified *)
+  List.iter
+    (fun cell ->
+      Alcotest.(check bool) "cell maps into goal" true
+        (Box.subset (Box.translate [| 1.0; 0.0 |] cell) goal))
+    even.Initset.verified
+
+let test_initset_even_full_coverage () =
+  let x0 = box2 0.2 0.4 0.2 0.4 in
+  let goal = box2 1.0 1.6 0.0 1.0 in
+  let r = Initset.search_even ~verify:initset_verify ~goal ~x0 () in
+  Alcotest.(check (float 1e-9)) "full" 1.0 r.Initset.coverage
+
+let test_initset_empty () =
+  let x0 = box2 5.0 6.0 5.0 6.0 in
+  let goal = box2 0.0 1.0 0.0 1.0 in
+  let r = Initset.search ~max_depth:2 ~verify:initset_verify ~goal ~x0 () in
+  Alcotest.(check (float 1e-9)) "nothing certified" 0.0 r.Initset.coverage;
+  Alcotest.(check bool) "rejected cells recorded" true (List.length r.Initset.rejected > 0)
+
+(* ---------------- falsification ---------------- *)
+
+module Falsifier = Dwv_core.Falsifier
+
+let test_signed_distance () =
+  let b = box2 0.0 2.0 0.0 2.0 in
+  Alcotest.(check (float 1e-12)) "inside depth" (-0.5) (Falsifier.signed_distance b [| 0.5; 1.0 |]);
+  Alcotest.(check (float 1e-12)) "outside gap" 1.0 (Falsifier.signed_distance b [| 3.0; 1.0 |]);
+  Alcotest.(check (float 1e-12)) "boundary" 0.0 (Falsifier.signed_distance b [| 0.0; 1.0 |])
+
+let fals_spec =
+  Spec.make ~name:"fals" ~x0:(Box.make ~lo:[| 0.5 |] ~hi:[| 1.5 |])
+    ~unsafe:(Box.make ~lo:[| 3.0 |] ~hi:[| 4.0 |])
+    ~goal:(Box.make ~lo:[| -0.1 |] ~hi:[| 0.1 |])
+    ~delta:0.2 ~steps:30
+
+let fals_sys = Dwv_ode.Sampled_system.make ~f:[| Expr.input 0 |] ~n:1 ~m:1 ~delta:0.2
+
+let test_falsifier_finds_unsafe_controller () =
+  (* only the largest initial states drive into the unsafe band: u = +x
+     grows exponentially; from x0 = 1.5 it certainly passes 3.0 *)
+  let controller x = [| x.(0) |] in
+  let rng = Rng.create 4 in
+  match
+    Falsifier.search ~rng ~sys:fals_sys ~controller ~spec:fals_spec
+      ~property:Falsifier.Safety ()
+  with
+  | None -> Alcotest.fail "expected a safety counterexample"
+  | Some c ->
+    Alcotest.(check bool) "negative robustness" true (c.Falsifier.robustness <= 0.0);
+    (* the witness must actually reproduce the violation *)
+    let r =
+      Falsifier.robustness ~sys:fals_sys ~controller ~spec:fals_spec
+        ~property:Falsifier.Safety c.Falsifier.x0
+    in
+    Alcotest.(check bool) "witness reproduces" true (r <= 0.0)
+
+let test_falsifier_accepts_safe_controller () =
+  let controller x = [| -.x.(0) |] in
+  let rng = Rng.create 5 in
+  Alcotest.(check bool) "no counterexample" true
+    (Falsifier.search ~attempts:30 ~rng ~sys:fals_sys ~controller ~spec:fals_spec
+       ~property:Falsifier.Safety ()
+    = None)
+
+let test_falsifier_goal_reaching () =
+  (* u = 0 never reaches the goal: goal-reaching falsified everywhere *)
+  let controller _ = [| 0.0 |] in
+  let rng = Rng.create 6 in
+  (match
+     Falsifier.search ~rng ~sys:fals_sys ~controller ~spec:fals_spec
+       ~property:Falsifier.Goal_reaching ()
+   with
+  | None -> Alcotest.fail "expected a goal-reaching counterexample"
+  | Some c -> Alcotest.(check bool) "negative" true (c.Falsifier.robustness <= 0.0));
+  (* the stabilizing law reaches the goal: no counterexample *)
+  let good x = [| -.x.(0) |] in
+  Alcotest.(check bool) "stabilizer reaches" true
+    (Falsifier.search ~attempts:30 ~rng ~sys:fals_sys ~controller:good ~spec:fals_spec
+       ~property:Falsifier.Goal_reaching ()
+    = None)
+
+(* ---------------- evaluation ---------------- *)
+
+let eval_spec =
+  Spec.make ~name:"eval" ~x0:(Box.make ~lo:[| 0.5 |] ~hi:[| 1.0 |])
+    ~unsafe:(Box.make ~lo:[| 2.0 |] ~hi:[| 3.0 |])
+    ~goal:(Box.make ~lo:[| -0.05 |] ~hi:[| 0.05 |])
+    ~delta:0.2 ~steps:40
+
+let eval_sys =
+  Dwv_ode.Sampled_system.make ~f:[| Expr.input 0 |] ~n:1 ~m:1 ~delta:0.2
+
+let test_evaluate_stabilizing () =
+  let controller x = [| -.x.(0) |] in
+  let rng = Rng.create 2 in
+  let r = Evaluate.rates ~n:100 ~rng ~sys:eval_sys ~controller ~spec:eval_spec () in
+  Alcotest.(check (float 1e-9)) "SC 100" 100.0 r.Evaluate.safe_percent;
+  Alcotest.(check (float 1e-9)) "GR 100" 100.0 r.Evaluate.goal_percent
+
+let test_evaluate_unsafe_controller () =
+  (* drive upward into the unsafe band *)
+  let controller _ = [| 1.0 |] in
+  let rng = Rng.create 3 in
+  let r = Evaluate.rates ~n:50 ~rng ~sys:eval_sys ~controller ~spec:eval_spec () in
+  Alcotest.(check (float 1e-9)) "SC 0" 0.0 r.Evaluate.safe_percent;
+  (match Evaluate.find_unsafe_rollout ~n:50 ~rng ~sys:eval_sys ~controller ~spec:eval_spec () with
+  | Some _ -> ()
+  | None -> Alcotest.fail "expected an unsafe rollout")
+
+let test_evaluate_rollout_fields () =
+  let controller x = [| -.x.(0) |] in
+  let r = Evaluate.rollout ~sys:eval_sys ~controller ~spec:eval_spec [| 0.7 |] in
+  Alcotest.(check bool) "safe" true r.Evaluate.safe;
+  Alcotest.(check bool) "reached" true r.Evaluate.reached
+
+let suite =
+  [
+    Alcotest.test_case "spec accessors" `Quick test_spec_accessors;
+    Alcotest.test_case "spec validation" `Quick test_spec_validation;
+    Alcotest.test_case "linear controller" `Quick test_linear_controller_roundtrip;
+    Alcotest.test_case "net controller" `Quick test_net_controller_roundtrip;
+    Alcotest.test_case "controller wrong length" `Quick test_controller_wrong_length;
+    Alcotest.test_case "controller persist linear" `Quick test_controller_persistence_linear;
+    Alcotest.test_case "controller persist net" `Quick test_controller_persistence_net;
+    Alcotest.test_case "controller persist file" `Quick test_controller_persistence_file;
+    Alcotest.test_case "controller reject garbage" `Quick test_controller_of_string_garbage;
+    Alcotest.test_case "geometric d_u branches" `Quick test_geometric_d_u_branches;
+    Alcotest.test_case "geometric d_u value" `Quick test_geometric_d_u_value;
+    Alcotest.test_case "geometric d_g branches" `Quick test_geometric_d_g_branches;
+    Alcotest.test_case "wasserstein scores" `Quick test_wasserstein_scores;
+    Alcotest.test_case "wasserstein giant unsafe" `Quick test_wasserstein_safety_sees_giant_unsafe;
+    Alcotest.test_case "wasserstein graze" `Quick test_wasserstein_sees_midcourse_graze;
+    Alcotest.test_case "diverged scores" `Quick test_diverged_scores_graded;
+    Alcotest.test_case "safety cap override" `Quick test_safety_cap_override;
+    Alcotest.test_case "learner geometric" `Quick test_learner_converges_geometric;
+    Alcotest.test_case "learner wasserstein" `Quick test_learner_converges_wasserstein;
+    Alcotest.test_case "learner spsa" `Quick test_learner_spsa_mode;
+    Alcotest.test_case "learner early stop" `Quick test_learner_stops_immediately_when_verified;
+    Alcotest.test_case "learner budget" `Quick test_learner_respects_budget;
+    Alcotest.test_case "learner history" `Quick test_learner_history_monotone_iters;
+    Alcotest.test_case "initset half coverage" `Quick test_initset_partial_coverage;
+    Alcotest.test_case "initset full coverage" `Quick test_initset_full_coverage;
+    Alcotest.test_case "initset even vs adaptive" `Quick test_initset_even_matches_adaptive;
+    Alcotest.test_case "initset even full" `Quick test_initset_even_full_coverage;
+    Alcotest.test_case "initset empty" `Quick test_initset_empty;
+    Alcotest.test_case "falsifier signed distance" `Quick test_signed_distance;
+    Alcotest.test_case "falsifier finds unsafe" `Quick test_falsifier_finds_unsafe_controller;
+    Alcotest.test_case "falsifier accepts safe" `Quick test_falsifier_accepts_safe_controller;
+    Alcotest.test_case "falsifier goal-reaching" `Quick test_falsifier_goal_reaching;
+    Alcotest.test_case "evaluate stabilizing" `Quick test_evaluate_stabilizing;
+    Alcotest.test_case "evaluate unsafe" `Quick test_evaluate_unsafe_controller;
+    Alcotest.test_case "evaluate rollout" `Quick test_evaluate_rollout_fields;
+  ]

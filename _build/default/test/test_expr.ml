@@ -1,0 +1,247 @@
+(* Tests for dwv_expr: evaluation, smart-constructor folding, symbolic
+   differentiation (against finite differences), Lie derivatives, interval
+   soundness. *)
+
+module Expr = Dwv_expr.Expr
+module I = Dwv_interval.Interval
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let x0 = Expr.var 0
+let x1 = Expr.var 1
+let u0 = Expr.input 0
+
+let test_eval_basic () =
+  let e = Expr.(add (mul x0 x1) (scale 2.0 u0)) in
+  check_float "eval" 11.0 (Expr.eval e ~x:[| 3.0; 1.0 |] ~u:[| 4.0 |])
+
+let test_eval_transcendental () =
+  let e = Expr.(add (sin_ x0) (mul (cos_ x0) (tanh_ x1))) in
+  let x = [| 0.7; -0.3 |] in
+  check_float "eval" (sin 0.7 +. (cos 0.7 *. tanh (-0.3))) (Expr.eval e ~x ~u:[||])
+
+let test_constant_folding () =
+  Alcotest.(check bool) "add 0" true (Expr.add x0 (Expr.const 0.0) = x0);
+  Alcotest.(check bool) "mul 1" true (Expr.mul (Expr.const 1.0) x0 = x0);
+  Alcotest.(check bool) "mul 0" true (Expr.mul x0 (Expr.const 0.0) = Expr.const 0.0);
+  Alcotest.(check bool) "const prop" true
+    (Expr.mul (Expr.const 3.0) (Expr.const 4.0) = Expr.const 12.0);
+  Alcotest.(check bool) "pow 0" true (Expr.pow x0 0 = Expr.const 1.0);
+  Alcotest.(check bool) "pow 1" true (Expr.pow x0 1 = x0);
+  Alcotest.(check bool) "neg neg" true (Expr.neg (Expr.neg x0) = x0)
+
+let test_div_by_zero_const () =
+  Alcotest.check_raises "div0" (Invalid_argument "Expr.div: division by constant zero")
+    (fun () -> ignore (Expr.div x0 (Expr.const 0.0)))
+
+let finite_diff e ~x ~u i =
+  let eps = 1e-6 in
+  let xp = Array.copy x and xm = Array.copy x in
+  xp.(i) <- xp.(i) +. eps;
+  xm.(i) <- xm.(i) -. eps;
+  (Expr.eval e ~x:xp ~u -. Expr.eval e ~x:xm ~u) /. (2.0 *. eps)
+
+let test_diff_polynomial () =
+  let e = Expr.(add (mul (pow x0 3) x1) (mul (const 2.0) x0)) in
+  let d = Expr.diff e ~wrt:(Expr.Wrt_var 0) in
+  let x = [| 1.5; -0.7 |] in
+  check_float "d/dx0" ((3.0 *. (1.5 ** 2.0) *. -0.7) +. 2.0) (Expr.eval d ~x ~u:[||]);
+  Alcotest.(check (float 1e-6)) "matches FD" (finite_diff e ~x ~u:[||] 0)
+    (Expr.eval d ~x ~u:[||])
+
+let test_diff_transcendental () =
+  let e = Expr.(mul (sin_ x0) (exp_ (mul x0 x1))) in
+  let d = Expr.diff e ~wrt:(Expr.Wrt_var 0) in
+  let x = [| 0.4; 0.9 |] in
+  Alcotest.(check (float 1e-6)) "matches FD" (finite_diff e ~x ~u:[||] 0)
+    (Expr.eval d ~x ~u:[||])
+
+let test_diff_input () =
+  let e = Expr.(mul u0 (pow x0 2)) in
+  let d = Expr.diff e ~wrt:(Expr.Wrt_input 0) in
+  check_float "du" 9.0 (Expr.eval d ~x:[| 3.0 |] ~u:[| 5.0 |])
+
+let test_diff_tanh () =
+  let e = Expr.tanh_ x0 in
+  let d = Expr.diff e ~wrt:(Expr.Wrt_var 0) in
+  let x = [| 0.6 |] in
+  check_float "1 - tanh^2" (1.0 -. (tanh 0.6 ** 2.0)) (Expr.eval d ~x ~u:[||])
+
+let test_lie_derivative_harmonic () =
+  (* harmonic oscillator f = (x1, -x0): L_f of (x0^2 + x1^2)/2 is 0 *)
+  let f = [| x1; Expr.neg x0 |] in
+  let energy = Expr.(scale 0.5 (add (pow x0 2) (pow x1 2))) in
+  let lf = Expr.lie_derivative ~f energy in
+  List.iter
+    (fun (a, b) -> check_float "invariant" 0.0 (Expr.eval lf ~x:[| a; b |] ~u:[||]))
+    [ (1.0, 0.0); (0.3, -0.7); (-2.0, 1.5) ]
+
+let test_lie_derivative_linear () =
+  (* f = (x1, -x0): L_f x0 = x1, L_f^2 x0 = -x0 *)
+  let f = [| x1; Expr.neg x0 |] in
+  let l1 = Expr.lie_derivative ~f x0 in
+  let l2 = Expr.lie_derivative ~f l1 in
+  check_float "L1" 0.7 (Expr.eval l1 ~x:[| 0.3; 0.7 |] ~u:[||]);
+  check_float "L2" (-0.3) (Expr.eval l2 ~x:[| 0.3; 0.7 |] ~u:[||])
+
+let test_jacobians () =
+  let f = [| Expr.(mul x0 x1); Expr.(add (pow x0 2) u0) |] in
+  let jx = Expr.jacobian_x f ~n:2 in
+  let ju = Expr.jacobian_u f ~m:1 in
+  let x = [| 2.0; 3.0 |] and u = [| 0.0 |] in
+  check_float "df0/dx0" 3.0 (Expr.eval jx.(0).(0) ~x ~u);
+  check_float "df0/dx1" 2.0 (Expr.eval jx.(0).(1) ~x ~u);
+  check_float "df1/dx0" 4.0 (Expr.eval jx.(1).(0) ~x ~u);
+  check_float "df1/dx1" 0.0 (Expr.eval jx.(1).(1) ~x ~u);
+  check_float "df1/du0" 1.0 (Expr.eval ju.(1).(0) ~x ~u)
+
+let test_ieval_soundness_fixed () =
+  let e = Expr.(add (mul x0 x1) (sin_ x0)) in
+  let bx = [| I.make 0.0 1.0; I.make (-1.0) 1.0 |] in
+  let range = Expr.ieval e ~x:bx ~u:[||] in
+  (* sample points must land inside *)
+  List.iter
+    (fun (a, b) ->
+      let v = Expr.eval e ~x:[| a; b |] ~u:[||] in
+      Alcotest.(check bool) "contained" true (I.contains (I.widen range) v))
+    [ (0.0, -1.0); (0.5, 0.0); (1.0, 1.0); (0.25, 0.75) ]
+
+let prop_diff_matches_fd =
+  QCheck.Test.make ~name:"symbolic diff matches finite differences" ~count:200
+    QCheck.(pair (float_range (-1.5) 1.5) (float_range (-1.5) 1.5))
+    (fun (a, b) ->
+      let e =
+        Expr.(
+          add
+            (mul (pow x0 2) (cos_ x1))
+            (sub (exp_ (scale 0.3 x0)) (mul (tanh_ x1) x0)))
+      in
+      let x = [| a; b |] in
+      let d0 = Expr.eval (Expr.diff e ~wrt:(Expr.Wrt_var 0)) ~x ~u:[||] in
+      let d1 = Expr.eval (Expr.diff e ~wrt:(Expr.Wrt_var 1)) ~x ~u:[||] in
+      Float.abs (d0 -. finite_diff e ~x ~u:[||] 0) < 1e-5
+      && Float.abs (d1 -. finite_diff e ~x ~u:[||] 1) < 1e-5)
+
+let prop_ieval_soundness =
+  QCheck.Test.make ~name:"interval eval of expr contains point eval" ~count:300
+    QCheck.(triple (float_range (-1.0) 1.0) (float_range (-1.0) 1.0) (float_range 0.0 1.0))
+    (fun (a, b, t) ->
+      let e = Expr.(add (mul (pow x0 3) x1) (cos_ (mul x0 x1))) in
+      let bx = [| I.make (Float.min a b) (Float.max a b); I.make (-0.5) 0.5 |] in
+      let x = [| I.sample bx.(0) ~t; I.sample bx.(1) ~t:(1.0 -. t) |] in
+      let v = Expr.eval e ~x ~u:[||] in
+      I.contains (I.widen (Expr.ieval e ~x:bx ~u:[||])) v)
+
+(* ---------------- parser ---------------- *)
+
+module Parser = Dwv_expr.Parser
+
+let parse_ok src = match Parser.parse src with Ok e -> e | Error m -> Alcotest.failf "parse %S: %s" src m
+
+let test_parse_arithmetic () =
+  let e = parse_ok "1 + 2 * x0 - x1 / 4" in
+  check_float "eval" (1.0 +. (2.0 *. 3.0) -. (8.0 /. 4.0)) (Expr.eval e ~x:[| 3.0; 8.0 |] ~u:[||])
+
+let test_parse_precedence () =
+  (* ^ binds tighter than *, * tighter than + *)
+  let e = parse_ok "2 * x0^2 + 1" in
+  check_float "precedence" 19.0 (Expr.eval e ~x:[| 3.0 |] ~u:[||])
+
+let test_parse_unary_minus () =
+  let e = parse_ok "-x0^2" in
+  (* -(x0^2), not (-x0)^2... both equal here; use an odd case *)
+  check_float "negation" (-9.0) (Expr.eval e ~x:[| 3.0 |] ~u:[||]);
+  let e2 = parse_ok "3 - -2" in
+  check_float "double minus" 5.0 (Expr.eval e2 ~x:[||] ~u:[||])
+
+let test_parse_functions () =
+  let e = parse_ok "sin(x0) * cos(x1) + tanh(u0) - exp(0)" in
+  let x = [| 0.3; 0.7 |] and u = [| -0.2 |] in
+  check_float "functions" ((sin 0.3 *. cos 0.7) +. tanh (-0.2) -. 1.0) (Expr.eval e ~x ~u)
+
+let test_parse_vanderpol () =
+  (* the oscillator x2' exactly as documentation writes it *)
+  let e = parse_ok "(1 - x0^2) * x1 - x0 + u0" in
+  let x = [| -0.5; 0.5 |] and u = [| 1.3 |] in
+  let expected = ((1.0 -. 0.25) *. 0.5) +. 0.5 +. 1.3 in
+  check_float "van der pol" expected (Expr.eval e ~x ~u)
+
+let test_parse_scientific_notation () =
+  let e = parse_ok "1.5e-2 * x0" in
+  check_float "scientific" 0.015 (Expr.eval e ~x:[| 1.0 |] ~u:[||])
+
+let test_parse_pi () =
+  let e = parse_ok "sin(pi / 2)" in
+  check_float "pi" 1.0 (Expr.eval e ~x:[||] ~u:[||])
+
+let test_parse_errors () =
+  List.iter
+    (fun src ->
+      match Parser.parse src with
+      | Ok _ -> Alcotest.failf "expected failure for %S" src
+      | Error _ -> ())
+    [ "x"; "x0 +"; "(x0"; "x0 ^ x1"; "x0 ^ -2"; "foo(x0)"; "1..2"; "x0 x1"; "" ]
+
+let test_parse_system () =
+  match Parser.parse_system [ "x1"; "(1 - x0^2) * x1 - x0 + u0" ] with
+  | Error m -> Alcotest.failf "system: %s" m
+  | Ok f ->
+    Alcotest.(check int) "arity" 2 (Array.length f);
+    let d = Expr.eval_vec f ~x:[| -0.5; 0.5 |] ~u:[| 0.0 |] in
+    let d_ref = Expr.eval_vec Dwv_systems.Oscillator.dynamics ~x:[| -0.5; 0.5 |] ~u:[| 0.0 |] in
+    Alcotest.(check (array (float 1e-12))) "matches built-in" d_ref d
+
+let test_parse_system_error_position () =
+  match Parser.parse_system [ "x1"; "x0 +" ] with
+  | Ok _ -> Alcotest.fail "expected failure"
+  | Error m -> Alcotest.(check bool) "names component" true (String.length m > 0)
+
+let prop_parse_roundtrip_eval =
+  QCheck.Test.make ~name:"parsed expression evaluates like the AST" ~count:200
+    QCheck.(pair (float_range (-2.0) 2.0) (float_range (-2.0) 2.0))
+    (fun (a, b) ->
+      let src = "x0^3 * x1 - tanh(x0 * x1) + 0.5" in
+      let e = parse_ok src in
+      let direct =
+        Expr.(
+          add
+            (sub (mul (pow (var 0) 3) (var 1)) (tanh_ (mul (var 0) (var 1))))
+            (const 0.5))
+      in
+      let x = [| a; b |] in
+      Float.abs (Expr.eval e ~x ~u:[||] -. Expr.eval direct ~x ~u:[||]) < 1e-12)
+
+let test_size_and_pp () =
+  let e = Expr.(add (mul x0 x1) (const 1.0)) in
+  Alcotest.(check int) "size" 5 (Expr.size e);
+  Alcotest.(check bool) "pp nonempty" true (String.length (Fmt.str "%a" Expr.pp e) > 0)
+
+let suite =
+  [
+    Alcotest.test_case "eval basic" `Quick test_eval_basic;
+    Alcotest.test_case "eval transcendental" `Quick test_eval_transcendental;
+    Alcotest.test_case "constant folding" `Quick test_constant_folding;
+    Alcotest.test_case "div by const zero" `Quick test_div_by_zero_const;
+    Alcotest.test_case "diff polynomial" `Quick test_diff_polynomial;
+    Alcotest.test_case "diff transcendental" `Quick test_diff_transcendental;
+    Alcotest.test_case "diff wrt input" `Quick test_diff_input;
+    Alcotest.test_case "diff tanh" `Quick test_diff_tanh;
+    Alcotest.test_case "lie derivative invariant" `Quick test_lie_derivative_harmonic;
+    Alcotest.test_case "lie derivative linear" `Quick test_lie_derivative_linear;
+    Alcotest.test_case "jacobians" `Quick test_jacobians;
+    Alcotest.test_case "ieval soundness (fixed)" `Quick test_ieval_soundness_fixed;
+    QCheck_alcotest.to_alcotest prop_diff_matches_fd;
+    QCheck_alcotest.to_alcotest prop_ieval_soundness;
+    Alcotest.test_case "size and pp" `Quick test_size_and_pp;
+    Alcotest.test_case "parse arithmetic" `Quick test_parse_arithmetic;
+    Alcotest.test_case "parse precedence" `Quick test_parse_precedence;
+    Alcotest.test_case "parse unary minus" `Quick test_parse_unary_minus;
+    Alcotest.test_case "parse functions" `Quick test_parse_functions;
+    Alcotest.test_case "parse van der pol" `Quick test_parse_vanderpol;
+    Alcotest.test_case "parse scientific" `Quick test_parse_scientific_notation;
+    Alcotest.test_case "parse pi" `Quick test_parse_pi;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "parse system" `Quick test_parse_system;
+    Alcotest.test_case "parse system error" `Quick test_parse_system_error_position;
+    QCheck_alcotest.to_alcotest prop_parse_roundtrip_eval;
+  ]

@@ -1,0 +1,115 @@
+(* End-to-end integration tests: the full design-while-verify pipeline on
+   the ACC system (fast enough for CI), plus learner/initset interplay.
+   The NN systems' pipelines run in the benchmark harness; here we keep a
+   single `Slow oscillator smoke test. *)
+
+module Box = Dwv_interval.Box
+module Verifier = Dwv_reach.Verifier
+module Flowpipe = Dwv_reach.Flowpipe
+module Spec = Dwv_core.Spec
+module Learner = Dwv_core.Learner
+module Metrics = Dwv_core.Metrics
+module Evaluate = Dwv_core.Evaluate
+module Initset = Dwv_core.Initset
+module Acc = Dwv_systems.Acc
+module Oscillator = Dwv_systems.Oscillator
+module Rng = Dwv_util.Rng
+
+let acc_cfg = { Learner.default_config with max_iters = 150; alpha = 0.2; beta = 0.2 }
+
+let learn_acc metric =
+  Learner.learn acc_cfg ~metric ~spec:Acc.spec ~verify:Acc.verify
+    ~init:Acc.initial_controller
+
+let test_acc_geometric_end_to_end () =
+  let r = learn_acc Metrics.Geometric in
+  Alcotest.(check bool) "formally verified" true (r.Learner.verdict = Verifier.Reach_avoid);
+  Alcotest.(check bool) "reasonable CI" true (r.Learner.iterations < 150);
+  (* the formal guarantee must hold experimentally: 500 random rollouts *)
+  let rng = Rng.create 123 in
+  let rates =
+    Evaluate.rates ~n:500 ~rng ~sys:Acc.sampled
+      ~controller:(Acc.sim_controller r.Learner.controller) ~spec:Acc.spec ()
+  in
+  Alcotest.(check (float 1e-9)) "SC 100%" 100.0 rates.Evaluate.safe_percent;
+  Alcotest.(check (float 1e-9)) "GR 100%" 100.0 rates.Evaluate.goal_percent
+
+let test_acc_wasserstein_end_to_end () =
+  let r =
+    Learner.learn { acc_cfg with alpha = 0.4; beta = 0.4 } ~metric:Metrics.Wasserstein
+      ~spec:Acc.spec ~verify:Acc.verify ~init:Acc.initial_controller
+  in
+  Alcotest.(check bool) "formally verified" true (r.Learner.verdict = Verifier.Reach_avoid)
+
+let test_acc_initset_after_learning () =
+  let r = learn_acc Metrics.Geometric in
+  (* after Algorithm 1 succeeds on the whole X0, Algorithm 2 must certify
+     full coverage immediately *)
+  let xi =
+    Initset.search ~max_depth:3
+      ~verify:(fun cell -> Acc.verify_from cell r.Learner.controller)
+      ~goal:Acc.spec.Spec.goal ~x0:Acc.spec.Spec.x0 ()
+  in
+  Alcotest.(check (float 1e-9)) "full coverage" 1.0 xi.Initset.coverage;
+  Alcotest.(check int) "one call suffices" 1 xi.Initset.verifier_calls
+
+let test_acc_learning_curve_shape () =
+  (* Fig. 4 property: the objective of the accepted iterations never ends
+     below where it started, and the final verdict is flagged in the
+     history *)
+  let r = learn_acc Metrics.Geometric in
+  let history = Array.of_list r.Learner.history in
+  let first = history.(0) and last = history.(Array.length history - 1) in
+  Alcotest.(check bool) "objective improved" true
+    (last.Learner.objective > first.Learner.objective);
+  Alcotest.(check bool) "last point verified" true
+    (last.Learner.verdict = Verifier.Reach_avoid);
+  Alcotest.(check bool) "first point not verified" true
+    (first.Learner.verdict <> Verifier.Reach_avoid)
+
+let test_acc_flowpipe_respects_formal_claims () =
+  (* if the verdict says reach-avoid, the flowpipe itself must witness it *)
+  let r = learn_acc Metrics.Geometric in
+  let pipe = r.Learner.pipe in
+  Alcotest.(check bool) "no unsafe contact" true
+    (Verifier.safety_ok ~unsafe:Acc.spec.Spec.unsafe pipe);
+  (match Verifier.goal_step ~goal:Acc.spec.Spec.goal pipe with
+  | Some k -> Alcotest.(check bool) "goal step within horizon" true (k <= Acc.spec.Spec.steps)
+  | None -> Alcotest.fail "verdict claims reach-avoid but no goal step found")
+
+let test_oscillator_polar_end_to_end () =
+  (* single-seed NN smoke test (a few seconds) *)
+  let init =
+    Oscillator.pretrained_controller
+      ~config:{ Dwv_nn.Pretrain.default_config with epochs = 100 }
+      (Rng.create 1)
+  in
+  let cfg =
+    { Learner.default_config with
+      max_iters = 12; alpha = 0.05; beta = 0.05; perturbation = 0.02;
+      gradient_mode = Learner.Spsa 2; seed = 1 }
+  in
+  let r =
+    Learner.learn cfg ~metric:Metrics.Geometric ~spec:Oscillator.spec
+      ~verify:(Oscillator.verify ~method_:Verifier.Polar) ~init
+  in
+  Alcotest.(check bool) "verified" true (r.Learner.verdict = Verifier.Reach_avoid);
+  (* experimental check *)
+  let rng = Rng.create 5 in
+  let rates =
+    Evaluate.rates ~n:100 ~rng ~sys:Oscillator.sampled
+      ~controller:(Oscillator.sim_controller r.Learner.controller) ~spec:Oscillator.spec ()
+  in
+  Alcotest.(check (float 1e-9)) "SC 100%" 100.0 rates.Evaluate.safe_percent;
+  Alcotest.(check (float 1e-9)) "GR 100%" 100.0 rates.Evaluate.goal_percent
+
+let suite =
+  [
+    Alcotest.test_case "acc geometric e2e" `Quick test_acc_geometric_end_to_end;
+    Alcotest.test_case "acc wasserstein e2e" `Quick test_acc_wasserstein_end_to_end;
+    Alcotest.test_case "acc initset after learning" `Quick test_acc_initset_after_learning;
+    Alcotest.test_case "acc learning curve" `Quick test_acc_learning_curve_shape;
+    Alcotest.test_case "acc flowpipe witnesses verdict" `Quick
+      test_acc_flowpipe_respects_formal_claims;
+    Alcotest.test_case "oscillator polar e2e" `Slow test_oscillator_polar_end_to_end;
+  ]

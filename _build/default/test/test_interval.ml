@@ -1,0 +1,231 @@
+(* Tests for dwv_interval: interval arithmetic soundness (including
+   qcheck properties: any point image lies in the interval image) and box
+   set operations. *)
+
+module I = Dwv_interval.Interval
+module Box = Dwv_interval.Box
+
+let check_float = Alcotest.(check (float 1e-12))
+
+let iv lo hi = I.make lo hi
+
+let test_make_validation () =
+  Alcotest.check_raises "lo > hi" (Invalid_argument "Interval.make: lo > hi") (fun () ->
+      ignore (I.make 1.0 0.0));
+  Alcotest.check_raises "nan" (Invalid_argument "Interval.make: non-finite bound") (fun () ->
+      ignore (I.make Float.nan 0.0))
+
+let test_basic_accessors () =
+  let t = iv 1.0 3.0 in
+  check_float "mid" 2.0 (I.mid t);
+  check_float "rad" 1.0 (I.rad t);
+  check_float "width" 2.0 (I.width t);
+  Alcotest.(check bool) "contains" true (I.contains t 2.5);
+  Alcotest.(check bool) "not contains" false (I.contains t 3.5)
+
+let test_add_sub () =
+  let a = iv 1.0 2.0 and b = iv (-1.0) 3.0 in
+  Alcotest.(check bool) "add" true (I.equal (I.add a b) (iv 0.0 5.0));
+  Alcotest.(check bool) "sub" true (I.equal (I.sub a b) (iv (-2.0) 3.0))
+
+let test_mul_signs () =
+  Alcotest.(check bool) "pos*pos" true (I.equal (I.mul (iv 1.0 2.0) (iv 3.0 4.0)) (iv 3.0 8.0));
+  Alcotest.(check bool) "neg*pos" true
+    (I.equal (I.mul (iv (-2.0) (-1.0)) (iv 3.0 4.0)) (iv (-8.0) (-3.0)));
+  Alcotest.(check bool) "straddle" true
+    (I.equal (I.mul (iv (-1.0) 2.0) (iv (-3.0) 4.0)) (iv (-6.0) 8.0))
+
+let test_sqr_tight () =
+  (* sqr must be tighter than mul t t when t straddles zero *)
+  let t = iv (-1.0) 2.0 in
+  Alcotest.(check bool) "sqr lower bound 0" true (I.equal (I.sqr t) (iv 0.0 4.0));
+  Alcotest.(check bool) "mul is looser" true (I.lo (I.mul t t) < 0.0)
+
+let test_div_by_zero_raises () =
+  Alcotest.check_raises "div" (Failure "Interval.inv: interval contains zero") (fun () ->
+      ignore (I.div (iv 1.0 2.0) (iv (-1.0) 1.0)))
+
+let test_pow_int () =
+  Alcotest.(check bool) "cube of negative" true
+    (I.equal (I.pow_int (iv (-2.0) (-1.0)) 3) (iv (-8.0) (-1.0)));
+  Alcotest.(check bool) "even power straddle" true
+    (I.equal (I.pow_int (iv (-2.0) 1.0) 2) (iv 0.0 4.0));
+  Alcotest.(check bool) "power zero" true (I.equal (I.pow_int (iv (-2.0) 1.0) 0) I.one)
+
+let test_intersect_hull () =
+  let a = iv 0.0 2.0 and b = iv 1.0 3.0 in
+  (match I.intersect a b with
+  | Some m -> Alcotest.(check bool) "meet" true (I.equal m (iv 1.0 2.0))
+  | None -> Alcotest.fail "expected overlap");
+  Alcotest.(check bool) "disjoint" true (I.intersect (iv 0.0 1.0) (iv 2.0 3.0) = None);
+  Alcotest.(check bool) "hull" true (I.equal (I.hull a b) (iv 0.0 3.0))
+
+let test_distance_overlap () =
+  check_float "gap" 1.0 (I.distance (iv 0.0 1.0) (iv 2.0 3.0));
+  check_float "overlapping" 0.0 (I.distance (iv 0.0 2.0) (iv 1.0 3.0));
+  check_float "overlap length" 1.0 (I.overlap_length (iv 0.0 2.0) (iv 1.0 3.0));
+  check_float "no overlap" 0.0 (I.overlap_length (iv 0.0 1.0) (iv 2.0 3.0))
+
+let test_sin_quadrants () =
+  (* includes the max at pi/2 *)
+  let s = I.sin_ (iv 0.0 3.0) in
+  Alcotest.(check (float 1e-9)) "hi = 1" 1.0 (I.hi s);
+  Alcotest.(check bool) "lo = min endpoint" true (I.lo s <= sin 3.0 +. 1e-9);
+  (* a full period covers [-1,1] *)
+  let full = I.sin_ (iv 0.0 7.0) in
+  Alcotest.(check (float 1e-9)) "full lo" (-1.0) (I.lo full);
+  Alcotest.(check (float 1e-9)) "full hi" 1.0 (I.hi full)
+
+let test_monotone_functions () =
+  let t = iv (-1.0) 1.0 in
+  Alcotest.(check bool) "exp monotone" true
+    (I.lo (I.exp_ t) <= exp (-1.0) && I.hi (I.exp_ t) >= exp 1.0);
+  Alcotest.(check bool) "tanh monotone" true
+    (I.lo (I.tanh_ t) <= tanh (-1.0) && I.hi (I.tanh_ t) >= tanh 1.0)
+
+let test_relu () =
+  Alcotest.(check bool) "straddle" true (I.equal (I.relu (iv (-1.0) 2.0)) (iv 0.0 2.0));
+  Alcotest.(check bool) "negative" true (I.equal (I.relu (iv (-2.0) (-1.0))) I.zero)
+
+(* Soundness property: for x in a, f x in F a (fundamental theorem of
+   interval arithmetic), checked on a compound expression. *)
+let prop_interval_soundness =
+  QCheck.Test.make ~name:"interval eval contains point eval" ~count:500
+    QCheck.(
+      quad (float_range (-2.0) 2.0) (float_range 0.0 1.5) (float_range (-2.0) 2.0)
+        (float_range 0.0 1.0))
+    (fun (lo, w, x_frac, _) ->
+      let a = iv lo (lo +. w) in
+      let x = I.sample a ~t:(Float.abs (Float.rem x_frac 1.0)) in
+      (* f(x) = sin(x)*x^2 + exp(tanh x) - relu x *)
+      let fx = (sin x *. (x ** 2.0)) +. exp (tanh x) -. Float.max x 0.0 in
+      let fa =
+        I.sub (I.add (I.mul (I.sin_ a) (I.sqr a)) (I.exp_ (I.tanh_ a))) (I.relu a)
+      in
+      I.contains (I.widen ~eps:1e-9 fa) fx)
+
+let prop_mul_contains_products =
+  QCheck.Test.make ~name:"mul contains pointwise products" ~count:500
+    QCheck.(
+      quad (float_range (-3.0) 3.0) (float_range 0.0 2.0) (float_range (-3.0) 3.0)
+        (float_range 0.0 2.0))
+    (fun (a_lo, a_w, b_lo, b_w) ->
+      let a = iv a_lo (a_lo +. a_w) and b = iv b_lo (b_lo +. b_w) in
+      let p = I.mul a b in
+      List.for_all
+        (fun (x, y) -> I.contains (I.widen p) (x *. y))
+        [ (a_lo, b_lo); (a_lo, b_lo +. b_w); (a_lo +. a_w, b_lo); (a_lo +. a_w, b_lo +. b_w) ])
+
+(* ---------------- boxes ---------------- *)
+
+let box2 lo0 hi0 lo1 hi1 = Box.make ~lo:[| lo0; lo1 |] ~hi:[| hi0; hi1 |]
+
+let test_box_volume () =
+  check_float "volume" 6.0 (Box.volume (box2 0.0 2.0 0.0 3.0))
+
+let test_box_contains () =
+  let b = box2 0.0 1.0 0.0 1.0 in
+  Alcotest.(check bool) "inside" true (Box.contains b [| 0.5; 0.5 |]);
+  Alcotest.(check bool) "outside" false (Box.contains b [| 1.5; 0.5 |]);
+  Alcotest.(check bool) "boundary" true (Box.contains b [| 1.0; 1.0 |])
+
+let test_box_intersection_volume () =
+  let a = box2 0.0 2.0 0.0 2.0 and b = box2 1.0 3.0 1.0 3.0 in
+  check_float "overlap volume" 1.0 (Box.intersection_volume a b);
+  check_float "disjoint volume" 0.0
+    (Box.intersection_volume a (box2 5.0 6.0 5.0 6.0))
+
+let test_box_sq_distance () =
+  let a = box2 0.0 1.0 0.0 1.0 in
+  check_float "touching" 0.0 (Box.sq_distance a (box2 1.0 2.0 0.0 1.0));
+  check_float "axis gap" 4.0 (Box.sq_distance a (box2 3.0 4.0 0.0 1.0));
+  check_float "diagonal gap" 8.0 (Box.sq_distance a (box2 3.0 4.0 3.0 4.0))
+
+let test_box_subset () =
+  let outer = box2 0.0 10.0 0.0 10.0 in
+  Alcotest.(check bool) "inside" true (Box.subset (box2 1.0 2.0 1.0 2.0) outer);
+  Alcotest.(check bool) "partial" false (Box.subset (box2 9.0 11.0 1.0 2.0) outer)
+
+let test_box_bisect () =
+  let b = box2 0.0 4.0 0.0 1.0 in
+  let left, right = Box.bisect b in
+  (* splits the widest dimension (0) at its midpoint *)
+  check_float "left hi" 2.0 (I.hi (Box.get left 0));
+  check_float "right lo" 2.0 (I.lo (Box.get right 0));
+  check_float "volume conserved" (Box.volume b) (Box.volume left +. Box.volume right)
+
+let test_box_partition () =
+  let b = box2 0.0 2.0 0.0 2.0 in
+  let cells = Box.partition [| 2; 2 |] b in
+  Alcotest.(check int) "cell count" 4 (List.length cells);
+  let total = List.fold_left (fun acc c -> acc +. Box.volume c) 0.0 cells in
+  check_float "volume conserved" 4.0 total
+
+let test_box_corners () =
+  let b = box2 0.0 1.0 2.0 3.0 in
+  Alcotest.(check int) "corner count" 4 (List.length (Box.corners b))
+
+let test_box_bloat () =
+  let b = box2 0.0 1.0 0.0 1.0 in
+  let g = Box.bloat 0.5 b in
+  check_float "bloated volume" 4.0 (Box.volume g);
+  Alcotest.check_raises "negative" (Invalid_argument "Box.bloat: negative epsilon")
+    (fun () -> ignore (Box.bloat (-1.0) b))
+
+let test_box_normalize_roundtrip () =
+  let b = box2 (-1.0) 3.0 2.0 8.0 in
+  let z = [| 0.5; -0.25 |] in
+  let x = Box.denormalize b z in
+  Alcotest.(check (array (float 1e-12))) "roundtrip" z (Box.normalize b x)
+
+let test_box_hull () =
+  let h = Box.hull (box2 0.0 1.0 0.0 1.0) (box2 2.0 3.0 (-1.0) 0.5) in
+  Alcotest.(check bool) "hull" true (Box.equal h (box2 0.0 3.0 (-1.0) 1.0))
+
+let prop_partition_cells_subset =
+  QCheck.Test.make ~name:"partition cells are subsets" ~count:100
+    QCheck.(pair (int_range 1 4) (int_range 1 4))
+    (fun (p, q) ->
+      let b = box2 (-1.0) 2.0 0.0 5.0 in
+      let cells = Box.partition [| p; q |] b in
+      List.length cells = p * q
+      && List.for_all (fun c -> Box.subset c (Box.bloat 1e-9 b)) cells)
+
+let prop_sample_in_box =
+  QCheck.Test.make ~name:"samples land inside the box" ~count:200
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let rng = Dwv_util.Rng.create seed in
+      let b = box2 (-2.0) (-1.0) 3.0 7.0 in
+      Box.contains b (Box.sample rng b))
+
+let suite =
+  [
+    Alcotest.test_case "make validation" `Quick test_make_validation;
+    Alcotest.test_case "accessors" `Quick test_basic_accessors;
+    Alcotest.test_case "add/sub" `Quick test_add_sub;
+    Alcotest.test_case "mul signs" `Quick test_mul_signs;
+    Alcotest.test_case "sqr tight" `Quick test_sqr_tight;
+    Alcotest.test_case "div by zero" `Quick test_div_by_zero_raises;
+    Alcotest.test_case "pow_int" `Quick test_pow_int;
+    Alcotest.test_case "intersect/hull" `Quick test_intersect_hull;
+    Alcotest.test_case "distance/overlap" `Quick test_distance_overlap;
+    Alcotest.test_case "sin quadrants" `Quick test_sin_quadrants;
+    Alcotest.test_case "monotone functions" `Quick test_monotone_functions;
+    Alcotest.test_case "relu" `Quick test_relu;
+    QCheck_alcotest.to_alcotest prop_interval_soundness;
+    QCheck_alcotest.to_alcotest prop_mul_contains_products;
+    Alcotest.test_case "box volume" `Quick test_box_volume;
+    Alcotest.test_case "box contains" `Quick test_box_contains;
+    Alcotest.test_case "box intersection volume" `Quick test_box_intersection_volume;
+    Alcotest.test_case "box sq distance" `Quick test_box_sq_distance;
+    Alcotest.test_case "box subset" `Quick test_box_subset;
+    Alcotest.test_case "box bisect" `Quick test_box_bisect;
+    Alcotest.test_case "box partition" `Quick test_box_partition;
+    Alcotest.test_case "box corners" `Quick test_box_corners;
+    Alcotest.test_case "box bloat" `Quick test_box_bloat;
+    Alcotest.test_case "box normalize roundtrip" `Quick test_box_normalize_roundtrip;
+    Alcotest.test_case "box hull" `Quick test_box_hull;
+    QCheck_alcotest.to_alcotest prop_partition_cells_subset;
+    QCheck_alcotest.to_alcotest prop_sample_in_box;
+  ]

@@ -1,0 +1,21 @@
+(* Test runner: one alcotest binary aggregating every module suite. *)
+
+let () =
+  Alcotest.run "dwv"
+    [
+      ("util", Test_util.suite);
+      ("la", Test_la.suite);
+      ("interval", Test_interval.suite);
+      ("expr", Test_expr.suite);
+      ("poly", Test_poly.suite);
+      ("taylor", Test_taylor.suite);
+      ("geometry", Test_geometry.suite);
+      ("ode", Test_ode.suite);
+      ("nn", Test_nn.suite);
+      ("transport", Test_transport.suite);
+      ("reach", Test_reach.suite);
+      ("core", Test_core.suite);
+      ("rl", Test_rl.suite);
+      ("systems", Test_systems.suite);
+      ("integration", Test_integration.suite);
+    ]

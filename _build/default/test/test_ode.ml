@@ -1,0 +1,147 @@
+(* Tests for dwv_ode: RK4 accuracy against closed-form solutions, the
+   sampled-data closed loop, field bounds. *)
+
+module Expr = Dwv_expr.Expr
+module Rk4 = Dwv_ode.Rk4
+module Sampled_system = Dwv_ode.Sampled_system
+module I = Dwv_interval.Interval
+
+let test_rk4_exponential_decay () =
+  (* x' = -x: x(t) = e^{-t} *)
+  let f = [| Expr.neg (Expr.var 0) |] in
+  let x = Rk4.integrate ~f ~u:[||] ~duration:1.0 ~substeps:20 [| 1.0 |] in
+  Alcotest.(check (float 1e-7)) "e^-1" (exp (-1.0)) x.(0)
+
+let test_rk4_harmonic () =
+  (* x'' = -x from (1, 0): x(t) = cos t *)
+  let f = [| Expr.var 1; Expr.neg (Expr.var 0) |] in
+  let x = Rk4.integrate ~f ~u:[||] ~duration:(Float.pi /. 2.0) ~substeps:50 [| 1.0; 0.0 |] in
+  Alcotest.(check (float 1e-6)) "cos(pi/2)" 0.0 x.(0);
+  Alcotest.(check (float 1e-6)) "-sin(pi/2)" (-1.0) x.(1)
+
+let test_rk4_controlled () =
+  (* x' = u: linear growth *)
+  let f = [| Expr.input 0 |] in
+  let x = Rk4.integrate ~f ~u:[| 2.5 |] ~duration:2.0 ~substeps:4 [| 1.0 |] in
+  Alcotest.(check (float 1e-10)) "linear" 6.0 x.(0)
+
+let test_rk4_fourth_order_convergence () =
+  (* halving the step should cut the error by about 2^4 *)
+  let f = [| Expr.(mul (var 0) (cos_ (var 0))) |] in
+  let reference = Rk4.integrate ~f ~u:[||] ~duration:1.0 ~substeps:400 [| 0.5 |] in
+  let coarse = Rk4.integrate ~f ~u:[||] ~duration:1.0 ~substeps:5 [| 0.5 |] in
+  let fine = Rk4.integrate ~f ~u:[||] ~duration:1.0 ~substeps:10 [| 0.5 |] in
+  let e_coarse = Float.abs (coarse.(0) -. reference.(0)) in
+  let e_fine = Float.abs (fine.(0) -. reference.(0)) in
+  Alcotest.(check bool) "order ~4" true (e_coarse /. Float.max e_fine 1e-18 > 8.0)
+
+let test_rk4_dense_endpoints () =
+  let f = [| Expr.neg (Expr.var 0) |] in
+  let states = Rk4.integrate_dense ~f ~u:[||] ~duration:1.0 ~substeps:10 [| 2.0 |] in
+  Alcotest.(check int) "count" 11 (Array.length states);
+  Alcotest.(check (float 1e-12)) "initial" 2.0 states.(0).(0);
+  let final = Rk4.integrate ~f ~u:[||] ~duration:1.0 ~substeps:10 [| 2.0 |] in
+  Alcotest.(check (float 1e-12)) "final matches" final.(0) states.(10).(0)
+
+let test_rk4_substeps_guard () =
+  Alcotest.check_raises "bad substeps" (Invalid_argument "Rk4.integrate: substeps must be >= 1")
+    (fun () -> ignore (Rk4.integrate ~f:[| Expr.var 0 |] ~u:[||] ~duration:1.0 ~substeps:0 [| 1.0 |]))
+
+let make_decay () =
+  Sampled_system.make ~f:[| Expr.(add (neg (var 0)) (input 0)) |] ~n:1 ~m:1 ~delta:0.5
+
+let test_sampled_simulate_zoh () =
+  (* u = 1 held: x converges to 1 *)
+  let sys = make_decay () in
+  let trace = Sampled_system.simulate sys ~controller:(fun _ -> [| 1.0 |]) ~x0:[| 0.0 |] ~steps:30 in
+  Alcotest.(check int) "states" 31 (Array.length trace.Sampled_system.states);
+  Alcotest.(check (float 1e-4)) "steady state" 1.0 trace.Sampled_system.states.(30).(0)
+
+let test_sampled_zoh_holds_input () =
+  (* a controller reading the state only at sample instants: compare one
+     period against direct RK4 with constant input *)
+  let sys = make_decay () in
+  let u = [| 0.7 |] in
+  let direct = Dwv_ode.Rk4.integrate ~f:sys.Sampled_system.f ~u ~duration:0.5 ~substeps:10 [| 2.0 |] in
+  let stepped = Sampled_system.step sys ~u [| 2.0 |] in
+  Alcotest.(check (float 1e-12)) "one period" direct.(0) stepped.(0)
+
+let test_sampled_trace_inputs_recorded () =
+  let sys = make_decay () in
+  let k = ref 0 in
+  let controller _ = incr k; [| float_of_int !k |] in
+  let trace = Sampled_system.simulate sys ~controller ~x0:[| 0.0 |] ~steps:3 in
+  Alcotest.(check (array (float 1e-12))) "inputs" [| 1.0 |] trace.Sampled_system.inputs.(0);
+  Alcotest.(check (array (float 1e-12))) "inputs" [| 3.0 |] trace.Sampled_system.inputs.(2)
+
+let test_field_bound () =
+  let sys = make_decay () in
+  (* |f| = |-x + u| over x in [-2, 1], u in [0, 1]: max |(-(-2)) + 1| = 3 *)
+  let b = Sampled_system.field_bound sys ~x:[| I.make (-2.0) 1.0 |] ~u:[| I.make 0.0 1.0 |] in
+  Alcotest.(check (float 1e-12)) "bound" 3.0 b
+
+let test_make_validation () =
+  Alcotest.check_raises "bad delta" (Invalid_argument "Sampled_system.make: delta must be positive")
+    (fun () -> ignore (Sampled_system.make ~f:[| Expr.var 0 |] ~n:1 ~m:0 ~delta:0.0));
+  Alcotest.check_raises "arity" (Invalid_argument "Sampled_system.make: |f| must equal n")
+    (fun () -> ignore (Sampled_system.make ~f:[| Expr.var 0 |] ~n:2 ~m:0 ~delta:0.1))
+
+module Rk45 = Dwv_ode.Rk45
+
+let test_rk45_exponential () =
+  let f = [| Expr.neg (Expr.var 0) |] in
+  let x, stats = Rk45.integrate ~f ~u:[||] ~duration:2.0 [| 1.0 |] in
+  Alcotest.(check (float 1e-8)) "e^-2" (exp (-2.0)) x.(0);
+  Alcotest.(check bool) "accepted steps" true (stats.Rk45.steps_accepted > 0)
+
+let test_rk45_harmonic_long () =
+  (* one full period of the harmonic oscillator: x returns to start *)
+  let f = [| Expr.var 1; Expr.neg (Expr.var 0) |] in
+  let x, _ = Rk45.integrate ~rtol:1e-10 ~f ~u:[||] ~duration:(2.0 *. Float.pi) [| 1.0; 0.0 |] in
+  Alcotest.(check (float 1e-6)) "x1 returns" 1.0 x.(0);
+  Alcotest.(check (float 1e-6)) "x2 returns" 0.0 x.(1)
+
+let test_rk45_matches_rk4 () =
+  let f = Dwv_systems.Oscillator.dynamics in
+  let u = [| 0.4 |] in
+  let x0 = [| -0.5; 0.5 |] in
+  let reference = Rk4.integrate ~f ~u ~duration:1.0 ~substeps:2000 x0 in
+  let adaptive, _ = Rk45.integrate ~rtol:1e-10 ~atol:1e-12 ~f ~u ~duration:1.0 x0 in
+  Alcotest.(check (float 1e-7)) "x1 agrees" reference.(0) adaptive.(0);
+  Alcotest.(check (float 1e-7)) "x2 agrees" reference.(1) adaptive.(1)
+
+let test_rk45_adapts_step () =
+  (* a loose tolerance must take far fewer steps than a tight one *)
+  let f = [| Expr.(mul (neg (var 0)) (cos_ (var 0))) |] in
+  let _, loose = Rk45.integrate ~rtol:1e-4 ~f ~u:[||] ~duration:5.0 [| 1.0 |] in
+  let _, tight = Rk45.integrate ~rtol:1e-12 ~f ~u:[||] ~duration:5.0 [| 1.0 |] in
+  Alcotest.(check bool) "fewer steps when loose" true
+    (loose.Rk45.steps_accepted < tight.Rk45.steps_accepted)
+
+let prop_linear_decay_matches_exact =
+  QCheck.Test.make ~name:"rk4 matches exact linear solution" ~count:100
+    QCheck.(pair (float_range (-2.0) 2.0) (float_range 0.1 1.0))
+    (fun (x0, t) ->
+      let f = [| Expr.scale (-0.5) (Expr.var 0) |] in
+      let x = Rk4.integrate ~f ~u:[||] ~duration:t ~substeps:30 [| x0 |] in
+      Float.abs (x.(0) -. (x0 *. exp (-0.5 *. t))) < 1e-8)
+
+let suite =
+  [
+    Alcotest.test_case "rk4 exponential" `Quick test_rk4_exponential_decay;
+    Alcotest.test_case "rk4 harmonic" `Quick test_rk4_harmonic;
+    Alcotest.test_case "rk4 controlled" `Quick test_rk4_controlled;
+    Alcotest.test_case "rk4 4th order" `Quick test_rk4_fourth_order_convergence;
+    Alcotest.test_case "rk4 dense endpoints" `Quick test_rk4_dense_endpoints;
+    Alcotest.test_case "rk4 substeps guard" `Quick test_rk4_substeps_guard;
+    Alcotest.test_case "sampled simulate" `Quick test_sampled_simulate_zoh;
+    Alcotest.test_case "sampled ZOH hold" `Quick test_sampled_zoh_holds_input;
+    Alcotest.test_case "sampled inputs recorded" `Quick test_sampled_trace_inputs_recorded;
+    Alcotest.test_case "field bound" `Quick test_field_bound;
+    Alcotest.test_case "make validation" `Quick test_make_validation;
+    QCheck_alcotest.to_alcotest prop_linear_decay_matches_exact;
+    Alcotest.test_case "rk45 exponential" `Quick test_rk45_exponential;
+    Alcotest.test_case "rk45 harmonic period" `Quick test_rk45_harmonic_long;
+    Alcotest.test_case "rk45 matches rk4" `Quick test_rk45_matches_rk4;
+    Alcotest.test_case "rk45 adapts step" `Quick test_rk45_adapts_step;
+  ]

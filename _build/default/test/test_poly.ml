@@ -1,0 +1,219 @@
+(* Tests for dwv_poly: polynomial arithmetic (including the packed
+   monomial representation), range enclosures, Bernstein approximation. *)
+
+module Poly = Dwv_poly.Poly
+module Bernstein = Dwv_poly.Bernstein
+module I = Dwv_interval.Interval
+module Box = Dwv_interval.Box
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* p(z0, z1) = 2 + 3 z0 - z0 z1^2 *)
+let sample_poly () =
+  Poly.of_terms 2 [ ([| 0; 0 |], 2.0); ([| 1; 0 |], 3.0); ([| 1; 2 |], -1.0) ]
+
+let test_eval () =
+  let p = sample_poly () in
+  check_float "at (1,2)" (2.0 +. 3.0 -. 4.0) (Poly.eval p [| 1.0; 2.0 |]);
+  check_float "at (0,5)" 2.0 (Poly.eval p [| 0.0; 5.0 |])
+
+let test_degree_terms () =
+  let p = sample_poly () in
+  Alcotest.(check int) "degree" 3 (Poly.degree p);
+  Alcotest.(check int) "terms" 3 (Poly.num_terms p);
+  check_float "constant" 2.0 (Poly.constant_term p)
+
+let test_add_cancel () =
+  let p = sample_poly () in
+  let z = Poly.sub p p in
+  Alcotest.(check bool) "cancellation" true (Poly.is_zero z)
+
+let test_mul_known () =
+  (* (1 + z0)(1 - z0) = 1 - z0^2 *)
+  let one_plus = Poly.of_terms 1 [ ([| 0 |], 1.0); ([| 1 |], 1.0) ] in
+  let one_minus = Poly.of_terms 1 [ ([| 0 |], 1.0); ([| 1 |], -1.0) ] in
+  let expected = Poly.of_terms 1 [ ([| 0 |], 1.0); ([| 2 |], -1.0) ] in
+  Alcotest.(check bool) "product" true (Poly.equal (Poly.mul one_plus one_minus) expected)
+
+let test_pow () =
+  (* (z0 + 1)^3 evaluated matches *)
+  let p = Poly.of_terms 1 [ ([| 0 |], 1.0); ([| 1 |], 1.0) ] in
+  let cube = Poly.pow p 3 in
+  check_float "at 2" 27.0 (Poly.eval cube [| 2.0 |]);
+  Alcotest.(check int) "degree" 3 (Poly.degree cube)
+
+let test_truncate () =
+  let p = sample_poly () in
+  let low, high = Poly.truncate ~order:1 p in
+  Alcotest.(check int) "low degree" 1 (Poly.degree low);
+  Alcotest.(check int) "dropped terms" 1 (Poly.num_terms high);
+  Alcotest.(check bool) "partition" true (Poly.equal (Poly.add low high) p)
+
+let test_split_var () =
+  let p = sample_poly () in
+  let without, with_ = Poly.split_var p 1 in
+  Alcotest.(check int) "terms without z1" 2 (Poly.num_terms without);
+  Alcotest.(check int) "terms with z1" 1 (Poly.num_terms with_);
+  Alcotest.(check bool) "partition" true (Poly.equal (Poly.add without with_) p)
+
+let test_diff () =
+  let p = sample_poly () in
+  (* dp/dz1 = -2 z0 z1 *)
+  let d = Poly.diff p 1 in
+  check_float "at (1,3)" (-6.0) (Poly.eval d [| 1.0; 3.0 |])
+
+let test_bound_unit_exact_constant () =
+  let p = Poly.const 2 5.0 in
+  let b = Poly.bound_unit p in
+  check_float "lo" 5.0 (I.lo b);
+  check_float "hi" 5.0 (I.hi b)
+
+let test_bound_unit_even_odd () =
+  (* z0^2 over [-1,1]: [0,1]; z0 over [-1,1]: [-1,1] *)
+  let even = Poly.of_terms 1 [ ([| 2 |], 3.0) ] in
+  Alcotest.(check bool) "even" true (I.equal (Poly.bound_unit even) (I.make 0.0 3.0));
+  let odd = Poly.of_terms 1 [ ([| 1 |], 3.0) ] in
+  Alcotest.(check bool) "odd" true (I.equal (Poly.bound_unit odd) (I.make (-3.0) 3.0))
+
+let test_exponent_range_guard () =
+  Alcotest.check_raises "too large" (Invalid_argument "Poly: exponent out of range [0, 15]")
+    (fun () -> ignore (Poly.of_terms 1 [ ([| 16 |], 1.0) ]))
+
+let test_nvars_guard () =
+  Alcotest.check_raises "too many vars" (Invalid_argument "Poly: nvars must be between 1 and 15")
+    (fun () -> ignore (Poly.zero 16))
+
+let prop_bound_unit_sound =
+  QCheck.Test.make ~name:"bound_unit contains point values" ~count:300
+    QCheck.(pair (float_range (-1.0) 1.0) (float_range (-1.0) 1.0))
+    (fun (a, b) ->
+      let p = sample_poly () in
+      let v = Poly.eval p [| a; b |] in
+      I.contains (I.widen (Poly.bound_unit p)) v)
+
+let prop_mul_eval_homomorphism =
+  QCheck.Test.make ~name:"eval (p*q) = eval p * eval q" ~count:300
+    QCheck.(pair (float_range (-2.0) 2.0) (float_range (-2.0) 2.0))
+    (fun (a, b) ->
+      let p = sample_poly () in
+      let q = Poly.of_terms 2 [ ([| 0; 1 |], 1.0); ([| 2; 0 |], -0.5) ] in
+      let x = [| a; b |] in
+      Float.abs (Poly.eval (Poly.mul p q) x -. (Poly.eval p x *. Poly.eval q x)) < 1e-7)
+
+let prop_ieval_sound =
+  QCheck.Test.make ~name:"ieval over box contains samples" ~count:200
+    QCheck.(pair (float_range 0.0 1.0) (float_range 0.0 1.0))
+    (fun (t0, t1) ->
+      let p = sample_poly () in
+      let box = Box.make ~lo:[| -0.5; 1.0 |] ~hi:[| 2.0; 3.0 |] in
+      let x = Box.denormalize box [| (2.0 *. t0) -. 1.0; (2.0 *. t1) -. 1.0 |] in
+      I.contains (I.widen (Poly.ieval p box)) (Poly.eval p x))
+
+(* ---------------- Bernstein ---------------- *)
+
+let test_binomial () =
+  check_float "C(5,2)" 10.0 (Bernstein.binomial 5 2);
+  check_float "C(n,0)" 1.0 (Bernstein.binomial 7 0);
+  check_float "outside" 0.0 (Bernstein.binomial 3 5)
+
+let test_basis_partition_of_unity () =
+  let d = 4 in
+  List.iter
+    (fun t ->
+      let sum = ref 0.0 in
+      for k = 0 to d do
+        sum := !sum +. Bernstein.basis ~degree:d ~k t
+      done;
+      check_float "partition of unity" 1.0 !sum)
+    [ 0.0; 0.3; 0.5; 0.77; 1.0 ]
+
+let test_bernstein_reproduces_linear () =
+  (* Bernstein operators reproduce affine functions exactly *)
+  let f x = (2.0 *. x.(0)) -. (3.0 *. x.(1)) +. 1.0 in
+  let box = Box.make ~lo:[| 0.0; -1.0 |] ~hi:[| 2.0; 1.0 |] in
+  let a = Bernstein.approximate ~f ~degrees:[| 3; 3 |] box in
+  List.iter
+    (fun p -> Alcotest.(check (float 1e-9)) "affine exact" (f p) (Bernstein.eval a p))
+    [ [| 0.0; -1.0 |]; [| 1.0; 0.0 |]; [| 2.0; 1.0 |]; [| 0.5; 0.25 |] ]
+
+let test_bernstein_interpolates_corners () =
+  let f x = sin x.(0) *. cos x.(1) in
+  let box = Box.make ~lo:[| 0.0; 0.0 |] ~hi:[| 1.0; 1.0 |] in
+  let a = Bernstein.approximate ~f ~degrees:[| 4; 4 |] box in
+  (* Bernstein approximations interpolate the corner samples *)
+  List.iter
+    (fun p -> Alcotest.(check (float 1e-9)) "corner" (f p) (Bernstein.eval a p))
+    (Box.corners box)
+
+let test_bernstein_to_poly_consistent () =
+  let f x = (x.(0) *. x.(0)) +. (0.5 *. x.(1)) in
+  let box = Box.make ~lo:[| -1.0; 0.0 |] ~hi:[| 1.0; 2.0 |] in
+  let a = Bernstein.approximate ~f ~degrees:[| 3; 2 |] box in
+  let p = Bernstein.to_poly a in
+  (* to_poly lives in normalized coordinates t in [0,1]^2 *)
+  List.iter
+    (fun (t0, t1) ->
+      let x = [| -1.0 +. (2.0 *. t0); 2.0 *. t1 |] in
+      Alcotest.(check (float 1e-8)) "power basis agrees" (Bernstein.eval a x)
+        (Poly.eval p [| t0; t1 |]))
+    [ (0.0, 0.0); (0.5, 0.5); (1.0, 1.0); (0.2, 0.9) ]
+
+let test_bernstein_coeff_range_bounds_eval () =
+  let f x = tanh x.(0) in
+  let box = Box.make ~lo:[| -2.0 |] ~hi:[| 2.0 |] in
+  let a = Bernstein.approximate ~f ~degrees:[| 5 |] box in
+  let range = Bernstein.coeff_range a in
+  List.iter
+    (fun x ->
+      Alcotest.(check bool) "in coeff hull" true
+        (I.contains (I.widen range) (Bernstein.eval a [| x |])))
+    [ -2.0; -1.0; 0.0; 0.5; 2.0 ]
+
+let test_bernstein_remainder_sound_1d () =
+  (* |f - B| on a dense grid must stay below the computed remainder *)
+  let f x = sin (2.0 *. x.(0)) in
+  let box = Box.make ~lo:[| 0.0 |] ~hi:[| 1.0 |] in
+  let a = Bernstein.approximate ~f ~degrees:[| 4 |] box in
+  let rem = Bernstein.remainder ~lipschitz:2.0 ~f ~samples_per_dim:12 a in
+  for i = 0 to 100 do
+    let x = [| float_of_int i /. 100.0 |] in
+    let err = Float.abs (f x -. Bernstein.eval a x) in
+    if err > rem +. 1e-9 then
+      Alcotest.failf "remainder violated at %g: err %g > rem %g" x.(0) err rem
+  done
+
+let test_bernstein_remainder_decreases_with_samples () =
+  let f x = exp x.(0) in
+  let box = Box.make ~lo:[| 0.0 |] ~hi:[| 1.0 |] in
+  let a = Bernstein.approximate ~f ~degrees:[| 3 |] box in
+  let coarse = Bernstein.remainder_sampled ~lipschitz:3.0 ~f ~samples_per_dim:3 a in
+  let fine = Bernstein.remainder_sampled ~lipschitz:3.0 ~f ~samples_per_dim:30 a in
+  Alcotest.(check bool) "finer grid tightens" true (fine < coarse)
+
+let suite =
+  [
+    Alcotest.test_case "eval" `Quick test_eval;
+    Alcotest.test_case "degree/terms" `Quick test_degree_terms;
+    Alcotest.test_case "add cancellation" `Quick test_add_cancel;
+    Alcotest.test_case "mul known" `Quick test_mul_known;
+    Alcotest.test_case "pow" `Quick test_pow;
+    Alcotest.test_case "truncate" `Quick test_truncate;
+    Alcotest.test_case "split_var" `Quick test_split_var;
+    Alcotest.test_case "diff" `Quick test_diff;
+    Alcotest.test_case "bound_unit constant exact" `Quick test_bound_unit_exact_constant;
+    Alcotest.test_case "bound_unit even/odd" `Quick test_bound_unit_even_odd;
+    Alcotest.test_case "exponent guard" `Quick test_exponent_range_guard;
+    Alcotest.test_case "nvars guard" `Quick test_nvars_guard;
+    QCheck_alcotest.to_alcotest prop_bound_unit_sound;
+    QCheck_alcotest.to_alcotest prop_mul_eval_homomorphism;
+    QCheck_alcotest.to_alcotest prop_ieval_sound;
+    Alcotest.test_case "binomial" `Quick test_binomial;
+    Alcotest.test_case "basis partition of unity" `Quick test_basis_partition_of_unity;
+    Alcotest.test_case "bernstein linear exact" `Quick test_bernstein_reproduces_linear;
+    Alcotest.test_case "bernstein corners" `Quick test_bernstein_interpolates_corners;
+    Alcotest.test_case "bernstein to_poly" `Quick test_bernstein_to_poly_consistent;
+    Alcotest.test_case "bernstein coeff range" `Quick test_bernstein_coeff_range_bounds_eval;
+    Alcotest.test_case "bernstein remainder sound" `Quick test_bernstein_remainder_sound_1d;
+    Alcotest.test_case "bernstein remainder tightens" `Quick
+      test_bernstein_remainder_decreases_with_samples;
+  ]

@@ -1,0 +1,173 @@
+(* Tests for dwv_rl: environment semantics, replay buffer, the SVG BPTT
+   gradient against finite differences, and short-budget training runs of
+   both baselines on an easy stabilization task. *)
+
+module Expr = Dwv_expr.Expr
+module Box = Dwv_interval.Box
+module Spec = Dwv_core.Spec
+module Env = Dwv_rl.Env
+module Replay = Dwv_rl.Replay
+module Ddpg = Dwv_rl.Ddpg
+module Svg = Dwv_rl.Svg
+module Mlp = Dwv_nn.Mlp
+module Activation = Dwv_nn.Activation
+module Rng = Dwv_util.Rng
+
+(* 1-D integrator: x' = u; goal at the origin, unsafe band far above. *)
+let spec =
+  Spec.make ~name:"integrator" ~x0:(Box.make ~lo:[| 0.6 |] ~hi:[| 1.0 |])
+    ~unsafe:(Box.make ~lo:[| 3.0 |] ~hi:[| 4.0 |])
+    ~goal:(Box.make ~lo:[| -0.1 |] ~hi:[| 0.1 |])
+    ~delta:0.2 ~steps:30
+
+let sys = Dwv_ode.Sampled_system.make ~f:[| Expr.input 0 |] ~n:1 ~m:1 ~delta:0.2
+
+let env = Env.make ~sys ~spec ()
+
+let test_env_reset_in_x0 () =
+  let rng = Rng.create 0 in
+  for _ = 1 to 50 do
+    let x = Env.reset env rng in
+    Alcotest.(check bool) "inside X0" true (Box.contains spec.Spec.x0 x)
+  done
+
+let test_env_step_dynamics () =
+  let r = Env.step env [| 1.0 |] [| -1.0 |] in
+  (* x' = u = -1 for 0.2s: x = 0.8 *)
+  Alcotest.(check (float 1e-9)) "integrated" 0.8 r.Env.next_state.(0);
+  Alcotest.(check bool) "not terminated" false r.Env.terminated
+
+let test_env_goal_termination () =
+  let r = Env.step env [| 0.15 |] [| -1.0 |] in
+  Alcotest.(check bool) "reached" true r.Env.reached;
+  Alcotest.(check bool) "terminated" true r.Env.terminated;
+  Alcotest.(check bool) "bonus paid" true (r.Env.reward > 5.0)
+
+let test_env_crash_termination () =
+  let r = Env.step env [| 2.9 |] [| 1.0 |] in
+  Alcotest.(check bool) "crashed" true r.Env.crashed;
+  Alcotest.(check bool) "penalty" true (r.Env.reward < -10.0)
+
+let test_env_shaping_gradient_fd () =
+  let x = [| 0.7 |] and u = [| 0.3 |] in
+  let gx, gu = Env.shaping_grad env ~x ~u in
+  let eps = 1e-6 in
+  let fd_x =
+    (Env.shaping env ~x:[| x.(0) +. eps |] ~u -. Env.shaping env ~x:[| x.(0) -. eps |] ~u)
+    /. (2.0 *. eps)
+  in
+  let fd_u =
+    (Env.shaping env ~x ~u:[| u.(0) +. eps |] -. Env.shaping env ~x ~u:[| u.(0) -. eps |])
+    /. (2.0 *. eps)
+  in
+  Alcotest.(check (float 1e-5)) "dx" fd_x gx.(0);
+  Alcotest.(check (float 1e-5)) "du" fd_u gu.(0)
+
+let test_env_policy_succeeds () =
+  let rng = Rng.create 1 in
+  let good x = [| -.x.(0) |] in
+  Alcotest.(check bool) "stabilizer succeeds" true
+    (Env.policy_succeeds env rng ~policy:good ~steps:40 ~rollouts:5);
+  let bad _ = [| 1.0 |] in
+  Alcotest.(check bool) "runaway fails" false
+    (Env.policy_succeeds env rng ~policy:bad ~steps:40 ~rollouts:5)
+
+(* ---------------- replay ---------------- *)
+
+let tr x = { Replay.state = [| x |]; action = [| 0.0 |]; reward = x; next_state = [| x |]; terminated = false }
+
+let test_replay_fill_and_wrap () =
+  let buf = Replay.create 3 in
+  Alcotest.(check int) "empty" 0 (Replay.size buf);
+  List.iter (fun x -> Replay.push buf (tr x)) [ 1.0; 2.0; 3.0; 4.0 ];
+  Alcotest.(check int) "capped" 3 (Replay.size buf);
+  (* the oldest entry (1.0) was overwritten: all samples come from 2..4 *)
+  let rng = Rng.create 5 in
+  let samples = Replay.sample buf rng 50 in
+  Array.iter
+    (fun (t : Replay.transition) ->
+      Alcotest.(check bool) "no stale entry" true (t.Replay.reward >= 2.0))
+    samples
+
+let test_replay_empty_guard () =
+  let buf = Replay.create 2 in
+  Alcotest.check_raises "empty" (Invalid_argument "Replay.sample: empty buffer") (fun () ->
+      ignore (Replay.sample buf (Rng.create 0) 1))
+
+(* ---------------- SVG ---------------- *)
+
+let test_svg_step_jacobians () =
+  (* x' = u: one-period map x + 0.2 u: d next/dx = 1, d next/du = 0.2 *)
+  let ax, bu = Svg.step_jacobians ~sys ~eps:1e-5 [| 0.5 |] [| 0.1 |] in
+  Alcotest.(check (float 1e-6)) "A" 1.0 ax.(0).(0);
+  Alcotest.(check (float 1e-6)) "B" 0.2 bu.(0).(0)
+
+let test_svg_gradient_matches_fd () =
+  (* undiscounted short rollout: BPTT gradient vs finite differences of
+     the return *)
+  let cfg = { Svg.default_config with gamma = 1.0; horizon = 5; fd_eps = 1e-6 } in
+  let policy =
+    Mlp.create ~sizes:[ 1; 4; 1 ] ~acts:[ Activation.Tanh; Activation.Tanh ] (Rng.create 3)
+  in
+  let x0 = [| 0.8 |] in
+  let output_scale = 1.0 in
+  let _, grad = Svg.rollout_gradient cfg ~env ~policy ~output_scale x0 in
+  let theta = Mlp.flatten policy in
+  let eps = 1e-5 in
+  (* spot-check several parameters *)
+  List.iter
+    (fun i ->
+      let tp = Array.copy theta and tm = Array.copy theta in
+      tp.(i) <- tp.(i) +. eps;
+      tm.(i) <- tm.(i) -. eps;
+      let ret t =
+        fst (Svg.rollout_gradient cfg ~env ~policy:(Mlp.unflatten policy t) ~output_scale x0)
+      in
+      let fd = (ret tp -. ret tm) /. (2.0 *. eps) in
+      Alcotest.(check (float 1e-3)) (Printf.sprintf "param %d" i) fd grad.(i))
+    [ 0; 2; 5; Array.length theta - 1 ]
+
+let test_svg_trains_integrator () =
+  let cfg =
+    { Svg.default_config with
+      horizon = 30; max_steps = 150; lr = 5e-3; rollouts_per_step = 2; eval_every = 10;
+      eval_rollouts = 5; seed = 4 }
+  in
+  let policy =
+    Mlp.create ~sizes:[ 1; 6; 1 ] ~acts:[ Activation.Tanh; Activation.Tanh ] (Rng.create 4)
+  in
+  let r = Svg.train cfg ~env ~policy ~output_scale:1.5 in
+  Alcotest.(check bool) "converged" true r.Svg.converged;
+  Alcotest.(check bool) "within budget" true (r.Svg.steps <= 150)
+
+(* ---------------- DDPG ---------------- *)
+
+let test_ddpg_trains_integrator () =
+  let cfg =
+    { Ddpg.default_config with
+      max_episodes = 400; steps_per_episode = 30; warmup_steps = 200; eval_every = 20;
+      eval_rollouts = 5; seed = 5; batch_size = 32 }
+  in
+  let rng = Rng.create 6 in
+  let actor = Mlp.create ~sizes:[ 1; 8; 1 ] ~acts:[ Activation.Relu; Activation.Tanh ] rng in
+  let critic = Mlp.create ~sizes:[ 2; 16; 1 ] ~acts:[ Activation.Relu; Activation.Linear ] rng in
+  let r = Ddpg.train cfg ~env ~actor ~critic ~output_scale:1.5 in
+  Alcotest.(check bool) "reward history recorded" true (Array.length r.Ddpg.reward_history > 0);
+  (* DDPG is noisy; require convergence on this trivial task *)
+  Alcotest.(check bool) "converged" true r.Ddpg.converged
+
+let suite =
+  [
+    Alcotest.test_case "env reset" `Quick test_env_reset_in_x0;
+    Alcotest.test_case "env step" `Quick test_env_step_dynamics;
+    Alcotest.test_case "env goal termination" `Quick test_env_goal_termination;
+    Alcotest.test_case "env crash termination" `Quick test_env_crash_termination;
+    Alcotest.test_case "env shaping gradient" `Quick test_env_shaping_gradient_fd;
+    Alcotest.test_case "env policy_succeeds" `Quick test_env_policy_succeeds;
+    Alcotest.test_case "replay wrap" `Quick test_replay_fill_and_wrap;
+    Alcotest.test_case "replay empty" `Quick test_replay_empty_guard;
+    Alcotest.test_case "svg jacobians" `Quick test_svg_step_jacobians;
+    Alcotest.test_case "svg gradient vs FD" `Quick test_svg_gradient_matches_fd;
+    Alcotest.test_case "svg trains" `Slow test_svg_trains_integrator;
+    Alcotest.test_case "ddpg trains" `Slow test_ddpg_trains_integrator;
+  ]

@@ -1,0 +1,202 @@
+(* Tests for dwv_transport: closed-form 1-D/box Wasserstein distances,
+   empirical matching, Sinkhorn vs the closed form. *)
+
+module Ot1d = Dwv_transport.Ot1d
+module Box_w2 = Dwv_transport.Box_w2
+module Sinkhorn = Dwv_transport.Sinkhorn
+module I = Dwv_interval.Interval
+module Box = Dwv_interval.Box
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_w2_identical () =
+  let a = I.make 0.0 1.0 in
+  check_float "zero distance" 0.0 (Ot1d.w2_sq_uniform a a)
+
+let test_w2_translation () =
+  (* same width, shifted by d: W2 = d *)
+  let a = I.make 0.0 1.0 and b = I.make 3.0 4.0 in
+  check_float "translation" 3.0 (Ot1d.w2_uniform a b)
+
+let test_w2_scaling () =
+  (* same center, radii r and R: W2^2 = (R - r)^2 / 3 *)
+  let a = I.make (-1.0) 1.0 and b = I.make (-3.0) 3.0 in
+  check_float "scaling" (4.0 /. 3.0) (Ot1d.w2_sq_uniform a b)
+
+let test_w2_symmetry () =
+  let a = I.make 0.0 2.0 and b = I.make 1.0 5.0 in
+  check_float "symmetric" (Ot1d.w2_sq_uniform a b) (Ot1d.w2_sq_uniform b a)
+
+let test_w1_translation () =
+  let a = I.make 0.0 1.0 and b = I.make 3.0 4.0 in
+  check_float "w1 translation" 3.0 (Ot1d.w1_uniform a b)
+
+let test_w1_below_w2 () =
+  (* Jensen: W1 <= W2 *)
+  let a = I.make (-1.0) 2.0 and b = I.make 0.5 6.0 in
+  Alcotest.(check bool) "W1 <= W2" true (Ot1d.w1_uniform a b <= Ot1d.w2_uniform a b +. 1e-12)
+
+let test_w2_empirical_matches_uniform_limit () =
+  (* empirical quantile matching on dense uniform grids approximates the
+     closed form *)
+  let n = 2000 in
+  let grid lo hi = Array.init n (fun i -> lo +. ((hi -. lo) *. (float_of_int i +. 0.5) /. float_of_int n)) in
+  let emp = Ot1d.w2_sq_empirical (grid 0.0 1.0) (grid 2.0 4.0) in
+  let exact = Ot1d.w2_sq_uniform (I.make 0.0 1.0) (I.make 2.0 4.0) in
+  Alcotest.(check (float 1e-3)) "dense grids converge" exact emp
+
+let test_w2_empirical_guards () =
+  Alcotest.check_raises "unequal" (Invalid_argument "Ot1d.w2_sq_empirical: need equal non-zero sample counts")
+    (fun () -> ignore (Ot1d.w2_sq_empirical [| 1.0 |] [| 1.0; 2.0 |]))
+
+let box2 lo0 hi0 lo1 hi1 = Box.make ~lo:[| lo0; lo1 |] ~hi:[| hi0; hi1 |]
+
+let test_box_w2_decomposes () =
+  let a = box2 0.0 1.0 0.0 1.0 and b = box2 2.0 3.0 (-1.0) 0.0 in
+  let per_axis =
+    Ot1d.w2_sq_uniform (Box.get a 0) (Box.get b 0) +. Ot1d.w2_sq_uniform (Box.get a 1) (Box.get b 1)
+  in
+  check_float "per-axis sum" per_axis (Box_w2.w2_sq a b)
+
+let test_box_w2_triangle_inequality () =
+  let a = box2 0.0 1.0 0.0 1.0 in
+  let b = box2 1.0 3.0 0.0 2.0 in
+  let c = box2 4.0 5.0 (-2.0) 0.0 in
+  Alcotest.(check bool) "triangle" true
+    (Box_w2.w2 a c <= Box_w2.w2 a b +. Box_w2.w2 b c +. 1e-9)
+
+let test_box_w2_last_vs_hull () =
+  let segs = [ box2 0.0 1.0 0.0 1.0; box2 5.0 6.0 5.0 6.0 ] in
+  let target = box2 5.0 6.0 5.0 6.0 in
+  check_float "last segment" 0.0 (Box_w2.w2_last_segment segs target);
+  Alcotest.(check bool) "hull differs" true (Box_w2.w2_hull segs target > 0.0)
+
+let test_sinkhorn_identical_clouds () =
+  let cloud = Sinkhorn.uniform_cloud [| [| 0.0; 0.0 |]; [| 1.0; 1.0 |] |] in
+  let r = Sinkhorn.solve ~epsilon:0.01 cloud cloud in
+  Alcotest.(check bool) "converged" true r.Sinkhorn.converged;
+  Alcotest.(check bool) "near zero" true (r.Sinkhorn.cost < 0.05)
+
+let test_sinkhorn_translation () =
+  (* two identical point clouds offset by (3, 0): optimal cost = 9 *)
+  let pts d = Array.init 5 (fun i -> [| (float_of_int i /. 4.0) +. d; 0.0 |]) in
+  let r = Sinkhorn.solve ~epsilon:0.05 (Sinkhorn.uniform_cloud (pts 0.0)) (Sinkhorn.uniform_cloud (pts 3.0)) in
+  Alcotest.(check (float 0.2)) "translation cost" 9.0 r.Sinkhorn.cost
+
+let test_sinkhorn_vs_closed_form () =
+  (* grid-discretized boxes: entropic OT should approximate the exact
+     box-uniform W2^2 *)
+  let a = box2 0.0 1.0 0.0 1.0 and b = box2 2.0 3.5 0.0 1.0 in
+  let ca = Sinkhorn.cloud_of_box ~per_dim:6 a and cb = Sinkhorn.cloud_of_box ~per_dim:6 b in
+  let approx = (Sinkhorn.solve ~epsilon:0.05 ~max_iters:5000 ca cb).Sinkhorn.cost in
+  let exact = Box_w2.w2_sq a b in
+  Alcotest.(check bool) "within 10%" true (Float.abs (approx -. exact) /. exact < 0.1)
+
+let test_cloud_of_box () =
+  let c = Sinkhorn.cloud_of_box ~per_dim:3 (box2 0.0 3.0 0.0 3.0) in
+  Alcotest.(check int) "9 cells" 9 (Array.length c.Sinkhorn.points);
+  let total = Array.fold_left ( +. ) 0.0 c.Sinkhorn.weights in
+  check_float "weights normalized" 1.0 total
+
+(* ---------------- exact assignment OT ---------------- *)
+
+module Assignment = Dwv_transport.Assignment
+
+let test_assignment_identity () =
+  (* diagonal-dominant costs: identity matching is optimal *)
+  let cost = [| [| 0.0; 5.0; 5.0 |]; [| 5.0; 0.0; 5.0 |]; [| 5.0; 5.0; 0.0 |] |] in
+  let assignment, total = Assignment.solve_matrix cost in
+  Alcotest.(check (array int)) "identity" [| 0; 1; 2 |] assignment;
+  Alcotest.(check (float 1e-12)) "cost" 0.0 total
+
+let test_assignment_known_optimum () =
+  (* classic 3x3 with a non-trivial optimum *)
+  let cost = [| [| 4.0; 1.0; 3.0 |]; [| 2.0; 0.0; 5.0 |]; [| 3.0; 2.0; 2.0 |] |] in
+  let assignment, total = Assignment.solve_matrix cost in
+  Alcotest.(check (float 1e-12)) "optimal cost" 5.0 total;
+  (* verify it is a permutation achieving the reported cost *)
+  let seen = Array.make 3 false in
+  let rebuilt = ref 0.0 in
+  Array.iteri
+    (fun i j ->
+      Alcotest.(check bool) "unused column" false seen.(j);
+      seen.(j) <- true;
+      rebuilt := !rebuilt +. cost.(i).(j))
+    assignment;
+  Alcotest.(check (float 1e-12)) "assignment consistent" total !rebuilt
+
+let test_assignment_w2_translation () =
+  (* equal clouds offset by (3, 4): every point travels distance 5 *)
+  let xs = Array.init 6 (fun i -> [| float_of_int i; 0.0 |]) in
+  let ys = Array.map (fun p -> [| p.(0) +. 3.0; 4.0 |]) xs in
+  Alcotest.(check (float 1e-9)) "uniform translation" 25.0 (Assignment.w2_sq_points xs ys);
+  Alcotest.(check (float 1e-9)) "w2" 5.0 (Assignment.w2_points xs ys)
+
+let test_assignment_matches_1d_sorting () =
+  (* in 1-D the optimal coupling is the sorted matching: agree with Ot1d *)
+  let xs = [| 3.0; 1.0; 2.0; 0.5 |] and ys = [| -1.0; 4.0; 2.5; 0.0 |] in
+  let exact =
+    Assignment.w2_sq_points (Array.map (fun v -> [| v |]) xs) (Array.map (fun v -> [| v |]) ys)
+  in
+  Alcotest.(check (float 1e-9)) "agrees with quantile matching"
+    (Ot1d.w2_sq_empirical xs ys) exact
+
+let test_sinkhorn_upper_bounds_exact () =
+  (* entropic OT cost >= exact OT cost (regularization adds entropy) *)
+  let rng = Dwv_util.Rng.create 31 in
+  let cloud () =
+    Array.init 8 (fun _ ->
+        [| Dwv_util.Rng.uniform rng ~lo:0.0 ~hi:1.0; Dwv_util.Rng.uniform rng ~lo:0.0 ~hi:1.0 |])
+  in
+  let xs = cloud () and ys = Array.map (fun p -> [| p.(0) +. 2.0; p.(1) |]) (cloud ()) in
+  let exact = Assignment.w2_sq_points xs ys in
+  let entropic =
+    (Sinkhorn.solve ~epsilon:0.02 ~max_iters:5000 (Sinkhorn.uniform_cloud xs)
+       (Sinkhorn.uniform_cloud ys))
+      .Sinkhorn.cost
+  in
+  Alcotest.(check bool) "close" true (Float.abs (entropic -. exact) /. exact < 0.15)
+
+let prop_w2_nonneg_and_zero_iff_equal =
+  QCheck.Test.make ~name:"W2 is a metric on intervals (nonneg, identity)" ~count:200
+    QCheck.(
+      quad (float_range (-3.0) 3.0) (float_range 0.01 2.0) (float_range (-3.0) 3.0)
+        (float_range 0.01 2.0))
+    (fun (c1, r1, c2, r2) ->
+      let a = I.make (c1 -. r1) (c1 +. r1) and b = I.make (c2 -. r2) (c2 +. r2) in
+      let d = Ot1d.w2_sq_uniform a b in
+      d >= 0.0 && Ot1d.w2_sq_uniform a a < 1e-12)
+
+let prop_w2_translation_invariant =
+  QCheck.Test.make ~name:"W2 translation covariance" ~count:200
+    QCheck.(pair (float_range (-5.0) 5.0) (float_range 0.1 2.0))
+    (fun (shift, r) ->
+      let a = I.make (-.r) r in
+      let b = I.make (shift -. r) (shift +. r) in
+      Float.abs (Ot1d.w2_uniform a b -. Float.abs shift) < 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "w2 identical" `Quick test_w2_identical;
+    Alcotest.test_case "w2 translation" `Quick test_w2_translation;
+    Alcotest.test_case "w2 scaling" `Quick test_w2_scaling;
+    Alcotest.test_case "w2 symmetry" `Quick test_w2_symmetry;
+    Alcotest.test_case "w1 translation" `Quick test_w1_translation;
+    Alcotest.test_case "w1 <= w2" `Quick test_w1_below_w2;
+    Alcotest.test_case "empirical limit" `Quick test_w2_empirical_matches_uniform_limit;
+    Alcotest.test_case "empirical guards" `Quick test_w2_empirical_guards;
+    Alcotest.test_case "box w2 decomposition" `Quick test_box_w2_decomposes;
+    Alcotest.test_case "box w2 triangle" `Quick test_box_w2_triangle_inequality;
+    Alcotest.test_case "box w2 last/hull" `Quick test_box_w2_last_vs_hull;
+    Alcotest.test_case "sinkhorn identical" `Quick test_sinkhorn_identical_clouds;
+    Alcotest.test_case "sinkhorn translation" `Quick test_sinkhorn_translation;
+    Alcotest.test_case "sinkhorn vs closed form" `Quick test_sinkhorn_vs_closed_form;
+    Alcotest.test_case "cloud of box" `Quick test_cloud_of_box;
+    Alcotest.test_case "assignment identity" `Quick test_assignment_identity;
+    Alcotest.test_case "assignment known optimum" `Quick test_assignment_known_optimum;
+    Alcotest.test_case "assignment w2 translation" `Quick test_assignment_w2_translation;
+    Alcotest.test_case "assignment 1d sorting" `Quick test_assignment_matches_1d_sorting;
+    Alcotest.test_case "sinkhorn vs exact" `Quick test_sinkhorn_upper_bounds_exact;
+    QCheck_alcotest.to_alcotest prop_w2_nonneg_and_zero_iff_equal;
+    QCheck_alcotest.to_alcotest prop_w2_translation_invariant;
+  ]
