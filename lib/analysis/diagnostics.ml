@@ -1,0 +1,92 @@
+(* Structured diagnostics: the one currency every check trades in. Keeping
+   severity, check name and location in a record (rather than formatted
+   strings) is what lets the CLI filter, sort, count and re-render them as
+   JSON without re-parsing its own output. *)
+
+type severity = Error | Warn | Info
+
+type location =
+  | Model of string
+  | File of { path : string; line : int; col : int }
+
+type t = {
+  check : string;
+  severity : severity;
+  loc : location;
+  message : string;
+  hint : string option;
+}
+
+let make ?hint severity ~check ~loc message = { check; severity; loc; message; hint }
+let error ?hint ~check ~loc message = make ?hint Error ~check ~loc message
+let warn ?hint ~check ~loc message = make ?hint Warn ~check ~loc message
+let info ?hint ~check ~loc message = make ?hint Info ~check ~loc message
+
+let severity_label = function Error -> "error" | Warn -> "warning" | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warn -> 1 | Info -> 2
+
+let location_key = function
+  | Model path -> (0, path, 0, 0)
+  | File { path; line; col } -> (1, path, line, col)
+
+let sort ds =
+  List.stable_sort
+    (fun a b ->
+      let c = compare (location_key a.loc) (location_key b.loc) in
+      if c <> 0 then c
+      else
+        let c = compare (severity_rank a.severity) (severity_rank b.severity) in
+        if c <> 0 then c else String.compare a.check b.check)
+    ds
+
+let count sev ds = List.length (List.filter (fun d -> d.severity = sev) ds)
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+
+let pp_location ppf = function
+  | Model path -> Fmt.pf ppf "model %s" path
+  | File { path; line; col } -> Fmt.pf ppf "%s:%d:%d" path line col
+
+let pp ppf d =
+  Fmt.pf ppf "%a: %s [%s] %s" pp_location d.loc (severity_label d.severity) d.check
+    d.message;
+  match d.hint with None -> () | Some h -> Fmt.pf ppf "@,  hint: %s" h
+
+(* Minimal JSON string escaping: enough for our own messages (ASCII plus
+   quotes/backslashes/control characters). *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json d =
+  let loc_fields =
+    match d.loc with
+    | Model path -> Printf.sprintf {|"model":"%s"|} (json_escape path)
+    | File { path; line; col } ->
+      Printf.sprintf {|"file":"%s","line":%d,"col":%d|} (json_escape path) line col
+  in
+  let hint_field =
+    match d.hint with
+    | None -> ""
+    | Some h -> Printf.sprintf {|,"hint":"%s"|} (json_escape h)
+  in
+  Printf.sprintf {|{"check":"%s","severity":"%s",%s,"message":"%s"%s}|}
+    (json_escape d.check) (severity_label d.severity) loc_fields (json_escape d.message)
+    hint_field
+
+let pp_summary ppf ds =
+  let e = count Error ds and w = count Warn ds and i = count Info ds in
+  let plural n = if n = 1 then "" else "s" in
+  Fmt.pf ppf "%d error%s, %d warning%s" e (plural e) w (plural w);
+  if i > 0 then Fmt.pf ppf ", %d note%s" i (plural i)

@@ -1,0 +1,42 @@
+(** Structured diagnostics shared by every analysis layer: each finding
+    names the check that produced it, where it points (a model path or a
+    source position), how severe it is, and — when known — how to fix it.
+    Renders both human-readable and machine-readable (JSON lines). *)
+
+type severity = Error | Warn | Info
+
+type location =
+  | Model of string
+      (** Path into a model under analysis, e.g. ["acc/dynamics[1]"]. *)
+  | File of { path : string; line : int; col : int }
+      (** 1-based line and column in a source file. *)
+
+type t = {
+  check : string;       (** registry name of the check, e.g. ["div-by-zero"] *)
+  severity : severity;
+  loc : location;
+  message : string;
+  hint : string option; (** suggested fix, when one is known *)
+}
+
+val make : ?hint:string -> severity -> check:string -> loc:location -> string -> t
+val error : ?hint:string -> check:string -> loc:location -> string -> t
+val warn : ?hint:string -> check:string -> loc:location -> string -> t
+val info : ?hint:string -> check:string -> loc:location -> string -> t
+
+val severity_label : severity -> string
+
+(** Stable order: by location, then severity (errors first), then check. *)
+val sort : t list -> t list
+
+val count : severity -> t list -> int
+val has_errors : t list -> bool
+
+(** [gcc]-style one-liner plus an indented [hint:] line when present. *)
+val pp : Format.formatter -> t -> unit
+
+(** One JSON object per diagnostic (no trailing newline). *)
+val to_json : t -> string
+
+(** Human-readable roll-up, e.g. ["3 errors, 1 warning"]. *)
+val pp_summary : Format.formatter -> t list -> unit

@@ -1,0 +1,52 @@
+(* Read-only walks over the dynamics AST. The index bounds use the generic
+   catamorphism; the subterm collectors need the subterm itself (not a
+   folded value), so they are plain recursions. *)
+
+module Expr = Dwv_expr.Expr
+
+let max_var_index e =
+  Expr.fold
+    ~const:(fun _ -> -1)
+    ~var:(fun i -> i)
+    ~input:(fun _ -> -1)
+    ~add:max ~sub:max ~mul:max ~div:max
+    ~neg:(fun a -> a)
+    ~pow:(fun a _ -> a)
+    ~sin:(fun a -> a)
+    ~cos:(fun a -> a)
+    ~exp:(fun a -> a)
+    ~tanh:(fun a -> a)
+    e
+
+let max_input_index e =
+  Expr.fold
+    ~const:(fun _ -> -1)
+    ~var:(fun _ -> -1)
+    ~input:(fun j -> j)
+    ~add:max ~sub:max ~mul:max ~div:max
+    ~neg:(fun a -> a)
+    ~pow:(fun a _ -> a)
+    ~sin:(fun a -> a)
+    ~cos:(fun a -> a)
+    ~exp:(fun a -> a)
+    ~tanh:(fun a -> a)
+    e
+
+let uses_input e = max_input_index e >= 0
+
+let rec collect ~pick acc e =
+  let acc =
+    match pick e with Some sub -> sub :: acc | None -> acc
+  in
+  match (e : Expr.t) with
+  | Const _ | Var _ | Input _ -> acc
+  | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) ->
+    collect ~pick (collect ~pick acc a) b
+  | Neg a | Sin a | Cos a | Exp a | Tanh a | Pow (a, _) -> collect ~pick acc a
+
+let denominators e =
+  List.rev
+    (collect ~pick:(function Expr.Div (_, d) -> Some d | _ -> None) [] e)
+
+let exp_args e =
+  List.rev (collect ~pick:(function Expr.Exp a -> Some a | _ -> None) [] e)

@@ -1,0 +1,19 @@
+(** Static facts about dynamics expressions, feeding the model-level
+    checks: which state/input components an expression mentions, and the
+    subterms whose interval domains must be validated (division
+    denominators, [exp] arguments). *)
+
+(** Largest [Var] index mentioned, or [-1] when none. *)
+val max_var_index : Dwv_expr.Expr.t -> int
+
+(** Largest [Input] index mentioned, or [-1] when none. *)
+val max_input_index : Dwv_expr.Expr.t -> int
+
+(** Does the expression mention any [Input]? *)
+val uses_input : Dwv_expr.Expr.t -> bool
+
+(** Every denominator subterm of a [Div], outermost first. *)
+val denominators : Dwv_expr.Expr.t -> Dwv_expr.Expr.t list
+
+(** Every argument subterm of an [Exp], outermost first. *)
+val exp_args : Dwv_expr.Expr.t -> Dwv_expr.Expr.t list

@@ -1,0 +1,337 @@
+(* Layer-1 checks. The unifying trick: everything the verifier will later
+   do expensively over the whole horizon (interval-evaluate dynamics, test
+   set relations), the analyzer does once over the *declared* sets. That
+   cannot prove a run will succeed, but it rejects the designs that are
+   wrong before time zero — dimension mismatches, singular denominators on
+   X0, contradictory specs, corrupt networks — in microseconds. *)
+
+module Expr = Dwv_expr.Expr
+module I = Dwv_interval.Interval
+module Box = Dwv_interval.Box
+module Spec = Dwv_core.Spec
+module Controller = Dwv_core.Controller
+module Mlp = Dwv_nn.Mlp
+module Activation = Dwv_nn.Activation
+module Setops = Dwv_geometry.Setops
+module D = Diagnostics
+module R = Registry
+
+type input = {
+  name : string;
+  sys : Dwv_ode.Sampled_system.t;
+  spec : Spec.t;
+  controller : Controller.t option;
+  u : Box.t option;
+  domain : Box.t option;
+}
+
+let make_input ?controller ?u ?domain ~name ~sys ~spec () =
+  { name; sys; spec; controller; u; domain }
+
+let component name i = D.Model (Fmt.str "%s/dynamics[%d]" name i)
+let model name part = D.Model (Fmt.str "%s/%s" name part)
+
+(* ---------- dynamics arity ---------- *)
+
+let check_dynamics ~name ~f ~n ~m =
+  let ds = ref [] in
+  let emit d = ds := d :: !ds in
+  if Array.length f <> n then
+    emit
+      (D.error ~check:R.dim_arity ~loc:(model name "dynamics")
+         (Fmt.str "dynamics has %d components but the declared state dimension is %d"
+            (Array.length f) n)
+         ~hint:"each state coordinate needs exactly one right-hand side");
+  Array.iteri
+    (fun i fi ->
+      let vmax = Expr_audit.max_var_index fi in
+      if vmax >= n then
+        emit
+          (D.error ~check:R.dim_arity ~loc:(component name i)
+             (Fmt.str "mentions x%d but the state dimension is %d (valid: x0..x%d)" vmax n
+                (n - 1))
+             ~hint:"fix the index or raise the declared dimension n");
+      let umax = Expr_audit.max_input_index fi in
+      if umax >= m then
+        emit
+          (D.error ~check:R.dim_arity ~loc:(component name i)
+             (Fmt.str "mentions u%d but the input dimension is %d%s" umax m
+                (if m = 0 then " (no inputs declared)" else Fmt.str " (valid: u0..u%d)" (m - 1)))
+             ~hint:"fix the index or raise the declared dimension m"))
+    f;
+  List.rev !ds
+
+(* ---------- interval domains over X0 ---------- *)
+
+(* exp overflows a double just above 709.78; enclosures that reach it stop
+   being finite and the interval kernel rejects them at construction. *)
+let exp_overflow_threshold = 709.0
+
+let check_domains ~name ~f ~x0 ?u () =
+  let ds = ref [] in
+  let emit d = ds := d :: !ds in
+  (* Box.t is literally an Interval.t array, so boxes feed ieval directly. *)
+  let u_ivals : I.t array option = u in
+  let ieval_sub ~loc sub =
+    (* None means "could not evaluate"; the reason is already reported. *)
+    let needs = Expr_audit.max_input_index sub in
+    match u_ivals with
+    | None when needs >= 0 ->
+      emit
+        (D.warn ~check:R.div_by_zero ~loc
+           (Fmt.str "cannot bound '%a': it mentions u%d and no input range is declared"
+              Expr.pp sub needs)
+           ~hint:"declare an input box (or a controller the range can be derived from)");
+      None
+    | Some us when needs >= Array.length us ->
+      emit
+        (D.warn ~check:R.div_by_zero ~loc
+           (Fmt.str "cannot bound '%a': it mentions u%d but the input box has dimension %d"
+              Expr.pp sub needs (Array.length us)));
+      None
+    | _ -> (
+      let us = Option.value u_ivals ~default:[||] in
+      match Expr.ieval sub ~x:(x0 : Box.t) ~u:us with
+      | range -> Some range
+      | exception (Failure reason | Invalid_argument reason) ->
+        emit
+          (D.error ~check:R.domain_eval ~loc
+             (Fmt.str "interval evaluation of '%a' over X0 failed: %s" Expr.pp sub reason)
+             ~hint:"the subterm leaves the domain of sound interval arithmetic on X0");
+        None)
+  in
+  Array.iteri
+    (fun i fi ->
+      if i < Array.length f then begin
+        let loc = component name i in
+        List.iter
+          (fun den ->
+            match ieval_sub ~loc den with
+            | Some range when I.contains range 0.0 ->
+              emit
+                (D.error ~check:R.div_by_zero ~loc
+                   (Fmt.str "denominator '%a' encloses zero over X0: %a" Expr.pp den I.pp
+                      range)
+                   ~hint:"shrink X0 away from the singularity or rewrite the dynamics")
+            | _ -> ())
+          (Expr_audit.denominators fi);
+        List.iter
+          (fun arg ->
+            match ieval_sub ~loc arg with
+            | Some range when I.hi range > exp_overflow_threshold ->
+              emit
+                (D.warn ~check:R.exp_overflow ~loc
+                   (Fmt.str "exp argument '%a' reaches %g over X0; exp overflows doubles \
+                             near 709.8"
+                      Expr.pp arg (I.hi range))
+                   ~hint:"rescale the dynamics or shrink X0")
+            | _ -> ())
+          (Expr_audit.exp_args fi)
+      end)
+    f;
+  List.rev !ds
+
+(* ---------- spec well-formedness ---------- *)
+
+let degenerate_dims box =
+  let widths = Box.widths box in
+  let dims = ref [] in
+  Array.iteri (fun i w -> if w <= 0.0 then dims := i :: !dims) widths;
+  List.rev !dims
+
+let check_spec ~name ?expected_n ?domain (spec : Spec.t) =
+  let ds = ref [] in
+  let emit d = ds := d :: !ds in
+  (match expected_n with
+  | Some n when Spec.dim spec <> n ->
+    emit
+      (D.error ~check:R.spec_dims ~loc:(model name "spec")
+         (Fmt.str "specification sets are %d-dimensional but the dynamics state is %d"
+            (Spec.dim spec) n)
+         ~hint:"the flowpipe and the spec sets must live in the same space")
+  | _ -> ());
+  List.iter
+    (fun (part, box, severity) ->
+      match degenerate_dims box with
+      | [] -> ()
+      | dims ->
+        emit
+          (D.make severity ~check:R.spec_degenerate ~loc:(model name ("spec/" ^ part))
+             (Fmt.str "%s box has zero width in dimension%s %a" part
+                (if List.length dims = 1 then "" else "s")
+                Fmt.(list ~sep:comma int)
+                dims)
+             ~hint:
+               (match part with
+               | "goal" -> "a flowpipe segment can never be strictly inside a flat goal"
+               | _ -> "zero-width sets are almost never what a reach-avoid spec means")))
+    [
+      ("x0", spec.Spec.x0, D.Warn);
+      ("unsafe", spec.Spec.unsafe, D.Warn);
+      ("goal", spec.Spec.goal, D.Error);
+    ];
+  if Setops.any_intersects [ spec.Spec.goal ] spec.Spec.unsafe then
+    emit
+      (D.error ~check:R.spec_overlap ~loc:(model name "spec")
+         (Fmt.str "goal and unsafe sets overlap (shared volume %g)"
+            (Box.intersection_volume spec.Spec.goal spec.Spec.unsafe))
+         ~hint:"a run entering the overlap can neither avoid nor finish; separate the sets");
+  if Setops.any_intersects [ spec.Spec.x0 ] spec.Spec.unsafe then
+    emit
+      (D.error ~check:R.spec_x0_unsafe ~loc:(model name "spec")
+         "initial set intersects the unsafe set: the spec is violated at t = 0"
+         ~hint:"shrink X0 or move the unsafe region");
+  (match domain with
+  | Some dom when not (Box.subset spec.Spec.x0 dom) ->
+    emit
+      (D.error ~check:R.x0_in_domain ~loc:(model name "spec")
+         (Fmt.str "initial set %a is not contained in the declared domain %a" Box.pp
+            spec.Spec.x0 Box.pp dom)
+         ~hint:"controllers are only trained/audited on the domain; widen it or shrink X0")
+  | _ -> ());
+  List.rev !ds
+
+(* ---------- network / controller audits ---------- *)
+
+let lipschitz_sanity_threshold = 1e6
+
+let check_network ~name ?n_in ?n_out (net : Mlp.t) =
+  let ds = ref [] in
+  let emit d = ds := d :: !ds in
+  let theta = Mlp.flatten net in
+  let bad = ref 0 and first = ref (-1) in
+  Array.iteri
+    (fun i v ->
+      if not (Float.is_finite v) then begin
+        incr bad;
+        if !first < 0 then first := i
+      end)
+    theta;
+  if !bad > 0 then
+    emit
+      (D.error ~check:R.nn_finite ~loc:(model name "net")
+         (Fmt.str "%d of %d parameters are not finite (first at flat index %d)" !bad
+            (Array.length theta) !first)
+         ~hint:"the serialized model is corrupt or training diverged; do not verify it");
+  (match n_in with
+  | Some n when Mlp.n_in net <> n ->
+    emit
+      (D.error ~check:R.ctrl_shape ~loc:(model name "net")
+         (Fmt.str "network takes %d inputs but the plant state is %d-dimensional"
+            (Mlp.n_in net) n))
+  | _ -> ());
+  (match n_out with
+  | Some m when Mlp.n_out net <> m ->
+    emit
+      (D.error ~check:R.ctrl_shape ~loc:(model name "net")
+         (Fmt.str "network emits %d outputs but the plant expects %d inputs"
+            (Mlp.n_out net) m))
+  | _ -> ());
+  (* Only meaningful on finite parameters; on a corrupt net the bound is
+     NaN and the finiteness error above already says everything. *)
+  if !bad = 0 then begin
+    let l = Dwv_nn.Lipschitz.bound net in
+    if (not (Float.is_finite l)) || l > lipschitz_sanity_threshold then
+      emit
+        (D.warn ~check:R.nn_lipschitz ~loc:(model name "net")
+           (Fmt.str "global Lipschitz bound is %g; flowpipe enclosures will blow up" l)
+           ~hint:"re-train with weight regularization or a smaller architecture")
+  end;
+  List.rev !ds
+
+let final_activation (net : Mlp.t) =
+  let layers = Mlp.layers net in
+  layers.(Array.length layers - 1).Mlp.act
+
+let check_controller ~name ~n ~m controller =
+  match controller with
+  | Controller.Net { net; output_scale = _ } ->
+    let ds = check_network ~name ~n_in:n ~n_out:m net in
+    let act = final_activation net in
+    let bounded = match act with Activation.Tanh | Activation.Sigmoid -> true | _ -> false in
+    if bounded then ds
+    else
+      ds
+      @ [
+          D.warn ~check:R.nn_activation ~loc:(model name "net")
+            (Fmt.str
+               "final activation %s is unbounded, so the scaled control u = s*net(x) has \
+                no a-priori range"
+               (Activation.to_string act))
+            ~hint:"end the controller in tanh or sigmoid so its output range is known";
+        ]
+  | Controller.Linear { gain } ->
+    let rows, cols = Dwv_la.Mat.dims gain in
+    let ds = ref [] in
+    if rows <> m then
+      ds :=
+        D.error ~check:R.ctrl_shape ~loc:(model name "gain")
+          (Fmt.str "gain has %d rows but the plant expects %d inputs" rows m)
+        :: !ds;
+    if cols <> n && cols <> n + 1 then
+      ds :=
+        D.error ~check:R.ctrl_shape ~loc:(model name "gain")
+          (Fmt.str
+             "gain has %d columns but the state is %d-dimensional (or %d with a constant \
+              bias coordinate)"
+             cols n (n + 1))
+        :: !ds;
+    List.rev !ds
+
+(* Sound input range implied by a controller over the initial box. *)
+let input_box ~x0 controller =
+  match controller with
+  | Controller.Net { net; output_scale } -> (
+    match final_activation net with
+    | Activation.Tanh ->
+      let s = Float.abs output_scale in
+      if s = 0.0 then Some (Box.of_point (Array.make (Mlp.n_out net) 0.0))
+      else Some (Box.make ~lo:(Array.make (Mlp.n_out net) (-.s)) ~hi:(Array.make (Mlp.n_out net) s))
+    | Activation.Sigmoid ->
+      let s = output_scale in
+      let lo = Float.min 0.0 s and hi = Float.max 0.0 s in
+      if lo = hi then Some (Box.of_point (Array.make (Mlp.n_out net) lo))
+      else Some (Box.make ~lo:(Array.make (Mlp.n_out net) lo) ~hi:(Array.make (Mlp.n_out net) hi))
+    | Activation.Relu | Activation.Linear -> None)
+  | Controller.Linear { gain } ->
+    let rows, cols = Dwv_la.Mat.dims gain in
+    let n = Box.dim x0 in
+    if cols <> n && cols <> n + 1 then None
+    else begin
+      (* interval matvec of K over X0, appending the constant coordinate
+         when the gain carries a bias column *)
+      let x =
+        if cols = n then (x0 : Box.t)
+        else Array.append (x0 : Box.t) [| I.of_point 1.0 |]
+      in
+      let rows_ivals =
+        Array.init rows (fun i ->
+            let acc = ref I.zero in
+            for j = 0 to cols - 1 do
+              acc := I.add !acc (I.scale (Dwv_la.Mat.get gain i j) x.(j))
+            done;
+            !acc)
+      in
+      Some (Box.of_intervals rows_ivals)
+    end
+
+(* ---------- the whole pipeline ---------- *)
+
+let check { name; sys; spec; controller; u; domain } =
+  let f = sys.Dwv_ode.Sampled_system.f in
+  let n = sys.Dwv_ode.Sampled_system.n in
+  let m = sys.Dwv_ode.Sampled_system.m in
+  let u =
+    match u with
+    | Some _ -> u
+    | None -> Option.bind controller (fun c -> input_box ~x0:spec.Spec.x0 c)
+  in
+  let ds =
+    check_dynamics ~name ~f ~n ~m
+    @ check_domains ~name ~f ~x0:spec.Spec.x0 ?u ()
+    @ check_spec ~name ~expected_n:n ?domain spec
+    @ (match controller with
+      | Some c -> check_controller ~name ~n ~m c
+      | None -> [])
+  in
+  Diagnostics.sort ds

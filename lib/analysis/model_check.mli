@@ -1,0 +1,73 @@
+(** Layer-1 static analysis: milliseconds-cheap soundness checks over the
+    model IRs (dynamics [Expr.t] vectors, reach-avoid [Spec.t]s, controllers
+    and serialized networks) that reject ill-formed designs before they
+    reach the flowpipe kernel. Every entry point is total: it returns
+    diagnostics, it never raises on bad models. *)
+
+(** Everything known about one system under analysis. [u] is the declared
+    input range; when absent it is derived from the controller where
+    possible (tanh/sigmoid output scaling, interval-evaluated linear
+    gains). [domain] is the declared operating region (e.g. the pretraining
+    region) that the initial set must sit inside. *)
+type input = {
+  name : string;
+  sys : Dwv_ode.Sampled_system.t;
+  spec : Dwv_core.Spec.t;
+  controller : Dwv_core.Controller.t option;
+  u : Dwv_interval.Box.t option;
+  domain : Dwv_interval.Box.t option;
+}
+
+val make_input :
+  ?controller:Dwv_core.Controller.t ->
+  ?u:Dwv_interval.Box.t ->
+  ?domain:Dwv_interval.Box.t ->
+  name:string ->
+  sys:Dwv_ode.Sampled_system.t ->
+  spec:Dwv_core.Spec.t ->
+  unit ->
+  input
+
+(** Run every applicable check; diagnostics come back sorted. *)
+val check : input -> Diagnostics.t list
+
+(** {1 Granular entry points} (exposed for tests and for callers holding
+    raw pieces rather than a constructed [Sampled_system.t]) *)
+
+(** Arity: every Var index < n, Input index < m, and |f| = n. *)
+val check_dynamics :
+  name:string -> f:Dwv_expr.Expr.t array -> n:int -> m:int -> Diagnostics.t list
+
+(** Interval domains over the initial box: Div denominators must exclude 0,
+    Exp arguments must stay below the double overflow threshold. *)
+val check_domains :
+  name:string ->
+  f:Dwv_expr.Expr.t array ->
+  x0:Dwv_interval.Box.t ->
+  ?u:Dwv_interval.Box.t ->
+  unit ->
+  Diagnostics.t list
+
+(** Spec well-formedness: disjoint goal/unsafe, X0 clear of the unsafe set,
+    non-degenerate boxes, X0 inside the declared domain (when given),
+    dimension agreement with [expected_n] (when given). *)
+val check_spec :
+  name:string ->
+  ?expected_n:int ->
+  ?domain:Dwv_interval.Box.t ->
+  Dwv_core.Spec.t ->
+  Diagnostics.t list
+
+(** Network audit: finite parameters, interface shape against [n_in]/[n_out]
+    when given, Lipschitz-bound sanity. *)
+val check_network :
+  name:string -> ?n_in:int -> ?n_out:int -> Dwv_nn.Mlp.t -> Diagnostics.t list
+
+(** Controller-against-plant audit (shape, bounded output activation). *)
+val check_controller :
+  name:string -> n:int -> m:int -> Dwv_core.Controller.t -> Diagnostics.t list
+
+(** Sound input-range box implied by a controller over [x0], when one can
+    be derived. *)
+val input_box :
+  x0:Dwv_interval.Box.t -> Dwv_core.Controller.t -> Dwv_interval.Box.t option

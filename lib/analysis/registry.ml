@@ -1,0 +1,56 @@
+(* Check registry. Names live here (not scattered through Model_check) so
+   that `dwv_lint checks`, the docs and the tests all read one list. *)
+
+type layer = Model_layer | Source_layer
+
+type entry = { name : string; layer : layer; description : string }
+
+let dim_arity = "dim-arity"
+let spec_dims = "spec-dims"
+let div_by_zero = "div-by-zero"
+let exp_overflow = "exp-overflow"
+let domain_eval = "domain-eval"
+let spec_degenerate = "spec-degenerate"
+let spec_overlap = "spec-overlap"
+let spec_x0_unsafe = "spec-x0-unsafe"
+let x0_in_domain = "x0-in-domain"
+let nn_finite = "nn-finite"
+let nn_activation = "nn-activation"
+let nn_lipschitz = "nn-lipschitz"
+let ctrl_shape = "ctrl-shape"
+let missing_mli = "missing-mli"
+
+let model_entries =
+  [
+    (dim_arity, "dynamics arity: every Var/Input index is within the declared (n, m)");
+    (spec_dims, "specification sets share the dynamics' state dimension");
+    (div_by_zero, "no Div denominator's interval enclosure over X0 contains zero");
+    (exp_overflow, "no Exp argument's enclosure over X0 reaches the double overflow range");
+    (domain_eval, "interval evaluation of dynamics subterms over X0 succeeds");
+    (spec_degenerate, "initial/goal/unsafe boxes have non-empty interior");
+    (spec_overlap, "goal and unsafe sets are disjoint");
+    (spec_x0_unsafe, "initial set does not already intersect the unsafe set");
+    (x0_in_domain, "initial set is contained in the declared operating domain");
+    (nn_finite, "every serialized network weight and bias is finite");
+    (nn_activation, "scaled NN controllers end in a bounded activation");
+    (nn_lipschitz, "the network's global Lipschitz bound is finite and sane");
+    (ctrl_shape, "controller input/output shape matches the plant's (n, m)");
+  ]
+
+let all =
+  List.map
+    (fun (name, description) -> { name; layer = Model_layer; description })
+    model_entries
+  @ List.map
+      (fun (r : Source_rules.rule) ->
+        { name = r.Source_rules.name; layer = Source_layer; description = r.message })
+      Source_rules.builtin
+  @ [
+      {
+        name = missing_mli;
+        layer = Source_layer;
+        description = "every library .ml has a corresponding .mli interface";
+      };
+    ]
+
+let layer_label = function Model_layer -> "model" | Source_layer -> "source"

@@ -1,0 +1,24 @@
+(** Layer-2 lint: scan OCaml sources for the float-soundness footguns and
+    hygiene issues in {!Source_rules.builtin}, plus the missing-[.mli]
+    file check. Comments and string literals are stripped before matching,
+    so documented operators and banner strings never trigger. *)
+
+(** Blank out comments (nested, string-aware), string literals, [{|...|}]
+    quoted strings and character literals, preserving every character
+    position (replaced by spaces) so line/column reporting stays exact.
+    Exposed for tests. *)
+val strip : string -> string
+
+(** Lint one source string as if it were the named file. *)
+val lint_string : ?rules:Source_rules.rule list -> path:string -> string -> Diagnostics.t list
+
+(** Lint one file on disk ([.ml] / [.mli]). *)
+val lint_file : ?rules:Source_rules.rule list -> string -> Diagnostics.t list
+
+(** Recursively lint every [.ml]/[.mli] under the given roots. Directories
+    whose name starts with ['.'] or ['_'] (notably [_build]) are skipped;
+    passing a root that itself points into [_build], or one that does not
+    exist, is refused with [Invalid_argument]. Also applies the
+    missing-[.mli] check to library modules (files whose path contains a
+    [lib] component). *)
+val lint_tree : ?rules:Source_rules.rule list -> string list -> Diagnostics.t list

@@ -1,0 +1,91 @@
+(* The rule table. Everything the engine needs is data, so adding a rule
+   is one record; the engine (Source_lint) never special-cases a name.
+
+   Patterns are written against *stripped* source (comments and string
+   literals blanked out by Source_lint.strip), which is why they can be
+   simple: no need to dodge banners like "===" in strings or operator
+   mentions in comments. *)
+
+type rule = {
+  name : string;
+  severity : Diagnostics.severity;
+  pattern : string;
+  message : string;
+  hint : string option;
+  allow : string list;
+}
+
+let allowed rule path =
+  let path = String.concat "/" (String.split_on_char '\\' path) in
+  List.exists
+    (fun fragment ->
+      (* substring test, so entries can name a file or a whole directory *)
+      let n = String.length fragment and m = String.length path in
+      let rec at i = i + n <= m && (String.sub path i n = fragment || at (i + 1)) in
+      at 0)
+    rule.allow
+
+(* An identifier boundary on the left: start of line or a char that cannot
+   end an identifier/module path. *)
+let not_ident_left = {|\(^\|[^_a-zA-Z0-9.]\)|}
+
+let builtin =
+  [
+    {
+      name = "phys-equality";
+      severity = Diagnostics.Error;
+      (* == / != as standalone operators (not <=, >=, ==> etc.) *)
+      pattern = {|\(^\|[^!<>=&$@^|+*/%:.~-]\)\(==\|!=\)\([^=>]\|$\)|};
+      message = "physical equality (==/!=) on values; on floats and float-bearing \
+                 structures it is not semantic equality";
+      hint = Some "use structural/semantic equality (e.g. Float.equal, Expr.equal, =)";
+      allow = [ "lib/expr/expr.ml" (* O(1) shortcut inside Expr.equal itself *) ];
+    };
+    {
+      name = "nan-compare";
+      severity = Diagnostics.Error;
+      (* the left guard keeps '->' arms (e.g. `| _ -> Float.nan`) from
+         matching as a '>' comparison *)
+      pattern =
+        {|\(^\|[^-<>=!&$@^|+*/%:.~]\)\(=\|<\|>\|<=\|>=\|<>\)[ \t]*\(Float\.\)?nan\b\|\bnan[ \t]*\(=\|<\|>\|<>\)|};
+      message = "comparison against nan is always false (or always true for <>)";
+      hint = Some "use Float.is_nan / classify_float";
+      allow = [];
+    };
+    {
+      name = "float-of-string";
+      severity = Diagnostics.Error;
+      pattern =
+        not_ident_left ^ {|\(Float\.of_string\|float_of_string\)\([^_a-zA-Z0-9]\|$\)|};
+      message = "bare float-of-string raises an uninformative Failure on malformed input";
+      hint = Some "use float_of_string_opt and report the offending text";
+      allow = [];
+    };
+    {
+      name = "obj-magic";
+      severity = Diagnostics.Error;
+      pattern = not_ident_left ^ {|Obj\.\(magic\|repr\|obj\)\b|};
+      message = "Obj.magic defeats the type system; enclosure soundness cannot survive it";
+      hint = None;
+      allow = [];
+    };
+    {
+      name = "poly-compare";
+      severity = Diagnostics.Warn;
+      pattern = not_ident_left ^ {|\(Stdlib\.compare\|Pervasives\.compare\)\b|};
+      message = "explicit polymorphic compare; on float-bearing types prefer a typed \
+                 comparison";
+      hint = Some "use Float.compare / a per-type compare function";
+      allow = [];
+    };
+    {
+      name = "print-debug";
+      severity = Diagnostics.Warn;
+      pattern = not_ident_left ^ {|\(print_endline\|print_string\|Printf\.printf\)\b|};
+      message = "direct stdout printing from library code";
+      hint = Some "return data, or take a Format formatter (Fmt) like the rest of lib/";
+      allow =
+        [ "bin/"; "bench/"; "test/"; "examples/";
+          "lib/util/table.ml" (* Table.print is the module's documented purpose *) ];
+    };
+  ]

@@ -1,0 +1,20 @@
+(** Source-level lint rules as data: a new rule is one more entry in
+    {!builtin}. Patterns are Str regexps matched against comment- and
+    string-stripped source lines, so idioms inside comments, docstrings and
+    string literals never trigger. *)
+
+type rule = {
+  name : string;          (** registry check name, e.g. ["phys-equality"] *)
+  severity : Diagnostics.severity;
+  pattern : string;       (** Str regexp applied to each stripped line *)
+  message : string;
+  hint : string option;
+  allow : string list;
+      (** path substrings exempt from this rule (documented legit uses) *)
+}
+
+(** Does the allowlist exempt this path? *)
+val allowed : rule -> string -> bool
+
+(** The built-in float-soundness and hygiene rules. *)
+val builtin : rule list

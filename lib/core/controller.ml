@@ -71,6 +71,11 @@ let to_string = function
   | Net { net; output_scale } ->
     Printf.sprintf "controller net %.17g\n%s" output_scale (Dwv_nn.Serialize.mlp_to_string net)
 
+let float_field s =
+  match float_of_string_opt s with
+  | Some v -> v
+  | None -> failwith ("Controller.of_string: invalid float " ^ s)
+
 let of_string text =
   match String.index_opt text '\n' with
   | None -> failwith "Controller.of_string: missing header"
@@ -85,13 +90,13 @@ let of_string text =
         |> String.split_on_char '\n'
         |> List.concat_map (String.split_on_char ' ')
         |> List.filter (fun s -> String.trim s <> "")
-        |> List.map float_of_string
+        |> List.map float_field
         |> Array.of_list
       in
       if Array.length values <> r * c then failwith "Controller.of_string: bad gain size";
       Linear { gain = Mat.init r c (fun i j -> values.((i * c) + j)) }
     | [ "controller"; "net"; scale ] ->
-      Net { net = Dwv_nn.Serialize.mlp_of_string body; output_scale = float_of_string scale }
+      Net { net = Dwv_nn.Serialize.mlp_of_string body; output_scale = float_field scale }
     | _ -> failwith "Controller.of_string: unrecognized header")
 
 let save path t =

@@ -175,6 +175,28 @@ let eval_vec f ~x ~u = Array.map (fun fi -> eval fi ~x ~u) f
 
 let ieval_vec f ~x ~u = Array.map (fun fi -> ieval fi ~x ~u) f
 
+(* Structural equality with NaN-safe float comparison ([Float.equal] treats
+   nan = nan as true, matching [Hashtbl.hash]'s canonical-NaN treatment, so
+   the pair is a valid hashtable equality). The physical shortcut keeps
+   comparisons of shared subtrees O(1) in memo tables. *)
+let rec equal a b =
+  a == b
+  ||
+  match (a, b) with
+  | Const x, Const y -> Float.equal x y
+  | Var i, Var j -> Int.equal i j
+  | Input i, Input j -> Int.equal i j
+  | Add (a1, a2), Add (b1, b2)
+  | Sub (a1, a2), Sub (b1, b2)
+  | Mul (a1, a2), Mul (b1, b2)
+  | Div (a1, a2), Div (b1, b2) -> equal a1 b1 && equal a2 b2
+  | Neg a1, Neg b1 | Sin a1, Sin b1 | Cos a1, Cos b1 | Exp a1, Exp b1 | Tanh a1, Tanh b1 ->
+    equal a1 b1
+  | Pow (a1, n), Pow (b1, k) -> Int.equal n k && equal a1 b1
+  | ( ( Const _ | Var _ | Input _ | Add _ | Sub _ | Mul _ | Div _ | Neg _ | Pow _ | Sin _
+      | Cos _ | Exp _ | Tanh _ ),
+      _ ) -> false
+
 let rec size = function
   | Const _ | Var _ | Input _ -> 1
   | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) -> 1 + size a + size b

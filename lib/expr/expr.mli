@@ -97,6 +97,11 @@ val ieval_vec :
   u:Dwv_interval.Interval.t array ->
   Dwv_interval.Interval.t array
 
+(** Structural equality; float constants compare NaN-safely via
+    [Float.equal], so the pair ([equal], [Hashtbl.hash]) is a valid
+    hashtable equality. *)
+val equal : t -> t -> bool
+
 (** Node count (expression size). *)
 val size : t -> int
 

@@ -7,7 +7,10 @@
      atom   := number | xN | uN | fn '(' expr ')' | '(' expr ')' | '-' factor
      fn     := sin | cos | exp | tanh
 
-   Example: "(1 - x0^2) * x1 - x0 + u0" is the Van der Pol x2'. *)
+   Example: "(1 - x0^2) * x1 - x0 + u0" is the Van der Pol x2'.
+
+   Errors carry the character offset of the offending token so that tools
+   (the static analyzer, the CLI) can point at the exact location. *)
 
 type token =
   | Num of float
@@ -26,26 +29,45 @@ exception Parse_error of string
 
 let fail fmt = Fmt.kstr (fun s -> raise (Parse_error s)) fmt
 
+(* Every error message leads with "at offset N" (0-based index into the
+   source string); [fail_at] keeps the format uniform. *)
+let fail_at pos fmt = Fmt.kstr (fun s -> fail "at offset %d: %s" pos s) fmt
+
+let describe_token = function
+  | Num v -> Fmt.str "number %g" v
+  | Var i -> Fmt.str "'x%d'" i
+  | Input j -> Fmt.str "'u%d'" j
+  | Fn name -> Fmt.str "function %S" name
+  | Plus -> "'+'"
+  | Minus -> "'-'"
+  | Star -> "'*'"
+  | Slash -> "'/'"
+  | Caret -> "'^'"
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+
 let is_digit c = c >= '0' && c <= '9'
 let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
 
+(* Tokens are paired with the offset of their first character. *)
 let tokenize src =
   let n = String.length src in
   let tokens = ref [] in
   let pos = ref 0 in
+  let push start t = tokens := (t, start) :: !tokens in
   let peek () = if !pos < n then Some src.[!pos] else None in
   while !pos < n do
+    let start = !pos in
     match src.[!pos] with
     | ' ' | '\t' | '\n' | '\r' -> incr pos
-    | '+' -> tokens := Plus :: !tokens; incr pos
-    | '-' -> tokens := Minus :: !tokens; incr pos
-    | '*' -> tokens := Star :: !tokens; incr pos
-    | '/' -> tokens := Slash :: !tokens; incr pos
-    | '^' -> tokens := Caret :: !tokens; incr pos
-    | '(' -> tokens := Lparen :: !tokens; incr pos
-    | ')' -> tokens := Rparen :: !tokens; incr pos
+    | '+' -> push start Plus; incr pos
+    | '-' -> push start Minus; incr pos
+    | '*' -> push start Star; incr pos
+    | '/' -> push start Slash; incr pos
+    | '^' -> push start Caret; incr pos
+    | '(' -> push start Lparen; incr pos
+    | ')' -> push start Rparen; incr pos
     | c when is_digit c || c = '.' ->
-      let start = !pos in
       while
         match peek () with
         | Some c -> is_digit c || c = '.' || c = 'e' || c = 'E'
@@ -58,10 +80,9 @@ let tokenize src =
       done;
       let text = String.sub src start (!pos - start) in
       (match float_of_string_opt text with
-      | Some v -> tokens := Num v :: !tokens
-      | None -> fail "invalid number %S" text)
+      | Some v -> push start (Num v)
+      | None -> fail_at start "invalid number %S" text)
     | c when is_alpha c ->
-      let start = !pos in
       while
         match peek () with Some c -> is_alpha c || is_digit c | None -> false
       do
@@ -72,29 +93,36 @@ let tokenize src =
         let suffix = String.sub word 1 (String.length word - 1) in
         match int_of_string_opt suffix with
         | Some i when i >= 0 -> i
-        | _ -> fail "expected an index after %S in %S" prefix word
+        | _ -> fail_at start "expected an index after %S in %S" prefix word
       in
       (match word.[0] with
-      | 'x' when String.length word > 1 -> tokens := Var (index_of "x") :: !tokens
-      | 'u' when String.length word > 1 -> tokens := Input (index_of "u") :: !tokens
+      | 'x' when String.length word > 1 -> push start (Var (index_of "x"))
+      | 'u' when String.length word > 1 -> push start (Input (index_of "u"))
       | _ ->
         (match word with
-        | "sin" | "cos" | "exp" | "tanh" -> tokens := Fn word :: !tokens
-        | "pi" -> tokens := Num Float.pi :: !tokens
-        | _ -> fail "unknown identifier %S" word))
-    | c -> fail "unexpected character %C" c
+        | "sin" | "cos" | "exp" | "tanh" -> push start (Fn word)
+        | "pi" -> push start (Num Float.pi)
+        | _ -> fail_at start "unknown identifier %S" word))
+    | c -> fail_at start "unexpected character %C" c
   done;
-  List.rev !tokens
+  (List.rev !tokens, n)
 
-(* Recursive descent over a mutable token stream. *)
-let parse_tokens tokens =
+(* Recursive descent over a mutable token stream; [eof] is the offset just
+   past the source, reported for truncated input. *)
+let parse_tokens (tokens, eof) =
   let stream = ref tokens in
-  let peek () = match !stream with [] -> None | t :: _ -> Some t in
-  let advance () = match !stream with [] -> fail "unexpected end of input" | _ :: r -> stream := r in
+  let peek () = match !stream with [] -> None | (t, _) :: _ -> Some t in
+  let pos () = match !stream with [] -> eof | (_, p) :: _ -> p in
+  let advance () =
+    match !stream with
+    | [] -> fail_at eof "unexpected end of input"
+    | _ :: r -> stream := r
+  in
   let expect t name =
-    match peek () with
-    | Some t' when t' = t -> advance ()
-    | _ -> fail "expected %s" name
+    match !stream with
+    | (t', _) :: _ when t' = t -> advance ()
+    | (t', p) :: _ -> fail_at p "expected %s but found %s" name (describe_token t')
+    | [] -> fail_at eof "expected %s but input ended" name
   in
   let rec expr () =
     let acc = ref (term ()) in
@@ -133,11 +161,14 @@ let parse_tokens tokens =
     match peek () with
     | Some Caret -> (
       advance ();
-      match peek () with
-      | Some (Num v) when Float.is_integer v && v >= 0.0 ->
+      match !stream with
+      | (Num v, _) :: _ when Float.is_integer v && v >= 0.0 ->
         advance ();
         Expr.pow base (int_of_float v)
-      | _ -> fail "expected a non-negative integer exponent after '^'")
+      | (t, p) :: _ ->
+        fail_at p "expected a non-negative integer exponent after '^' but found %s"
+          (describe_token t)
+      | [] -> fail_at eof "expected a non-negative integer exponent after '^'")
     | _ -> base
   and atom () =
     match peek () with
@@ -169,11 +200,13 @@ let parse_tokens tokens =
       | "exp" -> Expr.exp_ e
       | "tanh" -> Expr.tanh_ e
       | _ -> assert false)
-    | Some _ -> fail "unexpected token"
-    | None -> fail "unexpected end of input"
+    | Some t -> fail_at (pos ()) "unexpected token %s" (describe_token t)
+    | None -> fail_at eof "unexpected end of input"
   in
   let e = expr () in
-  if !stream <> [] then fail "trailing input";
+  (match !stream with
+  | [] -> ()
+  | (t, p) :: _ -> fail_at p "trailing input starting with %s" (describe_token t));
   e
 
 let parse src =

@@ -3,10 +3,12 @@
     are [xN], inputs [uN]; functions sin, cos, exp, tanh; [pi] is a
     constant; [^] takes a non-negative integer exponent. *)
 
-(** Parse one expression. *)
+(** Parse one expression. Error messages name the offending token and its
+    character offset, e.g. ["at offset 3: expected ')' but found '+'"]. *)
 val parse : string -> (Expr.t, string) result
 
-(** Raises [Invalid_argument] on parse errors. *)
+(** Raises [Invalid_argument] on parse errors (same positioned message,
+    prefixed with ["Parser.parse_exn: "]). *)
 val parse_exn : string -> Expr.t
 
 (** Parse a whole right-hand side (one expression per state component). *)

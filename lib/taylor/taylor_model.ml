@@ -324,13 +324,16 @@ let relu tm =
 (* Evaluate a dynamics expression with Taylor models substituted for the
    state and input variables. Lie-derivative tables share large subtrees
    (physically, thanks to the smart constructors), so evaluation memoizes
-   on node identity when given a [memo] table — one table per flowpipe
-   step covers all coordinates and all derivative orders. *)
+   when given a [memo] table — one table per flowpipe step covers all
+   coordinates and all derivative orders. Keys compare with structural
+   [Expr.equal] (which short-circuits on physical identity), so
+   structurally equal duplicates built through different paths also hit;
+   [Hashtbl.hash] canonicalizes NaN and -0. consistently with it. *)
 
 module Expr_memo = Hashtbl.Make (struct
   type t = Dwv_expr.Expr.t
 
-  let equal = ( == )
+  let equal = Dwv_expr.Expr.equal
   let hash = Hashtbl.hash
 end)
 

@@ -182,6 +182,41 @@ let test_parse_errors () =
       | Error _ -> ())
     [ "x"; "x0 +"; "(x0"; "x0 ^ x1"; "x0 ^ -2"; "foo(x0)"; "1..2"; "x0 x1"; "" ]
 
+(* Error messages must carry the offending token and its position. *)
+let test_parse_error_positions () =
+  let contains hay needle =
+    let n = String.length needle and m = String.length hay in
+    let rec at i = i + n <= m && (String.sub hay i n = needle || at (i + 1)) in
+    at 0
+  in
+  let expect src fragments =
+    match Parser.parse src with
+    | Ok _ -> Alcotest.failf "expected failure for %S" src
+    | Error m ->
+      List.iter
+        (fun frag ->
+          Alcotest.(check bool) (Fmt.str "%S mentions %S (got %S)" src frag m) true
+            (contains m frag))
+        fragments
+  in
+  expect "x0 +" [ "at offset 4"; "unexpected end of input" ];
+  expect "(x0" [ "offset"; "')'" ];
+  expect "x0 x1" [ "offset 3"; "trailing input"; "x1" ];
+  expect "foo(x0)" [ "offset 0"; "foo" ];
+  expect "x0 ^ x1" [ "offset"; "exponent" ]
+
+let test_equal_structural () =
+  let a = parse_ok "sin(x0 * x1) + u0" in
+  let b = parse_ok "sin(x0 * x1) + u0" in
+  Alcotest.(check bool) "separately parsed copies equal" true (Expr.equal a b);
+  Alcotest.(check bool) "different exprs differ" false
+    (Expr.equal a (parse_ok "sin(x0 * x1) + u1"));
+  Alcotest.(check bool) "pow exponent matters" false
+    (Expr.equal (parse_ok "x0^2") (parse_ok "x0^3"));
+  (* the memo-table contract: NaN constants are self-equal *)
+  Alcotest.(check bool) "nan const self-equal" true
+    (Expr.equal (Expr.const Float.nan) (Expr.const Float.nan))
+
 let test_parse_system () =
   match Parser.parse_system [ "x1"; "(1 - x0^2) * x1 - x0 + u0" ] with
   | Error m -> Alcotest.failf "system: %s" m
@@ -241,6 +276,8 @@ let suite =
     Alcotest.test_case "parse scientific" `Quick test_parse_scientific_notation;
     Alcotest.test_case "parse pi" `Quick test_parse_pi;
     Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "parse error positions" `Quick test_parse_error_positions;
+    Alcotest.test_case "structural equality" `Quick test_equal_structural;
     Alcotest.test_case "parse system" `Quick test_parse_system;
     Alcotest.test_case "parse system error" `Quick test_parse_system_error_position;
     QCheck_alcotest.to_alcotest prop_parse_roundtrip_eval;

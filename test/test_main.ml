@@ -17,5 +17,6 @@ let () =
       ("core", Test_core.suite);
       ("rl", Test_rl.suite);
       ("systems", Test_systems.suite);
+      ("analysis", Test_analysis.suite);
       ("integration", Test_integration.suite);
     ]

@@ -144,6 +144,27 @@ let test_of_expr_memo_consistent () =
   Alcotest.(check bool) "same bound" true
     (I.equal ~eps:1e-12 (Tm.bound plain) (Tm.bound memoized))
 
+(* Regression: the memo table is keyed on structural equality (Expr.equal),
+   so structurally identical subtrees built as distinct allocations must hit
+   the same entry and still give sound, identical results. Under the old
+   physical-equality keying this exercised the silent-miss path. *)
+let test_of_expr_memo_structural_duplicates () =
+  let module E = Dwv_expr.Expr in
+  let x = [| var2 0; var2 1 |] in
+  let u = [||] in
+  (* two separately-allocated copies of sin(x0 * x1) *)
+  let copy () = E.(sin_ (mul (var 0) (var 1))) in
+  let a = copy () and b = copy () in
+  let e = E.(add (tanh_ a) (pow b 2)) in
+  let plain = Tm.of_expr ~x ~u e in
+  let memo = Tm.create_memo () in
+  let memoized = Tm.of_expr ~memo ~x ~u e in
+  Alcotest.(check bool) "same bound across duplicate subtrees" true
+    (I.equal ~eps:1e-12 (Tm.bound plain) (Tm.bound memoized));
+  check_sound ~name:"memo duplicates" memoized (fun z ->
+      let s = Float.sin (z.(0) *. z.(1)) in
+      Float.tanh s +. (s *. s))
+
 (* ---------------- Tm_vec ---------------- *)
 
 let test_tm_vec_of_box_roundtrip () =
@@ -192,6 +213,8 @@ let suite =
     Alcotest.test_case "symbolize busy slot" `Quick test_symbolize_busy_slot_raises;
     Alcotest.test_case "of_expr" `Quick test_of_expr;
     Alcotest.test_case "of_expr memo" `Quick test_of_expr_memo_consistent;
+    Alcotest.test_case "of_expr memo structural duplicates" `Quick
+      test_of_expr_memo_structural_duplicates;
     Alcotest.test_case "tm_vec of_box" `Quick test_tm_vec_of_box_roundtrip;
     Alcotest.test_case "tm_vec extra vars" `Quick test_tm_vec_extra_vars;
     Alcotest.test_case "order guard" `Quick test_order_guard;
