@@ -16,6 +16,9 @@ module Metrics = Dwv_core.Metrics
 module Evaluate = Dwv_core.Evaluate
 module Initset = Dwv_core.Initset
 module Rng = Dwv_util.Rng
+module Dwv_error = Dwv_robust.Dwv_error
+module Budget = Dwv_robust.Budget
+module Fault = Dwv_robust.Fault
 
 (* Uniform handle over the three benchmark systems. *)
 type system = {
@@ -24,6 +27,9 @@ type system = {
   init : Rng.t -> Controller.t;
   verify : Verifier.nn_method option -> Controller.t -> Flowpipe.t;
   verify_from : Verifier.nn_method option -> Box.t -> Controller.t -> Flowpipe.t;
+  verify_robust :
+    Verifier.nn_method option -> Budget.t option -> Controller.t ->
+    Verifier.fallback_report;
   sim : Controller.t -> float array -> float array;
   default_cfg : Learner.config;
 }
@@ -36,6 +42,7 @@ let acc_system =
     init = (fun _ -> A.initial_controller);
     verify = (fun _ c -> A.verify c);
     verify_from = (fun _ cell c -> A.verify_from cell c);
+    verify_robust = (fun _ budget c -> A.verify_robust ?budget c);
     sim = A.sim_controller;
     default_cfg = { Learner.default_config with max_iters = 150; alpha = 0.2; beta = 0.2 };
   }
@@ -53,6 +60,7 @@ let oscillator_system =
     init = (fun rng -> O.pretrained_controller rng);
     verify = (fun m c -> O.verify ?method_:m c);
     verify_from = (fun m cell c -> O.verify_from ?method_:m cell c);
+    verify_robust = (fun m budget c -> O.verify_robust ?method_:m ?budget c);
     sim = O.sim_controller;
     default_cfg = nn_cfg;
   }
@@ -65,6 +73,7 @@ let threed_system =
     init = (fun rng -> T.pretrained_controller rng);
     verify = (fun m c -> T.verify ?method_:m c);
     verify_from = (fun m cell c -> T.verify_from ?method_:m cell c);
+    verify_robust = (fun m budget c -> T.verify_robust ?method_:m ?budget c);
     sim = T.sim_controller;
     default_cfg = nn_cfg;
   }
@@ -77,6 +86,7 @@ let pendulum_system =
     init = (fun rng -> P.pretrained_controller rng);
     verify = (fun m c -> P.verify ?method_:m c);
     verify_from = (fun m cell c -> P.verify_from ?method_:m cell c);
+    verify_robust = (fun m budget c -> P.verify_robust ?method_:m ?budget c);
     sim = P.sim_controller;
     default_cfg = nn_cfg;
   }
@@ -127,6 +137,72 @@ let initial_controller sys ~controller_file ~seed =
   | Some path -> Controller.load path
   | None -> sys.init (Rng.create seed)
 
+(* ---- fault-tolerance options shared by verify and learn ---- *)
+
+let deadline_arg =
+  let doc = "Wall-clock deadline in seconds for the whole run." in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+
+let max_calls_arg =
+  let doc = "Verifier-call budget for the whole run." in
+  Arg.(value & opt (some int) None & info [ "max-calls" ] ~docv:"N" ~doc)
+
+let fault_arg =
+  let doc =
+    "Inject a fault at verifier call $(i,IDX) (0-based): IDX:KIND with KIND one of \
+     nan, blowup, deadline, budget. Repeatable."
+  in
+  Arg.(value & opt_all string [] & info [ "fault" ] ~docv:"IDX:KIND" ~doc)
+
+let plain_arg =
+  let doc = "Bypass the fallback ladder (plain single-method verifier)." in
+  Arg.(value & flag & info [ "plain" ] ~doc)
+
+let parse_fault s =
+  match String.index_opt s ':' with
+  | None -> Error (`Msg ("bad --fault " ^ s ^ " (expected IDX:KIND)"))
+  | Some i -> (
+    let idx = String.sub s 0 i in
+    let kind = String.sub s (i + 1) (String.length s - i - 1) in
+    match (int_of_string_opt idx, Fault.kind_of_string kind) with
+    | Some idx, Some kind when idx >= 0 -> Ok (idx, kind)
+    | _ ->
+      Error
+        (`Msg
+          ("bad --fault " ^ s ^ " (expected IDX:KIND, KIND in nan | blowup | \
+            deadline | budget)")))
+
+let parse_faults specs = List.map (fun s -> or_die (parse_fault s)) specs
+
+let budget_of ~deadline ~max_calls =
+  match (deadline, max_calls) with
+  | None, None -> None
+  | _ -> Some (Budget.create ?deadline ?max_calls ())
+
+(* Run [f] with the fault plan armed (if any), returning its result plus
+   the faults that actually fired. *)
+let with_fault_plan ~seed faults f =
+  if faults = [] then (f (), [])
+  else
+    Fault.with_faults ~seed faults (fun () ->
+        let r = f () in
+        (r, Fault.injected ()))
+
+let bump tbl key = Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let pp_tally ppf tbl =
+  let entries = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+  let entries = List.sort (fun (_, a) (_, b) -> compare b a) entries in
+  Fmt.(list ~sep:sp (pair ~sep:(any "=") string int)) ppf entries
+
+let report_robustness ~rungs ~failures ~injected () =
+  if Hashtbl.length rungs > 0 then Fmt.pr "fallback rungs: %a@." pp_tally rungs;
+  if Hashtbl.length failures > 0 then
+    Fmt.pr "verifier failures: %a@." pp_tally failures;
+  List.iter
+    (fun (i, k) -> Fmt.pr "injected fault at call %d: %s@." i (Fault.kind_to_string k))
+    injected
+
 let info_cmd =
   let run name =
     let sys = or_die (system_of_name name) in
@@ -136,19 +212,42 @@ let info_cmd =
     Term.(const run $ system_arg)
 
 let verify_cmd =
-  let run name tool seed controller_file =
+  let run name tool seed controller_file deadline fault_specs plain =
     let sys = or_die (system_of_name name) in
     let method_ = or_die (method_of_name name tool) in
+    let faults = parse_faults fault_specs in
     let c = initial_controller sys ~controller_file ~seed in
     let t0 = Sys.time () in
-    let pipe = sys.verify method_ c in
+    let pipe, injected =
+      if plain then (sys.verify method_ c, [])
+      else begin
+        let budget = budget_of ~deadline ~max_calls:None in
+        let report, injected =
+          with_fault_plan ~seed faults (fun () -> sys.verify_robust method_ budget c)
+        in
+        (match report.Verifier.rung with
+        | Some rung when report.Verifier.rung_index <> Some 0 ->
+          Fmt.pr "verdict produced by fallback rung: %s@." rung
+        | _ -> ());
+        List.iter
+          (fun (rung, e) ->
+            Fmt.pr "rung %s failed: %a@." rung Dwv_error.pp e)
+          report.Verifier.failures;
+        (report.Verifier.pipe, injected)
+      end
+    in
     let verdict = Verifier.check ~unsafe:sys.spec.Spec.unsafe ~goal:sys.spec.Spec.goal pipe in
+    List.iter
+      (fun (i, k) -> Fmt.pr "injected fault at call %d: %s@." i (Fault.kind_to_string k))
+      injected;
     Fmt.pr "%a@.verdict: %a (%.2fs cpu)@." Flowpipe.pp pipe Verifier.pp_verdict verdict
       (Sys.time () -. t0)
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Verify a design once (warm start, or a saved controller)")
-    Term.(const run $ system_arg $ tool_arg $ seed_arg $ controller_arg)
+    Term.(
+      const run $ system_arg $ tool_arg $ seed_arg $ controller_arg $ deadline_arg
+      $ fault_arg $ plain_arg)
 
 let learn_cmd =
   let metric_arg =
@@ -163,18 +262,34 @@ let learn_cmd =
       & opt (some string) None
       & info [ "save" ] ~docv:"FILE" ~doc:"Save the learned controller to this file.")
   in
-  let run name tool metric_name iters seed controller_file save =
+  let run name tool metric_name iters seed controller_file save deadline max_calls
+      fault_specs plain =
     let sys = or_die (system_of_name name) in
     let method_ = or_die (method_of_name name tool) in
     let metric = or_die (metric_of_name metric_name) in
+    let faults = parse_faults fault_specs in
     let cfg =
       match iters with
       | Some n -> { sys.default_cfg with Learner.max_iters = n; seed }
       | None -> { sys.default_cfg with seed }
     in
-    let r =
-      Learner.learn cfg ~metric ~spec:sys.spec ~verify:(sys.verify method_)
-        ~init:(initial_controller sys ~controller_file ~seed)
+    let budget = budget_of ~deadline ~max_calls in
+    let rungs = Hashtbl.create 8 and failures = Hashtbl.create 8 in
+    let verify c =
+      if plain then sys.verify method_ c
+      else begin
+        let report = sys.verify_robust method_ budget c in
+        bump rungs (Option.value ~default:"none" report.Verifier.rung);
+        List.iter
+          (fun (_, e) -> bump failures (Dwv_error.kind_name e))
+          report.Verifier.failures;
+        report.Verifier.pipe
+      end
+    in
+    let r, injected =
+      with_fault_plan ~seed faults (fun () ->
+          Learner.learn ?budget cfg ~metric ~spec:sys.spec ~verify
+            ~init:(initial_controller sys ~controller_file ~seed))
     in
     Fmt.pr "CI = %d (%d verifier calls), verdict: %a@." r.Learner.iterations
       r.Learner.verifier_calls Verifier.pp_verdict r.Learner.verdict;
@@ -185,6 +300,12 @@ let learn_cmd =
           h.Learner.objective h.Learner.scores.Metrics.safety h.Learner.scores.Metrics.goal
           Verifier.pp_verdict h.Learner.verdict)
       r.Learner.history;
+    report_robustness ~rungs ~failures ~injected ();
+    if r.Learner.skipped_probes > 0 then
+      Fmt.pr "gradient probes skipped (non-finite scores): %d@." r.Learner.skipped_probes;
+    (match r.Learner.stopped with
+    | Some e -> Fmt.pr "stopped early: %a@." Dwv_error.pp e
+    | None -> ());
     match save with
     | Some path ->
       Controller.save path r.Learner.controller;
@@ -194,7 +315,7 @@ let learn_cmd =
   Cmd.v (Cmd.info "learn" ~doc:"Run Algorithm 1 (verification-in-the-loop learning)")
     Term.(
       const run $ system_arg $ tool_arg $ metric_arg $ iters_arg $ seed_arg $ controller_arg
-      $ save_arg)
+      $ save_arg $ deadline_arg $ max_calls_arg $ fault_arg $ plain_arg)
 
 let simulate_cmd =
   let n_arg = Arg.(value & opt int 500 & info [ "n" ] ~docv:"N" ~doc:"Number of rollouts.") in

@@ -79,6 +79,24 @@ let builtin =
       allow = [];
     };
     {
+      name = "bare-failwith";
+      severity = Diagnostics.Error;
+      pattern = not_ident_left ^ {|\(failwith\|exit\)[ \t(]|};
+      message = "bare failwith/exit in a library hot path; the verification loop must \
+                 stay total";
+      hint =
+        Some
+          "return (_, Dwv_robust.Dwv_error.t) result (see DESIGN.md §8), or allowlist \
+           a genuinely unreachable case";
+      allow =
+        [ "bin/"; "bench/"; "test/"; "examples/";
+          (* intentional: parse/IO front ends and invariant violations that
+             indicate a programming error, not a degraded analysis *)
+          "lib/nn/serialize.ml"; "lib/core/controller.ml";
+          "lib/interval/interval.ml"; "lib/taylor/taylor_model.ml";
+          "lib/la/mat.ml" ];
+    };
+    {
       name = "print-debug";
       severity = Diagnostics.Warn;
       pattern = not_ident_left ^ {|\(print_endline\|print_string\|Printf\.printf\)\b|};

@@ -11,10 +11,23 @@ module Stats = Dwv_util.Stats
 
 type rollout = { safe : bool; reached : bool; trace : Sampled_system.trace }
 
+let point_finite p = Array.for_all Float.is_finite p
+
 let rollout ?substeps ~sys ~controller ~(spec : Spec.t) x0 =
   let trace = Sampled_system.simulate ?substeps sys ~controller ~x0 ~steps:spec.Spec.steps in
-  let safe = Array.for_all (Spec.point_safe spec) trace.Sampled_system.dense in
-  let reached = Array.exists (Spec.point_in_goal spec) trace.Sampled_system.dense in
+  (* a NaN state would vacuously pass the box membership tests (NaN
+     compares false against every bound), counting a blown-up simulation
+     as safe; a non-finite trajectory is unsafe and never goal-reaching *)
+  let safe =
+    Array.for_all
+      (fun p -> point_finite p && Spec.point_safe spec p)
+      trace.Sampled_system.dense
+  in
+  let reached =
+    Array.exists
+      (fun p -> point_finite p && Spec.point_in_goal spec p)
+      trace.Sampled_system.dense
+  in
   { safe; reached; trace }
 
 type rates = { safe_percent : float; goal_percent : float; n : int }

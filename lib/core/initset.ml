@@ -19,23 +19,42 @@ type result = {
   rejected : Box.t list;   (* cells that failed at maximal depth *)
   coverage : float;        (* |X_I| / |X_0| *)
   verifier_calls : int;
+  stopped : Dwv_robust.Dwv_error.t option;  (* budget cut the search short *)
 }
 
-let search ?(max_depth = 4) ~verify ~goal ~x0 () =
+let search ?(max_depth = 4) ?budget ~verify ~goal ~x0 () =
   let calls = ref 0 in
   let verified = ref [] and rejected = ref [] in
+  let stopped = ref None in
+  (* out of budget: the remaining cells are conservatively rejected — X_I
+     only shrinks, the certificate on the certified cells still stands *)
+  let blown () =
+    match budget with
+    | None -> false
+    | Some b -> (
+      !stopped <> None
+      ||
+      match Dwv_robust.Budget.check ~where:"Initset.search" b with
+      | Ok () -> false
+      | Error e ->
+        stopped := Some e;
+        true)
+  in
   let rec explore cell depth =
-    let pipe = verify cell in
-    incr calls;
-    let ok =
-      (not (Flowpipe.diverged pipe)) && Verifier.goal_step ~goal pipe <> None
-    in
-    if ok then verified := cell :: !verified
-    else if depth >= max_depth then rejected := cell :: !rejected
+    if blown () then rejected := cell :: !rejected
     else begin
-      let left, right = Box.bisect cell in
-      explore left (depth + 1);
-      explore right (depth + 1)
+      let pipe = verify cell in
+      incr calls;
+      let ok =
+        (not (Flowpipe.diverged pipe)) && Verifier.goal_step ~goal pipe <> None
+      in
+      if ok then verified := cell :: !verified
+      else if depth >= max_depth then rejected := cell :: !rejected
+      else begin
+        let left, right = Box.bisect cell in
+        explore left (depth + 1);
+        explore right (depth + 1)
+      end
     end
   in
   explore x0 0;
@@ -46,6 +65,7 @@ let search ?(max_depth = 4) ~verify ~goal ~x0 () =
     rejected = !rejected;
     coverage = (if total > 0.0 then covered /. total else 0.0);
     verifier_calls = !calls;
+    stopped = !stopped;
   }
 
 (* The paper's literal Algorithm 2: evenly partition X_0 into P^n cells,
@@ -97,6 +117,7 @@ let search_even ?(max_rounds = 4) ~verify ~goal ~x0 () =
     rejected = !rejected_last;
     coverage = (if total > 0.0 then fine_volume /. total else 0.0);
     verifier_calls = !calls;
+    stopped = None;
   }
 
 (* Pretty-print X_I as a union of boxes (the form used in the captions of

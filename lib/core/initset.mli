@@ -7,14 +7,19 @@ type result = {
   rejected : Dwv_interval.Box.t list;  (** failed at maximal depth *)
   coverage : float;                    (** |X_I| / |X₀| *)
   verifier_calls : int;
+  stopped : Dwv_robust.Dwv_error.t option;
+      (** budget/deadline exhaustion that cut the search short; remaining
+          cells were conservatively rejected (X_I only shrinks) *)
 }
 
 (** [search ~verify ~goal ~x0 ()] certifies cells whose flowpipe has some
     sample-instant enclosure inside [goal]; failing cells are bisected up
     to [max_depth] (default 4). [verify] runs the verifier from an
-    arbitrary initial cell. *)
+    arbitrary initial cell. When [budget] is exhausted mid-search the
+    unexplored cells are rejected and [stopped] records why. *)
 val search :
   ?max_depth:int ->
+  ?budget:Dwv_robust.Budget.t ->
   verify:(Dwv_interval.Box.t -> Dwv_reach.Flowpipe.t) ->
   goal:Dwv_interval.Box.t ->
   x0:Dwv_interval.Box.t ->

@@ -12,6 +12,8 @@
 module Verifier = Dwv_reach.Verifier
 module Flowpipe = Dwv_reach.Flowpipe
 module Rng = Dwv_util.Rng
+module Dwv_error = Dwv_robust.Dwv_error
+module Budget = Dwv_robust.Budget
 
 type gradient_mode =
   | Coordinate      (* one +-p probe per parameter: 2 * dim verifier calls *)
@@ -59,6 +61,8 @@ type result = {
   verifier_calls : int;
   history : history_point list;   (* learning curve, Figs. 4 and 5 *)
   pipe : Flowpipe.t;              (* flowpipe of the returned controller *)
+  skipped_probes : int;           (* probe pairs dropped for non-finite scores *)
+  stopped : Dwv_error.t option;   (* budget/deadline that cut the run short *)
 }
 
 let vec_norm v = sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 v)
@@ -68,48 +72,78 @@ let normalize v =
   if n < 1e-12 then v else Array.map (fun x -> x /. n) v
 
 (* Central-difference estimate of the gradients of both scores at theta.
-   Returns (grad_safety, grad_goal). *)
-let estimate_gradients cfg ~rng ~evaluate ~calls theta =
+   Total: a probe pair whose score difference is non-finite (a diverged
+   pipe can grade to NaN) is dropped — skipping one direction biases the
+   estimate far less than folding a NaN into every component — and a
+   blown [budget] stops probing early, returning whatever accumulated.
+   Returns (grad_safety, grad_goal, skipped_pairs, stop_error). *)
+let estimate_gradients ?budget cfg ~rng ~evaluate ~calls theta =
   let dim = Array.length theta in
   let g_safety = Array.make dim 0.0 and g_goal = Array.make dim 0.0 in
   let p = cfg.perturbation in
+  let skipped = ref 0 in
+  let exception Stop of Dwv_error.t in
   let probe direction =
+    (match budget with
+    | None -> ()
+    | Some b -> (
+      match Budget.check ~where:"Learner.estimate_gradients" b with
+      | Ok () -> ()
+      | Error e -> raise (Stop e)));
     let plus = Array.mapi (fun i x -> x +. (p *. direction.(i))) theta in
     let minus = Array.mapi (fun i x -> x -. (p *. direction.(i))) theta in
     let s_plus = evaluate plus and s_minus = evaluate minus in
     calls := !calls + 2;
     let ds = (s_plus.Metrics.safety -. s_minus.Metrics.safety) /. (2.0 *. p) in
     let dg = (s_plus.Metrics.goal -. s_minus.Metrics.goal) /. (2.0 *. p) in
-    (ds, dg)
+    if Float.is_finite ds && Float.is_finite dg then Some (ds, dg)
+    else begin
+      incr skipped;
+      Logs.debug (fun m ->
+          m "Learner: dropping non-finite probe pair (ds=%g dg=%g)" ds dg);
+      None
+    end
   in
-  (match cfg.gradient_mode with
-  | Coordinate ->
-    for i = 0 to dim - 1 do
-      let direction = Array.make dim 0.0 in
-      direction.(i) <- 1.0;
-      let ds, dg = probe direction in
-      g_safety.(i) <- ds;
-      g_goal.(i) <- dg
-    done
-  | Spsa k ->
-    if k < 1 then invalid_arg "Learner: Spsa needs at least one direction";
-    for _ = 1 to k do
-      let direction = Rng.rademacher rng dim in
-      let ds, dg = probe direction in
-      (* SPSA estimator: grad_i ~ df * d_i / (2p); d_i = +-1 so the
-         division is a multiplication *)
-      for i = 0 to dim - 1 do
-        g_safety.(i) <- g_safety.(i) +. (ds *. direction.(i) /. float_of_int k);
-        g_goal.(i) <- g_goal.(i) +. (dg *. direction.(i) /. float_of_int k)
-      done
-    done);
-  if cfg.normalize_gradients then (normalize g_safety, normalize g_goal)
-  else (g_safety, g_goal)
+  let stopped = ref None in
+  (try
+     match cfg.gradient_mode with
+     | Coordinate ->
+       for i = 0 to dim - 1 do
+         let direction = Array.make dim 0.0 in
+         direction.(i) <- 1.0;
+         match probe direction with
+         | Some (ds, dg) ->
+           g_safety.(i) <- ds;
+           g_goal.(i) <- dg
+         | None -> ()
+       done
+     | Spsa k ->
+       if k < 1 then invalid_arg "Learner: Spsa needs at least one direction";
+       for _ = 1 to k do
+         let direction = Rng.rademacher rng dim in
+         match probe direction with
+         | Some (ds, dg) ->
+           (* SPSA estimator: grad_i ~ df * d_i / (2p); d_i = +-1 so the
+              division is a multiplication *)
+           for i = 0 to dim - 1 do
+             g_safety.(i) <- g_safety.(i) +. (ds *. direction.(i) /. float_of_int k);
+             g_goal.(i) <- g_goal.(i) +. (dg *. direction.(i) /. float_of_int k)
+           done
+         | None -> ()
+       done
+   with Stop e -> stopped := Some e);
+  let g =
+    if cfg.normalize_gradients then (normalize g_safety, normalize g_goal)
+    else (g_safety, g_goal)
+  in
+  (fst g, snd g, !skipped, !stopped)
 
-let learn ?(log = false) cfg ~metric ~(spec : Spec.t) ~verify ~init =
+let learn ?(log = false) ?budget cfg ~metric ~(spec : Spec.t) ~verify ~init =
   let rng = Rng.create cfg.seed in
   let unsafe = spec.Spec.unsafe and goal = spec.Spec.goal in
   let calls = ref 0 in
+  let skipped_probes = ref 0 in
+  let stopped = ref None in
   let evaluate theta =
     Metrics.scores metric ~unsafe ~goal (verify (Controller.with_params init theta))
   in
@@ -122,6 +156,16 @@ let learn ?(log = false) cfg ~metric ~(spec : Spec.t) ~verify ~init =
   (* plateau-triggered step decay (see config) *)
   let alpha = ref cfg.alpha and beta = ref cfg.beta in
   let stagnation = ref 0 in
+  let budget_blown () =
+    match budget with
+    | None -> false
+    | Some b -> (
+      match Budget.check ~where:"Learner.learn" b with
+      | Ok () -> false
+      | Error e ->
+        if !stopped = None then stopped := Some e;
+        true)
+  in
   let rec iterate i =
     let controller = Controller.with_params init !theta in
     let pipe = verify controller in
@@ -144,7 +188,7 @@ let learn ?(log = false) cfg ~metric ~(spec : Spec.t) ~verify ~init =
     if log then
       Logs.info (fun m ->
           m "iter %d: %a verdict=%a" i Metrics.pp_scores scores Verifier.pp_verdict verdict);
-    if verdict = Verifier.Reach_avoid || i >= cfg.max_iters then begin
+    if verdict = Verifier.Reach_avoid || i >= cfg.max_iters || budget_blown () then begin
       let controller, pipe, verdict =
         if verdict = Verifier.Reach_avoid then (controller, pipe, verdict)
         else
@@ -159,17 +203,30 @@ let learn ?(log = false) cfg ~metric ~(spec : Spec.t) ~verify ~init =
         verifier_calls = !calls;
         history = List.rev !history;
         pipe;
+        skipped_probes = !skipped_probes;
+        stopped = !stopped;
       }
     end
     else begin
-      let g_safety, g_goal = estimate_gradients cfg ~rng ~evaluate ~calls !theta in
+      let g_safety, g_goal, skipped, stop =
+        estimate_gradients ?budget cfg ~rng ~evaluate ~calls !theta
+      in
+      skipped_probes := !skipped_probes + skipped;
+      (match stop with Some e when !stopped = None -> stopped := Some e | _ -> ());
       (* theta <- theta + alpha * grad(safety) + beta * grad(goal): ascend
          both scores (the paper's line 6 with both metrics oriented
          larger-is-better) *)
-      theta :=
+      let candidate =
         Array.mapi
           (fun j x -> x +. (!alpha *. g_safety.(j)) +. (!beta *. g_goal.(j)))
-          !theta;
+          !theta
+      in
+      (* never let a corrupted step poison the iterate: a non-finite theta
+         would make every later verifier call meaningless *)
+      if Array.for_all Float.is_finite candidate then theta := candidate
+      else
+        Logs.warn (fun m ->
+            m "Learner: discarding non-finite parameter update at iter %d" i);
       iterate (i + 1)
     end
   in

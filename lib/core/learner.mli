@@ -37,15 +37,24 @@ type result = {
   verifier_calls : int;
   history : history_point list; (** learning curve (Figs. 4/5) *)
   pipe : Dwv_reach.Flowpipe.t;  (** flowpipe of the returned controller *)
+  skipped_probes : int;
+      (** gradient probe pairs dropped because a score was non-finite *)
+  stopped : Dwv_robust.Dwv_error.t option;
+      (** deadline/budget exhaustion that cut the run short, if any *)
 }
 
 (** Run Algorithm 1. [verify] is the verifier Ψ closed over the system;
     [init] provides both the controller family and the initial θ. Stops at
     the first formally proved reach-avoid verdict or after
     [cfg.max_iters]; in the latter case the best-objective iterate (not
-    the last) is returned. *)
+    the last) is returned. Total under misbehaving verifiers: non-finite
+    probe scores are skipped (not folded into the gradient), a parameter
+    update that would produce non-finite θ is discarded, and when
+    [budget] runs out the best iterate so far is returned with [stopped]
+    set. *)
 val learn :
   ?log:bool ->
+  ?budget:Dwv_robust.Budget.t ->
   config ->
   metric:Metrics.kind ->
   spec:Spec.t ->

@@ -82,27 +82,44 @@ let _ = (c2, c3, c4, c5)
 
 type stats = { steps_accepted : int; steps_rejected : int }
 
+(* Exhausting the step budget (a stiff learned closed loop under some
+   probe θ) and a trajectory escaping to NaN/∞ are both expected failure
+   modes of the learning loop, so they are returned as structured errors
+   rather than raised: one stiff probe must not kill a whole run. *)
 let integrate ?(rtol = 1e-8) ?(atol = 1e-10) ?(h0 = 1e-3) ?(max_steps = 100_000) ~f ~u
     ~duration x0 =
   if duration < 0.0 then invalid_arg "Rk45.integrate: negative duration";
+  let where = "Rk45.integrate" in
   let x = ref (Array.copy x0) in
   let t = ref 0.0 in
   let h = ref (Float.min h0 (Float.max duration 1e-300)) in
   let accepted = ref 0 and rejected = ref 0 in
   let count = ref 0 in
-  while !t < duration && !count < max_steps do
+  let error = ref None in
+  while !error = None && !t < duration && !count < max_steps do
     incr count;
     let h_eff = Float.min !h (duration -. !t) in
     let x5, err = trial ~f ~u ~rtol ~atol !x h_eff in
-    if err <= 1.0 then begin
-      x := x5;
-      t := !t +. h_eff;
-      incr accepted
+    if not (Float.is_finite err && Array.for_all Float.is_finite x5) then
+      error :=
+        Some (Dwv_robust.Dwv_error.non_finite ~where ~step:!count "trial state")
+    else begin
+      if err <= 1.0 then begin
+        x := x5;
+        t := !t +. h_eff;
+        incr accepted
+      end
+      else incr rejected;
+      (* proportional controller with the usual safety factor and clamps *)
+      let factor = 0.9 *. (Float.max err 1e-10 ** -0.2) in
+      h := h_eff *. Dwv_util.Floatx.clamp ~lo:0.2 ~hi:5.0 factor
     end
-    else incr rejected;
-    (* proportional controller with the usual safety factor and clamps *)
-    let factor = 0.9 *. (Float.max err 1e-10 ** -0.2) in
-    h := h_eff *. Dwv_util.Floatx.clamp ~lo:0.2 ~hi:5.0 factor
   done;
-  if !t < duration then failwith "Rk45.integrate: step budget exhausted";
-  (!x, { steps_accepted = !accepted; steps_rejected = !rejected })
+  match !error with
+  | Some e -> Error e
+  | None ->
+    if !t < duration then
+      Error
+        (Dwv_robust.Dwv_error.budget_exhausted ~where ~which:"step" ~used:!count
+           ~limit:max_steps ())
+    else Ok (!x, { steps_accepted = !accepted; steps_rejected = !rejected })

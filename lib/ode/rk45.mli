@@ -3,8 +3,12 @@
 
 type stats = { steps_accepted : int; steps_rejected : int }
 
-(** Integrate over [0, duration] with adaptive steps; raises [Failure]
-    when [max_steps] (default 100000) is exhausted before the horizon. *)
+(** Integrate over [0, duration] with adaptive steps. Returns
+    [Error (Budget_exhausted _)] when [max_steps] (default 100000) runs
+    out before the horizon (stiff probe) and [Error (Non_finite _)] when
+    the trajectory escapes to NaN/∞ — a stiff or diverging probe must
+    not kill the learning run. Raises [Invalid_argument] only on a
+    negative [duration] (a programming error, not a runtime mode). *)
 val integrate :
   ?rtol:float ->
   ?atol:float ->
@@ -14,4 +18,4 @@ val integrate :
   u:float array ->
   duration:float ->
   float array ->
-  float array * stats
+  (float array * stats, Dwv_robust.Dwv_error.t) result

@@ -60,3 +60,8 @@ let pp ppf t =
   Fmt.pf ppf "flowpipe(%d steps, delta=%g%s, final=%a)" (steps t) t.delta
     (if t.diverged then ", DIVERGED" else "")
     Box.pp (final_box t)
+
+(* Total-verification outcome: a flowpipe is always produced (possibly a
+   truncated, diverged one) and the structured cause rides along when the
+   analysis failed. *)
+type outcome = { pipe : t; error : Dwv_robust.Dwv_error.t option }

@@ -43,3 +43,7 @@ val final_width : t -> float
 val project : dims:int array -> t -> t
 
 val pp : Format.formatter -> t -> unit
+
+(** Total-verification outcome: the (possibly truncated, diverged)
+    flowpipe plus the structured cause when the analysis failed. *)
+type outcome = { pipe : t; error : Dwv_robust.Dwv_error.t option }

@@ -2,15 +2,18 @@
    machinery exists to beat. The controller is abstracted by interval
    bound propagation and the period flow by an interval Taylor series with
    a Picard remainder - no symbolic variables at all, so every step incurs
-   the full wrapping effect. Kept as an ablation (see the bench): on the
-   rotating Van der Pol dynamics the box iteration balloons within a few
-   steps while the Taylor-model pipe stays tight. *)
+   the full wrapping effect. Kept as an ablation (see the bench) and as
+   the last rung of the fallback ladder: on the rotating Van der Pol
+   dynamics the box iteration balloons within a few steps while the
+   Taylor-model pipe stays tight, but it never throws and it is cheap. *)
 
 module I = Dwv_interval.Interval
 module Box = Dwv_interval.Box
 module Expr = Dwv_expr.Expr
 module Mlp = Dwv_nn.Mlp
 module Ibp = Dwv_nn.Ibp
+module Dwv_error = Dwv_robust.Dwv_error
+module Budget = Dwv_robust.Budget
 
 let factorial k =
   let acc = ref 1.0 in
@@ -21,62 +24,92 @@ let factorial k =
 
 (* One sampling period: x(delta) in sum_j delta^j/j! Lie_j(X, U) + Lagrange
    remainder over the Picard enclosure, all in interval arithmetic. *)
-let step ~f ~(lie : Taylor_reach.lie_table) ~delta (x : Box.t) (u : Box.t) =
-  match Taylor_reach.apriori_enclosure ~f ~x_box:x ~u_box:u ~delta with
-  | None -> None
-  | Some enclosure ->
-    let order = Array.length lie - 2 in
-    let n = Box.dim x in
-    let next =
-      Array.init n (fun i ->
-          let acc = ref x.(i) in
-          for j = 1 to order do
-            let c = Expr.ieval lie.(j).(i) ~x ~u in
-            acc := I.add !acc (I.scale ((delta ** float_of_int j) /. factorial j) c)
-          done;
-          let lf = Expr.ieval lie.(order + 1).(i) ~x:enclosure ~u in
-          I.add !acc
-            (I.scale ((delta ** float_of_int (order + 1)) /. factorial (order + 1)) lf))
-    in
-    Some (next, enclosure)
+let step ?budget ~f ~(lie : Taylor_reach.lie_table) ~delta (x : Box.t) (u : Box.t) =
+  match
+    match budget with
+    | None -> Ok ()
+    | Some b -> Budget.spend_steps ~where:"Interval_reach.step" b
+  with
+  | Error e -> Error e
+  | Ok () -> (
+    match Taylor_reach.apriori_enclosure ~f ~x_box:x ~u_box:u ~delta with
+    | None ->
+      Error
+        (Dwv_error.divergence ~backend:"interval"
+           ~where:"Taylor_reach.apriori_enclosure" ())
+    | Some enclosure ->
+      let order = Array.length lie - 2 in
+      let n = Box.dim x in
+      let next =
+        Array.init n (fun i ->
+            let acc = ref x.(i) in
+            for j = 1 to order do
+              let c = Expr.ieval lie.(j).(i) ~x ~u in
+              acc := I.add !acc (I.scale ((delta ** float_of_int j) /. factorial j) c)
+            done;
+            let lf = Expr.ieval lie.(order + 1).(i) ~x:enclosure ~u in
+            I.add !acc
+              (I.scale ((delta ** float_of_int (order + 1)) /. factorial (order + 1)) lf))
+      in
+      Ok (next, enclosure))
 
-let box_is_sane ~blowup_width b =
+let box_finite b =
   Array.for_all (fun iv -> Float.is_finite (I.lo iv) && Float.is_finite (I.hi iv)) b
-  && Box.max_width b <= blowup_width
 
-(* Closed-loop box flowpipe under u = output_scale * net(x) (ZOH). *)
-let nn_flowpipe ?(blowup_width = 1e4) ?(order = 3) ~f ~delta ~steps ~net ~output_scale ~x0
-    () =
+(* Closed-loop box flowpipe under u = output_scale * net(x) (ZOH); total,
+   with the structured failure cause attached. *)
+let nn_flowpipe_outcome ?(blowup_width = 1e4) ?(order = 3) ?budget ~f ~delta ~steps ~net
+    ~output_scale ~x0 () =
+  let backend = "interval" in
   let lie = Taylor_reach.lie_table ~f ~order in
   let step_boxes = ref [ x0 ] and segment_boxes = ref [] in
   let diverged = ref false in
+  let error = ref None in
+  let step_index = ref 0 in
+  let fail e =
+    error := Some e;
+    diverged := true;
+    raise Exit
+  in
   let x = ref x0 in
   (try
      for _ = 1 to steps do
+       incr step_index;
        match
-         let u =
-           Array.map (I.scale output_scale) (Ibp.forward net !x)
-         in
-         step ~f ~lie ~delta !x u
+         let u = Array.map (I.scale output_scale) (Ibp.forward net !x) in
+         step ?budget ~f ~lie ~delta !x u
        with
-       | None ->
-         diverged := true;
-         raise Exit
-       | Some (next, segment) ->
-         if not (box_is_sane ~blowup_width next && box_is_sane ~blowup_width segment)
-         then begin
-           diverged := true;
-           raise Exit
-         end;
+       | Error e -> fail { e with Dwv_error.step = Some !step_index }
+       | Ok (next, segment) ->
+         if not (box_finite next && box_finite segment) then
+           fail
+             (Dwv_error.non_finite ~backend ~step:!step_index
+                ~where:"Interval_reach.nn_flowpipe" "reach box")
+         else if Box.max_width next > blowup_width || Box.max_width segment > blowup_width
+         then
+           fail
+             (Dwv_error.divergence
+                ~width:(Float.max (Box.max_width next) (Box.max_width segment))
+                ~backend ~step:!step_index ~where:"Interval_reach.nn_flowpipe" ());
          segment_boxes := segment :: !segment_boxes;
          step_boxes := next :: !step_boxes;
          x := next
-       | exception (Invalid_argument _ | Failure _) ->
-         diverged := true;
-         raise Exit
+       | exception ((Invalid_argument _ | Failure _) as exn) ->
+         fail
+           (Dwv_error.of_exn ~backend ~step:!step_index
+              ~where:"Interval_reach.nn_flowpipe" exn)
      done
    with Exit -> ());
-  Flowpipe.make
-    ~step_boxes:(Array.of_list (List.rev !step_boxes))
-    ~segment_boxes:(Array.of_list (List.rev !segment_boxes))
-    ~delta ~diverged:!diverged
+  {
+    Flowpipe.pipe =
+      Flowpipe.make
+        ~step_boxes:(Array.of_list (List.rev !step_boxes))
+        ~segment_boxes:(Array.of_list (List.rev !segment_boxes))
+        ~delta ~diverged:!diverged;
+    error = !error;
+  }
+
+let nn_flowpipe ?blowup_width ?order ?budget ~f ~delta ~steps ~net ~output_scale ~x0 () =
+  (nn_flowpipe_outcome ?blowup_width ?order ?budget ~f ~delta ~steps ~net ~output_scale
+     ~x0 ())
+    .Flowpipe.pipe

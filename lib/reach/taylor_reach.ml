@@ -62,14 +62,25 @@ let apriori_enclosure ~f ~x_box ~u_box ~delta =
 type step_result = { state : Tm_vec.t; segment : Box.t }
 
 (* One sampling period. [x] are the Taylor models of the state in the
-   initial-set variables, [u] the (already abstracted) control models. *)
-let step ~f ~lie ~delta (x : Tm_vec.t) (u : Tm_vec.t) =
+   initial-set variables, [u] the (already abstracted) control models.
+   Total: a Picard-iteration failure (the flowpipe's "NAN" divergence
+   mode) and a blown deadline come back as structured errors. *)
+let step ?budget ~f ~lie ~delta (x : Tm_vec.t) (u : Tm_vec.t) =
+  match
+    match budget with
+    | None -> Ok ()
+    | Some b -> Dwv_robust.Budget.spend_steps ~where:"Taylor_reach.step" b
+  with
+  | Error e -> Error e
+  | Ok () ->
   let order = Tm.order x.(0) in
   let n = Tm_vec.dim x in
   let x_box = Tm_vec.bound_box x in
   let u_box = Tm_vec.bound_box u in
   match apriori_enclosure ~f ~x_box ~u_box ~delta with
-  | None -> None
+  | None ->
+    Error
+      (Dwv_robust.Dwv_error.divergence ~where:"Taylor_reach.apriori_enclosure" ())
   | Some enclosure ->
     (* Taylor coefficients as TMs: c_j = (L^j id)(x) evaluated on models;
        one memo table shares work across the (heavily overlapping) Lie
@@ -119,4 +130,4 @@ let step ~f ~lie ~delta (x : Tm_vec.t) (u : Tm_vec.t) =
                back to the Picard enclosure *)
             enclosure.(i))
     in
-    Some { state; segment }
+    Ok { state; segment }

@@ -24,11 +24,14 @@ type step_result = {
 }
 
 (** One sampling period under the (already abstracted) control models [u].
-    [None] when the a-priori enclosure cannot be established (blow-up). *)
+    [Error (Divergence _)] when the a-priori enclosure cannot be
+    established (blow-up); when [budget] is given, one integration step is
+    spent per call and its deadline/step limits are enforced. *)
 val step :
+  ?budget:Dwv_robust.Budget.t ->
   f:Dwv_expr.Expr.t array ->
   lie:lie_table ->
   delta:float ->
   Dwv_taylor.Tm_vec.t ->
   Dwv_taylor.Tm_vec.t ->
-  step_result option
+  (step_result, Dwv_robust.Dwv_error.t) result

@@ -14,6 +14,10 @@
 module Box = Dwv_interval.Box
 module Setops = Dwv_geometry.Setops
 module Tm_vec = Dwv_taylor.Tm_vec
+module Dwv_error = Dwv_robust.Dwv_error
+module Budget = Dwv_robust.Budget
+module Fault = Dwv_robust.Fault
+module Robust_verify = Dwv_robust.Robust_verify
 
 type verdict = Reach_avoid | Unsafe | Unknown
 
@@ -62,16 +66,26 @@ let nn_method_name = function
   | Polar -> "POLAR"
   | Bernstein _ -> "ReachNN"
 
-let box_is_sane ~blowup_width b =
+let box_finite b =
   Array.for_all
     (fun iv ->
       Float.is_finite (Dwv_interval.Interval.lo iv)
       && Float.is_finite (Dwv_interval.Interval.hi iv))
     b
-  && Box.max_width b <= blowup_width
 
-let nn_flowpipe ?(blowup_width = 1e4) ?(order = 3) ?(disturbance_slots = 8) ~f ~delta
-    ~steps ~net ~output_scale ~method_ ~x0 () =
+let nn_flowpipe_outcome ?(blowup_width = 1e4) ?(order = 3) ?(disturbance_slots = 8)
+    ?(substeps = 1) ?budget ~f ~delta ~steps ~net ~output_scale ~method_ ~x0 () =
+  if substeps < 1 then invalid_arg "Verifier.nn_flowpipe: substeps must be >= 1";
+  let backend = nn_method_name method_ in
+  let where = "Verifier.nn_flowpipe" in
+  (* Fault injection (tests / CLI --fault): a NaN-weights fault armed for
+     the in-flight verifier call corrupts one seeded network weight, so
+     the non-finite detection path below is exercised end to end. *)
+  let net =
+    if Fault.current () = Some Fault.Nan_theta then
+      Dwv_nn.Mlp.unflatten net (Fault.nan_corrupt (Dwv_nn.Mlp.flatten net))
+    else net
+  in
   let lie = Taylor_reach.lie_table ~f ~order in
   let control x =
     match method_ with
@@ -82,6 +96,7 @@ let nn_flowpipe ?(blowup_width = 1e4) ?(order = 3) ?(disturbance_slots = 8) ~f ~
   let m = Dwv_nn.Mlp.n_out net in
   let step_boxes = ref [ x0 ] and segment_boxes = ref [] in
   let diverged = ref false in
+  let error = ref None in
   let x =
     ref (Tm_vec.of_box ~total_vars:(n + (disturbance_slots * m)) ~order x0)
   in
@@ -92,9 +107,14 @@ let nn_flowpipe ?(blowup_width = 1e4) ?(order = 3) ?(disturbance_slots = 8) ~f ~
      symbol into the interval remainder once the loop has had
      [disturbance_slots] periods to damp it. *)
   let step_index = ref 0 in
+  let fail e =
+    error := Some e;
+    diverged := true;
+    raise Exit
+  in
   (* Interval blow-up inside a Taylor-model operation (overflow to
      infinity, division by a zero-straddling range, ...) is the "NAN"
-     failure mode of Fig. 8: record it as divergence. *)
+     failure mode of Fig. 8: record it as a structured divergence. *)
   (try
      for _ = 1 to steps do
        match
@@ -115,30 +135,64 @@ let nn_flowpipe ?(blowup_width = 1e4) ?(order = 3) ?(disturbance_slots = 8) ~f ~
                  (Dwv_taylor.Taylor_model.sweep tm))
              u
          in
-         Taylor_reach.step ~f ~lie ~delta !x u
+         (* control is held (ZOH) over the whole period; the validated
+            Taylor step may subdivide it to shrink the Lagrange remainder
+            (the "+tight" fallback rung) without changing the sampled-
+            data semantics *)
+         let sub_delta = delta /. float_of_int substeps in
+         let state = ref !x and segment = ref None in
+         let rec sub s =
+           if s > substeps then Ok (!state, Option.get !segment)
+           else
+             match Taylor_reach.step ?budget ~f ~lie ~delta:sub_delta !state u with
+             | Error e -> Error e
+             | Ok { state = st; segment = seg } ->
+               state := st;
+               segment :=
+                 Some (match !segment with None -> seg | Some acc -> Box.hull acc seg);
+               sub (s + 1)
+         in
+         sub 1
        with
-       | None ->
-         diverged := true;
-         raise Exit
-       | Some { state; segment } ->
+       | Error e ->
+         fail
+           { e with
+             Dwv_error.backend = Some backend;
+             step =
+               (match e.Dwv_error.step with Some _ as s -> s | None -> Some !step_index);
+           }
+       | Ok (state, segment) ->
          let next_box = Tm_vec.bound_box state in
-         if not (box_is_sane ~blowup_width next_box && box_is_sane ~blowup_width segment)
-         then begin
-           diverged := true;
-           raise Exit
-         end;
+         if not (box_finite next_box && box_finite segment) then
+           fail (Dwv_error.non_finite ~backend ~step:!step_index ~where "reach box")
+         else if
+           Box.max_width next_box > blowup_width || Box.max_width segment > blowup_width
+         then
+           fail
+             (Dwv_error.divergence
+                ~width:(Float.max (Box.max_width next_box) (Box.max_width segment))
+                ~backend ~step:!step_index ~where ());
          segment_boxes := segment :: !segment_boxes;
          step_boxes := next_box :: !step_boxes;
          x := state
-       | exception (Invalid_argument _ | Failure _) ->
-         diverged := true;
-         raise Exit
+       | exception ((Invalid_argument _ | Failure _) as exn) ->
+         fail (Dwv_error.of_exn ~backend ~step:!step_index ~where exn)
      done
    with Exit -> ());
-  Flowpipe.make
-    ~step_boxes:(Array.of_list (List.rev !step_boxes))
-    ~segment_boxes:(Array.of_list (List.rev !segment_boxes))
-    ~delta ~diverged:!diverged
+  {
+    Flowpipe.pipe =
+      Flowpipe.make
+        ~step_boxes:(Array.of_list (List.rev !step_boxes))
+        ~segment_boxes:(Array.of_list (List.rev !segment_boxes))
+        ~delta ~diverged:!diverged;
+    error = !error;
+  }
+
+let nn_flowpipe ?blowup_width ?order ?disturbance_slots ?substeps ?budget ~f ~delta
+    ~steps ~net ~output_scale ~method_ ~x0 () =
+  (nn_flowpipe_outcome ?blowup_width ?order ?disturbance_slots ?substeps ?budget ~f
+     ~delta ~steps ~net ~output_scale ~method_ ~x0 ())
+    .Flowpipe.pipe
 
 (* Convenience: run an NN flowpipe and judge it in one call. *)
 let verify_nn ?blowup_width ?order ~f ~delta ~steps ~net ~output_scale ~method_ ~x0
@@ -147,3 +201,97 @@ let verify_nn ?blowup_width ?order ~f ~delta ~steps ~net ~output_scale ~method_ 
     nn_flowpipe ?blowup_width ?order ~f ~delta ~steps ~net ~output_scale ~method_ ~x0 ()
   in
   (pipe, check ~unsafe ~goal pipe)
+
+(* ------------------------------------------------------------------ *)
+(* Fallback / degradation ladder: on a structured failure retry with
+   progressively cheaper-but-sound settings - subdivide the Taylor step
+   and raise the disturbance-slot budget, cross to the other controller
+   abstraction (POLAR <-> Bernstein), and finally drop to the interval-
+   only pipe, which never throws. The report records which rung produced
+   the verdict and why each earlier rung failed. *)
+
+type fallback_report = {
+  pipe : Flowpipe.t;
+  error : Dwv_error.t option;  (* first failure when every rung failed *)
+  rung : string option;
+  rung_index : int option;
+  failures : (string * Dwv_error.t) list;
+  fault : Fault.kind option;
+}
+
+(* Package a ladder outcome as a report; [fallback] (default: a zero-step
+   diverged stub on [x0]) is the pipe handed to the metric when every
+   rung failed, so scoring stays total. *)
+let report_of_outcome ?fallback ~x0 ~delta (o : Flowpipe.t Robust_verify.outcome) =
+  let pipe, error =
+    match o.Robust_verify.value with
+    | Some pipe -> (pipe, None)
+    | None ->
+      let pipe =
+        match fallback with
+        | Some p -> p
+        | None ->
+          Flowpipe.make ~step_boxes:[| x0 |] ~segment_boxes:[||] ~delta ~diverged:true
+      in
+      ( pipe,
+        match o.Robust_verify.failures with (_, e) :: _ -> Some e | [] -> None )
+  in
+  {
+    pipe;
+    error;
+    rung = o.Robust_verify.rung;
+    rung_index = o.Robust_verify.rung_index;
+    failures = o.Robust_verify.failures;
+    fault = o.Robust_verify.fault;
+  }
+
+(* Lift an [Flowpipe.outcome]-producing analysis into a ladder rung: a
+   diverged pipe without a recorded cause still counts as a failure. *)
+let outcome_rung ~name k =
+  {
+    Robust_verify.name;
+    run =
+      (fun () ->
+        let o = k () in
+        match o.Flowpipe.error with
+        | Some e -> Error e
+        | None when Flowpipe.diverged o.Flowpipe.pipe ->
+          Error
+            (Dwv_error.divergence ~backend:name ~where:"Verifier.nn_flowpipe_robust" ())
+        | None -> Ok o.Flowpipe.pipe);
+  }
+
+let nn_flowpipe_robust ?(blowup_width = 1e4) ?(order = 3) ?(disturbance_slots = 8)
+    ?budget ~f ~delta ~steps ~net ~output_scale ~method_ ~x0 () =
+  (* the primary rung's (possibly truncated) pipe is kept: when the whole
+     ladder fails, its graded progress is still the best gradient signal
+     the metric can extract (Metrics.diverged_scores) *)
+  let primary_pipe = ref None in
+  let tm ?(remember = false) name method_ ~slots ~substeps () =
+    outcome_rung ~name (fun () ->
+        let o =
+          nn_flowpipe_outcome ~blowup_width ~order ~disturbance_slots:slots ~substeps
+            ?budget ~f ~delta ~steps ~net ~output_scale ~method_ ~x0 ()
+        in
+        if remember && !primary_pipe = None then primary_pipe := Some o.Flowpipe.pipe;
+        o)
+  in
+  let cross_method, cross_name =
+    match method_ with
+    | Polar -> (Bernstein (Nn_reach_bernstein.default_config ~n:(Box.dim x0)), "ReachNN")
+    | Bernstein _ -> (Polar, "POLAR")
+  in
+  let rungs =
+    [
+      tm ~remember:true (nn_method_name method_) method_ ~slots:disturbance_slots
+        ~substeps:1 ();
+      tm (nn_method_name method_ ^ "+tight") method_ ~slots:(disturbance_slots + 4)
+        ~substeps:2 ();
+      tm cross_name cross_method ~slots:disturbance_slots ~substeps:1 ();
+      outcome_rung ~name:"interval" (fun () ->
+          Interval_reach.nn_flowpipe_outcome ~blowup_width ~order ?budget ~f ~delta
+            ~steps ~net ~output_scale ~x0 ());
+    ]
+  in
+  let o = Robust_verify.run ?budget rungs in
+  report_of_outcome ?fallback:!primary_pipe ~x0 ~delta o

@@ -29,15 +29,39 @@ type nn_method =
 val nn_method_name : nn_method -> string
 
 (** Closed-loop flowpipe of x' = f(x, u), u = output_scale·net(x) sampled
-    with ZOH. [order] is the Taylor-model order (default 3); the pipe is
-    marked diverged when a box exceeds [blowup_width] (default 1e4).
-    [disturbance_slots] (default 8) is the symbolic-remainder budget: each
-    period's control abstraction error rides a fresh symbol that the
-    contractive loop can cancel, recycled round-robin. *)
+    with ZOH, with the structured failure cause attached (total). [order]
+    is the Taylor-model order (default 3); the pipe is marked diverged
+    when a box exceeds [blowup_width] (default 1e4). [disturbance_slots]
+    (default 8) is the symbolic-remainder budget: each period's control
+    abstraction error rides a fresh symbol that the contractive loop can
+    cancel, recycled round-robin. [substeps] (default 1) subdivides each
+    period into that many validated Taylor steps under the same held
+    control — sound, and shrinks the Lagrange remainder. When [budget] is
+    given its step/deadline limits are enforced inside the integration
+    loop. *)
+val nn_flowpipe_outcome :
+  ?blowup_width:float ->
+  ?order:int ->
+  ?disturbance_slots:int ->
+  ?substeps:int ->
+  ?budget:Dwv_robust.Budget.t ->
+  f:Dwv_expr.Expr.t array ->
+  delta:float ->
+  steps:int ->
+  net:Dwv_nn.Mlp.t ->
+  output_scale:float ->
+  method_:nn_method ->
+  x0:Dwv_interval.Box.t ->
+  unit ->
+  Flowpipe.outcome
+
+(** [nn_flowpipe_outcome] without the error detail. *)
 val nn_flowpipe :
   ?blowup_width:float ->
   ?order:int ->
   ?disturbance_slots:int ->
+  ?substeps:int ->
+  ?budget:Dwv_robust.Budget.t ->
   f:Dwv_expr.Expr.t array ->
   delta:float ->
   steps:int ->
@@ -63,3 +87,51 @@ val verify_nn :
   goal:Dwv_interval.Box.t ->
   unit ->
   Flowpipe.t * verdict
+
+(** {1 Fallback / degradation ladder} *)
+
+(** Result of {!nn_flowpipe_robust}: the flowpipe that produced the
+    verdict plus full provenance — which rung succeeded, why each earlier
+    rung failed, and any fault injected into the call. When every rung
+    failed, [pipe] is the primary rung's partial (diverged) pipe so the
+    learner's graded divergence scoring still sees its progress, and
+    [error] is the primary failure. *)
+type fallback_report = {
+  pipe : Flowpipe.t;
+  error : Dwv_robust.Dwv_error.t option;
+  rung : string option;
+  rung_index : int option;
+  failures : (string * Dwv_robust.Dwv_error.t) list;
+  fault : Dwv_robust.Fault.kind option;
+}
+
+(** Package a generic ladder outcome as a report; [fallback] is the pipe
+    used when every rung failed (default: zero-step diverged stub on
+    [x0]). *)
+val report_of_outcome :
+  ?fallback:Flowpipe.t ->
+  x0:Dwv_interval.Box.t ->
+  delta:float ->
+  Flowpipe.t Dwv_robust.Robust_verify.outcome ->
+  fallback_report
+
+(** NN closed-loop flowpipe with the degradation ladder: the requested
+    settings first, then tighter Taylor sub-stepping with more
+    disturbance slots, then the other controller abstraction
+    (POLAR <-> Bernstein), then the interval-only pipe. With no failures
+    the first rung runs exactly the settings of {!nn_flowpipe}, so
+    verdicts are unchanged. *)
+val nn_flowpipe_robust :
+  ?blowup_width:float ->
+  ?order:int ->
+  ?disturbance_slots:int ->
+  ?budget:Dwv_robust.Budget.t ->
+  f:Dwv_expr.Expr.t array ->
+  delta:float ->
+  steps:int ->
+  net:Dwv_nn.Mlp.t ->
+  output_scale:float ->
+  method_:nn_method ->
+  x0:Dwv_interval.Box.t ->
+  unit ->
+  fallback_report

@@ -1,0 +1,64 @@
+(* Resource budgets for reachability runs: a wall-clock deadline plus
+   discrete verifier-call and integration-step budgets, threaded through
+   Verifier / Taylor_reach / Learner so a stiff probe or a blown-up
+   flowpipe degrades into a structured error instead of hanging or
+   crashing the learning run.
+
+   The clock is injectable (defaults to [Sys.time]) so tests and the
+   fault-injection harness can drive deadlines deterministically. *)
+
+type t = {
+  clock : unit -> float;
+  start : float;
+  deadline : float option;   (* seconds from [start] *)
+  max_calls : int option;    (* verifier calls *)
+  max_steps : int option;    (* flowpipe / integration steps *)
+  mutable calls : int;
+  mutable steps : int;
+  mutable forced : Dwv_error.t option;  (* fault injection: fail every check *)
+}
+
+let create ?(clock = Sys.time) ?deadline ?max_calls ?max_steps () =
+  { clock; start = clock (); deadline; max_calls; max_steps;
+    calls = 0; steps = 0; forced = None }
+
+let unlimited () = create ()
+
+let elapsed t = t.clock () -. t.start
+let calls t = t.calls
+let steps t = t.steps
+
+let force t e = t.forced <- Some e
+let clear_force t = t.forced <- None
+
+let check ?(where = "Budget.check") t =
+  match t.forced with
+  | Some e -> Error e
+  | None -> (
+    match t.deadline with
+    | Some limit when elapsed t > limit ->
+      Error (Dwv_error.deadline_exceeded ~where ~elapsed:(elapsed t) ~limit ())
+    | _ -> Ok ())
+
+let spend_call ?(where = "Budget.spend_call") t =
+  match check ~where t with
+  | Error _ as e -> e
+  | Ok () -> (
+    match t.max_calls with
+    | Some limit when t.calls >= limit ->
+      Error
+        (Dwv_error.budget_exhausted ~where ~which:"verifier-call" ~used:t.calls ~limit ())
+    | _ ->
+      t.calls <- t.calls + 1;
+      Ok ())
+
+let spend_steps ?(where = "Budget.spend_steps") ?(n = 1) t =
+  match check ~where t with
+  | Error _ as e -> e
+  | Ok () -> (
+    match t.max_steps with
+    | Some limit when t.steps + n > limit ->
+      Error (Dwv_error.budget_exhausted ~where ~which:"step" ~used:t.steps ~limit ())
+    | _ ->
+      t.steps <- t.steps + n;
+      Ok ())

@@ -1,0 +1,35 @@
+(** Resource budgets for reachability runs: wall-clock deadline plus
+    verifier-call and integration-step budgets. All checks return
+    [(unit, Dwv_error.t) result] — exhaustion is a value, never an
+    exception. *)
+
+type t
+
+(** [create ()] is unlimited in every dimension; pass [deadline]
+    (seconds), [max_calls] and/or [max_steps] to bound the run. [clock]
+    (default [Sys.time]) is injectable for deterministic tests. *)
+val create :
+  ?clock:(unit -> float) -> ?deadline:float -> ?max_calls:int -> ?max_steps:int -> unit -> t
+
+val unlimited : unit -> t
+
+(** Seconds since the budget was created, per its own clock. *)
+val elapsed : t -> float
+
+val calls : t -> int
+val steps : t -> int
+
+(** Deadline (and forced-failure) check without spending anything. *)
+val check : ?where:string -> t -> (unit, Dwv_error.t) result
+
+(** Spend one verifier call; [Error] on deadline or call budget. *)
+val spend_call : ?where:string -> t -> (unit, Dwv_error.t) result
+
+(** Spend [n] (default 1) integration steps. *)
+val spend_steps : ?where:string -> ?n:int -> t -> (unit, Dwv_error.t) result
+
+(** Fault injection: make every subsequent check fail with [e] until
+    {!clear_force}. *)
+val force : t -> Dwv_error.t -> unit
+
+val clear_force : t -> unit

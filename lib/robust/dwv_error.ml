@@ -1,0 +1,80 @@
+(* Structured failure taxonomy of the verification loop.
+
+   Algorithm 1 calls the verifier hundreds of times per run and the
+   dominant failure mode — flowpipe blow-up / "NAN" divergence (Fig. 8) —
+   is expected during learning, not exceptional. Every verifier/learner
+   interaction is therefore total: instead of exceptions (which kill the
+   whole run) or a bare boolean flag (which loses the cause), failures are
+   values of this type, carrying where they happened, which backend was
+   running and at which step of the flowpipe. *)
+
+type kind =
+  | Divergence of { width : float option }
+      (* flowpipe blow-up: a box exceeded the blow-up width, or the
+         a-priori Picard enclosure failed to contract *)
+  | Non_finite of { what : string }
+      (* a NaN/infinity reached a place that required a finite value *)
+  | Budget_exhausted of { which : string; used : int; limit : int }
+      (* a discrete budget (verifier calls, integration steps) ran out *)
+  | Deadline_exceeded of { elapsed : float; limit : float }
+      (* the wall-clock deadline of the enclosing run passed *)
+  | Backend_failure of { detail : string }
+      (* an exception escaped a verification backend *)
+
+type t = {
+  kind : kind;
+  where : string;          (* e.g. "Verifier.nn_flowpipe" *)
+  backend : string option; (* e.g. "POLAR", "ReachNN", "interval" *)
+  step : int option;       (* flowpipe step index at failure, if known *)
+}
+
+let make ?backend ?step ~where kind = { kind; where; backend; step }
+
+let divergence ?width ?backend ?step ~where () =
+  make ?backend ?step ~where (Divergence { width })
+
+let non_finite ?backend ?step ~where what =
+  make ?backend ?step ~where (Non_finite { what })
+
+let budget_exhausted ?backend ?step ~where ~which ~used ~limit () =
+  make ?backend ?step ~where (Budget_exhausted { which; used; limit })
+
+let deadline_exceeded ?backend ?step ~where ~elapsed ~limit () =
+  make ?backend ?step ~where (Deadline_exceeded { elapsed; limit })
+
+let backend_failure ?backend ?step ~where detail =
+  make ?backend ?step ~where (Backend_failure { detail })
+
+let of_exn ?backend ?step ~where = function
+  | Failure msg -> backend_failure ?backend ?step ~where ("Failure: " ^ msg)
+  | Invalid_argument msg ->
+    backend_failure ?backend ?step ~where ("Invalid_argument: " ^ msg)
+  | exn -> backend_failure ?backend ?step ~where (Printexc.to_string exn)
+
+(* Taxonomy bucket, the label the CLI tallies failures under. *)
+let kind_name t =
+  match t.kind with
+  | Divergence _ -> "divergence"
+  | Non_finite _ -> "non-finite"
+  | Budget_exhausted _ -> "budget"
+  | Deadline_exceeded _ -> "deadline"
+  | Backend_failure _ -> "backend"
+
+let pp_kind ppf = function
+  | Divergence { width = Some w } -> Fmt.pf ppf "divergence (width %.3g)" w
+  | Divergence { width = None } -> Fmt.string ppf "divergence"
+  | Non_finite { what } -> Fmt.pf ppf "non-finite %s" what
+  | Budget_exhausted { which; used; limit } ->
+    Fmt.pf ppf "%s budget exhausted (%d/%d)" which used limit
+  | Deadline_exceeded { elapsed; limit } ->
+    Fmt.pf ppf "deadline exceeded (%.2fs > %.2fs)" elapsed limit
+  | Backend_failure { detail } -> Fmt.pf ppf "backend failure: %s" detail
+
+let pp ppf t =
+  Fmt.pf ppf "%a [%s%a%a]" pp_kind t.kind t.where
+    Fmt.(option (fun ppf b -> Fmt.pf ppf ", %s" b))
+    t.backend
+    Fmt.(option (fun ppf s -> Fmt.pf ppf ", step %d" s))
+    t.step
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,47 @@
+(** Structured failure taxonomy of the verification loop: every
+    verifier/learner interaction returns [('a, t) result] instead of
+    raising, so the learner can keep making progress when a reachability
+    run degrades (the expected "NAN" failure mode of Fig. 8). *)
+
+type kind =
+  | Divergence of { width : float option }
+      (** flowpipe blow-up (box over the blow-up width / Picard failure) *)
+  | Non_finite of { what : string }
+      (** a NaN or infinity reached a finite-only computation *)
+  | Budget_exhausted of { which : string; used : int; limit : int }
+      (** a discrete budget (verifier calls, integration steps) ran out *)
+  | Deadline_exceeded of { elapsed : float; limit : float }
+      (** the wall-clock deadline of the enclosing run passed *)
+  | Backend_failure of { detail : string }
+      (** an exception escaped a verification backend *)
+
+type t = {
+  kind : kind;
+  where : string;           (** location, e.g. ["Verifier.nn_flowpipe"] *)
+  backend : string option;  (** backend name, e.g. ["POLAR"] *)
+  step : int option;        (** flowpipe step index at failure *)
+}
+
+val make : ?backend:string -> ?step:int -> where:string -> kind -> t
+val divergence : ?width:float -> ?backend:string -> ?step:int -> where:string -> unit -> t
+val non_finite : ?backend:string -> ?step:int -> where:string -> string -> t
+
+val budget_exhausted :
+  ?backend:string -> ?step:int -> where:string -> which:string -> used:int -> limit:int ->
+  unit -> t
+
+val deadline_exceeded :
+  ?backend:string -> ?step:int -> where:string -> elapsed:float -> limit:float -> unit -> t
+
+val backend_failure : ?backend:string -> ?step:int -> where:string -> string -> t
+
+(** Map an escaped exception ([Failure], [Invalid_argument], ...) into a
+    [Backend_failure]. *)
+val of_exn : ?backend:string -> ?step:int -> where:string -> exn -> t
+
+(** Taxonomy bucket: "divergence", "non-finite", "budget", "deadline" or
+    "backend" — the label failures are tallied under. *)
+val kind_name : t -> string
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

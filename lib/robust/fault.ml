@@ -1,0 +1,86 @@
+(* Deterministic fault injection for the verification loop.
+
+   A fault plan maps verifier-call indices (as counted by
+   Robust_verify.run) to fault kinds. Arming a plan with [with_faults]
+   makes the instrumented sites misbehave at exactly those calls:
+
+     Nan_theta    — the verifier runs with NaN-corrupted network weights
+                    (exercises the non-finite detection path end to end)
+     Tm_blowup    — the primary rung of the fallback ladder reports a
+                    flowpipe divergence (exercises the degradation chain)
+     Deadline_hit — the call fails immediately with a deadline error
+     Budget_hit   — the call fails immediately with a budget-exhausted
+                    error
+
+   Everything is seeded: which weight goes NaN is drawn from a splitmix
+   stream created from [seed], so test failures replay exactly. The plan
+   is process-global but scoped: [with_faults] restores the previous
+   (usually empty) state on exit, including on exceptions. *)
+
+module Rng = Dwv_util.Rng
+
+type kind = Nan_theta | Tm_blowup | Deadline_hit | Budget_hit
+
+let kind_to_string = function
+  | Nan_theta -> "nan"
+  | Tm_blowup -> "blowup"
+  | Deadline_hit -> "deadline"
+  | Budget_hit -> "budget"
+
+let kind_of_string = function
+  | "nan" | "nan-theta" -> Some Nan_theta
+  | "blowup" | "tm-blowup" -> Some Tm_blowup
+  | "deadline" -> Some Deadline_hit
+  | "budget" -> Some Budget_hit
+  | _ -> None
+
+type armed = {
+  plan : (int * kind) list;
+  rng : Rng.t;
+  mutable calls : int;             (* verifier-call counter *)
+  mutable current : kind option;   (* fault of the in-flight call *)
+  mutable injected : (int * kind) list;  (* faults that actually fired *)
+}
+
+let state : armed option ref = ref None
+
+let with_faults ?(seed = 0) plan f =
+  let previous = !state in
+  state := Some { plan; rng = Rng.create seed; calls = 0; current = None; injected = [] };
+  Fun.protect ~finally:(fun () -> state := previous) f
+
+let active () = Option.is_some !state
+
+(* Called once per verifier call by Robust_verify.run: advances the call
+   counter and arms the call's fault (if any) until [end_call]. *)
+let begin_call () =
+  match !state with
+  | None -> None
+  | Some a ->
+    let idx = a.calls in
+    a.calls <- a.calls + 1;
+    let fault = List.assoc_opt idx a.plan in
+    a.current <- fault;
+    (match fault with
+    | Some k -> a.injected <- (idx, k) :: a.injected
+    | None -> ());
+    fault
+
+let end_call () =
+  match !state with None -> () | Some a -> a.current <- None
+
+let current () =
+  match !state with None -> None | Some a -> a.current
+
+let injected () =
+  match !state with None -> [] | Some a -> List.rev a.injected
+
+(* NaN-corrupt one seeded position of a parameter vector (a copy; the
+   caller's array is never mutated). No-op when no plan is armed. *)
+let nan_corrupt arr =
+  match !state with
+  | None -> arr
+  | Some a ->
+    let arr = Array.copy arr in
+    if Array.length arr > 0 then arr.(Rng.int a.rng (Array.length arr)) <- Float.nan;
+    arr

@@ -1,0 +1,41 @@
+(** Deterministic fault injection: a seeded plan mapping verifier-call
+    indices to failure modes, used by the tests to prove the learner
+    survives every [Dwv_error] kind without crashing or corrupting θ. *)
+
+type kind =
+  | Nan_theta     (** run the verifier with NaN-corrupted network weights *)
+  | Tm_blowup     (** primary fallback rung reports flowpipe divergence *)
+  | Deadline_hit  (** the call fails with a deadline error *)
+  | Budget_hit    (** the call fails with a budget-exhausted error *)
+
+val kind_to_string : kind -> string
+
+(** Inverse of {!kind_to_string} (also accepts "nan-theta"/"tm-blowup"). *)
+val kind_of_string : string -> kind option
+
+(** [with_faults ~seed plan f] runs [f] with the plan armed; the previous
+    state is restored on exit (exceptions included). [plan] maps
+    verifier-call indices (0-based, as counted by [Robust_verify.run]) to
+    fault kinds. *)
+val with_faults : ?seed:int -> (int * kind) list -> (unit -> 'a) -> 'a
+
+(** A plan is currently armed. *)
+val active : unit -> bool
+
+(** Advance the verifier-call counter and arm this call's fault (if any)
+    until {!end_call}. Called by [Robust_verify.run]; [None] when no plan
+    is armed or no fault is scheduled at this index. *)
+val begin_call : unit -> kind option
+
+val end_call : unit -> unit
+
+(** Fault armed for the in-flight verifier call. Instrumented backends
+    (e.g. [Verifier.nn_flowpipe]) consult this. *)
+val current : unit -> kind option
+
+(** Faults that actually fired so far, in call order. *)
+val injected : unit -> (int * kind) list
+
+(** NaN-corrupt one seeded position of a parameter vector (returns a
+    copy); identity when no plan is armed. *)
+val nan_corrupt : float array -> float array

@@ -1,0 +1,73 @@
+(* The fallback/degradation chain: run a ladder of verification rungs —
+   each progressively cheaper or coarser but still sound — until one
+   produces an answer, recording which rung succeeded and why the earlier
+   ones failed. The ladder itself is generic; the concrete rungs (shrink
+   the Taylor step, raise the disturbance-slot budget, drop POLAR →
+   Bernstein → interval-only) are built by Verifier.nn_flowpipe_robust.
+
+   This is also the choke point of the fault-injection harness: every run
+   counts as one verifier call (Fault.begin_call), so fault plans address
+   calls by index regardless of how many rungs each call ends up using. *)
+
+type 'a rung = { name : string; run : unit -> ('a, Dwv_error.t) result }
+
+let rung ~name run = { name; run }
+
+type 'a outcome = {
+  value : 'a option;          (* None when every rung failed *)
+  rung : string option;       (* name of the rung that produced the value *)
+  rung_index : int option;
+  failures : (string * Dwv_error.t) list;  (* failed rungs, ladder order *)
+  fault : Fault.kind option;  (* fault injected into this call, if any *)
+}
+
+let succeeded o = Option.is_some o.value
+
+let all_failed ?fault failures =
+  { value = None; rung = None; rung_index = None; failures; fault }
+
+let run ?budget rungs =
+  let fault = Fault.begin_call () in
+  Fun.protect ~finally:Fault.end_call @@ fun () ->
+  let where = "Robust_verify.run" in
+  let spend =
+    match budget with None -> Ok () | Some b -> Budget.spend_call ~where b
+  in
+  (* Deadline/budget faults fail the whole call up front: there is no
+     cheaper rung that can bring a late answer back in time. *)
+  let synthesized =
+    match fault with
+    | Some Fault.Deadline_hit ->
+      Some (Dwv_error.deadline_exceeded ~where:(where ^ "(fault)") ~elapsed:0.0 ~limit:0.0 ())
+    | Some Fault.Budget_hit ->
+      Some
+        (Dwv_error.budget_exhausted ~where:(where ^ "(fault)") ~which:"verifier-call"
+           ~used:0 ~limit:0 ())
+    | _ -> None
+  in
+  match (spend, synthesized) with
+  | Error e, _ | Ok (), Some e -> all_failed ?fault [ ("budget", e) ]
+  | Ok (), None ->
+    let rec go i failures = function
+      | [] -> all_failed ?fault (List.rev failures)
+      | r :: rest -> (
+        match
+          match budget with None -> Ok () | Some b -> Budget.check ~where b
+        with
+        | Error e -> all_failed ?fault (List.rev (("budget", e) :: failures))
+        | Ok () -> (
+          let result =
+            if i = 0 && fault = Some Fault.Tm_blowup then
+              Error (Dwv_error.divergence ~backend:r.name ~where:(where ^ "(fault)") ())
+            else
+              match r.run () with
+              | result -> result
+              | exception exn -> Error (Dwv_error.of_exn ~backend:r.name ~where exn)
+          in
+          match result with
+          | Ok v ->
+            { value = Some v; rung = Some r.name; rung_index = Some i;
+              failures = List.rev failures; fault }
+          | Error e -> go (i + 1) ((r.name, e) :: failures) rest))
+    in
+    go 0 [] rungs

@@ -1,0 +1,24 @@
+(** Generic fallback/degradation chain: run a ladder of verification
+    rungs — progressively cheaper-but-sound settings — until one returns
+    a value, recording which rung produced the verdict and why earlier
+    rungs failed. One [run] = one verifier call for {!Budget} accounting
+    and {!Fault} injection. *)
+
+type 'a rung = { name : string; run : unit -> ('a, Dwv_error.t) result }
+
+val rung : name:string -> (unit -> ('a, Dwv_error.t) result) -> 'a rung
+
+type 'a outcome = {
+  value : 'a option;           (** [None] when every rung failed *)
+  rung : string option;        (** rung that produced the value *)
+  rung_index : int option;
+  failures : (string * Dwv_error.t) list;  (** failed rungs, ladder order *)
+  fault : Fault.kind option;   (** fault injected into this call *)
+}
+
+val succeeded : 'a outcome -> bool
+
+(** Run the rungs in order until one succeeds. Spends one verifier call
+    on [budget] and re-checks its deadline before each rung; exceptions
+    escaping a rung become [Backend_failure] values. *)
+val run : ?budget:Budget.t -> 'a rung list -> 'a outcome

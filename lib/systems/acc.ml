@@ -83,6 +83,43 @@ let verify_from x0 controller =
 
 let verify controller = verify_from spec.Spec.x0 controller
 
+(* Fault-tolerant verifier. The zonotope engine has no cheaper sound
+   sibling, so the ladder has a single rung; what the robust wrapper adds
+   is totality — an injected NaN gain or a blown budget comes back as a
+   structured failure with a conservatively diverged stub pipe instead of
+   poisoning downstream scores. *)
+let verify_robust_from ?budget x0 controller =
+  let box_finite b =
+    Array.for_all
+      (fun iv ->
+        Float.is_finite (Dwv_interval.Interval.lo iv)
+        && Float.is_finite (Dwv_interval.Interval.hi iv))
+      b
+  in
+  let rung =
+    Dwv_robust.Robust_verify.rung ~name:"zonotope" (fun () ->
+        let controller =
+          if Dwv_robust.Fault.current () = Some Dwv_robust.Fault.Nan_theta then
+            Dwv_core.Controller.with_params controller
+              (Dwv_robust.Fault.nan_corrupt (Dwv_core.Controller.params controller))
+          else controller
+        in
+        let pipe = verify_from x0 controller in
+        if Flowpipe.diverged pipe then
+          Error
+            (Dwv_robust.Dwv_error.divergence ~backend:"zonotope"
+               ~where:"Acc.verify_robust" ())
+        else if not (List.for_all box_finite (Flowpipe.all_boxes pipe)) then
+          Error
+            (Dwv_robust.Dwv_error.non_finite ~backend:"zonotope"
+               ~where:"Acc.verify_robust" "reach box")
+        else Ok pipe)
+  in
+  let o = Dwv_robust.Robust_verify.run ?budget [ rung ] in
+  Dwv_reach.Verifier.report_of_outcome ~x0 ~delta o
+
+let verify_robust ?budget controller = verify_robust_from ?budget spec.Spec.x0 controller
+
 (* Control law on the 2-D simulation state (appends the constant 1). *)
 let sim_controller controller x =
   Controller.eval controller [| x.(0); x.(1); 1.0 |]

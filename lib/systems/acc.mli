@@ -35,5 +35,20 @@ val verify_from : Dwv_interval.Box.t -> Dwv_core.Controller.t -> Dwv_reach.Flowp
 (** Verifier Ψ from X₀. *)
 val verify : Dwv_core.Controller.t -> Dwv_reach.Flowpipe.t
 
+(** Fault-tolerant verifier: the zonotope engine as a single ladder rung
+    (it has no cheaper sound sibling), made total — NaN gains and blown
+    budgets come back as structured failures with a diverged stub pipe. *)
+val verify_robust_from :
+  ?budget:Dwv_robust.Budget.t ->
+  Dwv_interval.Box.t ->
+  Dwv_core.Controller.t ->
+  Dwv_reach.Verifier.fallback_report
+
+(** {!verify_robust_from} from X₀. *)
+val verify_robust :
+  ?budget:Dwv_robust.Budget.t ->
+  Dwv_core.Controller.t ->
+  Dwv_reach.Verifier.fallback_report
+
 (** Control law on the 2-D simulation state. *)
 val sim_controller : Dwv_core.Controller.t -> float array -> float array

@@ -54,5 +54,23 @@ val verify :
   Dwv_core.Controller.t ->
   Dwv_reach.Flowpipe.t
 
+(** Fault-tolerant verifier: {!verify_from} settings as the primary rung
+    of the degradation ladder, with budget enforcement. *)
+val verify_robust_from :
+  ?method_:Dwv_reach.Verifier.nn_method ->
+  ?slots:int ->
+  ?budget:Dwv_robust.Budget.t ->
+  Dwv_interval.Box.t ->
+  Dwv_core.Controller.t ->
+  Dwv_reach.Verifier.fallback_report
+
+(** {!verify_robust_from} from X₀. *)
+val verify_robust :
+  ?method_:Dwv_reach.Verifier.nn_method ->
+  ?slots:int ->
+  ?budget:Dwv_robust.Budget.t ->
+  Dwv_core.Controller.t ->
+  Dwv_reach.Verifier.fallback_report
+
 (** Control law on the simulation state. *)
 val sim_controller : Dwv_core.Controller.t -> float array -> float array

@@ -88,16 +88,22 @@ let test_make_validation () =
 
 module Rk45 = Dwv_ode.Rk45
 
+let rk45_ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "rk45 failed: %s" (Dwv_robust.Dwv_error.to_string e)
+
 let test_rk45_exponential () =
   let f = [| Expr.neg (Expr.var 0) |] in
-  let x, stats = Rk45.integrate ~f ~u:[||] ~duration:2.0 [| 1.0 |] in
+  let x, stats = rk45_ok (Rk45.integrate ~f ~u:[||] ~duration:2.0 [| 1.0 |]) in
   Alcotest.(check (float 1e-8)) "e^-2" (exp (-2.0)) x.(0);
   Alcotest.(check bool) "accepted steps" true (stats.Rk45.steps_accepted > 0)
 
 let test_rk45_harmonic_long () =
   (* one full period of the harmonic oscillator: x returns to start *)
   let f = [| Expr.var 1; Expr.neg (Expr.var 0) |] in
-  let x, _ = Rk45.integrate ~rtol:1e-10 ~f ~u:[||] ~duration:(2.0 *. Float.pi) [| 1.0; 0.0 |] in
+  let x, _ =
+    rk45_ok (Rk45.integrate ~rtol:1e-10 ~f ~u:[||] ~duration:(2.0 *. Float.pi) [| 1.0; 0.0 |])
+  in
   Alcotest.(check (float 1e-6)) "x1 returns" 1.0 x.(0);
   Alcotest.(check (float 1e-6)) "x2 returns" 0.0 x.(1)
 
@@ -106,17 +112,26 @@ let test_rk45_matches_rk4 () =
   let u = [| 0.4 |] in
   let x0 = [| -0.5; 0.5 |] in
   let reference = Rk4.integrate ~f ~u ~duration:1.0 ~substeps:2000 x0 in
-  let adaptive, _ = Rk45.integrate ~rtol:1e-10 ~atol:1e-12 ~f ~u ~duration:1.0 x0 in
+  let adaptive, _ = rk45_ok (Rk45.integrate ~rtol:1e-10 ~atol:1e-12 ~f ~u ~duration:1.0 x0) in
   Alcotest.(check (float 1e-7)) "x1 agrees" reference.(0) adaptive.(0);
   Alcotest.(check (float 1e-7)) "x2 agrees" reference.(1) adaptive.(1)
 
 let test_rk45_adapts_step () =
   (* a loose tolerance must take far fewer steps than a tight one *)
   let f = [| Expr.(mul (neg (var 0)) (cos_ (var 0))) |] in
-  let _, loose = Rk45.integrate ~rtol:1e-4 ~f ~u:[||] ~duration:5.0 [| 1.0 |] in
-  let _, tight = Rk45.integrate ~rtol:1e-12 ~f ~u:[||] ~duration:5.0 [| 1.0 |] in
+  let _, loose = rk45_ok (Rk45.integrate ~rtol:1e-4 ~f ~u:[||] ~duration:5.0 [| 1.0 |]) in
+  let _, tight = rk45_ok (Rk45.integrate ~rtol:1e-12 ~f ~u:[||] ~duration:5.0 [| 1.0 |]) in
   Alcotest.(check bool) "fewer steps when loose" true
     (loose.Rk45.steps_accepted < tight.Rk45.steps_accepted)
+
+let test_rk45_step_budget_is_a_value () =
+  (* an impossible budget must come back as a structured error, not kill
+     the caller with an exception *)
+  let f = [| Expr.neg (Expr.var 0) |] in
+  match Rk45.integrate ~max_steps:2 ~h0:1e-6 ~f ~u:[||] ~duration:10.0 [| 1.0 |] with
+  | Ok _ -> Alcotest.fail "expected budget exhaustion"
+  | Error e ->
+    Alcotest.(check string) "taxonomy" "budget" (Dwv_robust.Dwv_error.kind_name e)
 
 let prop_linear_decay_matches_exact =
   QCheck.Test.make ~name:"rk4 matches exact linear solution" ~count:100
@@ -144,4 +159,5 @@ let suite =
     Alcotest.test_case "rk45 harmonic period" `Quick test_rk45_harmonic_long;
     Alcotest.test_case "rk45 matches rk4" `Quick test_rk45_matches_rk4;
     Alcotest.test_case "rk45 adapts step" `Quick test_rk45_adapts_step;
+    Alcotest.test_case "rk45 step budget" `Quick test_rk45_step_budget_is_a_value;
   ]

@@ -146,8 +146,8 @@ let test_taylor_step_matches_exponential () =
   let x0 = Box.make ~lo:[| 1.0 |] ~hi:[| 1.2 |] in
   let x = Tm_vec.of_box ~order:4 x0 in
   match Taylor_reach.step ~f ~lie ~delta:0.1 x [||] with
-  | None -> Alcotest.fail "step failed"
-  | Some { state; segment } ->
+  | Error _ -> Alcotest.fail "step failed"
+  | Ok { state; segment } ->
     let final = Tm_vec.bound_box state in
     List.iter
       (fun x0p ->
@@ -174,8 +174,8 @@ let test_taylor_step_nonlinear_sound () =
   let u_val = 0.3 in
   let u = [| Tm.const ~nvars:2 ~order:4 u_val |] in
   match Taylor_reach.step ~f ~lie ~delta:0.1 x u with
-  | None -> Alcotest.fail "step failed"
-  | Some { state; _ } ->
+  | Error _ -> Alcotest.fail "step failed"
+  | Ok { state; _ } ->
     let final = Tm_vec.bound_box state in
     let rng = Rng.create 5 in
     for _ = 1 to 30 do
@@ -267,8 +267,8 @@ let prop_taylor_step_sound_fuzz =
       let x = Tm_vec.of_box ~order:4 x0 in
       let u = [| Tm.const ~nvars:2 ~order:4 u_val |] in
       match Taylor_reach.step ~f ~lie ~delta:0.1 x u with
-      | None -> false
-      | Some { state; segment } ->
+      | Error _ -> false
+      | Ok { state; segment } ->
         let final = Tm_vec.bound_box state in
         let rng = Rng.create seed in
         let p = Box.sample rng x0 in
