@@ -24,10 +24,13 @@ module Acc = Dwv_systems.Acc
 module Oscillator = Dwv_systems.Oscillator
 module Threed = Dwv_systems.Threed
 
+(* Monotone-clamped wall clock shared with Budget deadlines: wall (not
+   CPU) time so multi-domain runs are not charged per-domain, clamped so
+   an NTP step can't produce a negative duration. *)
 let timed f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Dwv_util.Mono.now () in
   let v = f () in
-  (v, Unix.gettimeofday () -. t0)
+  (v, Dwv_util.Mono.now () -. t0)
 
 (* Weakened warm start used across the NN experiments: strong enough that
    the verifier produces finite flowpipes, weak enough that Algorithm 1

@@ -475,16 +475,168 @@ let print_micro () =
   Fmt.pr "%s@." (Table.render t)
 
 (* ---------------------------------------------------------------- *)
+(* Section: parallel fan-out — determinism check and speedup baseline
+   (BENCH_parallel.json).                                             *)
+
+module Pool = Dwv_parallel.Pool
+
+type pworkload = {
+  p_name : string;
+  p_seq : float;     (* wall seconds at domains = 1 *)
+  p_par : float;     (* wall seconds at the requested domain count *)
+  p_match : bool;    (* bit-identical results at both domain counts? *)
+  p_detail : string;
+}
+
+(* Algorithm 1 on ACC: 3 coordinate probe pairs fan out per iteration. *)
+let parallel_learn domains =
+  Pool.with_pool ~domains (fun pool ->
+      Learner.learn ~pool
+        { (acc_learn_cfg 0.2) with Learner.max_iters = 40; seed = 1 }
+        ~metric:Metrics.Geometric ~spec:Acc.spec ~verify:Acc.verify
+        ~init:(acc_init_for_seed 1))
+
+(* Algorithm 2 on the oscillator warm start: frontier cells fan out per
+   refinement level. The goal is shrunk to 40% width so the top-level
+   cell fails and the search actually refines (the full goal certifies
+   X_0 in one call, leaving nothing to parallelize). *)
+let parallel_initset domains =
+  let c = osc_init_for_seed 1 in
+  let g = Oscillator.spec.Spec.goal in
+  let lo = Box.lo g and hi = Box.hi g in
+  let goal =
+    Box.make
+      ~lo:(Array.mapi (fun i l -> l +. (0.3 *. (hi.(i) -. l))) lo)
+      ~hi:(Array.mapi (fun i h -> h -. (0.3 *. (h -. lo.(i)))) hi)
+  in
+  Pool.with_pool ~domains (fun pool ->
+      Initset.search ~max_depth:2 ~pool
+        ~verify:(fun cell ->
+          Oscillator.verify_from ~method_:Dwv_reach.Verifier.Polar cell c)
+        ~goal ~x0:Oscillator.spec.Spec.x0 ())
+
+(* Monte-Carlo rates on ACC: rollouts shard across domains. *)
+let parallel_rates domains =
+  let c = Acc.sim_controller (acc_init_for_seed 1) in
+  Pool.with_pool ~domains (fun pool ->
+      Evaluate.rates ~n:2000 ~pool ~rng:(Rng.create 2024) ~sys:Acc.sampled
+        ~controller:c ~spec:Acc.spec ())
+
+let json_escape s =
+  String.concat ""
+    (List.map
+       (function '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let write_parallel_json ~domains ~aggregate_speedup ~all_match workloads path =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "{\n  \"domains\": %d,\n  \"workloads\": [\n" domains;
+  List.iteri
+    (fun i w ->
+      Printf.bprintf b
+        "    {\"name\": \"%s\", \"seq_seconds\": %.6f, \"par_seconds\": %.6f, \
+         \"speedup\": %.3f, \"match\": %b, \"detail\": \"%s\"}%s\n"
+        (json_escape w.p_name) w.p_seq w.p_par
+        (if w.p_par > 0.0 then w.p_seq /. w.p_par else Float.nan)
+        w.p_match (json_escape w.p_detail)
+        (if i = List.length workloads - 1 then "" else ","))
+    workloads;
+  Printf.bprintf b "  ],\n  \"aggregate_speedup\": %.3f,\n  \"all_match\": %b\n}\n"
+    aggregate_speedup all_match;
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc
+
+let print_parallel ~domains () =
+  Fmt.pr "--- Parallel fan-out: determinism + speedup at %d domains ---@." domains;
+  let workload name detail run equal =
+    let seq, t_seq = timed (fun () -> run 1) in
+    let par, t_par = timed (fun () -> run domains) in
+    let ok = equal seq par in
+    Fmt.pr "%-12s  seq %.2fs  par %.2fs  speedup %.2fx  %s@." name t_seq t_par
+      (if t_par > 0.0 then t_seq /. t_par else Float.nan)
+      (if ok then "identical" else "MISMATCH");
+    { p_name = name; p_seq = t_seq; p_par = t_par; p_match = ok;
+      p_detail = detail (if ok then seq else par) }
+  in
+  let learn =
+    workload "learn"
+      (fun (r : Learner.result) ->
+        Fmt.str "acc coordinate, CI=%d, %d calls, %s" r.Learner.iterations
+          r.Learner.verifier_calls
+          (Dwv_reach.Verifier.verdict_to_string r.Learner.verdict))
+      parallel_learn
+      (fun (a : Learner.result) (b : Learner.result) ->
+        Controller.params a.Learner.controller = Controller.params b.Learner.controller
+        && a.Learner.iterations = b.Learner.iterations
+        && a.Learner.verifier_calls = b.Learner.verifier_calls
+        && a.Learner.verdict = b.Learner.verdict)
+  in
+  let initset =
+    workload "initset"
+      (fun (r : Initset.result) ->
+        Fmt.str "oscillator depth 2, coverage=%.4f, %d calls" r.Initset.coverage
+          r.Initset.verifier_calls)
+      parallel_initset
+      (fun (a : Initset.result) (b : Initset.result) ->
+        a.Initset.verified = b.Initset.verified
+        && a.Initset.coverage = b.Initset.coverage
+        && a.Initset.verifier_calls = b.Initset.verifier_calls)
+  in
+  let rates =
+    workload "rates"
+      (fun (r : Evaluate.rates) ->
+        Fmt.str "acc n=2000, SC=%.2f%%, GR=%.2f%%" r.Evaluate.safe_percent
+          r.Evaluate.goal_percent)
+      parallel_rates
+      (fun (a : Evaluate.rates) (b : Evaluate.rates) ->
+        a.Evaluate.safe_percent = b.Evaluate.safe_percent
+        && a.Evaluate.goal_percent = b.Evaluate.goal_percent)
+  in
+  let workloads = [ learn; initset; rates ] in
+  let total p = List.fold_left (fun acc w -> acc +. p w) 0.0 workloads in
+  let aggregate_speedup =
+    let par = total (fun w -> w.p_par) in
+    if par > 0.0 then total (fun w -> w.p_seq) /. par else Float.nan
+  in
+  let all_match = List.for_all (fun w -> w.p_match) workloads in
+  write_parallel_json ~domains ~aggregate_speedup ~all_match workloads
+    "BENCH_parallel.json";
+  Fmt.pr "aggregate speedup %.2fx, all results %s [BENCH_parallel.json written]@."
+    aggregate_speedup
+    (if all_match then "identical" else "MISMATCHED");
+  if not all_match then exit 1
+
+(* ---------------------------------------------------------------- *)
 
 let flush_section () = Format.pp_print_flush Format.std_formatter ()
 
 let () =
-  let sections =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as rest) -> rest
-    | _ -> [ "table1"; "table2"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8"; "tightness"; "micro" ]
+  let rec parse_args sections domains = function
+    | [] -> (List.rev sections, domains)
+    | "--domains" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some d when d >= 1 -> parse_args sections (Some d) rest
+      | _ ->
+        Fmt.epr "bench: bad --domains %s (expected a positive integer)@." n;
+        exit 2)
+    | s :: rest -> parse_args (s :: sections) domains rest
   in
+  let sections, domains =
+    match Array.to_list Sys.argv with
+    | _ :: rest -> parse_args [] None rest
+    | [] -> ([], None)
+  in
+  let sections =
+    match sections with
+    | [] ->
+      [ "table1"; "table2"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8"; "tightness";
+        "micro"; "parallel" ]
+    | _ -> sections
+  in
+  let domains = Option.value domains ~default:(Pool.default_domains ()) in
   let want s = List.mem s sections in
+  if want "parallel" then begin print_parallel ~domains (); flush_section () end;
   if want "table2" then begin print_table2 (); flush_section () end;
   if want "micro" then begin print_micro (); flush_section () end;
   let acc = if List.exists want [ "table1"; "fig4"; "fig6" ] then Some (run_acc ()) else None in

@@ -19,6 +19,7 @@ module Rng = Dwv_util.Rng
 module Dwv_error = Dwv_robust.Dwv_error
 module Budget = Dwv_robust.Budget
 module Fault = Dwv_robust.Fault
+module Pool = Dwv_parallel.Pool
 
 (* Uniform handle over the three benchmark systems. *)
 type system = {
@@ -127,6 +128,18 @@ let seed_arg =
   Arg.(value & opt int 7 & info [ "seed" ] ~docv:"SEED" ~doc)
 
 let or_die = function Ok v -> v | Error (`Msg m) -> Fmt.epr "dwv: %s@." m; exit 2
+
+let domains_arg =
+  let doc =
+    "Domains for parallel fan-out of gradient probes, frontier cells and \
+     rollouts (1 = the exact sequential code path; results are identical \
+     at any value). Defaults to the machine's recommended domain count."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+
+let with_domain_pool domains f =
+  let domains = Option.value domains ~default:(Pool.default_domains ()) in
+  Pool.with_pool ~domains f
 
 let controller_arg =
   let doc = "Load a saved controller instead of the warm-start design." in
@@ -263,7 +276,7 @@ let learn_cmd =
       & info [ "save" ] ~docv:"FILE" ~doc:"Save the learned controller to this file.")
   in
   let run name tool metric_name iters seed controller_file save deadline max_calls
-      fault_specs plain =
+      fault_specs plain domains =
     let sys = or_die (system_of_name name) in
     let method_ = or_die (method_of_name name tool) in
     let metric = or_die (metric_of_name metric_name) in
@@ -275,21 +288,25 @@ let learn_cmd =
     in
     let budget = budget_of ~deadline ~max_calls in
     let rungs = Hashtbl.create 8 and failures = Hashtbl.create 8 in
+    let tally_mu = Mutex.create () in
     let verify c =
       if plain then sys.verify method_ c
       else begin
         let report = sys.verify_robust method_ budget c in
+        Mutex.lock tally_mu;
         bump rungs (Option.value ~default:"none" report.Verifier.rung);
         List.iter
           (fun (_, e) -> bump failures (Dwv_error.kind_name e))
           report.Verifier.failures;
+        Mutex.unlock tally_mu;
         report.Verifier.pipe
       end
     in
     let r, injected =
       with_fault_plan ~seed faults (fun () ->
-          Learner.learn ?budget cfg ~metric ~spec:sys.spec ~verify
-            ~init:(initial_controller sys ~controller_file ~seed))
+          with_domain_pool domains (fun pool ->
+              Learner.learn ?budget ~pool cfg ~metric ~spec:sys.spec ~verify
+                ~init:(initial_controller sys ~controller_file ~seed)))
     in
     Fmt.pr "CI = %d (%d verifier calls), verdict: %a@." r.Learner.iterations
       r.Learner.verifier_calls Verifier.pp_verdict r.Learner.verdict;
@@ -315,39 +332,42 @@ let learn_cmd =
   Cmd.v (Cmd.info "learn" ~doc:"Run Algorithm 1 (verification-in-the-loop learning)")
     Term.(
       const run $ system_arg $ tool_arg $ metric_arg $ iters_arg $ seed_arg $ controller_arg
-      $ save_arg $ deadline_arg $ max_calls_arg $ fault_arg $ plain_arg)
+      $ save_arg $ deadline_arg $ max_calls_arg $ fault_arg $ plain_arg $ domains_arg)
 
 let simulate_cmd =
   let n_arg = Arg.(value & opt int 500 & info [ "n" ] ~docv:"N" ~doc:"Number of rollouts.") in
-  let run name n seed controller_file =
+  let run name n seed controller_file domains =
     let sys = or_die (system_of_name name) in
     let c = initial_controller sys ~controller_file ~seed in
     let rng = Rng.create (seed + 1) in
     let rates =
-      Evaluate.rates ~n ~rng ~sys:sys.sampled ~controller:(sys.sim c) ~spec:sys.spec ()
+      with_domain_pool domains (fun pool ->
+          Evaluate.rates ~n ~pool ~rng ~sys:sys.sampled ~controller:(sys.sim c)
+            ~spec:sys.spec ())
     in
     Fmt.pr "%a@." Evaluate.pp_rates rates
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Monte-Carlo SC/GR rates of a design")
-    Term.(const run $ system_arg $ n_arg $ seed_arg $ controller_arg)
+    Term.(const run $ system_arg $ n_arg $ seed_arg $ controller_arg $ domains_arg)
 
 let initset_cmd =
   let depth_arg =
     Arg.(value & opt int 3 & info [ "depth" ] ~docv:"D" ~doc:"Max bisection depth.")
   in
-  let run name tool depth seed controller_file =
+  let run name tool depth seed controller_file domains =
     let sys = or_die (system_of_name name) in
     let method_ = or_die (method_of_name name tool) in
     let c = initial_controller sys ~controller_file ~seed in
     let r =
-      Initset.search ~max_depth:depth
-        ~verify:(fun cell -> sys.verify_from method_ cell c)
-        ~goal:sys.spec.Spec.goal ~x0:sys.spec.Spec.x0 ()
+      with_domain_pool domains (fun pool ->
+          Initset.search ~max_depth:depth ~pool
+            ~verify:(fun cell -> sys.verify_from method_ cell c)
+            ~goal:sys.spec.Spec.goal ~x0:sys.spec.Spec.x0 ())
     in
     Fmt.pr "%a@." Initset.pp_result r
   in
   Cmd.v (Cmd.info "initset" ~doc:"Run Algorithm 2 (reach-avoid initial-set search)")
-    Term.(const run $ system_arg $ tool_arg $ depth_arg $ seed_arg $ controller_arg)
+    Term.(const run $ system_arg $ tool_arg $ depth_arg $ seed_arg $ controller_arg $ domains_arg)
 
 (* Parse-and-evaluate a dynamics expression: exposes the text front end
    for user-defined systems. *)

@@ -8,6 +8,7 @@ module Box = Dwv_interval.Box
 module Sampled_system = Dwv_ode.Sampled_system
 module Rng = Dwv_util.Rng
 module Stats = Dwv_util.Stats
+module Pool = Dwv_parallel.Pool
 
 type rollout = { safe : bool; reached : bool; trace : Sampled_system.trace }
 
@@ -32,18 +33,28 @@ let rollout ?substeps ~sys ~controller ~(spec : Spec.t) x0 =
 
 type rates = { safe_percent : float; goal_percent : float; n : int }
 
-let rates ?(n = 500) ?substeps ~rng ~sys ~controller ~spec () =
+let rates ?(n = 500) ?substeps ?pool ~rng ~sys ~controller ~spec () =
   if n < 1 then invalid_arg "Evaluate.rates: need at least one rollout";
-  let safe = Array.make n false and reached = Array.make n false in
-  for i = 0 to n - 1 do
-    let x0 = Box.sample rng spec.Spec.x0 in
+  (* one child stream per rollout, split from [rng] before any simulation:
+     rollout i's initial state is a pure function of the parent seed and i,
+     so the rates are bit-identical whether the rollouts run sequentially
+     or sharded across domains (and the parent stream advances the same
+     either way) *)
+  let streams = Rng.split_n rng n in
+  let one i =
+    let x0 = Box.sample streams.(i) spec.Spec.x0 in
     let r = rollout ?substeps ~sys ~controller ~spec x0 in
-    safe.(i) <- r.safe;
-    reached.(i) <- r.reached
-  done;
+    (r.safe, r.reached)
+  in
+  let indices = Array.init n (fun i -> i) in
+  let outcomes =
+    match pool with
+    | Some pool when Pool.domains pool > 1 && n > 1 -> Pool.map pool one indices
+    | _ -> Array.map one indices
+  in
   {
-    safe_percent = Stats.rate_percent safe;
-    goal_percent = Stats.rate_percent reached;
+    safe_percent = Stats.rate_percent (Array.map fst outcomes);
+    goal_percent = Stats.rate_percent (Array.map snd outcomes);
     n;
   }
 

@@ -19,10 +19,14 @@ val rollout :
 type rates = { safe_percent : float; goal_percent : float; n : int }
 
 (** Safe-control and goal-reaching percentages over [n] (default 500)
-    uniformly sampled initial states. *)
+    uniformly sampled initial states. Each rollout draws its initial
+    state from its own child stream ([Rng.split_n] of [rng]), so with
+    [pool] the rollouts shard across domains and the rates stay
+    bit-identical at any domain count. *)
 val rates :
   ?n:int ->
   ?substeps:int ->
+  ?pool:Dwv_parallel.Pool.t ->
   rng:Dwv_util.Rng.t ->
   sys:Dwv_ode.Sampled_system.t ->
   controller:(float array -> float array) ->

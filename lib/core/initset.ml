@@ -8,11 +8,32 @@
    refine adaptively instead (bisect the cells that fail), which visits
    the same limit partition while spending verifier calls only where
    needed. A cell is certified when some sample-instant enclosure of its
-   flowpipe lies entirely inside the goal. *)
+   flowpipe lies entirely inside the goal.
+
+   Refinement proceeds level by level: all cells of one depth form a
+   frontier whose verifier calls are independent, so with a [pool] they
+   run as one parallel batch. Results are consumed in cell order (the
+   frontier is an array, workers write by index), which makes the
+   certified set, the coverage sum and the call count identical at any
+   domain count. *)
 
 module Box = Dwv_interval.Box
 module Verifier = Dwv_reach.Verifier
 module Flowpipe = Dwv_reach.Flowpipe
+module Fault = Dwv_robust.Fault
+module Pool = Dwv_parallel.Pool
+
+(* Verify one frontier of cells, one verifier call per cell, results in
+   cell order. Fault-plan call indices are reserved before the fan-out
+   so an injected fault lands on the same cell at any domain count. *)
+let verify_frontier ?pool ~verify cells =
+  match pool with
+  | Some pool when Pool.domains pool > 1 && Array.length cells > 1 ->
+    let base = Fault.reserve (Array.length cells) in
+    Pool.mapi pool
+      (fun i cell -> Fault.with_call_base ~base:(base + i) (fun () -> verify cell))
+      cells
+  | _ -> Array.map verify cells
 
 type result = {
   verified : Box.t list;   (* cells making up X_I *)
@@ -22,12 +43,14 @@ type result = {
   stopped : Dwv_robust.Dwv_error.t option;  (* budget cut the search short *)
 }
 
-let search ?(max_depth = 4) ?budget ~verify ~goal ~x0 () =
+let search ?(max_depth = 4) ?budget ?pool ~verify ~goal ~x0 () =
   let calls = ref 0 in
   let verified = ref [] and rejected = ref [] in
   let stopped = ref None in
   (* out of budget: the remaining cells are conservatively rejected — X_I
-     only shrinks, the certificate on the certified cells still stands *)
+     only shrinks, the certificate on the certified cells still stands.
+     Checked once per refinement level (between fan-outs), never inside
+     one, so the stop point is a deterministic frontier boundary. *)
   let blown () =
     match budget with
     | None -> false
@@ -40,24 +63,31 @@ let search ?(max_depth = 4) ?budget ~verify ~goal ~x0 () =
         stopped := Some e;
         true)
   in
-  let rec explore cell depth =
-    if blown () then rejected := cell :: !rejected
-    else begin
-      let pipe = verify cell in
-      incr calls;
-      let ok =
-        (not (Flowpipe.diverged pipe)) && Verifier.goal_step ~goal pipe <> None
-      in
-      if ok then verified := cell :: !verified
-      else if depth >= max_depth then rejected := cell :: !rejected
-      else begin
-        let left, right = Box.bisect cell in
-        explore left (depth + 1);
-        explore right (depth + 1)
-      end
-    end
+  let rec refine depth frontier =
+    match frontier with
+    | [] -> ()
+    | _ when blown () -> rejected := List.rev_append frontier !rejected
+    | _ ->
+      let cells = Array.of_list frontier in
+      let pipes = verify_frontier ?pool ~verify cells in
+      calls := !calls + Array.length cells;
+      let next = ref [] in
+      Array.iteri
+        (fun i pipe ->
+          let cell = cells.(i) in
+          let ok =
+            (not (Flowpipe.diverged pipe)) && Verifier.goal_step ~goal pipe <> None
+          in
+          if ok then verified := cell :: !verified
+          else if depth >= max_depth then rejected := cell :: !rejected
+          else begin
+            let left, right = Box.bisect cell in
+            next := right :: left :: !next
+          end)
+        pipes;
+      refine (depth + 1) (List.rev !next)
   in
-  explore x0 0;
+  refine 0 [ x0 ];
   let covered = List.fold_left (fun acc b -> acc +. Box.volume b) 0.0 !verified in
   let total = Box.volume x0 in
   {
@@ -74,14 +104,9 @@ let search ?(max_depth = 4) ?budget ~verify ~goal ~x0 () =
    The adaptive [search] above visits the same limit partition with fewer
    verifier calls; this variant exists for fidelity and as a test oracle
    against it. *)
-let search_even ?(max_rounds = 4) ~verify ~goal ~x0 () =
+let search_even ?(max_rounds = 4) ?pool ~verify ~goal ~x0 () =
   let calls = ref 0 in
   let verified = ref [] in
-  let cell_ok cell =
-    incr calls;
-    let pipe = verify cell in
-    (not (Flowpipe.diverged pipe)) && Verifier.goal_step ~goal pipe <> None
-  in
   let covered cell = List.exists (fun b -> Box.subset cell b) !verified in
   let n = Box.dim x0 in
   let rejected_last = ref [] in
@@ -89,17 +114,23 @@ let search_even ?(max_rounds = 4) ~verify ~goal ~x0 () =
      for round = 0 to max_rounds - 1 do
        let parts = Array.make n (1 lsl round) in
        let cells = Box.partition parts x0 in
-       let fresh = List.filter (fun c -> not (covered c)) cells in
+       let fresh = Array.of_list (List.filter (fun c -> not (covered c)) cells) in
+       let pipes = verify_frontier ?pool ~verify fresh in
+       calls := !calls + Array.length fresh;
        rejected_last := [];
        let added = ref 0 in
-       List.iter
-         (fun cell ->
-           if cell_ok cell then begin
+       Array.iteri
+         (fun i pipe ->
+           let cell = fresh.(i) in
+           let ok =
+             (not (Flowpipe.diverged pipe)) && Verifier.goal_step ~goal pipe <> None
+           in
+           if ok then begin
              verified := cell :: !verified;
              incr added
            end
            else rejected_last := cell :: !rejected_last)
-         fresh;
+         pipes;
        if !added = 0 && round > 0 then raise Exit
      done
    with Exit -> ());

@@ -16,10 +16,18 @@ type result = {
     sample-instant enclosure inside [goal]; failing cells are bisected up
     to [max_depth] (default 4). [verify] runs the verifier from an
     arbitrary initial cell. When [budget] is exhausted mid-search the
-    unexplored cells are rejected and [stopped] records why. *)
+    unexplored cells are rejected and [stopped] records why (the budget
+    is checked at refinement-level boundaries, so the stop point is
+    deterministic).
+
+    With [pool], each refinement level's frontier is verified as one
+    parallel batch; results are consumed in cell order, so the certified
+    set, coverage and call count are identical at any domain count
+    ([verify] must be domain-safe). *)
 val search :
   ?max_depth:int ->
   ?budget:Dwv_robust.Budget.t ->
+  ?pool:Dwv_parallel.Pool.t ->
   verify:(Dwv_interval.Box.t -> Dwv_reach.Flowpipe.t) ->
   goal:Dwv_interval.Box.t ->
   x0:Dwv_interval.Box.t ->
@@ -29,9 +37,12 @@ val search :
 (** The paper's literal even-partition scheme: rounds of 2^r cells per
     dimension up to [max_rounds] (default 4), stopping when a round adds
     no coverage. Same limit behaviour as {!search}, more verifier calls;
-    kept for fidelity and as a test oracle. *)
+    kept for fidelity and as a test oracle. [pool] parallelizes each
+    round's fresh-cell batch, with the same determinism contract as
+    {!search}. *)
 val search_even :
   ?max_rounds:int ->
+  ?pool:Dwv_parallel.Pool.t ->
   verify:(Dwv_interval.Box.t -> Dwv_reach.Flowpipe.t) ->
   goal:Dwv_interval.Box.t ->
   x0:Dwv_interval.Box.t ->

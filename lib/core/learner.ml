@@ -14,6 +14,8 @@ module Flowpipe = Dwv_reach.Flowpipe
 module Rng = Dwv_util.Rng
 module Dwv_error = Dwv_robust.Dwv_error
 module Budget = Dwv_robust.Budget
+module Fault = Dwv_robust.Fault
+module Pool = Dwv_parallel.Pool
 
 type gradient_mode =
   | Coordinate      (* one +-p probe per parameter: 2 * dim verifier calls *)
@@ -71,74 +73,123 @@ let normalize v =
   let n = vec_norm v in
   if n < 1e-12 then v else Array.map (fun x -> x /. n) v
 
+(* Per-probe outcome of one gradient batch. *)
+type probe_outcome =
+  | Grad of float * float   (* (ds, dg) central differences *)
+  | Skipped                 (* evaluated, but a score came back non-finite *)
+  | Not_run                 (* budget stopped the sequential sweep early *)
+
 (* Central-difference estimate of the gradients of both scores at theta.
    Total: a probe pair whose score difference is non-finite (a diverged
    pipe can grade to NaN) is dropped — skipping one direction biases the
    estimate far less than folding a NaN into every component — and a
    blown [budget] stops probing early, returning whatever accumulated.
+
+   All probe directions are fixed BEFORE any verifier runs (SPSA draws
+   its k Rademacher vectors from [rng] up front — the probes themselves
+   never touch the stream, so the stream advance is identical to the
+   interleaved draw), which makes the batch a pure map over directions.
+   With a [pool] the verifier calls of one iteration run as a single
+   parallel batch whose results land in a pre-sized array by probe
+   index; the gradient is then accumulated sequentially in index order,
+   so the arithmetic — and hence the θ trajectory — is bit-identical at
+   any domain count. Injected-fault call indices are reserved before the
+   fan-out so a fault plan addresses the same probe at any domain count.
+
    Returns (grad_safety, grad_goal, skipped_pairs, stop_error). *)
-let estimate_gradients ?budget cfg ~rng ~evaluate ~calls theta =
+let estimate_gradients ?budget ?pool cfg ~rng ~evaluate ~calls theta =
   let dim = Array.length theta in
   let g_safety = Array.make dim 0.0 and g_goal = Array.make dim 0.0 in
   let p = cfg.perturbation in
-  let skipped = ref 0 in
-  let exception Stop of Dwv_error.t in
+  let directions =
+    match cfg.gradient_mode with
+    | Coordinate ->
+      Array.init dim (fun i ->
+          let d = Array.make dim 0.0 in
+          d.(i) <- 1.0;
+          d)
+    | Spsa k ->
+      if k < 1 then invalid_arg "Learner: Spsa needs at least one direction";
+      Array.init k (fun _ -> Rng.rademacher rng dim)
+  in
+  let n = Array.length directions in
   let probe direction =
-    (match budget with
-    | None -> ()
-    | Some b -> (
-      match Budget.check ~where:"Learner.estimate_gradients" b with
-      | Ok () -> ()
-      | Error e -> raise (Stop e)));
     let plus = Array.mapi (fun i x -> x +. (p *. direction.(i))) theta in
     let minus = Array.mapi (fun i x -> x -. (p *. direction.(i))) theta in
     let s_plus = evaluate plus and s_minus = evaluate minus in
-    calls := !calls + 2;
     let ds = (s_plus.Metrics.safety -. s_minus.Metrics.safety) /. (2.0 *. p) in
     let dg = (s_plus.Metrics.goal -. s_minus.Metrics.goal) /. (2.0 *. p) in
-    if Float.is_finite ds && Float.is_finite dg then Some (ds, dg)
-    else begin
-      incr skipped;
-      Logs.debug (fun m ->
-          m "Learner: dropping non-finite probe pair (ds=%g dg=%g)" ds dg);
-      None
-    end
+    if Float.is_finite ds && Float.is_finite dg then Grad (ds, dg) else Skipped
   in
   let stopped = ref None in
-  (try
-     match cfg.gradient_mode with
-     | Coordinate ->
-       for i = 0 to dim - 1 do
-         let direction = Array.make dim 0.0 in
-         direction.(i) <- 1.0;
-         match probe direction with
-         | Some (ds, dg) ->
-           g_safety.(i) <- ds;
-           g_goal.(i) <- dg
-         | None -> ()
-       done
-     | Spsa k ->
-       if k < 1 then invalid_arg "Learner: Spsa needs at least one direction";
-       for _ = 1 to k do
-         let direction = Rng.rademacher rng dim in
-         match probe direction with
-         | Some (ds, dg) ->
-           (* SPSA estimator: grad_i ~ df * d_i / (2p); d_i = +-1 so the
-              division is a multiplication *)
-           for i = 0 to dim - 1 do
-             g_safety.(i) <- g_safety.(i) +. (ds *. direction.(i) /. float_of_int k);
-             g_goal.(i) <- g_goal.(i) +. (dg *. direction.(i) /. float_of_int k)
-           done
-         | None -> ()
-       done
-   with Stop e -> stopped := Some e);
+  let outcomes =
+    match pool with
+    | Some pool when Pool.domains pool > 1 && n > 1 -> (
+      (* one deadline/forced check gates the whole batch; per-call
+         budgets are still spent (atomically) inside the verifier *)
+      match
+        match budget with
+        | None -> Ok ()
+        | Some b -> Budget.check ~where:"Learner.estimate_gradients" b
+      with
+      | Error e ->
+        stopped := Some e;
+        Array.make n Not_run
+      | Ok () ->
+        (* two verifier calls per probe: indices are fixed here, not by
+           arrival order *)
+        let base = Fault.reserve (2 * n) in
+        Pool.mapi pool
+          (fun i direction ->
+            Fault.with_call_base ~base:(base + (2 * i)) (fun () -> probe direction))
+          directions)
+    | _ ->
+      let out = Array.make n Not_run in
+      let exception Stop of Dwv_error.t in
+      (try
+         for i = 0 to n - 1 do
+           (match budget with
+           | None -> ()
+           | Some b -> (
+             match Budget.check ~where:"Learner.estimate_gradients" b with
+             | Ok () -> ()
+             | Error e -> raise (Stop e)));
+           out.(i) <- probe directions.(i)
+         done
+       with Stop e -> stopped := Some e);
+      out
+  in
+  let skipped = ref 0 in
+  Array.iteri
+    (fun i outcome ->
+      match outcome with
+      | Not_run -> ()
+      | Skipped ->
+        calls := !calls + 2;
+        incr skipped;
+        Logs.debug (fun m -> m "Learner: dropping non-finite probe pair %d" i)
+      | Grad (ds, dg) -> (
+        calls := !calls + 2;
+        match cfg.gradient_mode with
+        | Coordinate ->
+          g_safety.(i) <- ds;
+          g_goal.(i) <- dg
+        | Spsa k ->
+          (* SPSA estimator: grad_i ~ df * d_i / (2p); d_i = +-1 so the
+             division is a multiplication *)
+          let direction = directions.(i) in
+          for j = 0 to dim - 1 do
+            g_safety.(j) <- g_safety.(j) +. (ds *. direction.(j) /. float_of_int k);
+            g_goal.(j) <- g_goal.(j) +. (dg *. direction.(j) /. float_of_int k)
+          done))
+    outcomes;
   let g =
     if cfg.normalize_gradients then (normalize g_safety, normalize g_goal)
     else (g_safety, g_goal)
   in
   (fst g, snd g, !skipped, !stopped)
 
-let learn ?(log = false) ?budget cfg ~metric ~(spec : Spec.t) ~verify ~init =
+let learn ?(log = false) ?budget ?pool cfg ~metric ~(spec : Spec.t) ~verify ~init =
   let rng = Rng.create cfg.seed in
   let unsafe = spec.Spec.unsafe and goal = spec.Spec.goal in
   let calls = ref 0 in
@@ -209,7 +260,7 @@ let learn ?(log = false) ?budget cfg ~metric ~(spec : Spec.t) ~verify ~init =
     end
     else begin
       let g_safety, g_goal, skipped, stop =
-        estimate_gradients ?budget cfg ~rng ~evaluate ~calls !theta
+        estimate_gradients ?budget ?pool cfg ~rng ~evaluate ~calls !theta
       in
       skipped_probes := !skipped_probes + skipped;
       (match stop with Some e when !stopped = None -> stopped := Some e | _ -> ());

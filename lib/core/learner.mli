@@ -51,10 +51,18 @@ type result = {
     probe scores are skipped (not folded into the gradient), a parameter
     update that would produce non-finite θ is discarded, and when
     [budget] runs out the best iterate so far is returned with [stopped]
-    set. *)
+    set.
+
+    With [pool], each iteration's gradient probes (the independent
+    verifier calls of Eq. (5)) run as one parallel batch; results are
+    combined in probe-index order, so the θ trajectory, iteration count
+    and verdict are bit-identical at any domain count. [verify] must
+    then be safe to call from several domains at once (every bundled
+    verifier is). *)
 val learn :
   ?log:bool ->
   ?budget:Dwv_robust.Budget.t ->
+  ?pool:Dwv_parallel.Pool.t ->
   config ->
   metric:Metrics.kind ->
   spec:Spec.t ->

@@ -1,0 +1,141 @@
+(* A fixed-size domain pool built on a mutex-protected task queue.
+
+   Determinism contract: [map] writes each result into a pre-sized array
+   at the item's index. Completion order never influences the output, so
+   `domains = 1` and `domains = n` produce bit-identical arrays as long
+   as the tasks themselves are functions of their item alone (the three
+   call sites in lib/core are audited for exactly that: probe directions,
+   frontier cells and per-rollout RNG streams are all assigned to indices
+   before the fan-out).
+
+   The calling domain participates in every batch: it drains the queue
+   alongside the workers, then blocks until stragglers finish. With
+   `domains = 1` there are no workers at all and the caller's drain IS
+   the sequential code path. *)
+
+type t = {
+  domains : int;
+  mutex : Mutex.t;
+  work : Condition.t;           (* tasks enqueued, or shutting down *)
+  batch_done : Condition.t;     (* a batch's last task completed *)
+  queue : (unit -> unit) Queue.t;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let default_domains () = Domain.recommended_domain_count ()
+
+let worker pool =
+  let rec loop () =
+    Mutex.lock pool.mutex;
+    let rec next () =
+      match Queue.take_opt pool.queue with
+      | Some task ->
+        Mutex.unlock pool.mutex;
+        task ();
+        `Continue
+      | None ->
+        if pool.stopping then begin
+          Mutex.unlock pool.mutex;
+          `Stop
+        end
+        else begin
+          Condition.wait pool.work pool.mutex;
+          next ()
+        end
+    in
+    match next () with `Continue -> loop () | `Stop -> ()
+  in
+  loop ()
+
+let create ?domains () =
+  let domains =
+    match domains with Some d -> d | None -> default_domains ()
+  in
+  if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  let pool =
+    {
+      domains;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      batch_done = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      workers = [];
+    }
+  in
+  pool.workers <- List.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker pool));
+  pool
+
+let domains t = t.domains
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.stopping <- true;
+  Condition.broadcast pool.work;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join pool.workers;
+  pool.workers <- []
+
+let with_pool ?domains f =
+  let pool = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let mapi pool f items =
+  let n = Array.length items in
+  if n = 0 then [||]
+  else if pool.domains <= 1 || n = 1 then Array.mapi f items
+  else begin
+    let results = Array.make n None in
+    let pending = Atomic.make n in
+    (* the failure with the smallest item index wins: re-raising is then
+       independent of completion order *)
+    let error = ref None in
+    let task i () =
+      (try results.(i) <- Some (f i items.(i))
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         Mutex.lock pool.mutex;
+         (match !error with
+         | Some (j, _, _) when j <= i -> ()
+         | _ -> error := Some (i, e, bt));
+         Mutex.unlock pool.mutex);
+      (* the decrement publishes this task's result write to whoever
+         observes pending = 0 *)
+      if Atomic.fetch_and_add pending (-1) = 1 then begin
+        Mutex.lock pool.mutex;
+        Condition.broadcast pool.batch_done;
+        Mutex.unlock pool.mutex
+      end
+    in
+    Mutex.lock pool.mutex;
+    for i = 0 to n - 1 do
+      Queue.add (task i) pool.queue
+    done;
+    Condition.broadcast pool.work;
+    (* the caller helps drain its own batch... *)
+    let rec help () =
+      match Queue.take_opt pool.queue with
+      | Some task ->
+        Mutex.unlock pool.mutex;
+        task ();
+        Mutex.lock pool.mutex;
+        help ()
+      | None -> ()
+    in
+    help ();
+    (* ...then waits for in-flight stragglers *)
+    while Atomic.get pending > 0 do
+      Condition.wait pool.batch_done pool.mutex
+    done;
+    Mutex.unlock pool.mutex;
+    (match !error with
+    | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map pool f items = mapi pool (fun _ x -> f x) items
+
+let map_reduce pool ~map:f ~reduce ~init items =
+  Array.fold_left reduce init (map pool f items)

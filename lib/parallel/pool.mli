@@ -1,0 +1,58 @@
+(** Fixed-size domain pool with deterministic result ordering.
+
+    The three hot fan-out sites of the verification loop — gradient
+    probes (Algorithm 1), frontier cells (Algorithm 2) and Monte-Carlo
+    rollouts — are embarrassingly parallel: independent verifier calls
+    whose results are combined by index, never by completion order.
+    [map] exploits exactly that shape: workers write into a pre-sized
+    result array at their item's index, so the output (and every fold
+    over it) is bit-identical for any number of domains.
+
+    A pool with [domains = 1] spawns no worker domains and runs every
+    [map] sequentially in the caller — the exact single-domain code
+    path, useful as a determinism oracle. With [domains = n > 1] the
+    pool spawns [n - 1] workers and the calling domain participates in
+    each batch, so [n] domains compute in total.
+
+    Pools are NOT reentrant: do not call [map] from inside a task of the
+    same pool, and do not share one pool between concurrently mapping
+    domains. *)
+
+type t
+
+(** [create ~domains ()] spawns a pool of [domains] total domains
+    (including the caller; default {!default_domains}). Raises
+    [Invalid_argument] when [domains < 1]. *)
+val create : ?domains:int -> unit -> t
+
+(** [Domain.recommended_domain_count ()]: the hardware's preferred
+    domain count. *)
+val default_domains : unit -> int
+
+(** Number of domains (including the caller) this pool computes with. *)
+val domains : t -> int
+
+(** [map pool f items] applies [f] to every element, in parallel across
+    the pool's domains, and returns the results in item order. An
+    exception raised by [f] is re-raised in the caller after the whole
+    batch has drained (the one with the smallest item index wins, so the
+    error too is deterministic); the pool remains usable afterwards. *)
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [mapi pool f items] is [map] with the item index. *)
+val mapi : t -> (int -> 'a -> 'b) -> 'a array -> 'b array
+
+(** [map_reduce pool ~map ~reduce ~init items] maps in parallel, then
+    folds the results sequentially in item order ([reduce] sees them
+    left to right), so the reduction is deterministic even when [reduce]
+    is not associative-commutative (e.g. float sums). *)
+val map_reduce :
+  t -> map:('a -> 'b) -> reduce:('acc -> 'b -> 'acc) -> init:'acc -> 'a array -> 'acc
+
+(** Join the worker domains. The pool must not be used afterwards.
+    Idempotent. *)
+val shutdown : t -> unit
+
+(** [with_pool ~domains f] runs [f] with a fresh pool and shuts it down
+    afterwards, including on exceptions. *)
+val with_pool : ?domains:int -> (t -> 'a) -> 'a

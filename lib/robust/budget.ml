@@ -4,8 +4,15 @@
    flowpipe degrades into a structured error instead of hanging or
    crashing the learning run.
 
-   The clock is injectable (defaults to [Sys.time]) so tests and the
-   fault-injection harness can drive deadlines deterministically. *)
+   Budgets are shared across domains when the learner fans its gradient
+   probes out over a Pool: the call/step counters are Atomic.t and every
+   spend is a CAS loop, so concurrent probes can never race past a
+   limit (the counter is checked and advanced in one atomic step). The
+   clock is injectable so tests and the fault-injection harness can
+   drive deadlines deterministically; the default is the process-wide
+   monotone clock (Dwv_util.Mono), which is sound to read from any
+   domain — unlike [Sys.time], whose CPU-seconds accumulate across
+   domains and would make an n-domain run age n times too fast. *)
 
 type t = {
   clock : unit -> float;
@@ -13,26 +20,26 @@ type t = {
   deadline : float option;   (* seconds from [start] *)
   max_calls : int option;    (* verifier calls *)
   max_steps : int option;    (* flowpipe / integration steps *)
-  mutable calls : int;
-  mutable steps : int;
-  mutable forced : Dwv_error.t option;  (* fault injection: fail every check *)
+  calls : int Atomic.t;
+  steps : int Atomic.t;
+  forced : Dwv_error.t option Atomic.t;  (* fault injection: fail every check *)
 }
 
-let create ?(clock = Sys.time) ?deadline ?max_calls ?max_steps () =
+let create ?(clock = Dwv_util.Mono.now) ?deadline ?max_calls ?max_steps () =
   { clock; start = clock (); deadline; max_calls; max_steps;
-    calls = 0; steps = 0; forced = None }
+    calls = Atomic.make 0; steps = Atomic.make 0; forced = Atomic.make None }
 
 let unlimited () = create ()
 
 let elapsed t = t.clock () -. t.start
-let calls t = t.calls
-let steps t = t.steps
+let calls t = Atomic.get t.calls
+let steps t = Atomic.get t.steps
 
-let force t e = t.forced <- Some e
-let clear_force t = t.forced <- None
+let force t e = Atomic.set t.forced (Some e)
+let clear_force t = Atomic.set t.forced None
 
 let check ?(where = "Budget.check") t =
-  match t.forced with
+  match Atomic.get t.forced with
   | Some e -> Error e
   | None -> (
     match t.deadline with
@@ -40,25 +47,30 @@ let check ?(where = "Budget.check") t =
       Error (Dwv_error.deadline_exceeded ~where ~elapsed:(elapsed t) ~limit ())
     | _ -> Ok ())
 
+(* Check-and-advance in one atomic step: [counter + n <= limit] or the
+   spend is refused, regardless of how many domains contend. *)
+let rec spend ~where ~which ~n ~limit counter =
+  let used = Atomic.get counter in
+  if used + n > limit then Error (Dwv_error.budget_exhausted ~where ~which ~used ~limit ())
+  else if Atomic.compare_and_set counter used (used + n) then Ok ()
+  else spend ~where ~which ~n ~limit counter
+
 let spend_call ?(where = "Budget.spend_call") t =
   match check ~where t with
   | Error _ as e -> e
   | Ok () -> (
     match t.max_calls with
-    | Some limit when t.calls >= limit ->
-      Error
-        (Dwv_error.budget_exhausted ~where ~which:"verifier-call" ~used:t.calls ~limit ())
-    | _ ->
-      t.calls <- t.calls + 1;
-      Ok ())
+    | None ->
+      Atomic.incr t.calls;
+      Ok ()
+    | Some limit -> spend ~where ~which:"verifier-call" ~n:1 ~limit t.calls)
 
 let spend_steps ?(where = "Budget.spend_steps") ?(n = 1) t =
   match check ~where t with
   | Error _ as e -> e
   | Ok () -> (
     match t.max_steps with
-    | Some limit when t.steps + n > limit ->
-      Error (Dwv_error.budget_exhausted ~where ~which:"step" ~used:t.steps ~limit ())
-    | _ ->
-      t.steps <- t.steps + n;
-      Ok ())
+    | None ->
+      ignore (Atomic.fetch_and_add t.steps n);
+      Ok ()
+    | Some limit -> spend ~where ~which:"step" ~n ~limit t.steps)

@@ -1,13 +1,18 @@
 (** Resource budgets for reachability runs: wall-clock deadline plus
     verifier-call and integration-step budgets. All checks return
     [(unit, Dwv_error.t) result] — exhaustion is a value, never an
-    exception. *)
+    exception.
+
+    Domain-safe: the counters are atomic and every spend is a CAS, so a
+    budget shared by parallel gradient probes or initial-set cells can
+    never be overdrawn, and deadline checks are sound from any domain. *)
 
 type t
 
 (** [create ()] is unlimited in every dimension; pass [deadline]
     (seconds), [max_calls] and/or [max_steps] to bound the run. [clock]
-    (default [Sys.time]) is injectable for deterministic tests. *)
+    (default [Dwv_util.Mono.now], the process-wide monotone wall clock)
+    is injectable for deterministic tests. *)
 val create :
   ?clock:(unit -> float) -> ?deadline:float -> ?max_calls:int -> ?max_steps:int -> unit -> t
 

@@ -12,9 +12,18 @@
      Budget_hit   — the call fails immediately with a budget-exhausted
                     error
 
-   Everything is seeded: which weight goes NaN is drawn from a splitmix
-   stream created from [seed], so test failures replay exactly. The plan
-   is process-global but scoped: [with_faults] restores the previous
+   Call-index addressing is sequentially consistent even when calls run
+   on several domains at once: parallel fan-out sites ([Learner],
+   [Initset]) first [reserve] a block of indices, then pin each task to
+   its index with [with_call_base] BEFORE the fan-out, so a fault lands
+   on the same probe regardless of arrival order. Sequential callers
+   never need either — [begin_call] draws from the (atomic) global
+   counter, which yields exactly the indices the pre-assignment would.
+
+   Everything is seeded and order-free: which weight goes NaN is drawn
+   from a splitmix stream derived from [seed] and the call index, so
+   test failures replay exactly at any domain count. The plan is
+   process-global but scoped: [with_faults] restores the previous
    (usually empty) state on exit, including on exceptions. *)
 
 module Rng = Dwv_util.Rng
@@ -36,51 +45,104 @@ let kind_of_string = function
 
 type armed = {
   plan : (int * kind) list;
-  rng : Rng.t;
-  mutable calls : int;             (* verifier-call counter *)
-  mutable current : kind option;   (* fault of the in-flight call *)
-  mutable injected : (int * kind) list;  (* faults that actually fired *)
+  seed : int;
+  next : int Atomic.t;                  (* next unassigned global call index *)
+  mu : Mutex.t;                         (* guards [fired] *)
+  mutable fired : (int * kind) list;    (* faults that actually fired *)
 }
 
-let state : armed option ref = ref None
+let state : armed option Atomic.t = Atomic.make None
+
+(* Per-domain in-flight call: (index, fault). Each domain runs at most
+   one verifier call at a time, so domain-local storage is exactly the
+   "current call" scope. *)
+let inflight : (int * kind option) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+(* Per-domain pre-assigned index cursor for parallel sections. *)
+let assigned : int ref option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
 let with_faults ?(seed = 0) plan f =
-  let previous = !state in
-  state := Some { plan; rng = Rng.create seed; calls = 0; current = None; injected = [] };
-  Fun.protect ~finally:(fun () -> state := previous) f
+  let previous = Atomic.get state in
+  Atomic.set state
+    (Some { plan; seed; next = Atomic.make 0; mu = Mutex.create (); fired = [] });
+  Fun.protect ~finally:(fun () -> Atomic.set state previous) f
 
-let active () = Option.is_some !state
+let active () = Option.is_some (Atomic.get state)
 
-(* Called once per verifier call by Robust_verify.run: advances the call
-   counter and arms the call's fault (if any) until [end_call]. *)
+(* Reserve [n] consecutive call indices for a parallel batch, returning
+   the first. No-op (returns 0) when no plan is armed. *)
+let reserve n =
+  match Atomic.get state with
+  | None -> 0
+  | Some a -> Atomic.fetch_and_add a.next n
+
+(* Run [f] with this domain's verifier-call indices drawn from
+   [base, base+1, ...] instead of the global counter; used to pin a
+   fanned-out task to the indices it would have received sequentially.
+   The previous assignment (normally none) is restored on exit. *)
+let with_call_base ~base f =
+  let slot = Domain.DLS.get assigned in
+  let previous = !slot in
+  slot := Some (ref base);
+  Fun.protect ~finally:(fun () -> slot := previous) f
+
+(* Called once per verifier call by Robust_verify.run: draws the call's
+   index (pre-assigned or global), and arms the call's fault (if any)
+   until [end_call]. *)
 let begin_call () =
-  match !state with
+  match Atomic.get state with
   | None -> None
   | Some a ->
-    let idx = a.calls in
-    a.calls <- a.calls + 1;
+    let idx =
+      match !(Domain.DLS.get assigned) with
+      | Some cursor ->
+        let i = !cursor in
+        cursor := i + 1;
+        i
+      | None -> Atomic.fetch_and_add a.next 1
+    in
     let fault = List.assoc_opt idx a.plan in
-    a.current <- fault;
+    Domain.DLS.get inflight := Some (idx, fault);
     (match fault with
-    | Some k -> a.injected <- (idx, k) :: a.injected
+    | Some k ->
+      Mutex.lock a.mu;
+      a.fired <- (idx, k) :: a.fired;
+      Mutex.unlock a.mu
     | None -> ());
     fault
 
-let end_call () =
-  match !state with None -> () | Some a -> a.current <- None
+let end_call () = Domain.DLS.get inflight := None
 
 let current () =
-  match !state with None -> None | Some a -> a.current
+  match !(Domain.DLS.get inflight) with
+  | Some (_, fault) -> fault
+  | None -> None
 
+(* Sorted by call index: firing order is nondeterministic under
+   parallel fan-out, the index assignment is not. *)
 let injected () =
-  match !state with None -> [] | Some a -> List.rev a.injected
+  match Atomic.get state with
+  | None -> []
+  | Some a ->
+    Mutex.lock a.mu;
+    let fired = a.fired in
+    Mutex.unlock a.mu;
+    List.sort compare fired
 
-(* NaN-corrupt one seeded position of a parameter vector (a copy; the
-   caller's array is never mutated). No-op when no plan is armed. *)
+(* NaN-corrupt one position of a parameter vector (a copy; the caller's
+   array is never mutated). The position is a pure function of the plan
+   seed and the in-flight call index, so it replays identically at any
+   domain count. No-op when no plan is armed. *)
 let nan_corrupt arr =
-  match !state with
+  match Atomic.get state with
   | None -> arr
   | Some a ->
     let arr = Array.copy arr in
-    if Array.length arr > 0 then arr.(Rng.int a.rng (Array.length arr)) <- Float.nan;
+    if Array.length arr > 0 then begin
+      let idx = match !(Domain.DLS.get inflight) with Some (i, _) -> i | None -> 0 in
+      let rng = Rng.create ((a.seed * 0x10001) + idx + 1) in
+      arr.(Rng.int rng (Array.length arr)) <- Float.nan
+    end;
     arr

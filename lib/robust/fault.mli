@@ -22,18 +22,32 @@ val with_faults : ?seed:int -> (int * kind) list -> (unit -> 'a) -> 'a
 (** A plan is currently armed. *)
 val active : unit -> bool
 
-(** Advance the verifier-call counter and arm this call's fault (if any)
-    until {!end_call}. Called by [Robust_verify.run]; [None] when no plan
-    is armed or no fault is scheduled at this index. *)
+(** Reserve [n] consecutive verifier-call indices for a parallel batch
+    and return the first; each task is then pinned to its slice with
+    {!with_call_base} so fault addressing does not depend on arrival
+    order. Returns 0 (and reserves nothing) when no plan is armed. *)
+val reserve : int -> int
+
+(** [with_call_base ~base f] runs [f] with this domain's call indices
+    drawn from [base, base + 1, ...] instead of the global counter; the
+    previous assignment is restored on exit. *)
+val with_call_base : base:int -> (unit -> 'a) -> 'a
+
+(** Draw this call's index (pre-assigned or global) and arm its fault
+    (if any) until {!end_call}. Called by [Robust_verify.run]; [None]
+    when no plan is armed or no fault is scheduled at this index. The
+    in-flight call state is domain-local. *)
 val begin_call : unit -> kind option
 
 val end_call : unit -> unit
 
-(** Fault armed for the in-flight verifier call. Instrumented backends
-    (e.g. [Verifier.nn_flowpipe]) consult this. *)
+(** Fault armed for this domain's in-flight verifier call. Instrumented
+    backends (e.g. [Verifier.nn_flowpipe]) consult this. *)
 val current : unit -> kind option
 
-(** Faults that actually fired so far, in call order. *)
+(** Faults that actually fired so far, sorted by call index (firing
+    order is nondeterministic under parallel fan-out; the index
+    assignment is not). *)
 val injected : unit -> (int * kind) list
 
 (** NaN-corrupt one seeded position of a parameter vector (returns a

@@ -177,27 +177,40 @@ let compose fn tm =
   in
   add_remainder lagrange !acc
 
+(* The derivative-polynomial memo tables below are the only global
+   mutable state on the verifier's hot path; parallel gradient probes
+   hit them from several domains at once, so lookups-and-builds are
+   serialized by a mutex. The cached values are immutable and the build
+   is deterministic, so which domain populates an entry is immaterial. *)
+let deriv_polys_mu = Mutex.create ()
+
+let memo_deriv_poly table n build =
+  Mutex.lock deriv_polys_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock deriv_polys_mu) @@ fun () ->
+  match Hashtbl.find_opt table n with
+  | Some p -> p
+  | None ->
+    let p = build n in
+    Hashtbl.replace table n p;
+    p
+
 (* tanh derivatives: phi^(n)(x) = P_n(tanh x) with P_0(y) = y and
    P_{n+1}(y) = P_n'(y) (1 - y^2). Bounds come from interval-evaluating
    P_n over the tanh image of the interval. *)
 let tanh_deriv_polys = Hashtbl.create 8
 
 let tanh_poly n =
-  match Hashtbl.find_opt tanh_deriv_polys n with
-  | Some p -> p
-  | None ->
-    let rec build k =
-      if k = 0 then Poly.var 1 0
-      else begin
-        let prev = build (k - 1) in
-        let dp = Poly.diff prev 0 in
-        let one_minus_sq = Poly.sub (Poly.const 1 1.0) (Poly.pow (Poly.var 1 0) 2) in
-        Poly.mul dp one_minus_sq
-      end
-    in
-    let p = build n in
-    Hashtbl.replace tanh_deriv_polys n p;
-    p
+  memo_deriv_poly tanh_deriv_polys n @@ fun n ->
+  let rec build k =
+    if k = 0 then Poly.var 1 0
+    else begin
+      let prev = build (k - 1) in
+      let dp = Poly.diff prev 0 in
+      let one_minus_sq = Poly.sub (Poly.const 1 1.0) (Poly.pow (Poly.var 1 0) 2) in
+      Poly.mul dp one_minus_sq
+    end
+  in
+  build n
 
 let tanh_fn =
   {
@@ -213,21 +226,17 @@ let tanh_fn =
 let sigmoid_deriv_polys = Hashtbl.create 8
 
 let sigmoid_poly n =
-  match Hashtbl.find_opt sigmoid_deriv_polys n with
-  | Some p -> p
-  | None ->
-    let rec build k =
-      if k = 0 then Poly.var 1 0
-      else begin
-        let prev = build (k - 1) in
-        let dp = Poly.diff prev 0 in
-        let s_one_minus_s = Poly.mul (Poly.var 1 0) (Poly.sub (Poly.const 1 1.0) (Poly.var 1 0)) in
-        Poly.mul dp s_one_minus_s
-      end
-    in
-    let p = build n in
-    Hashtbl.replace sigmoid_deriv_polys n p;
-    p
+  memo_deriv_poly sigmoid_deriv_polys n @@ fun n ->
+  let rec build k =
+    if k = 0 then Poly.var 1 0
+    else begin
+      let prev = build (k - 1) in
+      let dp = Poly.diff prev 0 in
+      let s_one_minus_s = Poly.mul (Poly.var 1 0) (Poly.sub (Poly.const 1 1.0) (Poly.var 1 0)) in
+      Poly.mul dp s_one_minus_s
+    end
+  in
+  build n
 
 let sigmoid_fn =
   {

@@ -1,0 +1,13 @@
+(* Monotone-clamped wall clock (Mtime-style counter without the mtime
+   dependency): a CAS loop over the latest observed instant makes the
+   reading non-decreasing process-wide, so deadline arithmetic and bench
+   timings never see time run backwards, from any domain. *)
+
+let latest = Atomic.make neg_infinity
+
+let rec now () =
+  let t = Unix.gettimeofday () in
+  let seen = Atomic.get latest in
+  if t <= seen then seen
+  else if Atomic.compare_and_set latest seen t then t
+  else now ()

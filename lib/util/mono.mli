@@ -1,0 +1,11 @@
+(** Shared monotone clock for budgets and benchmark timing.
+
+    [Unix.gettimeofday] regresses under NTP slew and [Sys.time] counts
+    CPU time summed across domains (so a 4-domain run "ages" 4× too
+    fast). [now] is a process-wide monotone-non-decreasing wall clock:
+    the raw wall clock clamped against the latest value any domain has
+    observed, safe to difference from any domain. *)
+
+(** Seconds since the Unix epoch, guaranteed non-decreasing across all
+    domains of the process. *)
+val now : unit -> float

@@ -24,6 +24,14 @@ let split t =
   let seed = next_int64 t in
   { state = seed }
 
+(* [n] child streams for index-addressed parallel work: child [i] is a
+   pure function of the parent seed and [i], so shards of a fan-out can
+   be verified in any order (or on any domain) and still reproduce the
+   sequential run bit for bit. The parent advances by [n]. *)
+let split_n t n =
+  if n < 0 then invalid_arg "Rng.split_n: negative count";
+  Array.init n (fun _ -> split t)
+
 (* Uniform float in [0, 1): use the top 53 bits. *)
 let float t =
   let bits = Int64.shift_right_logical (next_int64 t) 11 in

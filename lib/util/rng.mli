@@ -16,6 +16,12 @@ val copy : t -> t
 (** Derive an independent generator; the parent stream advances by one. *)
 val split : t -> t
 
+(** [split_n t n] derives [n] independent child generators; child [i]
+    depends only on the parent seed and [i] (the parent advances by
+    [n]), so index-sharded parallel work reproduces the sequential
+    stream assignment exactly. Raises [Invalid_argument] on [n < 0]. *)
+val split_n : t -> int -> t array
+
 (** Raw 64 random bits. *)
 val next_int64 : t -> int64
 

@@ -185,12 +185,17 @@ let test_nn_robust_blowup_uses_fallback_rung () =
 let acc_cfg =
   { Learner.default_config with Learner.max_iters = 5; alpha = 0.2; beta = 0.2; seed = 7 }
 
-let acc_learn_under faults =
+let acc_learn_under ?(domains = 1) faults =
   let module A = Dwv_systems.Acc in
+  let module Pool = Dwv_parallel.Pool in
   let verify c = (A.verify_robust c).Verifier.pipe in
   Fault.with_faults ~seed:1 faults (fun () ->
-      Learner.learn acc_cfg ~metric:Metrics.Geometric ~spec:A.spec ~verify
-        ~init:A.initial_controller)
+      Pool.with_pool ~domains (fun pool ->
+          let r =
+            Learner.learn ~pool acc_cfg ~metric:Metrics.Geometric ~spec:A.spec ~verify
+              ~init:A.initial_controller
+          in
+          (r, Fault.injected ())))
 
 let check_survived r =
   Alcotest.(check bool) "finite parameters" true (finite_params r.Learner.controller);
@@ -198,14 +203,48 @@ let check_survived r =
   Alcotest.(check bool) "verdict delivered" true
     (List.mem r.Learner.verdict [ Verifier.Reach_avoid; Verifier.Unsafe; Verifier.Unknown ])
 
-let test_learner_survives_nan_theta () = check_survived (acc_learn_under [ (0, Fault.Nan_theta) ])
-let test_learner_survives_tm_blowup () = check_survived (acc_learn_under [ (0, Fault.Tm_blowup) ])
+let test_learner_survives_nan_theta () =
+  check_survived (fst (acc_learn_under [ (0, Fault.Nan_theta) ]))
+
+let test_learner_survives_tm_blowup () =
+  check_survived (fst (acc_learn_under [ (0, Fault.Tm_blowup) ]))
 
 let test_learner_survives_deadline () =
-  check_survived (acc_learn_under [ (0, Fault.Deadline_hit); (3, Fault.Deadline_hit) ])
+  check_survived (fst (acc_learn_under [ (0, Fault.Deadline_hit); (3, Fault.Deadline_hit) ]))
 
 let test_learner_survives_budget () =
-  check_survived (acc_learn_under [ (0, Fault.Budget_hit); (5, Fault.Budget_hit) ])
+  check_survived (fst (acc_learn_under [ (0, Fault.Budget_hit); (5, Fault.Budget_hit) ]))
+
+(* Fault-plan call indices are pre-assigned before each parallel fan-out,
+   so an injected fault must land on the same verifier call — and surface
+   the same structured error — at any domain count. *)
+let check_same_under_faults label ((a : Learner.result), fa) ((b : Learner.result), fb) =
+  Alcotest.(check (array (float 0.0)))
+    (label ^ ": identical theta")
+    (Controller.params a.Learner.controller)
+    (Controller.params b.Learner.controller);
+  Alcotest.(check int) (label ^ ": same iterations") a.Learner.iterations b.Learner.iterations;
+  Alcotest.(check int) (label ^ ": same verifier calls") a.Learner.verifier_calls
+    b.Learner.verifier_calls;
+  Alcotest.(check bool) (label ^ ": same verdict") true (a.Learner.verdict = b.Learner.verdict);
+  Alcotest.(check (option string))
+    (label ^ ": same stop kind")
+    (Option.map Dwv_error.kind_name a.Learner.stopped)
+    (Option.map Dwv_error.kind_name b.Learner.stopped);
+  Alcotest.(check (list (pair int string)))
+    (label ^ ": same injected faults")
+    (List.map (fun (i, k) -> (i, Fault.kind_to_string k)) fa)
+    (List.map (fun (i, k) -> (i, Fault.kind_to_string k)) fb)
+
+let test_budget_fault_parity_across_domains () =
+  let faults = [ (0, Fault.Budget_hit); (5, Fault.Budget_hit) ] in
+  check_same_under_faults "budget fault" (acc_learn_under faults)
+    (acc_learn_under ~domains:4 faults)
+
+let test_nan_theta_fault_parity_across_domains () =
+  let faults = [ (0, Fault.Nan_theta); (4, Fault.Nan_theta) ] in
+  check_same_under_faults "nan-theta fault" (acc_learn_under faults)
+    (acc_learn_under ~domains:4 faults)
 
 let test_acc_zero_fault_learning_unchanged () =
   let module A = Dwv_systems.Acc in
@@ -340,6 +379,10 @@ let suite =
     Alcotest.test_case "learner survives tm-blowup" `Quick test_learner_survives_tm_blowup;
     Alcotest.test_case "learner survives deadline" `Quick test_learner_survives_deadline;
     Alcotest.test_case "learner survives budget" `Quick test_learner_survives_budget;
+    Alcotest.test_case "budget fault parity across domains" `Quick
+      test_budget_fault_parity_across_domains;
+    Alcotest.test_case "nan-theta fault parity across domains" `Quick
+      test_nan_theta_fault_parity_across_domains;
     Alcotest.test_case "acc zero-fault learning unchanged" `Quick
       test_acc_zero_fault_learning_unchanged;
     Alcotest.test_case "learner survives faults (oscillator)" `Quick

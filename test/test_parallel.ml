@@ -1,0 +1,331 @@
+(* Determinism suite for the domain pool (the `@parallel` alias): the
+   tentpole claim is that every fan-out site — gradient probes, frontier
+   cells, Monte-Carlo rollouts — returns bit-identical results at any
+   domain count. Each test runs the same workload at domains 1 (the
+   sequential oracle: no workers are spawned) and at 2 or 4, and compares
+   exactly, never with a tolerance. *)
+
+module I = Dwv_interval.Interval
+module Box = Dwv_interval.Box
+module Mlp = Dwv_nn.Mlp
+module Activation = Dwv_nn.Activation
+module Rng = Dwv_util.Rng
+module Verifier = Dwv_reach.Verifier
+module Spec = Dwv_core.Spec
+module Controller = Dwv_core.Controller
+module Learner = Dwv_core.Learner
+module Metrics = Dwv_core.Metrics
+module Initset = Dwv_core.Initset
+module Evaluate = Dwv_core.Evaluate
+module Pool = Dwv_parallel.Pool
+module Acc = Dwv_systems.Acc
+module Oscillator = Dwv_systems.Oscillator
+module Threed = Dwv_systems.Threed
+
+(* ---------------- pool mechanics ---------------- *)
+
+let test_map_empty () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      Alcotest.(check (array int)) "empty batch" [||] (Pool.map pool (fun x -> x + 1) [||]))
+
+let test_map_single_item () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      Alcotest.(check (array int)) "one item" [| 42 |] (Pool.map pool (fun x -> x * 2) [| 21 |]))
+
+let test_map_fewer_items_than_domains () =
+  Pool.with_pool ~domains:8 (fun pool ->
+      Alcotest.(check (array int)) "2 items on 8 domains" [| 1; 4 |]
+        (Pool.map pool (fun x -> x * x) [| 1; 2 |]))
+
+let test_map_order_preserved () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      let items = Array.init 100 (fun i -> i) in
+      Alcotest.(check (array int)) "item order, not completion order"
+        (Array.map (fun i -> 3 * i) items)
+        (Pool.map pool (fun i -> 3 * i) items))
+
+let test_mapi_passes_index () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      Alcotest.(check (array int)) "index + item" [| 10; 21; 32 |]
+        (Pool.mapi pool (fun i x -> x + i) [| 10; 20; 30 |]))
+
+let test_sequential_pool_is_plain_map () =
+  Pool.with_pool ~domains:1 (fun pool ->
+      Alcotest.(check int) "no extra domains" 1 (Pool.domains pool);
+      Alcotest.(check (array int)) "plain map" [| 2; 4; 6 |]
+        (Pool.map pool (fun x -> 2 * x) [| 1; 2; 3 |]))
+
+let test_create_rejects_nonpositive () =
+  Alcotest.check_raises "domains = 0" (Invalid_argument "Pool.create: domains must be >= 1")
+    (fun () -> ignore (Pool.create ~domains:0 ()))
+
+exception Boom of int
+
+let test_exception_propagates_and_pool_survives () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      (match
+         Pool.map pool (fun i -> if i mod 3 = 0 then raise (Boom i) else i)
+           (Array.init 10 (fun i -> i + 1))
+       with
+      | _ -> Alcotest.fail "expected the task exception to re-raise"
+      | exception Boom i ->
+        (* items 3, 6, 9 all raise; the smallest index must win so the
+           error is deterministic *)
+        Alcotest.(check int) "smallest failing item" 3 i);
+      (* the batch drained: the pool is immediately reusable *)
+      Alcotest.(check (array int)) "pool not wedged" [| 1; 2; 3 |]
+        (Pool.map pool (fun x -> x) [| 1; 2; 3 |]))
+
+let test_map_reduce_float_sum_deterministic () =
+  (* summing parallel results in item order must equal the sequential
+     left fold bit-for-bit, even though float addition is not associative *)
+  let items = Array.init 1000 (fun i -> 1.0 /. float_of_int (i + 1)) in
+  let seq = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 items in
+  Pool.with_pool ~domains:4 (fun pool ->
+      let par =
+        Pool.map_reduce pool ~map:(fun x -> x *. x)
+          ~reduce:(fun acc x -> acc +. x)
+          ~init:0.0 items
+      in
+      Alcotest.(check (float 0.0)) "bit-identical sum" seq par)
+
+let test_reuse_across_batches () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      for k = 1 to 5 do
+        let items = Array.init (10 * k) (fun i -> i) in
+        Alcotest.(check (array int))
+          (Printf.sprintf "batch %d" k)
+          (Array.map (fun i -> i + k) items)
+          (Pool.map pool (fun i -> i + k) items)
+      done)
+
+(* ---------------- Rng.split_n properties ---------------- *)
+
+let prop_split_n_children_distinct =
+  QCheck.Test.make ~name:"split_n children pairwise distinct" ~count:100
+    QCheck.(pair small_nat (int_range 2 16))
+    (fun (seed, n) ->
+      let children = Rng.split_n (Rng.create seed) n in
+      let firsts = Array.map (fun c -> Rng.next_int64 c) children in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          if Int64.equal firsts.(i) firsts.(j) then ok := false
+        done
+      done;
+      !ok)
+
+let prop_split_n_reproducible =
+  QCheck.Test.make ~name:"split_n reproducible from the seed" ~count:100
+    QCheck.(pair small_nat (int_range 1 16))
+    (fun (seed, n) ->
+      let a = Rng.split_n (Rng.create seed) n in
+      let b = Rng.split_n (Rng.create seed) n in
+      Array.for_all2
+        (fun x y ->
+          List.for_all
+            (fun _ -> Int64.equal (Rng.next_int64 x) (Rng.next_int64 y))
+            [ 1; 2; 3 ])
+        a b)
+
+let prop_split_n_prefix_stable =
+  (* child i is a pure function of the parent seed and i: splitting off
+     more children never changes the earlier ones *)
+  QCheck.Test.make ~name:"split_n prefix stable under larger n" ~count:100
+    QCheck.(triple small_nat (int_range 1 8) (int_range 0 8))
+    (fun (seed, n, extra) ->
+      let a = Rng.split_n (Rng.create seed) n in
+      let b = Rng.split_n (Rng.create seed) (n + extra) in
+      Array.for_all2
+        (fun x y -> Int64.equal (Rng.next_int64 x) (Rng.next_int64 y))
+        a (Array.sub b 0 n))
+
+let test_split_n_edge_cases () =
+  Alcotest.(check int) "zero children" 0 (Array.length (Rng.split_n (Rng.create 1) 0));
+  Alcotest.check_raises "negative count"
+    (Invalid_argument "Rng.split_n: negative count") (fun () ->
+      ignore (Rng.split_n (Rng.create 1) (-1)))
+
+(* ---------------- learner determinism across domain counts ---------------- *)
+
+let check_same_learn label (a : Learner.result) (b : Learner.result) =
+  Alcotest.(check (array (float 0.0)))
+    (label ^ ": identical theta")
+    (Controller.params a.Learner.controller)
+    (Controller.params b.Learner.controller);
+  Alcotest.(check int) (label ^ ": same iterations") a.Learner.iterations b.Learner.iterations;
+  Alcotest.(check int) (label ^ ": same verifier calls") a.Learner.verifier_calls
+    b.Learner.verifier_calls;
+  Alcotest.(check int) (label ^ ": same skipped probes") a.Learner.skipped_probes
+    b.Learner.skipped_probes;
+  Alcotest.(check bool) (label ^ ": same verdict") true (a.Learner.verdict = b.Learner.verdict);
+  List.iter2
+    (fun (p : Learner.history_point) (q : Learner.history_point) ->
+      Alcotest.(check (float 0.0)) (label ^ ": same objective trace") p.Learner.objective
+        q.Learner.objective)
+    a.Learner.history b.Learner.history
+
+let acc_learn_at domains =
+  let cfg =
+    { Learner.default_config with Learner.max_iters = 8; alpha = 0.2; beta = 0.2; seed = 7 }
+  in
+  Pool.with_pool ~domains (fun pool ->
+      Learner.learn ~pool cfg ~metric:Metrics.Geometric ~spec:Acc.spec ~verify:Acc.verify
+        ~init:Acc.initial_controller)
+
+let test_acc_learner_domains_1_vs_4 () =
+  check_same_learn "acc coordinate" (acc_learn_at 1) (acc_learn_at 4)
+
+(* Tiny nonlinear closed loop (short horizon, small net) so SPSA learning
+   under the POLAR-style verifier stays cheap; mirrors the faults suite. *)
+let nn_learn_at ~name ~f ~dim domains =
+  let lo = Array.make dim 0.0 and hi = Array.make dim 0.02 in
+  let x0 = Box.make ~lo ~hi in
+  let unsafe = Box.of_intervals (Array.make dim (I.make 5.0 6.0)) in
+  let goal = Box.of_intervals (Array.make dim (I.make (-0.5) 0.5)) in
+  let spec = Spec.make ~name ~x0 ~unsafe ~goal ~delta:0.1 ~steps:4 in
+  let net =
+    Mlp.create ~sizes:[ dim; 4; 1 ] ~acts:[ Activation.Tanh; Activation.Tanh ] (Rng.create 5)
+  in
+  let verify c =
+    match c with
+    | Controller.Net { net; output_scale } ->
+      Verifier.nn_flowpipe ~order:2 ~disturbance_slots:4 ~f ~delta:0.1 ~steps:4 ~net
+        ~output_scale ~method_:Verifier.Polar ~x0 ()
+    | Controller.Linear _ -> Alcotest.fail "NN controller expected"
+  in
+  let cfg =
+    { Learner.default_config with
+      Learner.max_iters = 3; gradient_mode = Learner.Spsa 2; seed = 3 }
+  in
+  Pool.with_pool ~domains (fun pool ->
+      Learner.learn ~pool cfg ~metric:Metrics.Geometric ~spec ~verify
+        ~init:(Controller.net ~output_scale:1.0 net))
+
+let test_oscillator_learner_domains_1_vs_2_vs_4 () =
+  let at = nn_learn_at ~name:"osc-par" ~f:Oscillator.dynamics ~dim:2 in
+  let d1 = at 1 in
+  check_same_learn "oscillator spsa d2" d1 (at 2);
+  check_same_learn "oscillator spsa d4" d1 (at 4)
+
+let test_threed_learner_domains_1_vs_4 () =
+  let at = nn_learn_at ~name:"threed-par" ~f:Threed.dynamics ~dim:3 in
+  check_same_learn "threed spsa" (at 1) (at 4)
+
+(* ---------------- initial-set search determinism ---------------- *)
+
+let check_same_initset label (a : Initset.result) (b : Initset.result) =
+  Alcotest.(check bool) (label ^ ": identical certified cells") true
+    (a.Initset.verified = b.Initset.verified);
+  Alcotest.(check bool) (label ^ ": identical rejected cells") true
+    (a.Initset.rejected = b.Initset.rejected);
+  Alcotest.(check (float 0.0)) (label ^ ": identical coverage") a.Initset.coverage
+    b.Initset.coverage;
+  Alcotest.(check int) (label ^ ": same verifier calls") a.Initset.verifier_calls
+    b.Initset.verifier_calls
+
+(* Shrink the ACC goal so the top-level cell fails and the search refines
+   through multi-cell frontiers (the full goal certifies X_0 in one call,
+   which never exercises the fan-out). *)
+let acc_tight_goal =
+  let g = Acc.spec.Spec.goal in
+  let lo = Box.lo g and hi = Box.hi g in
+  Box.make
+    ~lo:(Array.mapi (fun i l -> l +. (0.3 *. (hi.(i) -. l))) lo)
+    ~hi:(Array.mapi (fun i h -> h -. (0.3 *. (h -. (Box.lo g).(i)))) hi)
+
+let acc_initset_at domains =
+  let c = Acc.initial_controller in
+  Pool.with_pool ~domains (fun pool ->
+      Initset.search ~max_depth:3 ~pool
+        ~verify:(fun cell -> Acc.verify_from cell c)
+        ~goal:acc_tight_goal ~x0:Acc.spec.Spec.x0 ())
+
+let test_acc_initset_domains_1_vs_4 () =
+  let d1 = acc_initset_at 1 in
+  Alcotest.(check bool) "search actually refined" true (d1.Initset.verifier_calls > 1);
+  check_same_initset "acc initset" d1 (acc_initset_at 4)
+
+let acc_initset_even_at domains =
+  let c = Acc.initial_controller in
+  Pool.with_pool ~domains (fun pool ->
+      Initset.search_even ~max_rounds:3 ~pool
+        ~verify:(fun cell -> Acc.verify_from cell c)
+        ~goal:acc_tight_goal ~x0:Acc.spec.Spec.x0 ())
+
+let test_acc_initset_even_domains_1_vs_4 () =
+  check_same_initset "acc even partition" (acc_initset_even_at 1) (acc_initset_even_at 4)
+
+(* ---------------- Monte-Carlo rate determinism ---------------- *)
+
+let rates_at ~sys ~spec ~controller domains =
+  Pool.with_pool ~domains (fun pool ->
+      Evaluate.rates ~n:200 ~pool ~rng:(Rng.create 2024) ~sys ~controller ~spec ())
+
+let check_same_rates label (a : Evaluate.rates) (b : Evaluate.rates) =
+  Alcotest.(check (float 0.0)) (label ^ ": identical SC") a.Evaluate.safe_percent
+    b.Evaluate.safe_percent;
+  Alcotest.(check (float 0.0)) (label ^ ": identical GR") a.Evaluate.goal_percent
+    b.Evaluate.goal_percent;
+  Alcotest.(check int) (label ^ ": same n") a.Evaluate.n b.Evaluate.n
+
+let test_acc_rates_domains_1_vs_2_vs_4 () =
+  let controller = Acc.sim_controller Acc.initial_controller in
+  let at = rates_at ~sys:Acc.sampled ~spec:Acc.spec ~controller in
+  let d1 = at 1 in
+  check_same_rates "acc rates d2" d1 (at 2);
+  check_same_rates "acc rates d4" d1 (at 4)
+
+let test_oscillator_rates_domains_1_vs_4 () =
+  let controller = Oscillator.sim_controller (Oscillator.pretrained_controller (Rng.create 1)) in
+  let at = rates_at ~sys:Oscillator.sampled ~spec:Oscillator.spec ~controller in
+  check_same_rates "oscillator rates" (at 1) (at 4)
+
+let test_rates_parent_stream_advance_identical () =
+  (* the caller's generator must advance the same with and without a
+     pool, so downstream draws do not depend on the execution mode *)
+  let draw_after domains =
+    let rng = Rng.create 99 in
+    let _ =
+      Pool.with_pool ~domains (fun pool ->
+          Evaluate.rates ~n:50 ~pool ~rng ~sys:Acc.sampled
+            ~controller:(Acc.sim_controller Acc.initial_controller) ~spec:Acc.spec ())
+    in
+    Rng.next_int64 rng
+  in
+  Alcotest.(check bool) "identical parent stream position" true
+    (Int64.equal (draw_after 1) (draw_after 4))
+
+let suite =
+  [
+    Alcotest.test_case "map: empty batch" `Quick test_map_empty;
+    Alcotest.test_case "map: single item" `Quick test_map_single_item;
+    Alcotest.test_case "map: items << domains" `Quick test_map_fewer_items_than_domains;
+    Alcotest.test_case "map: order preserved" `Quick test_map_order_preserved;
+    Alcotest.test_case "mapi passes index" `Quick test_mapi_passes_index;
+    Alcotest.test_case "domains=1 is plain map" `Quick test_sequential_pool_is_plain_map;
+    Alcotest.test_case "create rejects domains < 1" `Quick test_create_rejects_nonpositive;
+    Alcotest.test_case "exception propagates, pool survives" `Quick
+      test_exception_propagates_and_pool_survives;
+    Alcotest.test_case "map_reduce float sum deterministic" `Quick
+      test_map_reduce_float_sum_deterministic;
+    Alcotest.test_case "pool reusable across batches" `Quick test_reuse_across_batches;
+    QCheck_alcotest.to_alcotest prop_split_n_children_distinct;
+    QCheck_alcotest.to_alcotest prop_split_n_reproducible;
+    QCheck_alcotest.to_alcotest prop_split_n_prefix_stable;
+    Alcotest.test_case "split_n edge cases" `Quick test_split_n_edge_cases;
+    Alcotest.test_case "acc learner: domains 1 = 4" `Quick test_acc_learner_domains_1_vs_4;
+    Alcotest.test_case "oscillator learner: domains 1 = 2 = 4" `Quick
+      test_oscillator_learner_domains_1_vs_2_vs_4;
+    Alcotest.test_case "threed learner: domains 1 = 4" `Quick test_threed_learner_domains_1_vs_4;
+    Alcotest.test_case "acc initset: domains 1 = 4" `Quick test_acc_initset_domains_1_vs_4;
+    Alcotest.test_case "acc even partition: domains 1 = 4" `Quick
+      test_acc_initset_even_domains_1_vs_4;
+    Alcotest.test_case "acc rates: domains 1 = 2 = 4" `Quick test_acc_rates_domains_1_vs_2_vs_4;
+    Alcotest.test_case "oscillator rates: domains 1 = 4" `Quick
+      test_oscillator_rates_domains_1_vs_4;
+    Alcotest.test_case "rates advance parent stream identically" `Quick
+      test_rates_parent_stream_advance_identical;
+  ]
+
+let () = Alcotest.run "dwv-parallel" [ ("parallel", suite) ]
