@@ -1,18 +1,22 @@
 (* dwv_lint: static soundness analyzer and lint driver.
 
      dwv_lint models                        Layer-1 checks on built-in systems
-     dwv_lint source [PATH...]              Layer-2 lint over OCaml sources
+     dwv_lint source [PATH...]              Layer-2/3 lint over OCaml sources
+                                            (--engine ast|regex|both, default both)
      dwv_lint system -f "x1; -x0/(x1+2)" -n 2 -m 1 --x0="-1,1;-1,1"
                                             Layer-1 checks on a text-defined system
-     dwv_lint all [PATH...]                 both layers (what `dune build @lint` runs)
+     dwv_lint all [PATH...]                 every layer (what `dune build @lint` runs)
      dwv_lint checks                        list every check the analyzer knows
+
+   JSON output is one envelope document (see Diagnostics.report_to_json);
+   --plain renders one diagnostic per line without hint lines.
 
    Exit codes: 0 clean (warnings allowed), 1 diagnostics with Error
    severity, 2 usage/parse errors. *)
 
 module D = Dwv_analysis.Diagnostics
 module Model_check = Dwv_analysis.Model_check
-module Source_lint = Dwv_analysis.Source_lint
+module Ast_lint = Dwv_analysis.Ast_lint
 module Registry = Dwv_analysis.Registry
 module Box = Dwv_interval.Box
 module Spec = Dwv_core.Spec
@@ -20,11 +24,12 @@ module Rng = Dwv_util.Rng
 
 type format = Text | Json
 
-let render fmt ds =
+let render ~plain fmt ds =
   match fmt with
-  | Json -> List.iter (fun d -> print_endline (D.to_json d)) ds
+  | Json -> print_endline (D.report_to_json ds)
   | Text ->
-    List.iter (fun d -> Fmt.pr "@[<v>%a@]@." D.pp d) ds;
+    if plain then List.iter (fun d -> Fmt.pr "@[<h>%a@]@." D.pp_plain d) ds
+    else List.iter (fun d -> Fmt.pr "@[<v>%a@]@." D.pp d) ds;
     Fmt.pr "%a@." D.pp_summary ds
 
 let exit_of ds = if D.has_errors ds then 1 else 0
@@ -112,27 +117,52 @@ let format_conv =
 let format_arg =
   Arg.(value & opt format_conv Text & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
 
+let plain_arg =
+  Arg.(value & flag
+       & info [ "plain" ]
+           ~doc:"With text output, print one diagnostic per line and omit hint lines.")
+
+let engine_conv =
+  Arg.conv
+    ( (fun s ->
+        match Ast_lint.engine_of_string s with
+        | Some e -> Ok e
+        | None -> Error (`Msg ("unknown engine " ^ s ^ " (expected ast | regex | both)"))),
+      fun ppf e -> Fmt.string ppf (Ast_lint.engine_label e) )
+
+let engine_arg =
+  Arg.(value & opt engine_conv Ast_lint.Both
+       & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"Source engine: ast (Parsetree analyses), regex (layer-2 patterns), or \
+                 both (ast plus a differential regex shadow run).")
+
+let exclude_arg =
+  Arg.(value & opt_all string []
+       & info [ "exclude" ] ~docv:"FRAG"
+           ~doc:"Skip paths containing this fragment (whole path components; \
+                 repeatable). The lint fixture corpus is excluded this way in CI.")
+
 let models_cmd =
   let names_arg =
     Arg.(value & pos_all string [] & info [] ~docv:"SYSTEM" ~doc:"Systems to check (default: all).")
   in
-  let run fmt names =
+  let run fmt plain names =
     let ds = check_models names in
-    render fmt ds;
+    render ~plain fmt ds;
     exit (exit_of ds)
   in
   Cmd.v (Cmd.info "models" ~doc:"Layer-1 static analysis of the built-in systems")
-    Term.(const run $ format_arg $ names_arg)
+    Term.(const run $ format_arg $ plain_arg $ names_arg)
 
 let default_source_roots = [ "lib"; "bin"; "bench"; "test"; "examples" ]
 
-let lint_sources paths =
+let lint_sources ~engine ~exclude paths =
   let roots =
     match paths with
     | [] -> List.filter Sys.file_exists default_source_roots
     | paths -> paths
   in
-  match Source_lint.lint_tree roots with
+  match Ast_lint.lint_tree ~exclude ~engine roots with
   | ds -> ds
   | exception Invalid_argument m -> usage_die m
 
@@ -141,13 +171,16 @@ let source_cmd =
     Arg.(value & pos_all string [] & info [] ~docv:"PATH"
          ~doc:"Files or directories to lint (default: lib bin bench test examples).")
   in
-  let run fmt paths =
-    let ds = lint_sources paths in
-    render fmt ds;
+  let run fmt plain engine exclude paths =
+    let ds = lint_sources ~engine ~exclude paths in
+    render ~plain fmt ds;
     exit (exit_of ds)
   in
-  Cmd.v (Cmd.info "source" ~doc:"Layer-2 source lint (float-soundness footguns)")
-    Term.(const run $ format_arg $ paths_arg)
+  Cmd.v
+    (Cmd.info "source"
+       ~doc:"Source lint: layer-2 rules plus the layer-3 AST analyses (domain-safety, \
+             exn-escape)")
+    Term.(const run $ format_arg $ plain_arg $ engine_arg $ exclude_arg $ paths_arg)
 
 let system_cmd =
   let f_arg =
@@ -195,7 +228,7 @@ let system_cmd =
       @ Model_check.check_domains ~name ~f ~x0 ?u ()
     in
     let ds = D.sort ds in
-    render fmt ds;
+    render ~plain:false fmt ds;
     exit (exit_of ds)
   in
   Cmd.v
@@ -220,15 +253,15 @@ let checks_cmd =
 let all_cmd =
   let paths_arg =
     Arg.(value & pos_all string [] & info [] ~docv:"PATH"
-         ~doc:"Source roots for layer 2 (default: lib bin bench test examples).")
+         ~doc:"Source roots for the source layers (default: lib bin bench test examples).")
   in
-  let run fmt paths =
-    let ds = check_models [] @ lint_sources paths in
-    render fmt ds;
+  let run fmt plain engine exclude paths =
+    let ds = check_models [] @ lint_sources ~engine ~exclude paths in
+    render ~plain fmt ds;
     exit (exit_of ds)
   in
-  Cmd.v (Cmd.info "all" ~doc:"Run both analysis layers (what `dune build @lint` runs)")
-    Term.(const run $ format_arg $ paths_arg)
+  Cmd.v (Cmd.info "all" ~doc:"Run every analysis layer (what `dune build @lint` runs)")
+    Term.(const run $ format_arg $ plain_arg $ engine_arg $ exclude_arg $ paths_arg)
 
 let () =
   let doc = "Static soundness analyzer for design-while-verify models and sources" in

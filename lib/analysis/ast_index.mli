@@ -1,0 +1,110 @@
+(** Per-module inventory over the Parsetree: top-level mutable state and
+    how it is guarded, an approximate name-based call graph, raise/handle
+    sites, and Pool/Domain fan-out call sites. The layer-3 analyses
+    (Domain_safety, Exn_escape) are queries over this index. *)
+
+module SSet : Set.S with type elt = string
+
+type mutable_kind =
+  | Ref
+  | Hashtable
+  | Buffer_t
+  | Array_t
+  | Queue_t
+  | Stack_t
+  | Bytes_t
+  | Record_mutable
+  | Atomic_t
+  | Dls_t
+  | Sync_t
+
+type guard =
+  | Unguarded
+  | Atomic_guarded
+  | Dls_guarded
+  | Sync_primitive
+
+type mutable_binding = {
+  m_name : string;
+  m_kind : mutable_kind;
+  m_guard : guard;
+  m_loc : Location.t;
+}
+
+type raise_class =
+  | Rfailure of string
+  | Rinvalid of string
+  | Rexit
+  | Rexn of string
+
+type raise_site = {
+  r_class : raise_class;
+  r_loc : Location.t;
+  r_offset : int;
+}
+
+type fn = {
+  f_name : string;
+  f_loc : Location.t;
+  idents : SSet.t;
+  constructs : SSet.t;
+  raises : raise_site list;
+  caught : SSet.t;
+  try_spans : (int * int) list;
+  locals : (string * SSet.t) list;
+  uses_mutex : bool;
+}
+
+type pool_site = {
+  p_callee : string;
+  p_loc : Location.t;
+  p_fn : string;
+  p_seeds : SSet.t;
+}
+
+type module_info = {
+  path : string;
+  module_name : string;
+  aliases : (string * string) list;
+  mutable_fields : SSet.t;
+  mutables : mutable_binding list;
+  fns : fn list;
+  pool_sites : pool_site list;
+}
+
+type t
+
+val kind_label : mutable_kind -> string
+
+val mutex_names : string list
+(** Identifiers whose presence in a body means it takes a lock
+    ([Mutex.lock] / [Mutex.protect] / [Mutex.try_lock]). *)
+
+val normalize_name : string -> string
+(** Drop a leading [Stdlib.] qualifier. *)
+
+val of_parsed : Src_ast.parsed -> module_info
+val of_files : Src_ast.parsed list -> t
+
+val find_module : t -> string -> module_info option
+val modules : t -> module_info list
+val find_fn : module_info -> string -> fn option
+val find_mutable : module_info -> string -> mutable_binding option
+val resolve_alias : module_info -> string -> string
+
+type target =
+  | Tfn of module_info * fn
+  | Tmutable of module_info * mutable_binding
+
+val resolve : t -> module_info -> string -> target option
+(** Resolve a dotted identifier as seen from a module: unqualified names
+    against its own top level, [M.x] through its aliases to any scanned
+    module. Locals, parameters and the stdlib resolve to [None]. *)
+
+val escaping_raises : fn -> raise_site list
+(** Raise sites not protected by a try/match-exception range and whose
+    constructor no handler in the same function catches. *)
+
+val speaks_result : fn -> bool
+(** Whether the function constructs or matches [Ok]/[Error] (or uses
+    [Result.*]) — i.e. participates in the result taxonomy. *)

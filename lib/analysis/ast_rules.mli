@@ -1,0 +1,13 @@
+(** AST-backed re-implementation of the layer-2 source rules
+    (phys-equality, nan-compare, float-of-string, obj-magic,
+    poly-compare, print-debug). Rule metadata — severity, message, hint,
+    allowlist — is shared with the regex engine via {!Source_rules}. *)
+
+val covered : string list
+(** Names of the rules this engine implements semantically (bare-failwith
+    is deliberately absent: {!Exn_escape} replaces it). *)
+
+val lint_parsed : ?rules:Source_rules.rule list -> Src_ast.parsed -> Diagnostics.t list
+(** Run the covered rules over one parsed file. Rules missing from
+    [rules] are skipped, so a restricted rule set behaves like the regex
+    engine's. *)

@@ -47,9 +47,12 @@ let pp_location ppf = function
   | Model path -> Fmt.pf ppf "model %s" path
   | File { path; line; col } -> Fmt.pf ppf "%s:%d:%d" path line col
 
-let pp ppf d =
+let pp_plain ppf d =
   Fmt.pf ppf "%a: %s [%s] %s" pp_location d.loc (severity_label d.severity) d.check
-    d.message;
+    d.message
+
+let pp ppf d =
+  pp_plain ppf d;
   match d.hint with None -> () | Some h -> Fmt.pf ppf "@,  hint: %s" h
 
 (* Minimal JSON string escaping: enough for our own messages (ASCII plus
@@ -84,6 +87,16 @@ let to_json d =
   Printf.sprintf {|{"check":"%s","severity":"%s",%s,"message":"%s"%s}|}
     (json_escape d.check) (severity_label d.severity) loc_fields (json_escape d.message)
     hint_field
+
+(* Versioned report envelope: the shape CI archives as an artifact, so
+   its stability is pinned by a golden test. Bump [version] on any field
+   change. *)
+let report_to_json ds =
+  let ds = sort ds in
+  Printf.sprintf
+    {|{"version":1,"summary":{"errors":%d,"warnings":%d,"notes":%d},"diagnostics":[%s]}|}
+    (count Error ds) (count Warn ds) (count Info ds)
+    (String.concat "," (List.map to_json ds))
 
 let pp_summary ppf ds =
   let e = count Error ds and w = count Warn ds and i = count Info ds in

@@ -35,8 +35,18 @@ val has_errors : t list -> bool
 (** [gcc]-style one-liner plus an indented [hint:] line when present. *)
 val pp : Format.formatter -> t -> unit
 
+(** The one-liner alone (no hint): one diagnostic per output line. *)
+val pp_plain : Format.formatter -> t -> unit
+
 (** One JSON object per diagnostic (no trailing newline). *)
 val to_json : t -> string
+
+(** The full report as one JSON document:
+    [{"version":1,"summary":{"errors":..,"warnings":..,"notes":..},
+      "diagnostics":[...]}], diagnostics in {!sort} order. This is the
+    shape CI archives; a golden test pins it, bump ["version"] on any
+    field change. *)
+val report_to_json : t list -> string
 
 (** Human-readable roll-up, e.g. ["3 errors, 1 warning"]. *)
 val pp_summary : Format.formatter -> t list -> unit

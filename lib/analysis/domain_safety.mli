@@ -1,0 +1,12 @@
+(** Domain-safety lint over the {!Ast_index}: flags Pool/Domain fan-out
+    sites whose task closure can reach module-level mutable state that is
+    not mediated by Atomic, Mutex, or Domain.DLS. Reachability is
+    transitive over the name-based call graph; the guard judgment is one
+    hop (accessor locks, or a direct callee does). *)
+
+val check_name : string
+(** ["domain-safety"]. *)
+
+val analyze : Ast_index.t -> Diagnostics.t list
+(** Error-severity diagnostics, one per (fan-out site, mutable binding)
+    pair, located at the fan-out call site. *)

@@ -1,0 +1,22 @@
+(** Exception-escape analysis over the {!Ast_index}: hot-path functions
+    that can raise past the Dwv_error.t result taxonomy. Replaces the
+    regex engine's [bare-failwith] rule.
+
+    Tiers: Error for failwith/exit/uncaught constructor raises in a
+    non-result-speaking hot function; Info for invalid_arg-class
+    contract raises; Warn when a raise-free hot function directly calls
+    an in-scope function with an Error-tier escape (one hop). *)
+
+val check_name : string
+(** ["exn-escape"]. *)
+
+val default_hot_modules : string list
+(** The verification fast path: Learner, Initset, Evaluate, Verifier and
+    the reachability back ends. *)
+
+val default_allow : string list
+(** Leaf modules whose raises are contract (mirrors the bare-failwith
+    allowlist); calls into them are not reported. *)
+
+val analyze :
+  ?hot_modules:string list -> ?allow:string list -> Ast_index.t -> Diagnostics.t list

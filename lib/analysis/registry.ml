@@ -1,7 +1,7 @@
 (* Check registry. Names live here (not scattered through Model_check) so
    that `dwv_lint checks`, the docs and the tests all read one list. *)
 
-type layer = Model_layer | Source_layer
+type layer = Model_layer | Source_layer | Ast_layer
 
 type entry = { name : string; layer : layer; description : string }
 
@@ -19,6 +19,10 @@ let nn_activation = "nn-activation"
 let nn_lipschitz = "nn-lipschitz"
 let ctrl_shape = "ctrl-shape"
 let missing_mli = "missing-mli"
+let domain_safety = "domain-safety"
+let exn_escape = "exn-escape"
+let ast_parse = "ast-parse"
+let engine_diff = "engine-diff"
 
 let model_entries =
   [
@@ -37,6 +41,18 @@ let model_entries =
     (ctrl_shape, "controller input/output shape matches the plant's (n, m)");
   ]
 
+let ast_entries =
+  [
+    ( domain_safety,
+      "no Pool/Domain task closure reaches unguarded module-level mutable state" );
+    ( exn_escape,
+      "hot-path functions cannot raise past the Dwv_error.t result taxonomy" );
+    ( ast_parse,
+      "every linted implementation parses with the compiler front end (regex \
+       fallback otherwise)" );
+    (engine_diff, "AST and regex engines agree on every shared rule (differential mode)");
+  ]
+
 let all =
   List.map
     (fun (name, description) -> { name; layer = Model_layer; description })
@@ -52,5 +68,11 @@ let all =
         description = "every library .ml has a corresponding .mli interface";
       };
     ]
+  @ List.map
+      (fun (name, description) -> { name; layer = Ast_layer; description })
+      ast_entries
 
-let layer_label = function Model_layer -> "model" | Source_layer -> "source"
+let layer_label = function
+  | Model_layer -> "model"
+  | Source_layer -> "source"
+  | Ast_layer -> "ast"

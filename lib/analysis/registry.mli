@@ -4,7 +4,7 @@
     Layer-2 (source) entries are derived from {!Source_rules.builtin} so
     the listing can never drift from the rule table. *)
 
-type layer = Model_layer | Source_layer
+type layer = Model_layer | Source_layer | Ast_layer
 
 type entry = { name : string; layer : layer; description : string }
 
@@ -27,6 +27,13 @@ val ctrl_shape : string
 (** {1 Layer-2 check names not backed by a regex rule} *)
 
 val missing_mli : string
+
+(** {1 Layer-3 (AST) check names} *)
+
+val domain_safety : string
+val exn_escape : string
+val ast_parse : string
+val engine_diff : string
 
 (** Every check, model layer first. *)
 val all : entry list

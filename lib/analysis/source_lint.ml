@@ -180,24 +180,69 @@ let missing_mli_check path =
   end
   else []
 
-let lint_tree ?rules roots =
+(* Is [path] under one of the [exclude] fragments? Matched on contiguous
+   whole path components, like Source_rules allowlists. *)
+let excluded ~exclude path =
+  let pcs =
+    String.split_on_char '/' path |> List.filter (fun c -> c <> "" && c <> ".")
+  in
+  List.exists
+    (fun fragment ->
+      let fcs =
+        String.split_on_char '/' fragment
+        |> List.filter (fun c -> c <> "" && c <> ".")
+      in
+      let rec prefix fs ps =
+        match (fs, ps) with
+        | [], _ -> true
+        | _, [] -> false
+        | f :: fs', p :: ps' -> f = p && prefix fs' ps'
+      in
+      let rec at ps =
+        match ps with [] -> false | _ :: rest -> prefix fcs ps || at rest
+      in
+      fcs <> [] && at pcs)
+    exclude
+
+let collect_tree ?(exclude = []) roots =
   List.iter refuse_build_root roots;
-  let ds = ref [] in
-  let rec walk path =
-    if Sys.is_directory path then begin
-      if not (skip_dir (Filename.basename path)) || List.mem path roots then
-        Array.iter
-          (fun entry -> walk (Filename.concat path entry))
-          (Sys.readdir path)
-    end
-    else if is_ocaml_source path then begin
-      ds := missing_mli_check path @ !ds;
-      ds := lint_file ?rules path @ !ds
-    end
+  (* Identity is the resolved absolute path, so overlapping roots
+     ("lib lib" or "lib" + a symlink back into it) yield each file once,
+     and symlink cycles cannot loop the walk. *)
+  let real path = try Unix.realpath path with Unix.Unix_error _ | Sys_error _ -> path in
+  let seen_dirs = Hashtbl.create 16 and seen_files = Hashtbl.create 64 in
+  let files = ref [] in
+  let rec walk ~is_root path =
+    if not (excluded ~exclude path) then
+      if Sys.is_directory path then begin
+        let key = real path in
+        if
+          (is_root || not (skip_dir (Filename.basename path)))
+          && not (Hashtbl.mem seen_dirs key)
+        then begin
+          Hashtbl.add seen_dirs key ();
+          let entries = Sys.readdir path in
+          Array.sort String.compare entries;
+          Array.iter (fun entry -> walk ~is_root:false (Filename.concat path entry)) entries
+        end
+      end
+      else if is_ocaml_source path then begin
+        let key = real path in
+        if not (Hashtbl.mem seen_files key) then begin
+          Hashtbl.add seen_files key ();
+          files := path :: !files
+        end
+      end
   in
   List.iter
     (fun root ->
-      if Sys.file_exists root then walk root
+      if Sys.file_exists root then walk ~is_root:true root
       else invalid_arg (Fmt.str "Source_lint.lint_tree: no such path %s" root))
     roots;
-  Diagnostics.sort !ds
+  List.rev !files
+
+let lint_files ?rules files =
+  Diagnostics.sort
+    (List.concat_map (fun path -> missing_mli_check path @ lint_file ?rules path) files)
+
+let lint_tree ?rules ?exclude roots = lint_files ?rules (collect_tree ?exclude roots)

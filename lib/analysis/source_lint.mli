@@ -15,10 +15,26 @@ val lint_string : ?rules:Source_rules.rule list -> path:string -> string -> Diag
 (** Lint one file on disk ([.ml] / [.mli]). *)
 val lint_file : ?rules:Source_rules.rule list -> string -> Diagnostics.t list
 
-(** Recursively lint every [.ml]/[.mli] under the given roots. Directories
-    whose name starts with ['.'] or ['_'] (notably [_build]) are skipped;
-    passing a root that itself points into [_build], or one that does not
-    exist, is refused with [Invalid_argument]. Also applies the
-    missing-[.mli] check to library modules (files whose path contains a
-    [lib] component). *)
-val lint_tree : ?rules:Source_rules.rule list -> string list -> Diagnostics.t list
+(** The missing-[.mli] check for one path: warns when a library module
+    (path contains a [lib] component, suffix [.ml]) has no interface. *)
+val missing_mli_check : string -> Diagnostics.t list
+
+(** Collect every [.ml]/[.mli] under the given roots, in a deterministic
+    (sorted) walk order. Directories whose name starts with ['.'] or ['_']
+    (notably [_build]) are skipped; a root that itself points into
+    [_build], or does not exist, is refused with [Invalid_argument].
+    Files and directories are identified by resolved absolute path, so
+    overlapping or duplicated roots and symlinks back into the tree yield
+    each file once (and symlink cycles terminate). [exclude] fragments
+    are matched on whole path components, like allowlists. *)
+val collect_tree : ?exclude:string list -> string list -> string list
+
+(** Lint the given files (regex rules plus the missing-[.mli] check),
+    sorted by location. *)
+val lint_files : ?rules:Source_rules.rule list -> string list -> Diagnostics.t list
+
+(** [lint_files] over [collect_tree]: recursively lint every [.ml]/[.mli]
+    under the given roots. *)
+val lint_tree :
+  ?rules:Source_rules.rule list -> ?exclude:string list -> string list ->
+  Diagnostics.t list

@@ -15,14 +15,36 @@ type rule = {
   allow : string list;
 }
 
+(* Split a path into its components, dropping empty segments and "." so
+   "./lib//expr" and "lib/expr" compare equal. Backslashes are treated as
+   separators too (paths may arrive in Windows form). *)
+let components path =
+  String.split_on_char '\\' path
+  |> List.concat_map (String.split_on_char '/')
+  |> List.filter (fun c -> c <> "" && c <> ".")
+
 let allowed rule path =
-  let path = String.concat "/" (String.split_on_char '\\' path) in
+  let pcs = components path in
   List.exists
     (fun fragment ->
-      (* substring test, so entries can name a file or a whole directory *)
-      let n = String.length fragment and m = String.length path in
-      let rec at i = i + n <= m && (String.sub path i n = fragment || at (i + 1)) in
-      at 0)
+      (* Fragments match on whole path components, not substrings:
+         "lib/expr/expr.ml" must not also exempt lib/expr/expr.ml.bak.
+         A trailing '/' ("bin/") makes the fragment directory-only — it
+         must match somewhere strictly above the final component. *)
+      let dir_only =
+        String.length fragment > 0 && fragment.[String.length fragment - 1] = '/'
+      in
+      let fcs = components fragment in
+      let rec prefix fs ps =
+        match (fs, ps) with
+        | [], rest -> (not dir_only) || rest <> []
+        | _, [] -> false
+        | f :: fs', p :: ps' -> f = p && prefix fs' ps'
+      in
+      let rec at ps =
+        match ps with [] -> false | _ :: rest -> prefix fcs ps || at rest
+      in
+      fcs <> [] && at pcs)
     rule.allow
 
 (* An identifier boundary on the left: start of line or a char that cannot

@@ -10,10 +10,14 @@ type rule = {
   message : string;
   hint : string option;
   allow : string list;
-      (** path substrings exempt from this rule (documented legit uses) *)
+      (** path fragments exempt from this rule (documented legit uses);
+          matched on whole path components, trailing ['/'] = directory only *)
 }
 
-(** Does the allowlist exempt this path? *)
+(** Does the allowlist exempt this path? Fragments match contiguous whole
+    path components ("expr.ml" exempts [lib/expr/expr.ml] but not
+    [lib/expr/expr.ml.bak]); a trailing ['/'] restricts the fragment to
+    directories (["bin/"] exempts [bin/x.ml] but not a file named [bin]). *)
 val allowed : rule -> string -> bool
 
 (** The built-in float-soundness and hygiene rules. *)

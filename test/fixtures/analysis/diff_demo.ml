@@ -1,0 +1,7 @@
+(* A deliberate engine disagreement: the regex float-of-string pattern
+   refuses a '.' to the identifier's left (to dodge partial module-path
+   matches), so the Stdlib-qualified spelling slips past it — while the
+   AST engine normalizes the qualifier and fires. Differential mode must
+   report this file. Kept out of the agreement tests via --exclude. *)
+
+let parse s = Stdlib.float_of_string s

@@ -1,0 +1,15 @@
+(* Reconstruction of the pre-parallelization memo-table bug: a module-level
+   hash table read AND written from inside a Pool.map task with no
+   mediation. The domain-safety lint must flag the Pool.map call site. *)
+
+let memo : (int, float) Hashtbl.t = Hashtbl.create 64
+
+let lookup n =
+  match Hashtbl.find_opt memo n with
+  | Some v -> v
+  | None ->
+    let v = float_of_int n *. 2.0 in
+    Hashtbl.add memo n v;
+    v
+
+let run pool xs = Pool.map pool (fun x -> lookup x) xs

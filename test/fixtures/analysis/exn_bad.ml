@@ -1,0 +1,9 @@
+(* Exception-escape must-fire cases (analyzed with this module marked
+   hot): a direct failwith escape (Error), a caller one hop away (Warn),
+   and an invalid_arg contract raise (Info). *)
+
+let step x = if x < 0.0 then failwith "negative input" else sqrt x
+
+let total xs = List.fold_left (fun acc x -> acc +. step x) 0.0 xs
+
+let check_dim n = if n = 0 then invalid_arg "dimension must be positive" else n

@@ -1,0 +1,13 @@
+(* Exception-escape must-not-fire cases: a result-speaking function whose
+   precondition raise is its contract, and a raise handled inside the
+   same function. Silent even with this module marked hot (except the
+   documented Info tier, which these avoid). *)
+
+let step x = if x < 0.0 then Error "negative input" else Ok (sqrt x)
+
+let clamped x = try if x < 0.0 then failwith "negative" else x with Failure _ -> 0.0
+
+let total xs =
+  List.fold_left
+    (fun acc x -> match step x with Ok v -> acc +. v | Error _ -> acc)
+    0.0 xs

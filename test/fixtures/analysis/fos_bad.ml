@@ -1,0 +1,1 @@
+let parse s = float_of_string s

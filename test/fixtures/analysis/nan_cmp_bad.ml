@@ -1,0 +1,2 @@
+let is_nan x = x = nan
+let below_nan x = x < Float.nan

@@ -1,0 +1,2 @@
+let is_nan x = Float.is_nan x
+let finite x = Float.is_finite x

@@ -1,0 +1,2 @@
+let same a b = a == b
+let distinct a b = a != b

@@ -1,0 +1,2 @@
+let same a b = Float.equal a b
+let distinct a b = not (Float.equal a b)

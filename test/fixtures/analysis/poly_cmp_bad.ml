@@ -1,0 +1,1 @@
+let cmp a b = Stdlib.compare a b

@@ -1,0 +1,1 @@
+let cmp a b = Float.compare a b

@@ -18,5 +18,6 @@ let () =
       ("rl", Test_rl.suite);
       ("systems", Test_systems.suite);
       ("analysis", Test_analysis.suite);
+      ("ast", Test_ast.suite);
       ("integration", Test_integration.suite);
     ]
