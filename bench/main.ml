@@ -528,7 +528,17 @@ let json_escape s =
        (function '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
        (List.init (String.length s) (String.get s)))
 
-let write_parallel_json ~domains ~aggregate_speedup ~all_match workloads path =
+(* Gate rule shared by the parallel and hotpath sections: a workload's
+   parallel path may not be slower than its sequential path beyond 10%
+   plus 50ms of measurement slack. With the pool clamped to hardware
+   cores this must hold even on a single-core runner, where the
+   "parallel" path degenerates to the sequential one. *)
+let gate_rule = "par <= 1.10*seq + 0.05s per workload"
+
+let par_not_slower w = w.p_par <= (w.p_seq *. 1.10) +. 0.05
+
+let write_parallel_json ~domains ~aggregate_speedup ~all_match ~gate_passed workloads
+    path =
   let b = Buffer.create 1024 in
   Printf.bprintf b "{\n  \"domains\": %d,\n  \"workloads\": [\n" domains;
   List.iteri
@@ -541,8 +551,10 @@ let write_parallel_json ~domains ~aggregate_speedup ~all_match workloads path =
         w.p_match (json_escape w.p_detail)
         (if i = List.length workloads - 1 then "" else ","))
     workloads;
-  Printf.bprintf b "  ],\n  \"aggregate_speedup\": %.3f,\n  \"all_match\": %b\n}\n"
-    aggregate_speedup all_match;
+  Printf.bprintf b
+    "  ],\n  \"aggregate_speedup\": %.3f,\n  \"all_match\": %b,\n  \"gate\": \
+     {\"rule\": \"%s\", \"passed\": %b}\n}\n"
+    aggregate_speedup all_match (json_escape gate_rule) gate_passed;
   let oc = open_out path in
   output_string oc (Buffer.contents b);
   close_out oc
@@ -600,12 +612,189 @@ let print_parallel ~domains () =
     if par > 0.0 then total (fun w -> w.p_seq) /. par else Float.nan
   in
   let all_match = List.for_all (fun w -> w.p_match) workloads in
-  write_parallel_json ~domains ~aggregate_speedup ~all_match workloads
+  let gate_passed = List.for_all par_not_slower workloads in
+  write_parallel_json ~domains ~aggregate_speedup ~all_match ~gate_passed workloads
     "BENCH_parallel.json";
-  Fmt.pr "aggregate speedup %.2fx, all results %s [BENCH_parallel.json written]@."
+  Fmt.pr "aggregate speedup %.2fx, all results %s, gate %s [BENCH_parallel.json written]@."
     aggregate_speedup
-    (if all_match then "identical" else "MISMATCHED");
-  if not all_match then exit 1
+    (if all_match then "identical" else "MISMATCHED")
+    (if gate_passed then "passed" else "FAILED (parallel slower than sequential)");
+  if not (all_match && gate_passed) then exit 1
+
+(* ---------------------------------------------------------------- *)
+(* Section: hotpath — the regression-gated bench trajectory
+   (BENCH_hotpath.json). The same three fan-out workloads as [parallel],
+   but timed min-of-reps for the short ones, compared against the
+   committed baseline file, and gated hard: the job fails when any
+   parallel path is slower than its sequential path, when any seq/par
+   result pair is not bit-identical, or when the aggregate speedup
+   regresses more than 10% against a baseline recorded on the same core
+   count (baselines from different hardware are reported but not
+   compared). *)
+
+(* Minimal field scanner so the committed baseline can be read back
+   without a JSON dependency: finds ["field":] and parses the number
+   after it. *)
+let scan_json_number content field =
+  let needle = "\"" ^ field ^ "\":" in
+  let len = String.length content and nlen = String.length needle in
+  let rec find i =
+    if i + nlen > len then None
+    else if String.sub content i nlen = needle then Some (i + nlen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+    let j = ref start in
+    while !j < len && content.[!j] = ' ' do incr j done;
+    let k = ref !j in
+    while
+      !k < len
+      && (match content.[!k] with
+         | '0' .. '9' | '.' | '-' | '+' | 'e' -> true
+         | _ -> false)
+    do
+      incr k
+    done;
+    if !k > !j then float_of_string_opt (String.sub content !j (!k - !j)) else None
+
+let read_hotpath_baseline path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | content ->
+    (scan_json_number content "cores", scan_json_number content "aggregate_speedup")
+  | exception Sys_error _ -> (None, None)
+
+(* Min-of-reps for sub-2s workloads: the first run also pays the
+   one-time per-domain costs (DLS memo fills, Lie-table builds), which a
+   steady-state throughput number should not include. *)
+let adaptive_timed run arg =
+  let r, t0 = timed (fun () -> run arg) in
+  if t0 >= 2.0 then (r, t0)
+  else begin
+    let best = ref t0 in
+    for _ = 1 to 2 do
+      let _, t = timed (fun () -> run arg) in
+      if t < !best then best := t
+    done;
+    (r, !best)
+  end
+
+let write_hotpath_json ~domains_requested ~cores ~effective_domains ~aggregate_speedup
+    ~all_match ~slowdown_ok ~baseline_cores ~baseline_aggregate ~baseline_ok ~passed
+    workloads path =
+  let b = Buffer.create 2048 in
+  Printf.bprintf b
+    "{\n  \"version\": 1,\n  \"domains_requested\": %d,\n  \"cores\": %d,\n  \
+     \"effective_domains\": %d,\n  \"workloads\": [\n"
+    domains_requested cores effective_domains;
+  List.iteri
+    (fun i w ->
+      Printf.bprintf b
+        "    {\"name\": \"%s\", \"seq_seconds\": %.6f, \"par_seconds\": %.6f, \
+         \"speedup\": %.3f, \"match\": %b, \"detail\": \"%s\"}%s\n"
+        (json_escape w.p_name) w.p_seq w.p_par
+        (if w.p_par > 0.0 then w.p_seq /. w.p_par else Float.nan)
+        w.p_match (json_escape w.p_detail)
+        (if i = List.length workloads - 1 then "" else ","))
+    workloads;
+  Printf.bprintf b "  ],\n  \"aggregate_speedup\": %.3f,\n  \"all_match\": %b,\n"
+    aggregate_speedup all_match;
+  Printf.bprintf b "  \"gate\": {\n    \"rule\": \"%s\",\n    \"slowdown_ok\": %b,\n"
+    (json_escape gate_rule) slowdown_ok;
+  (match (baseline_cores, baseline_aggregate) with
+  | Some bc, Some ba ->
+    Printf.bprintf b
+      "    \"baseline_cores\": %d,\n    \"baseline_aggregate\": %.3f,\n" bc ba
+  | _ -> ());
+  Printf.bprintf b "    \"baseline_ok\": %b,\n    \"passed\": %b\n  }\n}\n"
+    baseline_ok passed;
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc
+
+let print_hotpath ~domains () =
+  let cores = Pool.default_domains () in
+  let effective = min domains cores in
+  Fmt.pr "--- Hot path: seq vs par at %d domains (%d cores -> %d effective) ---@."
+    domains cores effective;
+  let baseline_path = "BENCH_hotpath.json" in
+  (* read the committed baseline before this run overwrites it *)
+  let baseline_cores_f, baseline_aggregate = read_hotpath_baseline baseline_path in
+  let baseline_cores = Option.map int_of_float baseline_cores_f in
+  let workload name detail run equal =
+    let seq, t_seq = adaptive_timed run 1 in
+    let par, t_par = adaptive_timed run domains in
+    let ok = equal seq par in
+    Fmt.pr "%-12s  seq %.2fs  par %.2fs  speedup %.2fx  %s@." name t_seq t_par
+      (if t_par > 0.0 then t_seq /. t_par else Float.nan)
+      (if ok then "identical" else "MISMATCH");
+    { p_name = name; p_seq = t_seq; p_par = t_par; p_match = ok;
+      p_detail = detail (if ok then seq else par) }
+  in
+  let learn =
+    workload "learn"
+      (fun (r : Learner.result) ->
+        Fmt.str "acc coordinate, CI=%d, %d calls, %s" r.Learner.iterations
+          r.Learner.verifier_calls
+          (Dwv_reach.Verifier.verdict_to_string r.Learner.verdict))
+      parallel_learn
+      (fun (a : Learner.result) (b : Learner.result) ->
+        Controller.params a.Learner.controller = Controller.params b.Learner.controller
+        && a.Learner.iterations = b.Learner.iterations
+        && a.Learner.verifier_calls = b.Learner.verifier_calls
+        && a.Learner.verdict = b.Learner.verdict)
+  in
+  let initset =
+    workload "initset"
+      (fun (r : Initset.result) ->
+        Fmt.str "oscillator depth 2, coverage=%.4f, %d calls" r.Initset.coverage
+          r.Initset.verifier_calls)
+      parallel_initset
+      (fun (a : Initset.result) (b : Initset.result) ->
+        a.Initset.verified = b.Initset.verified
+        && a.Initset.coverage = b.Initset.coverage
+        && a.Initset.verifier_calls = b.Initset.verifier_calls)
+  in
+  let rates =
+    workload "rates"
+      (fun (r : Evaluate.rates) ->
+        Fmt.str "acc n=2000, SC=%.2f%%, GR=%.2f%%" r.Evaluate.safe_percent
+          r.Evaluate.goal_percent)
+      parallel_rates
+      (fun (a : Evaluate.rates) (b : Evaluate.rates) ->
+        a.Evaluate.safe_percent = b.Evaluate.safe_percent
+        && a.Evaluate.goal_percent = b.Evaluate.goal_percent)
+  in
+  let workloads = [ learn; initset; rates ] in
+  let total p = List.fold_left (fun acc w -> acc +. p w) 0.0 workloads in
+  let aggregate_speedup =
+    let par = total (fun w -> w.p_par) in
+    if par > 0.0 then total (fun w -> w.p_seq) /. par else Float.nan
+  in
+  let all_match = List.for_all (fun w -> w.p_match) workloads in
+  let slowdown_ok = List.for_all par_not_slower workloads in
+  let baseline_ok =
+    match (baseline_cores, baseline_aggregate) with
+    | Some bc, Some ba when bc = cores -> aggregate_speedup >= 0.9 *. ba
+    | _ -> true (* first run, or baseline from different hardware *)
+  in
+  let passed = all_match && slowdown_ok && baseline_ok in
+  write_hotpath_json ~domains_requested:domains ~cores ~effective_domains:effective
+    ~aggregate_speedup ~all_match ~slowdown_ok ~baseline_cores ~baseline_aggregate
+    ~baseline_ok ~passed workloads baseline_path;
+  Fmt.pr "aggregate speedup %.2fx%s, all results %s, gate %s [BENCH_hotpath.json written]@."
+    aggregate_speedup
+    (match (baseline_cores, baseline_aggregate) with
+    | Some bc, Some ba when bc = cores -> Fmt.str " (baseline %.2fx)" ba
+    | Some bc, Some _ -> Fmt.str " (baseline on %d cores: not compared)" bc
+    | _ -> " (no baseline)")
+    (if all_match then "identical" else "MISMATCHED")
+    (if passed then "passed"
+     else if not slowdown_ok then "FAILED (parallel slower than sequential)"
+     else if not baseline_ok then "FAILED (>10% regression vs baseline)"
+     else "FAILED (seq/par mismatch)");
+  if not passed then exit 1
 
 (* ---------------------------------------------------------------- *)
 
@@ -631,12 +820,13 @@ let () =
     match sections with
     | [] ->
       [ "table1"; "table2"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8"; "tightness";
-        "micro"; "parallel" ]
+        "micro"; "parallel"; "hotpath" ]
     | _ -> sections
   in
   let domains = Option.value domains ~default:(Pool.default_domains ()) in
   let want s = List.mem s sections in
   if want "parallel" then begin print_parallel ~domains (); flush_section () end;
+  if want "hotpath" then begin print_hotpath ~domains (); flush_section () end;
   if want "table2" then begin print_table2 (); flush_section () end;
   if want "micro" then begin print_micro (); flush_section () end;
   let acc = if List.exists want [ "table1"; "fig4"; "fig6" ] then Some (run_acc ()) else None in

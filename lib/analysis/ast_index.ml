@@ -40,6 +40,10 @@ type mutable_binding = {
   m_kind : mutable_kind;
   m_guard : guard;
   m_loc : Location.t;
+  m_init_idents : SSet.t;
+      (* identifiers in the creator's arguments — for a Domain.DLS key,
+         the initializer closure: per-domain state is only as private as
+         what that closure returns *)
 }
 
 type raise_class =
@@ -319,9 +323,15 @@ let classify_binding ~mutable_fields (vb : Parsetree.value_binding) =
     let e = unwrap_expr vb.Parsetree.pvb_expr in
     match e.Parsetree.pexp_desc with
     | Parsetree.Pexp_apply
-        ({ Parsetree.pexp_desc = Parsetree.Pexp_ident { txt; _ }; _ }, _) -> (
+        ({ Parsetree.pexp_desc = Parsetree.Pexp_ident { txt; _ }; _ }, args) -> (
       match creation_of (Src_ast.name_of txt) with
-      | Some (kind, guard) -> `Mutable (name, kind, guard)
+      | Some (kind, guard) ->
+        let init_idents =
+          List.fold_left
+            (fun acc (_, arg) -> SSet.union acc (fst (scan_idents arg)))
+            SSet.empty args
+        in
+        `Mutable (name, kind, guard, init_idents)
       | None -> `Fn name)
     | Parsetree.Pexp_record (fields, _) ->
       let has_mutable_field =
@@ -330,7 +340,8 @@ let classify_binding ~mutable_fields (vb : Parsetree.value_binding) =
             SSet.mem (Longident.last txt) mutable_fields)
           fields
       in
-      if has_mutable_field then `Mutable (name, Record_mutable, Unguarded) else `Fn name
+      if has_mutable_field then `Mutable (name, Record_mutable, Unguarded, SSet.empty)
+      else `Fn name
     | _ -> `Fn name)
 
 let mutex_names = [ "Mutex.lock"; "Mutex.protect"; "Mutex.try_lock" ]
@@ -376,10 +387,10 @@ let of_parsed (file : Src_ast.parsed) =
           (fun (vb : Parsetree.value_binding) ->
             match classify_binding ~mutable_fields:!mutable_fields vb with
             | `Skip -> ()
-            | `Mutable (name, kind, guard) ->
+            | `Mutable (name, kind, guard, init_idents) ->
               mutables :=
                 { m_name = name; m_kind = kind; m_guard = guard;
-                  m_loc = vb.Parsetree.pvb_loc }
+                  m_loc = vb.Parsetree.pvb_loc; m_init_idents = init_idents }
                 :: !mutables
             | `Fn name ->
               let b = scan_body ~resolve_alias vb.Parsetree.pvb_expr in

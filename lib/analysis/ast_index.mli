@@ -29,6 +29,10 @@ type mutable_binding = {
   m_kind : mutable_kind;
   m_guard : guard;
   m_loc : Location.t;
+  m_init_idents : SSet.t;
+      (** identifiers in the creator's arguments — for a [Domain.DLS]
+          key, the initializer closure: per-domain state is only as
+          private as what that closure returns *)
 }
 
 type raise_class =

@@ -7,8 +7,11 @@
    enclosing function, and [M.f] across scanned modules). Any reachable
    reference to a top-level mutable binding is then judged:
 
-     - Atomic / Domain.DLS / Mutex-or-Condition values are safe by
-       construction;
+     - Atomic / Mutex-or-Condition values are safe by construction;
+       Domain.DLS keys are safe when their initializer builds fresh
+       state — the initializer's identifiers are walked like task code,
+       so a key whose closure captures a shared unguarded table is still
+       flagged;
      - otherwise the access is MEDIATED when the function whose body
        contains the reference takes a lock itself (Mutex.lock/protect)
        or directly calls one that does — the shape of the memo tables in
@@ -84,8 +87,26 @@ let analyze index =
                     end
                   | Some (Ast_index.Tmutable (dm, mb)) -> (
                     match mb.Ast_index.m_guard with
-                    | Ast_index.Atomic_guarded | Ast_index.Dls_guarded
-                    | Ast_index.Sync_primitive ->
+                    | Ast_index.Dls_guarded ->
+                      (* per-domain only if the key's initializer builds
+                         fresh state: a closure returning a shared table
+                         (Domain.DLS.new_key (fun () -> shared)) hands
+                         every domain the same object, so walk the
+                         initializer's identifiers like any task code *)
+                      let key =
+                        "dls:" ^ dm.Ast_index.module_name ^ "."
+                        ^ mb.Ast_index.m_name
+                      in
+                      if not (Hashtbl.mem visited key) then begin
+                        Hashtbl.add visited key ();
+                        walk ~mi0:dm
+                          ~chain:
+                            ((dm.Ast_index.module_name ^ "."
+                             ^ mb.Ast_index.m_name ^ "[init]")
+                            :: chain)
+                          mb.Ast_index.m_init_idents
+                      end
+                    | Ast_index.Atomic_guarded | Ast_index.Sync_primitive ->
                       ()
                     | Ast_index.Unguarded ->
                       if not (Lazy.force med) then begin

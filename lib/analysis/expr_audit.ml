@@ -34,11 +34,11 @@ let max_input_index e =
 
 let uses_input e = max_input_index e >= 0
 
-let rec collect ~pick acc e =
+let rec collect ~pick acc (e : Expr.t) =
   let acc =
-    match pick e with Some sub -> sub :: acc | None -> acc
+    match pick e.Expr.node with Some sub -> sub :: acc | None -> acc
   in
-  match (e : Expr.t) with
+  match e.Expr.node with
   | Const _ | Var _ | Input _ -> acc
   | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) ->
     collect ~pick (collect ~pick acc a) b

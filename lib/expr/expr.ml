@@ -6,9 +6,20 @@
      - interval evaluation       (a-priori enclosures in the verifier)
      - symbolic differentiation  (Lie derivatives for Taylor flowpipes,
                                   exact Jacobians for the SVG baseline)
-     - Taylor-model evaluation   (in dwv_taylor, via [fold]) *)
+     - Taylor-model evaluation   (in dwv_taylor, via [fold])
 
-type t =
+   Nodes are HASH-CONSED: every constructor interns through a global
+   table, so structurally equal expressions are physically equal and
+   carry a precomputed structural hash. Memo tables keyed on expressions
+   (the per-step table in dwv_taylor, the per-domain Lie-table cache in
+   dwv_reach) therefore pay O(1) per lookup — a pointer compare and a
+   field read — instead of deep structural hashing, and the repeated
+   Lie-derivative trees of the flowpipe kernel share storage instead of
+   duplicating common subtrees. *)
+
+type t = { node : node; hash : int; id : int }
+
+and node =
   | Const of float
   | Var of int      (* state component x_i *)
   | Input of int    (* control component u_j, held constant within a step *)
@@ -23,67 +34,149 @@ type t =
   | Exp of t
   | Tanh of t
 
-let const c = Const c
-let var i = Var i
-let input j = Input j
+(* Structural hash of a node from the children's precomputed hashes:
+   O(1) per node, never O(tree), and independent of intern ids so the
+   hash of a structure is stable no matter when (or on which domain) it
+   is rebuilt. *)
+let mix h k = (h * 0x01000193) lxor k
+
+let fin tag h = (((h lxor (h lsr 16)) * 0x45d9f3b) + tag) land max_int
+
+(* Constants hash and compare by bit pattern: [const] canonicalizes NaN
+   below, so this agrees with [Float.equal] semantics (every NaN equal,
+   -0. distinct from 0.). *)
+let float_bits c = Int64.to_int (Int64.bits_of_float c)
+
+let node_hash = function
+  | Const c -> fin 1 (float_bits c)
+  | Var i -> fin 2 i
+  | Input j -> fin 3 j
+  | Add (a, b) -> fin 4 (mix a.hash b.hash)
+  | Sub (a, b) -> fin 5 (mix a.hash b.hash)
+  | Mul (a, b) -> fin 6 (mix a.hash b.hash)
+  | Div (a, b) -> fin 7 (mix a.hash b.hash)
+  | Neg a -> fin 8 a.hash
+  | Pow (a, n) -> fin 9 (mix a.hash n)
+  | Sin a -> fin 10 a.hash
+  | Cos a -> fin 11 a.hash
+  | Exp a -> fin 12 a.hash
+  | Tanh a -> fin 13 a.hash
+
+(* Depth-1 equality: children are already interned, so they compare by
+   physical identity; only the spine constructor and scalars are looked
+   at. The intern table is the only consumer. *)
+module Node_tbl = Hashtbl.Make (struct
+  type nonrec t = node
+
+  let equal a b =
+    match (a, b) with
+    | Const x, Const y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+    | Var i, Var j | Input i, Input j -> Int.equal i j
+    | Add (a1, a2), Add (b1, b2)
+    | Sub (a1, a2), Sub (b1, b2)
+    | Mul (a1, a2), Mul (b1, b2)
+    | Div (a1, a2), Div (b1, b2) -> a1 == b1 && a2 == b2
+    | Neg a1, Neg b1 | Sin a1, Sin b1 | Cos a1, Cos b1 | Exp a1, Exp b1
+    | Tanh a1, Tanh b1 -> a1 == b1
+    | Pow (a1, n), Pow (b1, k) -> Int.equal n k && a1 == b1
+    | ( ( Const _ | Var _ | Input _ | Add _ | Sub _ | Mul _ | Div _ | Neg _ | Pow _
+        | Sin _ | Cos _ | Exp _ | Tanh _ ),
+        _ ) -> false
+
+  let hash = node_hash
+end)
+
+(* The intern table and id counter are module-level mutable state, but
+   every access goes through [intern]'s mutex, and construction is off
+   the verifier's hot path (dynamics and Lie tables are built once per
+   run; flowpipe steps only *read* interned nodes). Which domain interns
+   a structure first is immaterial: the stored node is immutable. *)
+let intern_table = Node_tbl.create 4096
+let next_id = ref 0
+let intern_mu = Mutex.create ()
+
+let intern node =
+  Mutex.lock intern_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock intern_mu) @@ fun () ->
+  match Node_tbl.find_opt intern_table node with
+  | Some e -> e
+  | None ->
+    let e = { node; hash = node_hash node; id = !next_id } in
+    incr next_id;
+    Node_tbl.add intern_table node e;
+    e
+
+let interned () =
+  Mutex.lock intern_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock intern_mu) @@ fun () ->
+  Node_tbl.length intern_table
+
+(* NaN is canonicalized at construction so all NaN constants intern to
+   the same node, matching the [Float.equal] view that nan = nan. *)
+let const c = intern (Const (if Float.is_nan c then Float.nan else c))
+let var i = intern (Var i)
+let input j = intern (Input j)
 
 (* Smart constructors with constant folding; keep expressions small because
    Lie derivatives are taken repeatedly. *)
 let rec add a b =
-  match (a, b) with
-  | Const 0.0, e | e, Const 0.0 -> e
-  | Const x, Const y -> Const (x +. y)
+  match (a.node, b.node) with
+  | Const 0.0, _ -> b
+  | _, Const 0.0 -> a
+  | Const x, Const y -> const (x +. y)
   | Const _, _ -> add b a
-  | _ -> Add (a, b)
+  | _ -> intern (Add (a, b))
 
 let sub a b =
-  match (a, b) with
-  | e, Const 0.0 -> e
-  | Const 0.0, e -> Neg e
-  | Const x, Const y -> Const (x -. y)
-  | _ -> Sub (a, b)
+  match (a.node, b.node) with
+  | _, Const 0.0 -> a
+  | Const 0.0, _ -> intern (Neg b)
+  | Const x, Const y -> const (x -. y)
+  | _ -> intern (Sub (a, b))
 
 let rec mul a b =
-  match (a, b) with
-  | Const 0.0, _ | _, Const 0.0 -> Const 0.0
-  | Const 1.0, e | e, Const 1.0 -> e
-  | Const x, Const y -> Const (x *. y)
+  match (a.node, b.node) with
+  | Const 0.0, _ | _, Const 0.0 -> const 0.0
+  | Const 1.0, _ -> b
+  | _, Const 1.0 -> a
+  | Const x, Const y -> const (x *. y)
   | _, Const _ -> mul b a
-  | _ -> Mul (a, b)
+  | _ -> intern (Mul (a, b))
 
 let div a b =
-  match (a, b) with
+  match (a.node, b.node) with
   | _, Const 0.0 -> invalid_arg "Expr.div: division by constant zero"
-  | e, Const 1.0 -> e
-  | Const x, Const y -> Const (x /. y)
-  | Const 0.0, _ -> Const 0.0
-  | _ -> Div (a, b)
+  | _, Const 1.0 -> a
+  | Const x, Const y -> const (x /. y)
+  | Const 0.0, _ -> const 0.0
+  | _ -> intern (Div (a, b))
 
-let neg = function
-  | Const c -> Const (-.c)
-  | Neg e -> e
-  | e -> Neg e
+let neg e =
+  match e.node with
+  | Const c -> const (-.c)
+  | Neg a -> a
+  | _ -> intern (Neg e)
 
 let pow e n =
   if n < 0 then invalid_arg "Expr.pow: negative exponent";
-  match (e, n) with
-  | _, 0 -> Const 1.0
-  | e, 1 -> e
-  | Const c, n -> Const (c ** float_of_int n)
-  | e, n -> Pow (e, n)
+  match (e.node, n) with
+  | _, 0 -> const 1.0
+  | _, 1 -> e
+  | Const c, n -> const (c ** float_of_int n)
+  | _, n -> intern (Pow (e, n))
 
-let sin_ = function Const c -> Const (sin c) | e -> Sin e
-let cos_ = function Const c -> Const (cos c) | e -> Cos e
-let exp_ = function Const c -> Const (exp c) | e -> Exp e
-let tanh_ = function Const c -> Const (tanh c) | e -> Tanh e
+let sin_ e = match e.node with Const c -> const (sin c) | _ -> intern (Sin e)
+let cos_ e = match e.node with Const c -> const (cos c) | _ -> intern (Cos e)
+let exp_ e = match e.node with Const c -> const (exp c) | _ -> intern (Exp e)
+let tanh_ e = match e.node with Const c -> const (tanh c) | _ -> intern (Tanh e)
 
-let scale s e = mul (Const s) e
+let scale s e = mul (const s) e
 
 (* Generic catamorphism: interpret the AST in any algebra. Used by the
    Taylor-model evaluator to avoid a dependency cycle. *)
 let rec fold ~const ~var ~input ~add ~sub ~mul ~div ~neg ~pow ~sin ~cos ~exp ~tanh e =
   let go = fold ~const ~var ~input ~add ~sub ~mul ~div ~neg ~pow ~sin ~cos ~exp ~tanh in
-  match e with
+  match e.node with
   | Const c -> const c
   | Var i -> var i
   | Input j -> input j
@@ -99,7 +192,7 @@ let rec fold ~const ~var ~input ~add ~sub ~mul ~div ~neg ~pow ~sin ~cos ~exp ~ta
   | Tanh a -> tanh (go a)
 
 let rec eval e ~x ~u =
-  match e with
+  match e.node with
   | Const c -> c
   | Var i -> x.(i)
   | Input j -> u.(j)
@@ -117,7 +210,7 @@ let rec eval e ~x ~u =
 module I = Dwv_interval.Interval
 
 let rec ieval e ~x ~u =
-  match e with
+  match e.node with
   | Const c -> I.of_point c
   | Var i -> x.(i)
   | Input j -> u.(j)
@@ -137,10 +230,10 @@ type wrt = Wrt_var of int | Wrt_input of int
 (* Symbolic partial derivative. *)
 let rec diff e ~wrt =
   let d e = diff e ~wrt in
-  match e with
-  | Const _ -> Const 0.0
-  | Var i -> (match wrt with Wrt_var j when i = j -> Const 1.0 | _ -> Const 0.0)
-  | Input i -> (match wrt with Wrt_input j when i = j -> Const 1.0 | _ -> Const 0.0)
+  match e.node with
+  | Const _ -> const 0.0
+  | Var i -> (match wrt with Wrt_var j when i = j -> const 1.0 | _ -> const 0.0)
+  | Input i -> (match wrt with Wrt_input j when i = j -> const 1.0 | _ -> const 0.0)
   | Add (a, b) -> add (d a) (d b)
   | Sub (a, b) -> sub (d a) (d b)
   | Mul (a, b) -> add (mul (d a) b) (mul a (d b))
@@ -150,14 +243,14 @@ let rec diff e ~wrt =
   | Sin a -> mul (cos_ a) (d a)
   | Cos a -> neg (mul (sin_ a) (d a))
   | Exp a -> mul (exp_ a) (d a)
-  | Tanh a -> mul (sub (Const 1.0) (pow (tanh_ a) 2)) (d a)
+  | Tanh a -> mul (sub (const 1.0) (pow (tanh_ a) 2)) (d a)
 
 (* Lie derivative of g along the vector field f (u treated as constant
    within a sampling period, so no Input-derivative term):
    L_f g = sum_i (dg/dx_i) f_i. *)
 let lie_derivative ~f g =
   let n = Array.length f in
-  let acc = ref (Const 0.0) in
+  let acc = ref (const 0.0) in
   for i = 0 to n - 1 do
     acc := add !acc (mul (diff g ~wrt:(Wrt_var i)) f.(i))
   done;
@@ -175,35 +268,24 @@ let eval_vec f ~x ~u = Array.map (fun fi -> eval fi ~x ~u) f
 
 let ieval_vec f ~x ~u = Array.map (fun fi -> ieval fi ~x ~u) f
 
-(* Structural equality with NaN-safe float comparison ([Float.equal] treats
-   nan = nan as true, matching [Hashtbl.hash]'s canonical-NaN treatment, so
-   the pair is a valid hashtable equality). The physical shortcut keeps
-   comparisons of shared subtrees O(1) in memo tables. *)
-let rec equal a b =
-  a == b
-  ||
-  match (a, b) with
-  | Const x, Const y -> Float.equal x y
-  | Var i, Var j -> Int.equal i j
-  | Input i, Input j -> Int.equal i j
-  | Add (a1, a2), Add (b1, b2)
-  | Sub (a1, a2), Sub (b1, b2)
-  | Mul (a1, a2), Mul (b1, b2)
-  | Div (a1, a2), Div (b1, b2) -> equal a1 b1 && equal a2 b2
-  | Neg a1, Neg b1 | Sin a1, Sin b1 | Cos a1, Cos b1 | Exp a1, Exp b1 | Tanh a1, Tanh b1 ->
-    equal a1 b1
-  | Pow (a1, n), Pow (b1, k) -> Int.equal n k && equal a1 b1
-  | ( ( Const _ | Var _ | Input _ | Add _ | Sub _ | Mul _ | Div _ | Neg _ | Pow _ | Sin _
-      | Cos _ | Exp _ | Tanh _ ),
-      _ ) -> false
+(* Post-intern, structural equality IS physical identity: the intern
+   table maps each structure (under Float.equal constant semantics:
+   every NaN equal thanks to canonicalization, -0. distinct from 0.) to
+   exactly one node, so the comparison is a pointer check. *)
+let equal a b = a == b
 
-let rec size = function
+let hash e = e.hash
+let id e = e.id
+
+let rec size e =
+  match e.node with
   | Const _ | Var _ | Input _ -> 1
   | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) -> 1 + size a + size b
   | Neg a | Sin a | Cos a | Exp a | Tanh a -> 1 + size a
   | Pow (a, _) -> 1 + size a
 
-let rec pp ppf = function
+let rec pp ppf e =
+  match e.node with
   | Const c -> Fmt.pf ppf "%.6g" c
   | Var i -> Fmt.pf ppf "x%d" i
   | Input j -> Fmt.pf ppf "u%d" j

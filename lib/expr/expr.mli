@@ -2,9 +2,17 @@
 
     One AST, four interpreters: numeric evaluation, interval evaluation,
     symbolic differentiation (Lie derivatives / Jacobians), and — via
-    {!fold} — Taylor-model evaluation in [dwv_taylor]. *)
+    {!fold} — Taylor-model evaluation in [dwv_taylor].
 
-type t =
+    Expressions are HASH-CONSED: the smart constructors intern every
+    node through a global table, so structurally equal values are
+    physically equal, {!equal} is a pointer compare, and {!hash} is a
+    precomputed field read. Pattern-match via the [node] field; build
+    only through the smart constructors (the record is [private]). *)
+
+type t = private { node : node; hash : int; id : int }
+
+and node =
   | Const of float
   | Var of int      (** state component x_i *)
   | Input of int    (** control component u_j (constant within a step) *)
@@ -97,10 +105,26 @@ val ieval_vec :
   u:Dwv_interval.Interval.t array ->
   Dwv_interval.Interval.t array
 
-(** Structural equality; float constants compare NaN-safely via
-    [Float.equal], so the pair ([equal], [Hashtbl.hash]) is a valid
+(** Structural equality — O(1): hash-consing makes it a physical
+    identity check. Float constants keep [Float.equal] semantics (NaN is
+    canonicalized at construction so [equal (const nan) (const nan)] is
+    true; -0. and 0. stay distinct), so ([equal], [hash]) is a valid
     hashtable equality. *)
 val equal : t -> t -> bool
+
+(** Precomputed structural hash (field read). Stable across rebuilds of
+    the same structure — it is computed from child hashes, not intern
+    ids — so it can key persistent memo tables. *)
+val hash : t -> int
+
+(** Unique id of the interned node within this process. Ids are
+    allocated globally (one intern table shared by all domains), so two
+    expressions are structurally equal iff their ids coincide. *)
+val id : t -> int
+
+(** Number of distinct nodes interned so far (diagnostics/tests: a
+    rebuild of an already-interned structure must not grow this). *)
+val interned : unit -> int
 
 (** Node count (expression size). *)
 val size : t -> int

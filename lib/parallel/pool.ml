@@ -48,11 +48,20 @@ let worker pool =
   in
   loop ()
 
-let create ?domains () =
-  let domains =
+let create ?(oversubscribe = false) ?domains () =
+  let requested =
     match domains with Some d -> d | None -> default_domains ()
   in
-  if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  if requested < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  (* More busy domains than hardware cores is a pure loss for this
+     workload: every minor GC is a stop-the-world rendezvous, and a
+     descheduled domain turns each one into an OS-scheduler wait (the
+     measured 0.2x "speedups" of oversubscribed runs). Clamp to the
+     hardware count unless the caller explicitly opts out (tests do, to
+     exercise cross-domain machinery on small CI boxes). *)
+  let domains =
+    if oversubscribe then requested else min requested (default_domains ())
+  in
   let pool =
     {
       domains;
@@ -77,8 +86,8 @@ let shutdown pool =
   List.iter Domain.join pool.workers;
   pool.workers <- []
 
-let with_pool ?domains f =
-  let pool = create ?domains () in
+let with_pool ?oversubscribe ?domains f =
+  let pool = create ?oversubscribe ?domains () in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
 
 let mapi pool f items =
@@ -87,20 +96,30 @@ let mapi pool f items =
   else if pool.domains <= 1 || n = 1 then Array.mapi f items
   else begin
     let results = Array.make n None in
-    let pending = Atomic.make n in
+    (* Work is enqueued as CHUNKS of contiguous index ranges — a few per
+       domain, so stragglers can still be balanced — rather than one
+       closure per item: the many-small-task workloads (thousands of
+       sub-millisecond Monte-Carlo rollouts) then pay queue and closure
+       overhead per chunk, not per item. Results still land at their
+       item's index, so chunking is invisible in the output. *)
+    let chunks = min n (pool.domains * 4) in
+    let pending = Atomic.make chunks in
     (* the failure with the smallest item index wins: re-raising is then
        independent of completion order *)
     let error = ref None in
-    let task i () =
-      (try results.(i) <- Some (f i items.(i))
-       with e ->
-         let bt = Printexc.get_raw_backtrace () in
-         Mutex.lock pool.mutex;
-         (match !error with
-         | Some (j, _, _) when j <= i -> ()
-         | _ -> error := Some (i, e, bt));
-         Mutex.unlock pool.mutex);
-      (* the decrement publishes this task's result write to whoever
+    let chunk c () =
+      let lo = c * n / chunks and hi = (c + 1) * n / chunks in
+      for i = lo to hi - 1 do
+        try results.(i) <- Some (f i items.(i))
+        with e ->
+          let bt = Printexc.get_raw_backtrace () in
+          Mutex.lock pool.mutex;
+          (match !error with
+          | Some (j, _, _) when j <= i -> ()
+          | _ -> error := Some (i, e, bt));
+          Mutex.unlock pool.mutex
+      done;
+      (* the decrement publishes this chunk's result writes to whoever
          observes pending = 0 *)
       if Atomic.fetch_and_add pending (-1) = 1 then begin
         Mutex.lock pool.mutex;
@@ -109,8 +128,8 @@ let mapi pool f items =
       end
     in
     Mutex.lock pool.mutex;
-    for i = 0 to n - 1 do
-      Queue.add (task i) pool.queue
+    for c = 0 to chunks - 1 do
+      Queue.add (chunk c) pool.queue
     done;
     Condition.broadcast pool.work;
     (* the caller helps drain its own batch... *)

@@ -22,8 +22,15 @@ type t
 
 (** [create ~domains ()] spawns a pool of [domains] total domains
     (including the caller; default {!default_domains}). Raises
-    [Invalid_argument] when [domains < 1]. *)
-val create : ?domains:int -> unit -> t
+    [Invalid_argument] when [domains < 1].
+
+    The effective size is clamped to {!default_domains} (the hardware
+    core count): running more busy domains than cores only multiplies
+    stop-the-world GC rendezvous through the OS scheduler. Pass
+    [~oversubscribe:true] to keep the requested count anyway — the
+    determinism tests do, so cross-domain machinery is exercised even on
+    single-core runners; numeric results are identical either way. *)
+val create : ?oversubscribe:bool -> ?domains:int -> unit -> t
 
 (** [Domain.recommended_domain_count ()]: the hardware's preferred
     domain count. *)
@@ -33,10 +40,13 @@ val default_domains : unit -> int
 val domains : t -> int
 
 (** [map pool f items] applies [f] to every element, in parallel across
-    the pool's domains, and returns the results in item order. An
-    exception raised by [f] is re-raised in the caller after the whole
-    batch has drained (the one with the smallest item index wins, so the
-    error too is deterministic); the pool remains usable afterwards. *)
+    the pool's domains, and returns the results in item order. Items are
+    scheduled in contiguous chunks (a few per domain) to amortize queue
+    overhead on many-small-task batches; chunking never affects the
+    output. An exception raised by [f] is re-raised in the caller after
+    the whole batch has drained (the one with the smallest item index
+    wins, so the error too is deterministic); the pool remains usable
+    afterwards. *)
 val map : t -> ('a -> 'b) -> 'a array -> 'b array
 
 (** [mapi pool f items] is [map] with the item index. *)
@@ -54,5 +64,7 @@ val map_reduce :
 val shutdown : t -> unit
 
 (** [with_pool ~domains f] runs [f] with a fresh pool and shuts it down
-    afterwards, including on exceptions. *)
-val with_pool : ?domains:int -> (t -> 'a) -> 'a
+    afterwards: the worker domains are joined on both the normal and the
+    exceptional path (including the smallest-index exception re-raised
+    by [map]), so no domain outlives the call. *)
+val with_pool : ?oversubscribe:bool -> ?domains:int -> (t -> 'a) -> 'a

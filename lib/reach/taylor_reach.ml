@@ -22,7 +22,7 @@ module Tm_vec = Dwv_taylor.Tm_vec
    j = 0 .. order+1. *)
 type lie_table = Expr.t array array
 
-let lie_table ~f ~order =
+let build_lie_table ~f ~order =
   let n = Array.length f in
   let table = Array.make (order + 2) [||] in
   table.(0) <- Array.init n Expr.var;
@@ -30,6 +30,26 @@ let lie_table ~f ~order =
     table.(j) <- Array.map (Expr.lie_derivative ~f) table.(j - 1)
   done;
   table
+
+(* A Lie table is a pure function of (f, order) but costly to build —
+   repeated symbolic differentiation — and the verifier asks for one on
+   every call. Hash-consing gives each dynamics expression a
+   process-global id, so (ids of f, order) is a complete cache key. The
+   cache lives in Domain.DLS: per-domain, so parallel gradient probes
+   never contend, and each domain reuses its tables across every
+   verifier call of a run. *)
+let lie_cache : (int array * int, lie_table) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+let lie_table ~f ~order =
+  let key = (Array.map Expr.id f, order) in
+  let cache = Domain.DLS.get lie_cache in
+  match Hashtbl.find_opt cache key with
+  | Some table -> table
+  | None ->
+    let table = build_lie_table ~f ~order in
+    Hashtbl.replace cache key table;
+    table
 
 let factorial k =
   let acc = ref 1.0 in

@@ -177,16 +177,15 @@ let compose fn tm =
   in
   add_remainder lagrange !acc
 
-(* The derivative-polynomial memo tables below are the only global
-   mutable state on the verifier's hot path; parallel gradient probes
-   hit them from several domains at once, so lookups-and-builds are
-   serialized by a mutex. The cached values are immutable and the build
-   is deterministic, so which domain populates an entry is immaterial. *)
-let deriv_polys_mu = Mutex.create ()
-
-let memo_deriv_poly table n build =
-  Mutex.lock deriv_polys_mu;
-  Fun.protect ~finally:(fun () -> Mutex.unlock deriv_polys_mu) @@ fun () ->
+(* The derivative-polynomial memo tables below are the only module-level
+   mutable state on the verifier's hot path. Parallel gradient probes hit
+   them from several domains at once, so each domain owns its own table
+   via Domain.DLS: lookups never contend on a lock, at the cost of each
+   domain rebuilding the (tiny, deterministic) polynomial family once.
+   The cached values are immutable, so per-domain copies are
+   interchangeable. *)
+let memo_deriv_poly key n build =
+  let table = Domain.DLS.get key in
   match Hashtbl.find_opt table n with
   | Some p -> p
   | None ->
@@ -197,7 +196,7 @@ let memo_deriv_poly table n build =
 (* tanh derivatives: phi^(n)(x) = P_n(tanh x) with P_0(y) = y and
    P_{n+1}(y) = P_n'(y) (1 - y^2). Bounds come from interval-evaluating
    P_n over the tanh image of the interval. *)
-let tanh_deriv_polys = Hashtbl.create 8
+let tanh_deriv_polys = Domain.DLS.new_key (fun () -> Hashtbl.create 8)
 
 let tanh_poly n =
   memo_deriv_poly tanh_deriv_polys n @@ fun n ->
@@ -223,7 +222,7 @@ let tanh_fn =
 
 (* sigmoid derivatives: phi^(n)(x) = Q_n(sigma(x)) with Q_0(s) = s,
    Q_{n+1}(s) = Q_n'(s) s (1 - s). *)
-let sigmoid_deriv_polys = Hashtbl.create 8
+let sigmoid_deriv_polys = Domain.DLS.new_key (fun () -> Hashtbl.create 8)
 
 let sigmoid_poly n =
   memo_deriv_poly sigmoid_deriv_polys n @@ fun n ->
@@ -332,18 +331,18 @@ let relu tm =
 
 (* Evaluate a dynamics expression with Taylor models substituted for the
    state and input variables. Lie-derivative tables share large subtrees
-   (physically, thanks to the smart constructors), so evaluation memoizes
-   when given a [memo] table — one table per flowpipe step covers all
-   coordinates and all derivative orders. Keys compare with structural
-   [Expr.equal] (which short-circuits on physical identity), so
-   structurally equal duplicates built through different paths also hit;
-   [Hashtbl.hash] canonicalizes NaN and -0. consistently with it. *)
+   (physically, thanks to hash-consing), so evaluation memoizes when
+   given a [memo] table — one table per flowpipe step covers all
+   coordinates and all derivative orders. Hash-consed expressions make
+   both sides of the lookup O(1): [Expr.equal] is a pointer compare and
+   [Expr.hash] a precomputed field, so a memo hit costs a bucket probe
+   instead of a deep traversal. *)
 
 module Expr_memo = Hashtbl.Make (struct
   type t = Dwv_expr.Expr.t
 
   let equal = Dwv_expr.Expr.equal
-  let hash = Hashtbl.hash
+  let hash = Dwv_expr.Expr.hash
 end)
 
 type memo = t Expr_memo.t
@@ -365,7 +364,7 @@ let of_expr ?memo ~x ~u e =
         tm)
     | None -> compute e
   and compute e =
-    match e with
+    match e.E.node with
     | E.Const c -> const ~nvars:nv ~order:ord c
     | E.Var i -> x.(i)
     | E.Input j -> u.(j)

@@ -1,0 +1,18 @@
+(* Counterfeit domain-local state: the DLS key's initializer closes over
+   ONE shared table, so every domain gets the very same object and the
+   "per-domain" guard is a fiction. The domain-safety lint must follow
+   the initializer and flag the Pool.map call site. *)
+
+let shared : (int, float) Hashtbl.t = Hashtbl.create 64
+let memo_key = Domain.DLS.new_key (fun () -> shared)
+
+let lookup n =
+  let table = Domain.DLS.get memo_key in
+  match Hashtbl.find_opt table n with
+  | Some v -> v
+  | None ->
+    let v = float_of_int n *. 2.0 in
+    Hashtbl.add table n v;
+    v
+
+let run pool xs = Pool.map pool (fun x -> lookup x) xs

@@ -1,0 +1,17 @@
+(* The real DLS-memo shape (taylor_model.ml): the key's initializer
+   builds a FRESH table, so each domain memoizes privately and tasks
+   share nothing. The domain-safety lint must stay silent. *)
+
+let memo_key : (int, float) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+let lookup n =
+  let table = Domain.DLS.get memo_key in
+  match Hashtbl.find_opt table n with
+  | Some v -> v
+  | None ->
+    let v = float_of_int n *. 2.0 in
+    Hashtbl.add table n v;
+    v
+
+let run pool xs = Pool.map pool (fun x -> lookup x) xs

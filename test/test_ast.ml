@@ -93,6 +93,30 @@ let test_domain_safety_silent_when_guarded () =
   Alcotest.(check int) "no findings" 0
     (List.length (Domain_safety.analyze (index_of [ "ds_good_memo.ml" ])))
 
+let test_index_records_dls_init_idents () =
+  let mi = Ast_index.of_parsed (parse_fixture "ds_bad_dls.ml") in
+  match Ast_index.find_mutable mi "memo_key" with
+  | Some m ->
+    Alcotest.(check bool) "dls guarded" true
+      (m.Ast_index.m_guard = Ast_index.Dls_guarded);
+    Alcotest.(check bool) "initializer idents captured" true
+      (Ast_index.SSet.mem "shared" m.Ast_index.m_init_idents)
+  | None -> Alcotest.fail "memo_key not in inventory"
+
+let test_domain_safety_dls_counterfeit_fires () =
+  let ds = Domain_safety.analyze (index_of [ "ds_bad_dls.ml" ]) in
+  Alcotest.(check int) "one finding" 1 (count ~check:Registry.domain_safety ds);
+  let d = List.hd ds in
+  Alcotest.(check bool) "error severity" true (d.D.severity = D.Error);
+  Alcotest.(check bool) "names the shared table" true
+    (contains ~sub:"'shared'" d.D.message);
+  Alcotest.(check bool) "provenance goes through the key initializer" true
+    (contains ~sub:"memo_key[init]" d.D.message)
+
+let test_domain_safety_silent_on_fresh_dls () =
+  Alcotest.(check int) "no findings" 0
+    (List.length (Domain_safety.analyze (index_of [ "ds_good_dls.ml" ])))
+
 (* ---------------- exn-escape ---------------- *)
 
 let test_exn_escape_fires () =
@@ -304,6 +328,12 @@ let suite =
       `Quick test_domain_safety_fires;
     Alcotest.test_case "domain-safety: mutex/atomic-guarded state is silent" `Quick
       test_domain_safety_silent_when_guarded;
+    Alcotest.test_case "ast_index: DLS initializer idents are recorded" `Quick
+      test_index_records_dls_init_idents;
+    Alcotest.test_case "domain-safety: counterfeit DLS (shared init) fires" `Quick
+      test_domain_safety_dls_counterfeit_fires;
+    Alcotest.test_case "domain-safety: fresh-per-domain DLS memo is silent" `Quick
+      test_domain_safety_silent_on_fresh_dls;
     Alcotest.test_case "exn-escape: error/warn/info tiers fire" `Quick
       test_exn_escape_fires;
     Alcotest.test_case "exn-escape: handled and result-speaking code is silent"

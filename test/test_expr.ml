@@ -217,6 +217,129 @@ let test_equal_structural () =
   Alcotest.(check bool) "nan const self-equal" true
     (Expr.equal (Expr.const Float.nan) (Expr.const Float.nan))
 
+(* ---------------- hash-consing / interning ---------------- *)
+
+(* Random expressions are generated from a RECIPE so the same structure
+   can be built twice through the smart constructors: interning must
+   map both builds to the same node. *)
+type recipe =
+  | R_const of float
+  | R_var of int
+  | R_input of int
+  | R_add of recipe * recipe
+  | R_sub of recipe * recipe
+  | R_mul of recipe * recipe
+  | R_div of recipe * recipe
+  | R_neg of recipe
+  | R_pow of recipe * int
+  | R_sin of recipe
+  | R_cos of recipe
+  | R_exp of recipe
+  | R_tanh of recipe
+
+let rec build_recipe = function
+  | R_const c -> Expr.const c
+  | R_var i -> Expr.var i
+  | R_input j -> Expr.input j
+  | R_add (a, b) -> Expr.add (build_recipe a) (build_recipe b)
+  | R_sub (a, b) -> Expr.sub (build_recipe a) (build_recipe b)
+  | R_mul (a, b) -> Expr.mul (build_recipe a) (build_recipe b)
+  | R_div (a, b) ->
+    (* denominator bounded away from the constant zero so [div] never
+       raises: 1 + b^2 folds to a constant >= 1 when b is constant *)
+    let d = build_recipe b in
+    Expr.div (build_recipe a) (Expr.add (Expr.const 1.0) (Expr.mul d d))
+  | R_neg a -> Expr.neg (build_recipe a)
+  | R_pow (a, k) -> Expr.pow (build_recipe a) k
+  | R_sin a -> Expr.sin_ (build_recipe a)
+  | R_cos a -> Expr.cos_ (build_recipe a)
+  | R_exp a -> Expr.exp_ (build_recipe a)
+  | R_tanh a -> Expr.tanh_ (build_recipe a)
+
+let gen_recipe =
+  let open QCheck.Gen in
+  (* a small leaf space makes cross-recipe collisions likely, which is
+     what exercises the interesting direction of the iff *)
+  let leaf =
+    oneof
+      [
+        map (fun c -> R_const c)
+          (oneofl [ 0.0; -0.0; 1.0; -1.0; 0.5; 2.0; Float.nan ]);
+        map (fun i -> R_var i) (int_bound 2);
+        map (fun j -> R_input j) (int_bound 1);
+      ]
+  in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then leaf
+         else
+           let sub = self (n / 2) in
+           frequency
+             [
+               (1, leaf);
+               (2, map2 (fun a b -> R_add (a, b)) sub sub);
+               (2, map2 (fun a b -> R_sub (a, b)) sub sub);
+               (2, map2 (fun a b -> R_mul (a, b)) sub sub);
+               (1, map2 (fun a b -> R_div (a, b)) sub sub);
+               (1, map (fun a -> R_neg a) sub);
+               (1, map2 (fun a k -> R_pow (a, k)) sub (int_bound 3));
+               (1, map (fun a -> R_sin a) sub);
+               (1, map (fun a -> R_cos a) sub);
+               (1, map (fun a -> R_exp a) sub);
+               (1, map (fun a -> R_tanh a) sub);
+             ])
+
+let arb_recipe = QCheck.make gen_recipe
+
+(* Deep structural equality with [Float.equal] constants: the oracle the
+   interner must agree with. Physical identity is observed through
+   [Expr.id], which is unique per interned node. *)
+let rec structural_eq (a : Expr.t) (b : Expr.t) =
+  match (a.Expr.node, b.Expr.node) with
+  | Expr.Const x, Expr.Const y -> Float.equal x y
+  | Expr.Var i, Expr.Var j | Expr.Input i, Expr.Input j -> i = j
+  | Expr.Add (a1, a2), Expr.Add (b1, b2)
+  | Expr.Sub (a1, a2), Expr.Sub (b1, b2)
+  | Expr.Mul (a1, a2), Expr.Mul (b1, b2)
+  | Expr.Div (a1, a2), Expr.Div (b1, b2) ->
+    structural_eq a1 b1 && structural_eq a2 b2
+  | Expr.Neg a1, Expr.Neg b1
+  | Expr.Sin a1, Expr.Sin b1
+  | Expr.Cos a1, Expr.Cos b1
+  | Expr.Exp a1, Expr.Exp b1
+  | Expr.Tanh a1, Expr.Tanh b1 -> structural_eq a1 b1
+  | Expr.Pow (a1, n), Expr.Pow (b1, k) -> n = k && structural_eq a1 b1
+  | _, _ -> false
+
+let prop_intern_sound =
+  QCheck.Test.make ~name:"interning sound: equal <=> same node <=> structural" ~count:500
+    QCheck.(pair arb_recipe arb_recipe)
+    (fun (r1, r2) ->
+      let a = build_recipe r1 and b = build_recipe r2 in
+      let same_node = Expr.id a = Expr.id b in
+      Bool.equal (Expr.equal a b) same_node
+      && Bool.equal (structural_eq a b) same_node
+      && ((not same_node) || Expr.hash a = Expr.hash b))
+
+let prop_intern_rebuild_stable =
+  QCheck.Test.make ~name:"interning: rebuild gives the same node and hash" ~count:500
+    arb_recipe
+    (fun r ->
+      let a = build_recipe r in
+      let b = build_recipe r in
+      Expr.equal a b
+      && Expr.id a = Expr.id b
+      && Expr.hash a = Expr.hash b
+      && Expr.size a = Expr.size b)
+
+let test_rebuild_does_not_grow_intern_table () =
+  let src = "sin(x0 * x1) + tanh(x1)^3 - exp(u0) / (1 + x0^2)" in
+  let a = parse_ok src in
+  let before = Expr.interned () in
+  let b = parse_ok src in
+  Alcotest.(check int) "no new nodes interned" before (Expr.interned ());
+  Alcotest.(check bool) "same node" true (Expr.id a = Expr.id b)
+
 let test_parse_system () =
   match Parser.parse_system [ "x1"; "(1 - x0^2) * x1 - x0 + u0" ] with
   | Error m -> Alcotest.failf "system: %s" m
@@ -278,6 +401,10 @@ let suite =
     Alcotest.test_case "parse errors" `Quick test_parse_errors;
     Alcotest.test_case "parse error positions" `Quick test_parse_error_positions;
     Alcotest.test_case "structural equality" `Quick test_equal_structural;
+    QCheck_alcotest.to_alcotest prop_intern_sound;
+    QCheck_alcotest.to_alcotest prop_intern_rebuild_stable;
+    Alcotest.test_case "rebuild does not grow intern table" `Quick
+      test_rebuild_does_not_grow_intern_table;
     Alcotest.test_case "parse system" `Quick test_parse_system;
     Alcotest.test_case "parse system error" `Quick test_parse_system_error_position;
     QCheck_alcotest.to_alcotest prop_parse_roundtrip_eval;

@@ -190,7 +190,7 @@ let acc_learn_under ?(domains = 1) faults =
   let module Pool = Dwv_parallel.Pool in
   let verify c = (A.verify_robust c).Verifier.pipe in
   Fault.with_faults ~seed:1 faults (fun () ->
-      Pool.with_pool ~domains (fun pool ->
+      Pool.with_pool ~oversubscribe:true ~domains (fun pool ->
           let r =
             Learner.learn ~pool acc_cfg ~metric:Metrics.Geometric ~spec:A.spec ~verify
               ~init:A.initial_controller

@@ -25,27 +25,27 @@ module Threed = Dwv_systems.Threed
 (* ---------------- pool mechanics ---------------- *)
 
 let test_map_empty () =
-  Pool.with_pool ~domains:4 (fun pool ->
+  Pool.with_pool ~oversubscribe:true ~domains:4 (fun pool ->
       Alcotest.(check (array int)) "empty batch" [||] (Pool.map pool (fun x -> x + 1) [||]))
 
 let test_map_single_item () =
-  Pool.with_pool ~domains:4 (fun pool ->
+  Pool.with_pool ~oversubscribe:true ~domains:4 (fun pool ->
       Alcotest.(check (array int)) "one item" [| 42 |] (Pool.map pool (fun x -> x * 2) [| 21 |]))
 
 let test_map_fewer_items_than_domains () =
-  Pool.with_pool ~domains:8 (fun pool ->
+  Pool.with_pool ~oversubscribe:true ~domains:8 (fun pool ->
       Alcotest.(check (array int)) "2 items on 8 domains" [| 1; 4 |]
         (Pool.map pool (fun x -> x * x) [| 1; 2 |]))
 
 let test_map_order_preserved () =
-  Pool.with_pool ~domains:4 (fun pool ->
+  Pool.with_pool ~oversubscribe:true ~domains:4 (fun pool ->
       let items = Array.init 100 (fun i -> i) in
       Alcotest.(check (array int)) "item order, not completion order"
         (Array.map (fun i -> 3 * i) items)
         (Pool.map pool (fun i -> 3 * i) items))
 
 let test_mapi_passes_index () =
-  Pool.with_pool ~domains:4 (fun pool ->
+  Pool.with_pool ~oversubscribe:true ~domains:4 (fun pool ->
       Alcotest.(check (array int)) "index + item" [| 10; 21; 32 |]
         (Pool.mapi pool (fun i x -> x + i) [| 10; 20; 30 |]))
 
@@ -62,7 +62,7 @@ let test_create_rejects_nonpositive () =
 exception Boom of int
 
 let test_exception_propagates_and_pool_survives () =
-  Pool.with_pool ~domains:4 (fun pool ->
+  Pool.with_pool ~oversubscribe:true ~domains:4 (fun pool ->
       (match
          Pool.map pool (fun i -> if i mod 3 = 0 then raise (Boom i) else i)
            (Array.init 10 (fun i -> i + 1))
@@ -81,7 +81,7 @@ let test_map_reduce_float_sum_deterministic () =
      left fold bit-for-bit, even though float addition is not associative *)
   let items = Array.init 1000 (fun i -> 1.0 /. float_of_int (i + 1)) in
   let seq = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 items in
-  Pool.with_pool ~domains:4 (fun pool ->
+  Pool.with_pool ~oversubscribe:true ~domains:4 (fun pool ->
       let par =
         Pool.map_reduce pool ~map:(fun x -> x *. x)
           ~reduce:(fun acc x -> acc +. x)
@@ -90,7 +90,7 @@ let test_map_reduce_float_sum_deterministic () =
       Alcotest.(check (float 0.0)) "bit-identical sum" seq par)
 
 let test_reuse_across_batches () =
-  Pool.with_pool ~domains:4 (fun pool ->
+  Pool.with_pool ~oversubscribe:true ~domains:4 (fun pool ->
       for k = 1 to 5 do
         let items = Array.init (10 * k) (fun i -> i) in
         Alcotest.(check (array int))
@@ -98,6 +98,34 @@ let test_reuse_across_batches () =
           (Array.map (fun i -> i + k) items)
           (Pool.map pool (fun i -> i + k) items)
       done)
+
+let test_clamped_to_hardware_cores () =
+  let cores = Pool.default_domains () in
+  Pool.with_pool ~domains:(cores + 7) (fun pool ->
+      Alcotest.(check int) "clamped to hardware" cores (Pool.domains pool));
+  Pool.with_pool ~oversubscribe:true ~domains:(cores + 7) (fun pool ->
+      Alcotest.(check int) "oversubscribe keeps the request" (cores + 7)
+        (Pool.domains pool))
+
+let test_with_pool_poisoned_task_tears_down () =
+  (* the smallest-index exception must escape [with_pool] itself — not a
+     [Fun.protect] Finally_raised wrapper — and the workers must be
+     joined on that path too: repeated poisoned rounds neither wedge nor
+     accumulate domains. *)
+  for _round = 1 to 20 do
+    match
+      Pool.with_pool ~oversubscribe:true ~domains:4 (fun pool ->
+          Pool.map pool
+            (fun i -> if i >= 5 then raise (Boom i) else i)
+            (Array.init 16 (fun i -> i)))
+    with
+    | _ -> Alcotest.fail "expected the poisoned task to raise"
+    | exception Boom i -> Alcotest.(check int) "smallest poisoned index" 5 i
+  done;
+  (* every round joined its domains: a fresh full-size pool still works *)
+  Pool.with_pool ~oversubscribe:true ~domains:4 (fun pool ->
+      Alcotest.(check (array int)) "clean restart" [| 0; 1; 2 |]
+        (Pool.map pool (fun x -> x) [| 0; 1; 2 |]))
 
 (* ---------------- Rng.split_n properties ---------------- *)
 
@@ -169,7 +197,7 @@ let acc_learn_at domains =
   let cfg =
     { Learner.default_config with Learner.max_iters = 8; alpha = 0.2; beta = 0.2; seed = 7 }
   in
-  Pool.with_pool ~domains (fun pool ->
+  Pool.with_pool ~oversubscribe:true ~domains (fun pool ->
       Learner.learn ~pool cfg ~metric:Metrics.Geometric ~spec:Acc.spec ~verify:Acc.verify
         ~init:Acc.initial_controller)
 
@@ -198,7 +226,7 @@ let nn_learn_at ~name ~f ~dim domains =
     { Learner.default_config with
       Learner.max_iters = 3; gradient_mode = Learner.Spsa 2; seed = 3 }
   in
-  Pool.with_pool ~domains (fun pool ->
+  Pool.with_pool ~oversubscribe:true ~domains (fun pool ->
       Learner.learn ~pool cfg ~metric:Metrics.Geometric ~spec ~verify
         ~init:(Controller.net ~output_scale:1.0 net))
 
@@ -236,7 +264,7 @@ let acc_tight_goal =
 
 let acc_initset_at domains =
   let c = Acc.initial_controller in
-  Pool.with_pool ~domains (fun pool ->
+  Pool.with_pool ~oversubscribe:true ~domains (fun pool ->
       Initset.search ~max_depth:3 ~pool
         ~verify:(fun cell -> Acc.verify_from cell c)
         ~goal:acc_tight_goal ~x0:Acc.spec.Spec.x0 ())
@@ -248,7 +276,7 @@ let test_acc_initset_domains_1_vs_4 () =
 
 let acc_initset_even_at domains =
   let c = Acc.initial_controller in
-  Pool.with_pool ~domains (fun pool ->
+  Pool.with_pool ~oversubscribe:true ~domains (fun pool ->
       Initset.search_even ~max_rounds:3 ~pool
         ~verify:(fun cell -> Acc.verify_from cell c)
         ~goal:acc_tight_goal ~x0:Acc.spec.Spec.x0 ())
@@ -259,7 +287,7 @@ let test_acc_initset_even_domains_1_vs_4 () =
 (* ---------------- Monte-Carlo rate determinism ---------------- *)
 
 let rates_at ~sys ~spec ~controller domains =
-  Pool.with_pool ~domains (fun pool ->
+  Pool.with_pool ~oversubscribe:true ~domains (fun pool ->
       Evaluate.rates ~n:200 ~pool ~rng:(Rng.create 2024) ~sys ~controller ~spec ())
 
 let check_same_rates label (a : Evaluate.rates) (b : Evaluate.rates) =
@@ -287,7 +315,7 @@ let test_rates_parent_stream_advance_identical () =
   let draw_after domains =
     let rng = Rng.create 99 in
     let _ =
-      Pool.with_pool ~domains (fun pool ->
+      Pool.with_pool ~oversubscribe:true ~domains (fun pool ->
           Evaluate.rates ~n:50 ~pool ~rng ~sys:Acc.sampled
             ~controller:(Acc.sim_controller Acc.initial_controller) ~spec:Acc.spec ())
     in
@@ -310,6 +338,9 @@ let suite =
     Alcotest.test_case "map_reduce float sum deterministic" `Quick
       test_map_reduce_float_sum_deterministic;
     Alcotest.test_case "pool reusable across batches" `Quick test_reuse_across_batches;
+    Alcotest.test_case "pool clamps to hardware cores" `Quick test_clamped_to_hardware_cores;
+    Alcotest.test_case "with_pool tears down on poisoned task" `Quick
+      test_with_pool_poisoned_task_tears_down;
     QCheck_alcotest.to_alcotest prop_split_n_children_distinct;
     QCheck_alcotest.to_alcotest prop_split_n_reproducible;
     QCheck_alcotest.to_alcotest prop_split_n_prefix_stable;
