@@ -1,15 +1,21 @@
 (* dwv_lint: static soundness analyzer and lint driver.
 
      dwv_lint models                        Layer-1 checks on built-in systems
-     dwv_lint source [PATH...]              Layer-2/3 lint over OCaml sources
-                                            (--engine ast|regex|both, default both)
+     dwv_lint source [PATH...]              Layer-2/3/4 lint over OCaml sources
+                                            (--engine ast|regex|both|typed, default both)
      dwv_lint system -f "x1; -x0/(x1+2)" -n 2 -m 1 --x0="-1,1;-1,1"
                                             Layer-1 checks on a text-defined system
      dwv_lint all [PATH...]                 every layer (what `dune build @lint` runs)
      dwv_lint checks                        list every check the analyzer knows
 
+   The typed engine (--engine typed) reads the .cmt files under _build
+   (run `dune build @check` first) and adds the layer-4 analyses:
+   budget-threading, the allocation profile (--alloc-report /
+   --alloc-baseline) and the type-aware phys-equality exemption.
+
    JSON output is one envelope document (see Diagnostics.report_to_json);
-   --plain renders one diagnostic per line without hint lines.
+   --format sarif emits SARIF 2.1.0; --plain renders one diagnostic per
+   line without hint lines.
 
    Exit codes: 0 clean (warnings allowed), 1 diagnostics with Error
    severity, 2 usage/parse errors. *)
@@ -17,16 +23,19 @@
 module D = Dwv_analysis.Diagnostics
 module Model_check = Dwv_analysis.Model_check
 module Ast_lint = Dwv_analysis.Ast_lint
+module Typed_lint = Dwv_analysis.Typed_lint
+module Alloc_profile = Dwv_analysis.Alloc_profile
 module Registry = Dwv_analysis.Registry
 module Box = Dwv_interval.Box
 module Spec = Dwv_core.Spec
 module Rng = Dwv_util.Rng
 
-type format = Text | Json
+type format = Text | Json | Sarif
 
 let render ~plain fmt ds =
   match fmt with
   | Json -> print_endline (D.report_to_json ds)
+  | Sarif -> print_endline (D.report_to_sarif ds)
   | Text ->
     if plain then List.iter (fun d -> Fmt.pr "@[<h>%a@]@." D.pp_plain d) ds
     else List.iter (fun d -> Fmt.pr "@[<v>%a@]@." D.pp d) ds;
@@ -111,30 +120,60 @@ let format_conv =
     ( (function
       | "text" -> Ok Text
       | "json" -> Ok Json
-      | s -> Error (`Msg ("unknown format " ^ s ^ " (expected text | json)"))),
-      fun ppf f -> Fmt.string ppf (match f with Text -> "text" | Json -> "json") )
+      | "sarif" -> Ok Sarif
+      | s -> Error (`Msg ("unknown format " ^ s ^ " (expected text | json | sarif)"))),
+      fun ppf f ->
+        Fmt.string ppf (match f with Text -> "text" | Json -> "json" | Sarif -> "sarif") )
 
 let format_arg =
-  Arg.(value & opt format_conv Text & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
+  Arg.(value & opt format_conv Text
+       & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text, json or sarif (2.1.0).")
 
 let plain_arg =
   Arg.(value & flag
        & info [ "plain" ]
            ~doc:"With text output, print one diagnostic per line and omit hint lines.")
 
+type engine_choice = Src of Ast_lint.engine | Typed
+
 let engine_conv =
   Arg.conv
     ( (fun s ->
-        match Ast_lint.engine_of_string s with
-        | Some e -> Ok e
-        | None -> Error (`Msg ("unknown engine " ^ s ^ " (expected ast | regex | both)"))),
-      fun ppf e -> Fmt.string ppf (Ast_lint.engine_label e) )
+        if s = "typed" then Ok Typed
+        else
+          match Ast_lint.engine_of_string s with
+          | Some e -> Ok (Src e)
+          | None ->
+            Error (`Msg ("unknown engine " ^ s ^ " (expected ast | regex | both | typed)"))),
+      fun ppf e ->
+        Fmt.string ppf
+          (match e with Src e -> Ast_lint.engine_label e | Typed -> "typed") )
 
 let engine_arg =
-  Arg.(value & opt engine_conv Ast_lint.Both
+  Arg.(value & opt engine_conv (Src Ast_lint.Both)
        & info [ "engine" ] ~docv:"ENGINE"
-           ~doc:"Source engine: ast (Parsetree analyses), regex (layer-2 patterns), or \
-                 both (ast plus a differential regex shadow run).")
+           ~doc:"Source engine: ast (Parsetree analyses), regex (layer-2 patterns), \
+                 both (ast plus a differential regex shadow run), or typed (both plus \
+                 the layer-4 cmt analyses: budget-threading, allocation profile, \
+                 type-aware phys-equality exemption).")
+
+let build_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "build-dir" ] ~docv:"DIR"
+           ~doc:"Where the typed engine looks for .cmt files (default: _build/default \
+                 when it exists, else the current directory).")
+
+let alloc_report_arg =
+  Arg.(value & opt (some string) None
+       & info [ "alloc-report" ] ~docv:"FILE"
+           ~doc:"With --engine typed, write the ranked allocation profile to this \
+                 file (ALLOC_report.json format, deterministic).")
+
+let alloc_baseline_arg =
+  Arg.(value & opt (some string) None
+       & info [ "alloc-baseline" ] ~docv:"FILE"
+           ~doc:"With --engine typed, fail on allocation sites not covered by this \
+                 committed baseline (a previous --alloc-report document).")
 
 let exclude_arg =
   Arg.(value & opt_all string []
@@ -156,31 +195,56 @@ let models_cmd =
 
 let default_source_roots = [ "lib"; "bin"; "bench"; "test"; "examples" ]
 
-let lint_sources ~engine ~exclude paths =
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | contents -> contents
+  | exception Sys_error m -> usage_die m
+
+let write_file path contents =
+  match Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc contents)
+  with
+  | () -> ()
+  | exception Sys_error m -> usage_die m
+
+let lint_sources ~engine ~exclude ?build_dir ?alloc_report ?alloc_baseline paths =
   let roots =
     match paths with
     | [] -> List.filter Sys.file_exists default_source_roots
     | paths -> paths
   in
-  match Ast_lint.lint_tree ~exclude ~engine roots with
-  | ds -> ds
-  | exception Invalid_argument m -> usage_die m
+  match engine with
+  | Src engine -> (
+    match Ast_lint.lint_tree ~exclude ~engine roots with
+    | ds -> ds
+    | exception Invalid_argument m -> usage_die m)
+  | Typed -> (
+    let alloc_baseline = Option.map read_file alloc_baseline in
+    match Typed_lint.lint_tree ?build_dir ~exclude ?alloc_baseline ~roots () with
+    | r ->
+      Option.iter
+        (fun file -> write_file file (Alloc_profile.report_to_json r.Typed_lint.sites))
+        alloc_report;
+      r.Typed_lint.diags
+    | exception Invalid_argument m -> usage_die m)
 
 let source_cmd =
   let paths_arg =
     Arg.(value & pos_all string [] & info [] ~docv:"PATH"
          ~doc:"Files or directories to lint (default: lib bin bench test examples).")
   in
-  let run fmt plain engine exclude paths =
-    let ds = lint_sources ~engine ~exclude paths in
+  let run fmt plain engine exclude build_dir alloc_report alloc_baseline paths =
+    let ds =
+      lint_sources ~engine ~exclude ?build_dir ?alloc_report ?alloc_baseline paths
+    in
     render ~plain fmt ds;
     exit (exit_of ds)
   in
   Cmd.v
     (Cmd.info "source"
        ~doc:"Source lint: layer-2 rules plus the layer-3 AST analyses (domain-safety, \
-             exn-escape)")
-    Term.(const run $ format_arg $ plain_arg $ engine_arg $ exclude_arg $ paths_arg)
+             exn-escape) and, with --engine typed, the layer-4 cmt analyses")
+    Term.(const run $ format_arg $ plain_arg $ engine_arg $ exclude_arg $ build_dir_arg
+          $ alloc_report_arg $ alloc_baseline_arg $ paths_arg)
 
 let system_cmd =
   let f_arg =
@@ -255,13 +319,17 @@ let all_cmd =
     Arg.(value & pos_all string [] & info [] ~docv:"PATH"
          ~doc:"Source roots for the source layers (default: lib bin bench test examples).")
   in
-  let run fmt plain engine exclude paths =
-    let ds = check_models [] @ lint_sources ~engine ~exclude paths in
+  let run fmt plain engine exclude build_dir alloc_report alloc_baseline paths =
+    let ds =
+      check_models []
+      @ lint_sources ~engine ~exclude ?build_dir ?alloc_report ?alloc_baseline paths
+    in
     render ~plain fmt ds;
     exit (exit_of ds)
   in
   Cmd.v (Cmd.info "all" ~doc:"Run every analysis layer (what `dune build @lint` runs)")
-    Term.(const run $ format_arg $ plain_arg $ engine_arg $ exclude_arg $ paths_arg)
+    Term.(const run $ format_arg $ plain_arg $ engine_arg $ exclude_arg $ build_dir_arg
+          $ alloc_report_arg $ alloc_baseline_arg $ paths_arg)
 
 let () =
   let doc = "Static soundness analyzer for design-while-verify models and sources" in

@@ -1,0 +1,60 @@
+(** Allocation-hotspot profile over the typed call graph.
+
+    Walks every function reachable from the numeric-kernel entry points
+    ({!default_entries}: TM arithmetic, the flowpipe step, RK45, the
+    Bernstein grid builders, plus any function that launches [Pool]
+    tasks) and reports the allocation sites the flat-kernels refactor
+    (ROADMAP item 1) will have to flatten: boxed-[float] refs and lets,
+    tuple/record/closure/array/list allocation inside loops, polymorphic
+    comparison at float-bearing types, and closure captures of mutable
+    state inside [Pool] task bodies.
+
+    Sites are scored ([weight × (1 + loop depth)]) and sorted
+    best-target-first; the whole report serializes to a versioned JSON
+    document whose per-site [key] (class, file, function, detail — no
+    line numbers, so pure line shifts do not invalidate it) is what the
+    committed baseline pins: {!diff_against_baseline} errors only on
+    keys that appear more often than the baseline allows, so CI fails on
+    {e new} hot-loop allocations, not on every pre-existing one. *)
+
+type site = {
+  s_class : string;   (** e.g. ["tuple-in-loop"], ["float-ref"] *)
+  s_weight : int;
+  s_depth : int;      (** enclosing loop nesting depth at the site *)
+  s_score : int;      (** [weight * (1 + depth)]; sort key *)
+  s_file : string;
+  s_line : int;
+  s_col : int;
+  s_fn : string;      (** enclosing function, ["Taylor_model.mul"] *)
+  s_detail : string;  (** what allocates, e.g. ["polymorphic = at Interval.t"] *)
+  s_path : string;    (** call path from an entry point,
+                          ["Taylor_reach.step -> Tm_vec.add -> ..."] *)
+}
+
+(** The hot entry points, as ["Unit.fn"] names. Entries that do not
+    resolve in a given index produce an Info diagnostic, not a failure
+    (the list names the union across history; refactors may drop one). *)
+val default_entries : string list
+
+(** The profile: ranked sites plus diagnostics about the run itself
+    (unresolved entry points, cmt load failures). *)
+val profile : ?entries:string list -> Cmt_index.t -> site list * Diagnostics.t list
+
+(** Deterministic order: score descending, then file, line, col, class. *)
+val sort : site list -> site list
+
+(** The whole report as one JSON document, one site object per line:
+    [{"version":1,"sites":[...]}]. Bit-identical across runs on the same
+    build — this is both the CI artifact and the baseline format. *)
+val report_to_json : site list -> string
+
+(** The line-number-free identity used for baseline comparison. *)
+val baseline_key : site -> string
+
+(** Extract the baseline keys (with multiplicity) from a baseline
+    document previously written by {!report_to_json}. *)
+val baseline_keys : string -> (string * int) list
+
+(** One [alloc-hotspot] error per site class that occurs more often than
+    the baseline document allows; empty when the profile is covered. *)
+val diff_against_baseline : baseline:string -> site list -> Diagnostics.t list

@@ -55,9 +55,52 @@ let ast_one ~rules path =
         :: Source_lint.lint_file ~rules path,
         None )
 
+(* The typed phys-equality exemption, applied identically to every
+   engine so differential mode still compares like with like. [allow]
+   holds (path, line) pairs from Typed_rules.expr_phys_eq_allow; paths
+   are normalized component-wise so "./lib/x.ml" and "lib/x.ml" agree. *)
+let norm_path path =
+  String.split_on_char '/' path
+  |> List.filter (fun c -> c <> "" && c <> ".")
+  |> String.concat "/"
+
+let phys_eq_rule = "phys-equality"
+
+let phys_eq_drop ~phys_eq_allow path check line =
+  match phys_eq_allow with
+  | None -> false
+  | Some allow ->
+    check = phys_eq_rule
+    && List.exists (fun (p, l) -> l = line && norm_path p = norm_path path) allow
+
+let apply_phys_eq_allow ~phys_eq_allow ds =
+  match phys_eq_allow with
+  | None -> ds
+  | Some _ ->
+    List.filter
+      (fun (d : D.t) ->
+        match d.D.loc with
+        | D.File { path; line; _ } ->
+          not (phys_eq_drop ~phys_eq_allow path d.D.check line)
+        | D.Model _ -> true)
+      ds
+
+(* With a typed allowlist in force, the static per-file suppression on
+   the phys-equality rule is superseded: drop it so non-exempt [==] in
+   an allowlisted file resurface. *)
+let effective_rules ~phys_eq_allow rules =
+  match phys_eq_allow with
+  | None -> rules
+  | Some _ ->
+    List.map
+      (fun (r : Source_rules.rule) ->
+        if r.Source_rules.name = phys_eq_rule then { r with Source_rules.allow = [] }
+        else r)
+      rules
+
 (* Differential comparison for one parsed file: (check, line) keys of the
    shared rules, each engine against the other. *)
-let diff_one ~rules (parsed : Src_ast.parsed) ast_ds =
+let diff_one ~rules ~phys_eq_allow (parsed : Src_ast.parsed) ast_ds =
   let path = parsed.Src_ast.path in
   let keys ds =
     List.filter_map
@@ -69,6 +112,8 @@ let diff_one ~rules (parsed : Src_ast.parsed) ast_ds =
         else None)
       ds
     |> List.sort_uniq compare
+    |> List.filter (fun (check, line) ->
+           not (phys_eq_drop ~phys_eq_allow path check line))
   in
   let ast_keys = keys ast_ds in
   let regex_keys =
@@ -90,18 +135,21 @@ let diff_one ~rules (parsed : Src_ast.parsed) ast_ds =
   in
   only "ast" ast_keys regex_keys @ only "regex" regex_keys ast_keys
 
-let lint_files ?(rules = Source_rules.builtin) ~engine files =
+let lint_files ?(rules = Source_rules.builtin) ?phys_eq_allow ~engine files =
+  let rules = effective_rules ~phys_eq_allow rules in
   match engine with
-  | Regex -> Source_lint.lint_files ~rules files
+  | Regex ->
+    apply_phys_eq_allow ~phys_eq_allow (Source_lint.lint_files ~rules files)
   | Ast | Both ->
     let parsed = ref [] in
     let ds =
       List.concat_map
         (fun path ->
           let file_ds, p = ast_one ~rules path in
+          let file_ds = apply_phys_eq_allow ~phys_eq_allow file_ds in
           let diff_ds =
             match (engine, p) with
-            | Both, Some parsed -> diff_one ~rules parsed file_ds
+            | Both, Some parsed -> diff_one ~rules ~phys_eq_allow parsed file_ds
             | _ -> []
           in
           Option.iter (fun p -> parsed := p :: !parsed) p;
@@ -111,5 +159,5 @@ let lint_files ?(rules = Source_rules.builtin) ~engine files =
     let index = Ast_index.of_files (List.rev !parsed) in
     D.sort (ds @ Domain_safety.analyze index @ Exn_escape.analyze index)
 
-let lint_tree ?rules ?exclude ~engine roots =
-  lint_files ?rules ~engine (Source_lint.collect_tree ?exclude roots)
+let lint_tree ?rules ?phys_eq_allow ?exclude ~engine roots =
+  lint_files ?rules ?phys_eq_allow ~engine (Source_lint.collect_tree ?exclude roots)

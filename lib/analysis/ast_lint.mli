@@ -18,11 +18,17 @@ val covered_rules : Source_rules.rule list -> Source_rules.rule list
 (** Restrict a rule set to the rules both engines implement. *)
 
 val lint_files :
-  ?rules:Source_rules.rule list -> engine:engine -> string list -> Diagnostics.t list
+  ?rules:Source_rules.rule list -> ?phys_eq_allow:(string * int) list ->
+  engine:engine -> string list -> Diagnostics.t list
 (** Lint the given files with the chosen engine (missing-[.mli] check
-    included), sorted by location. *)
+    included), sorted by location. [phys_eq_allow] is the typed
+    exemption list from {!Typed_rules.expr_phys_eq_allow}: when given,
+    the phys-equality rule's static per-file allowlist is dropped and
+    instead exactly those (path, line) sites are exempt — in every
+    engine and in the differential comparison alike, so [engine-diff]
+    stays at zero. *)
 
 val lint_tree :
-  ?rules:Source_rules.rule list -> ?exclude:string list -> engine:engine ->
-  string list -> Diagnostics.t list
+  ?rules:Source_rules.rule list -> ?phys_eq_allow:(string * int) list ->
+  ?exclude:string list -> engine:engine -> string list -> Diagnostics.t list
 (** [lint_files] over {!Source_lint.collect_tree}. *)

@@ -98,6 +98,45 @@ let report_to_json ds =
     (count Error ds) (count Warn ds) (count Info ds)
     (String.concat "," (List.map to_json ds))
 
+(* SARIF 2.1.0: one run, one driver, results in sort order. Rule ids are
+   whatever checks actually fired (the full catalogue lives in Registry,
+   which this module cannot see — deliberate, Registry depends on
+   Source_rules which depends on here). File locations become physical
+   locations; model paths become logical locations, which SARIF defines
+   for exactly this "not a file" case. *)
+let severity_sarif = function Error -> "error" | Warn -> "warning" | Info -> "note"
+
+let result_to_sarif d =
+  let location =
+    match d.loc with
+    | File { path; line; col } ->
+      Printf.sprintf
+        {|{"physicalLocation":{"artifactLocation":{"uri":"%s"},"region":{"startLine":%d,"startColumn":%d}}}|}
+        (json_escape path) line col
+    | Model path ->
+      Printf.sprintf {|{"logicalLocations":[{"fullyQualifiedName":"%s"}]}|}
+        (json_escape path)
+  in
+  let message =
+    match d.hint with
+    | None -> d.message
+    | Some h -> d.message ^ " (hint: " ^ h ^ ")"
+  in
+  Printf.sprintf {|{"ruleId":"%s","level":"%s","message":{"text":"%s"},"locations":[%s]}|}
+    (json_escape d.check) (severity_sarif d.severity) (json_escape message) location
+
+let report_to_sarif ds =
+  let ds = sort ds in
+  let rules =
+    List.map (fun d -> d.check) ds
+    |> List.sort_uniq String.compare
+    |> List.map (fun c -> Printf.sprintf {|{"id":"%s"}|} (json_escape c))
+  in
+  Printf.sprintf
+    {|{"$schema":"https://json.schemastore.org/sarif-2.1.0.json","version":"2.1.0","runs":[{"tool":{"driver":{"name":"dwv_lint","rules":[%s]}},"results":[%s]}]}|}
+    (String.concat "," rules)
+    (String.concat "," (List.map result_to_sarif ds))
+
 let pp_summary ppf ds =
   let e = count Error ds and w = count Warn ds and i = count Info ds in
   let plural n = if n = 1 then "" else "s" in

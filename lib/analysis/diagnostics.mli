@@ -48,5 +48,12 @@ val to_json : t -> string
     field change. *)
 val report_to_json : t list -> string
 
+(** The full report as one SARIF 2.1.0 document (one run, driver
+    ["dwv_lint"], results in {!sort} order). [Error]/[Warn]/[Info] map
+    to SARIF levels [error]/[warning]/[note]; file locations become
+    physical locations, model paths logical locations. Golden-tested
+    like {!report_to_json}. *)
+val report_to_sarif : t list -> string
+
 (** Human-readable roll-up, e.g. ["3 errors, 1 warning"]. *)
 val pp_summary : Format.formatter -> t list -> unit

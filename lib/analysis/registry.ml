@@ -1,7 +1,7 @@
 (* Check registry. Names live here (not scattered through Model_check) so
    that `dwv_lint checks`, the docs and the tests all read one list. *)
 
-type layer = Model_layer | Source_layer | Ast_layer
+type layer = Model_layer | Source_layer | Ast_layer | Typed_layer
 
 type entry = { name : string; layer : layer; description : string }
 
@@ -23,6 +23,9 @@ let domain_safety = "domain-safety"
 let exn_escape = "exn-escape"
 let ast_parse = "ast-parse"
 let engine_diff = "engine-diff"
+let alloc_hotspot = "alloc-hotspot"
+let budget_threading = "budget-threading"
+let cmt_missing = "cmt-missing"
 
 let model_entries =
   [
@@ -53,6 +56,20 @@ let ast_entries =
     (engine_diff, "AST and regex engines agree on every shared rule (differential mode)");
   ]
 
+let typed_entries =
+  [
+    ( alloc_hotspot,
+      "no hot-loop allocation sites beyond the committed ALLOC_baseline.json \
+       (boxed floats, tuples/records/closures in loops, polymorphic compare on \
+       float types, mutable captures in Pool tasks)" );
+    ( budget_threading,
+      "every call path from a public verify/learn/initset entry point to the \
+       flowpipe/ODE kernels threads a Budget.t" );
+    ( cmt_missing,
+      "the typed engine found .cmt files for the requested roots (run `dune \
+       build @check` first)" );
+  ]
+
 let all =
   List.map
     (fun (name, description) -> { name; layer = Model_layer; description })
@@ -71,8 +88,12 @@ let all =
   @ List.map
       (fun (name, description) -> { name; layer = Ast_layer; description })
       ast_entries
+  @ List.map
+      (fun (name, description) -> { name; layer = Typed_layer; description })
+      typed_entries
 
 let layer_label = function
   | Model_layer -> "model"
   | Source_layer -> "source"
   | Ast_layer -> "ast"
+  | Typed_layer -> "typed"

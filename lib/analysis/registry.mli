@@ -4,7 +4,7 @@
     Layer-2 (source) entries are derived from {!Source_rules.builtin} so
     the listing can never drift from the rule table. *)
 
-type layer = Model_layer | Source_layer | Ast_layer
+type layer = Model_layer | Source_layer | Ast_layer | Typed_layer
 
 type entry = { name : string; layer : layer; description : string }
 
@@ -34,6 +34,12 @@ val domain_safety : string
 val exn_escape : string
 val ast_parse : string
 val engine_diff : string
+
+(** {1 Layer-4 (typed) check names} *)
+
+val alloc_hotspot : string
+val budget_threading : string
+val cmt_missing : string
 
 (** Every check, model layer first. *)
 val all : entry list

@@ -204,6 +204,8 @@ let excluded ~exclude path =
       fcs <> [] && at pcs)
     exclude
 
+let path_under ~fragments path = excluded ~exclude:fragments path
+
 let collect_tree ?(exclude = []) roots =
   List.iter refuse_build_root roots;
   (* Identity is the resolved absolute path, so overlapping roots

@@ -19,6 +19,12 @@ val lint_file : ?rules:Source_rules.rule list -> string -> Diagnostics.t list
     (path contains a [lib] component, suffix [.ml]) has no interface. *)
 val missing_mli_check : string -> Diagnostics.t list
 
+(** Is [path] under one of the [fragments]? Matched on contiguous whole
+    path components, like {!Source_rules} allowlists — the exclusion
+    predicate {!collect_tree} uses, exposed so other walkers (the typed
+    layer's cmt scan) exclude identically. *)
+val path_under : fragments:string list -> string -> bool
+
 (** Collect every [.ml]/[.mli] under the given roots, in a deterministic
     (sorted) walk order. Directories whose name starts with ['.'] or ['_']
     (notably [_build]) are skipped; a root that itself points into

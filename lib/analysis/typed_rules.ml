@@ -1,0 +1,31 @@
+(* Type-aware rule refinements over the Cmt_index. See the .mli. *)
+
+let phys_ops = [ "=="; "!=" ]
+
+let expr_phys_eq_allow idx =
+  let hits = ref [] in
+  List.iter
+    (fun (u : Cmt_index.unit_info) ->
+      let open Tast_iterator in
+      let iter =
+        {
+          default_iterator with
+          expr =
+            (fun self e ->
+              (match e.Typedtree.exp_desc with
+              | Typedtree.Texp_apply
+                  ( { Typedtree.exp_desc = Typedtree.Texp_ident (p, { loc; _ }, _); _ },
+                    (_, Some first) :: _ )
+                when List.mem (Cmt_index.canon_ident idx u p) phys_ops
+                     && Cmt_index.type_head idx u first.Typedtree.exp_type = "Expr.t" ->
+                let line, _ = Src_ast.start_line_col loc in
+                hits := (u.Cmt_index.u_source, line) :: !hits
+              | _ -> ());
+              default_iterator.expr self e);
+        }
+      in
+      (* the whole structure, not just u_fns: the Expr intern table's
+         depth-1 equality lives inside a functor argument *)
+      iter.structure iter u.Cmt_index.u_str)
+    (Cmt_index.units idx);
+  List.sort_uniq compare !hits

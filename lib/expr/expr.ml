@@ -272,7 +272,7 @@ let ieval_vec f ~x ~u = Array.map (fun fi -> ieval fi ~x ~u) f
    table maps each structure (under Float.equal constant semantics:
    every NaN equal thanks to canonicalization, -0. distinct from 0.) to
    exactly one node, so the comparison is a pointer check. *)
-let equal a b = a == b
+let equal (a : t) (b : t) = a == b
 
 let hash e = e.hash
 let id e = e.id

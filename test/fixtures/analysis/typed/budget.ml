@@ -1,0 +1,12 @@
+(* Fixture stand-in for the robust-layer budget: same shape the
+   Budget_threading sinks expect (Budget.check / Budget.spend_steps). *)
+
+type t = { mutable steps : int }
+
+let create n = { steps = n }
+
+let check b = if b.steps <= 0 then Error "budget exhausted" else Ok ()
+
+let spend_steps b n =
+  b.steps <- b.steps - n;
+  if b.steps < 0 then Error "budget exhausted" else Ok ()

@@ -1,0 +1,10 @@
+(* Phys-equality exemption fixture. This unit canonicalizes to "Expr",
+   so [equal] below is the hash-consing pattern the typed allowlist must
+   exempt (t == t), while [bad] compares float arrays with (==) and must
+   stay flagged. *)
+
+type t = { tag : int; hash : int }
+
+let equal (a : t) (b : t) = a == b
+
+let bad (x : float array) (y : float array) = x == y

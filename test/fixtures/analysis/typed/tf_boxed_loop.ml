@@ -1,0 +1,33 @@
+(* Allocation-profile fixture: a grab-bag of hot-loop allocation
+   patterns the profiler must classify. Every site here is intentional;
+   the test pins down the expected class multiset. *)
+
+(* Entry point: float ref accumulator, boxed-float let, per-iteration
+   tuple / list / option / array / closure allocs, and polymorphic
+   comparison on a float-bearing composite. *)
+let hot (xs : float array) (ys : (float * float) array) =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length xs - 1 do
+    let scaled = xs.(i) *. 3.0 in
+    let pair = (xs.(i), scaled) in
+    let cell = [ xs.(i) ] in
+    let opt = Some xs.(i) in
+    let tmp = Array.make 2 xs.(i) in
+    let f = fun v -> v +. scaled in
+    if compare pair ys.(i) < 0 then acc := !acc +. f tmp.(0);
+    ignore cell;
+    ignore opt
+  done;
+  !acc
+
+(* Entry point: Pool task capturing mutable state shared across domains. *)
+let pool_hot (p : Pool.t) (xs : float array) =
+  let hits = ref 0 in
+  let out =
+    Pool.mapi p
+      (fun i x ->
+        if x > 0.0 then incr hits;
+        x +. float_of_int i)
+      xs
+  in
+  (out, !hits)

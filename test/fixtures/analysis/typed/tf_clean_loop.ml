@@ -1,0 +1,10 @@
+(* Clean counterpart to tf_boxed_loop: same workload shape, but the
+   output array is preallocated outside the loop, the accumulator lives
+   in the array, and comparisons use specialized float operators on
+   scalars. The profiler must report zero sites for [clean]. *)
+
+let clean (xs : float array) (out : float array) =
+  for i = 0 to Array.length xs - 1 do
+    out.(i) <- (xs.(i) *. 3.0) +. 1.0;
+    if out.(i) > 10.0 then out.(i) <- 10.0
+  done

@@ -19,5 +19,6 @@ let () =
       ("systems", Test_systems.suite);
       ("analysis", Test_analysis.suite);
       ("ast", Test_ast.suite);
+      ("typed", Test_typed.suite);
       ("integration", Test_integration.suite);
     ]

@@ -1,0 +1,267 @@
+(* Layer-4 typed-analysis suite, run against the compiled fixture corpus
+   in fixtures/analysis/typed (a real dune library, so its .cmt files
+   exist under the test's own build directory). Covers the cmt index,
+   the typed phys-equality exemption end to end through Ast_lint, the
+   allocation profiler (boxed loop vs clean loop, determinism, baseline
+   round-trip) and the budget-threading verifier (clean chain, dropped
+   budget, unbudgeted kernel, bad entries), plus the SARIF envelope. *)
+
+module D = Dwv_analysis.Diagnostics
+module CI = Dwv_analysis.Cmt_index
+module TR = Dwv_analysis.Typed_rules
+module AP = Dwv_analysis.Alloc_profile
+module BT = Dwv_analysis.Budget_threading
+module AL = Dwv_analysis.Ast_lint
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* The fixture corpus builds inside the test directory, so from the
+   test's cwd (_build/default/test) the cmts sit right here. *)
+let fixture_build = "fixtures/analysis/typed"
+let fixture_src = "test/fixtures/analysis/typed"
+
+let idx = lazy (CI.scan ~build_dir:fixture_build ())
+
+(* ---------------- index ---------------- *)
+
+let test_index_units () =
+  let idx = Lazy.force idx in
+  Alcotest.(check (list string))
+    "fixture units, canonical names, sorted"
+    [
+      "Budget"; "Expr"; "Pool"; "Rk45"; "Tf_boxed_loop"; "Tf_budget_drop";
+      "Tf_budget_ok"; "Tf_clean_loop";
+    ]
+    (List.map (fun u -> u.CI.u_name) (CI.units idx));
+  Alcotest.(check (list (pair string string))) "no load errors" []
+    (CI.load_errors idx)
+
+let test_index_budget_param () =
+  let idx = Lazy.force idx in
+  match CI.find_fn idx "Rk45.integrate" with
+  | None -> Alcotest.fail "Rk45.integrate not indexed"
+  | Some (_, fn) -> (
+    match fn.CI.t_params with
+    | { CI.p_label = "?budget"; p_budget = true } :: _ -> ()
+    | _ -> Alcotest.fail "?budget param not recognized as Budget.t-typed")
+
+let test_index_call_resolution () =
+  let idx = Lazy.force idx in
+  match CI.find_fn idx "Tf_budget_ok.verify" with
+  | None -> Alcotest.fail "Tf_budget_ok.verify not indexed"
+  | Some (_, fn) ->
+    let callees = List.map (fun c -> c.CI.c_callee) fn.CI.t_calls in
+    Alcotest.(check bool) "calls Budget.spend_steps" true
+      (List.mem "Budget.spend_steps" callees);
+    Alcotest.(check bool) "calls refine" true
+      (List.mem "Tf_budget_ok.refine" callees)
+
+(* ---------------- typed phys-equality exemption ---------------- *)
+
+let test_phys_eq_allow_sites () =
+  let allow = TR.expr_phys_eq_allow (Lazy.force idx) in
+  (* the t == t in [equal] is exempt; the float array == two lines down
+     is not *)
+  Alcotest.(check (list (pair string int)))
+    "exactly the Expr.t identity test"
+    [ (fixture_src ^ "/expr.ml", 8) ]
+    allow
+
+let test_phys_eq_allow_filters_lint () =
+  let allow =
+    (* cmt paths are rooted at the project ("test/fixtures/..."); the
+       lint below runs from the test directory, so strip the prefix *)
+    List.map
+      (fun (p, l) ->
+        match String.index_opt p '/' with
+        | Some i when String.sub p 0 i = "test" ->
+          (String.sub p (i + 1) (String.length p - i - 1), l)
+        | _ -> (p, l))
+      (TR.expr_phys_eq_allow (Lazy.force idx))
+  in
+  let file = fixture_build ^ "/expr.ml" in
+  let ds = AL.lint_files ~phys_eq_allow:allow ~engine:AL.Both [ file ] in
+  let phys_lines =
+    List.filter_map
+      (fun d ->
+        match (d.D.check, d.D.loc) with
+        | "phys-equality", D.File { line; _ } -> Some line
+        | _ -> None)
+      ds
+  in
+  Alcotest.(check (list int)) "only the float-array == is flagged" [ 10 ]
+    phys_lines;
+  Alcotest.(check int) "no engine disagreement" 0
+    (List.length (List.filter (fun d -> d.D.check = "engine-diff") ds))
+
+(* ---------------- allocation profile ---------------- *)
+
+let hot_entries = [ "Tf_boxed_loop.hot"; "Tf_boxed_loop.pool_hot" ]
+
+let profile entries =
+  AP.profile ~entries (Lazy.force idx)
+
+let classes_of fn sites =
+  List.filter (fun s -> s.AP.s_fn = fn) sites
+  |> List.map (fun s -> s.AP.s_class)
+  |> List.sort_uniq String.compare
+
+let test_alloc_boxed_loop () =
+  let sites, diags = profile hot_entries in
+  Alcotest.(check int) "all entries resolved" 0 (List.length diags);
+  let got = classes_of "Tf_boxed_loop.hot" sites in
+  List.iter
+    (fun cls ->
+      Alcotest.(check bool) (cls ^ " detected") true (List.mem cls got))
+    [
+      "float-ref"; "boxed-float-let"; "tuple-in-loop"; "list-cons-in-loop";
+      "option-alloc-in-loop"; "array-alloc-in-loop"; "closure-in-loop";
+      "float-poly-compare";
+    ];
+  (* every in-loop site carries its nesting depth in the score *)
+  List.iter
+    (fun s ->
+      Alcotest.(check int)
+        (Fmt.str "score law at %s:%d" s.AP.s_file s.AP.s_line)
+        (s.AP.s_weight * (1 + s.AP.s_depth))
+        s.AP.s_score)
+    sites
+
+let test_alloc_task_state () =
+  let sites, _ = profile hot_entries in
+  let task =
+    List.filter
+      (fun s ->
+        s.AP.s_fn = "Tf_boxed_loop.pool_hot"
+        && s.AP.s_class = "task-mutable-state")
+      sites
+  in
+  Alcotest.(check bool) "mutable capture inside the Pool task flagged" true
+    (task <> [])
+
+let test_alloc_clean_loop () =
+  (* Pool-launching functions are auto-rooted whatever the entry list
+     (so repo scans never miss a task body), hence the filter: the
+     assertion is about [clean] itself. *)
+  let sites, diags = profile [ "Tf_clean_loop.clean" ] in
+  Alcotest.(check int) "entry resolved" 0 (List.length diags);
+  Alcotest.(check int) "preallocated loop has no sites" 0
+    (List.length (List.filter (fun s -> s.AP.s_fn = "Tf_clean_loop.clean") sites))
+
+let test_alloc_unresolved_entry () =
+  let _, diags = profile [ "Tf_boxed_loop.nope" ] in
+  match diags with
+  | [ d ] ->
+    Alcotest.(check bool) "info, not error" true (d.D.severity = D.Info);
+    Alcotest.(check bool) "names the entry" true
+      (contains ~sub:"Tf_boxed_loop.nope" d.D.message)
+  | ds -> Alcotest.fail (Fmt.str "expected 1 info, got %d" (List.length ds))
+
+let test_alloc_determinism () =
+  let s1, _ = profile hot_entries in
+  let s2, _ = profile hot_entries in
+  Alcotest.(check string) "report is bit-identical across runs"
+    (AP.report_to_json s1) (AP.report_to_json s2)
+
+let test_alloc_baseline_roundtrip () =
+  let sites, _ = profile hot_entries in
+  Alcotest.(check bool) "profile is non-empty" true (sites <> []);
+  let baseline = AP.report_to_json sites in
+  Alcotest.(check int) "full baseline covers the profile" 0
+    (List.length (AP.diff_against_baseline ~baseline sites));
+  let truncated = AP.report_to_json (List.tl (AP.sort sites)) in
+  let ds = AP.diff_against_baseline ~baseline:truncated sites in
+  Alcotest.(check bool) "dropping a baseline line re-arms the gate" true
+    (D.has_errors ds)
+
+(* ---------------- budget threading ---------------- *)
+
+let analyze entries = BT.analyze ~entries (Lazy.force idx)
+
+let test_budget_clean_chain () =
+  Alcotest.(check int) "threaded chain verifies" 0
+    (List.length (analyze [ "Tf_budget_ok.verify" ]))
+
+let test_budget_violations () =
+  let ds = analyze [ "Tf_budget_drop.verify" ] in
+  Alcotest.(check bool) "violations are errors" true (D.has_errors ds);
+  let messages = String.concat "\n" (List.map (fun d -> d.D.message) ds) in
+  Alcotest.(check bool) "omitted ?budget to middle is a drop" true
+    (contains ~sub:"Tf_budget_drop.middle" messages
+    && contains ~sub:"omits it" messages);
+  Alcotest.(check bool) "helper reaches the kernel unbudgeted" true
+    (contains ~sub:"Rk45.integrate" messages
+    && contains ~sub:"no Budget.t in scope" messages)
+
+let test_budget_entry_without_param () =
+  let ds = analyze [ "Tf_budget_drop.helper" ] in
+  Alcotest.(check bool) "entry lacking ?budget is an error" true
+    (D.has_errors ds
+    && contains ~sub:"does not accept a Budget.t"
+         (String.concat "\n" (List.map (fun d -> d.D.message) ds)))
+
+let test_budget_missing_entry () =
+  let ds = analyze [ "Nope.missing" ] in
+  Alcotest.(check bool) "unresolvable entry is an error" true
+    (D.has_errors ds
+    && contains ~sub:"not found in the typed index"
+         (String.concat "\n" (List.map (fun d -> d.D.message) ds)))
+
+(* ---------------- SARIF envelope ---------------- *)
+
+let test_sarif_golden () =
+  let ds =
+    [
+      D.error ~check:"phys-equality"
+        ~loc:(D.File { path = "a.ml"; line = 3; col = 7 })
+        "bad \"eq\"" ~hint:"use =";
+      D.warn ~check:"spec-overlap" ~loc:(D.Model "acc/spec") "sets overlap";
+    ]
+  in
+  let expected =
+    {|{"$schema":"https://json.schemastore.org/sarif-2.1.0.json","version":"2.1.0","runs":[{"tool":{"driver":{"name":"dwv_lint","rules":[{"id":"phys-equality"},{"id":"spec-overlap"}]}},"results":[|}
+    ^ {|{"ruleId":"spec-overlap","level":"warning","message":{"text":"sets overlap"},"locations":[{"logicalLocations":[{"fullyQualifiedName":"acc/spec"}]}]},|}
+    ^ {|{"ruleId":"phys-equality","level":"error","message":{"text":"bad \"eq\" (hint: use =)"},"locations":[{"physicalLocation":{"artifactLocation":{"uri":"a.ml"},"region":{"startLine":3,"startColumn":7}}}]}|}
+    ^ {|]}]}|}
+  in
+  Alcotest.(check string) "SARIF envelope is stable" expected
+    (D.report_to_sarif ds)
+
+let suite =
+  [
+    Alcotest.test_case "index: fixture units and sources" `Quick
+      test_index_units;
+    Alcotest.test_case "index: ?budget param typed as Budget.t" `Quick
+      test_index_budget_param;
+    Alcotest.test_case "index: intra-corpus calls resolve canonically" `Quick
+      test_index_call_resolution;
+    Alcotest.test_case "phys-eq: allowlist is exactly the Expr.t sites" `Quick
+      test_phys_eq_allow_sites;
+    Alcotest.test_case "phys-eq: typed allow filters both engines" `Quick
+      test_phys_eq_allow_filters_lint;
+    Alcotest.test_case "alloc: boxed-loop classes all detected" `Quick
+      test_alloc_boxed_loop;
+    Alcotest.test_case "alloc: Pool task mutable capture flagged" `Quick
+      test_alloc_task_state;
+    Alcotest.test_case "alloc: clean preallocated loop is silent" `Quick
+      test_alloc_clean_loop;
+    Alcotest.test_case "alloc: unresolved entry is an info" `Quick
+      test_alloc_unresolved_entry;
+    Alcotest.test_case "alloc: report is deterministic" `Quick
+      test_alloc_determinism;
+    Alcotest.test_case "alloc: baseline round-trips and re-arms" `Quick
+      test_alloc_baseline_roundtrip;
+    Alcotest.test_case "budget: threaded chain verifies clean" `Quick
+      test_budget_clean_chain;
+    Alcotest.test_case "budget: drop and unbudgeted kernel caught" `Quick
+      test_budget_violations;
+    Alcotest.test_case "budget: entry without ?budget rejected" `Quick
+      test_budget_entry_without_param;
+    Alcotest.test_case "budget: unknown entry rejected" `Quick
+      test_budget_missing_entry;
+    Alcotest.test_case "sarif: envelope is golden-stable" `Quick
+      test_sarif_golden;
+  ]
