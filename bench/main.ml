@@ -486,6 +486,8 @@ type pworkload = {
   p_par : float;     (* wall seconds at the requested domain count *)
   p_match : bool;    (* bit-identical results at both domain counts? *)
   p_detail : string;
+  p_counters_seq : (string * int) list;  (* Counters snapshot of the seq run *)
+  p_counters_par : (string * int) list;  (* ... and of the par run *)
 }
 
 (* Algorithm 1 on ACC: 3 coordinate probe pairs fan out per iteration. *)
@@ -569,7 +571,8 @@ let print_parallel ~domains () =
       (if t_par > 0.0 then t_seq /. t_par else Float.nan)
       (if ok then "identical" else "MISMATCH");
     { p_name = name; p_seq = t_seq; p_par = t_par; p_match = ok;
-      p_detail = detail (if ok then seq else par) }
+      p_detail = detail (if ok then seq else par);
+      p_counters_seq = []; p_counters_par = [] }
   in
   let learn =
     workload "learn"
@@ -667,18 +670,30 @@ let read_hotpath_baseline path =
 
 (* Min-of-reps for sub-2s workloads: the first run also pays the
    one-time per-domain costs (DLS memo fills, Lie-table builds), which a
-   steady-state throughput number should not include. *)
+   steady-state throughput number should not include. The global event
+   counters are reset before and snapshot after the FIRST run only, so
+   the reported counts describe exactly one deterministic execution. *)
 let adaptive_timed run arg =
+  Dwv_util.Counters.reset ();
   let r, t0 = timed (fun () -> run arg) in
-  if t0 >= 2.0 then (r, t0)
+  let counters = Dwv_util.Counters.snapshot () in
+  if t0 >= 2.0 then (r, t0, counters)
   else begin
     let best = ref t0 in
     for _ = 1 to 2 do
       let _, t = timed (fun () -> run arg) in
       if t < !best then best := t
     done;
-    (r, !best)
+    (r, !best, counters)
   end
+
+let bprint_counters b counters =
+  Printf.bprintf b "{";
+  List.iteri
+    (fun i (k, v) ->
+      Printf.bprintf b "%s\"%s\": %d" (if i = 0 then "" else ", ") (json_escape k) v)
+    counters;
+  Printf.bprintf b "}"
 
 let write_hotpath_json ~domains_requested ~cores ~effective_domains ~aggregate_speedup
     ~all_match ~slowdown_ok ~baseline_cores ~baseline_aggregate ~baseline_ok ~passed
@@ -692,10 +707,16 @@ let write_hotpath_json ~domains_requested ~cores ~effective_domains ~aggregate_s
     (fun i w ->
       Printf.bprintf b
         "    {\"name\": \"%s\", \"seq_seconds\": %.6f, \"par_seconds\": %.6f, \
-         \"speedup\": %.3f, \"match\": %b, \"detail\": \"%s\"}%s\n"
+         \"speedup\": %.3f, \"match\": %b, \"detail\": \"%s\",\n     \
+         \"counters_seq\": "
         (json_escape w.p_name) w.p_seq w.p_par
         (if w.p_par > 0.0 then w.p_seq /. w.p_par else Float.nan)
-        w.p_match (json_escape w.p_detail)
+        w.p_match (json_escape w.p_detail);
+      bprint_counters b w.p_counters_seq;
+      Printf.bprintf b ", \"counters_par\": ";
+      bprint_counters b w.p_counters_par;
+      Printf.bprintf b ", \"counters_match\": %b}%s\n"
+        (w.p_counters_seq = w.p_counters_par)
         (if i = List.length workloads - 1 then "" else ","))
     workloads;
   Printf.bprintf b "  ],\n  \"aggregate_speedup\": %.3f,\n  \"all_match\": %b,\n"
@@ -723,14 +744,15 @@ let print_hotpath ~domains () =
   let baseline_cores_f, baseline_aggregate = read_hotpath_baseline baseline_path in
   let baseline_cores = Option.map int_of_float baseline_cores_f in
   let workload name detail run equal =
-    let seq, t_seq = adaptive_timed run 1 in
-    let par, t_par = adaptive_timed run domains in
-    let ok = equal seq par in
+    let seq, t_seq, c_seq = adaptive_timed run 1 in
+    let par, t_par, c_par = adaptive_timed run domains in
+    let ok = equal seq par && c_seq = c_par in
     Fmt.pr "%-12s  seq %.2fs  par %.2fs  speedup %.2fx  %s@." name t_seq t_par
       (if t_par > 0.0 then t_seq /. t_par else Float.nan)
       (if ok then "identical" else "MISMATCH");
     { p_name = name; p_seq = t_seq; p_par = t_par; p_match = ok;
-      p_detail = detail (if ok then seq else par) }
+      p_detail = detail (if ok then seq else par);
+      p_counters_seq = c_seq; p_counters_par = c_par }
   in
   let learn =
     workload "learn"
@@ -797,6 +819,188 @@ let print_hotpath ~domains () =
   if not passed then exit 1
 
 (* ---------------------------------------------------------------- *)
+(* Section: certs — replayable proof certificates (BENCH_certs.json).
+   Cold run: every verifier call computes fresh and deposits a
+   certificate. Warm run: a new cache instance over the same directory
+   replays every call from its validated certificate — zero fresh
+   flowpipes — with bit-identical results. A third run re-checks the
+   reject path: one stored certificate gets a single byte flipped on
+   disk; the checker must reject exactly that entry, recompute it fresh,
+   and still produce the cold result. *)
+
+module Cert_cache = Dwv_cert.Cert_cache
+
+let rec remove_tree path =
+  match Sys.is_directory path with
+  | true ->
+    Array.iter (fun f -> remove_tree (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let cert_bench_dir =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "dwv_bench_certs_%d" (Unix.getpid ()))
+
+let certs_initset cache =
+  let c = acc_init_for_seed 1 in
+  Initset.search ~max_depth:3
+    ~verify:(fun cell -> (Acc.verify_robust_from ?cache cell c).Verifier.pipe)
+    ~goal:Acc.spec.Spec.goal ~x0:Acc.spec.Spec.x0 ()
+
+let certs_learn cache =
+  Learner.learn
+    { (acc_learn_cfg 0.2) with Learner.max_iters = 8; seed = 1 }
+    ~metric:Metrics.Geometric ~spec:Acc.spec
+    ~verify:(fun ctrl -> (Acc.verify_robust ?cache ctrl).Verifier.pipe)
+    ~init:(acc_init_for_seed 1)
+
+let initset_equal (a : Initset.result) (b : Initset.result) =
+  a.Initset.verified = b.Initset.verified
+  && a.Initset.rejected = b.Initset.rejected
+  && a.Initset.coverage = b.Initset.coverage
+  && a.Initset.verifier_calls = b.Initset.verifier_calls
+
+let learn_equal (a : Learner.result) (b : Learner.result) =
+  Controller.params a.Learner.controller = Controller.params b.Learner.controller
+  && a.Learner.iterations = b.Learner.iterations
+  && a.Learner.verifier_calls = b.Learner.verifier_calls
+  && a.Learner.verdict = b.Learner.verdict
+
+type cert_run = {
+  cr_name : string;
+  cr_cold : float;
+  cr_warm : float;
+  cr_match : bool;
+  cr_clean : bool;   (* warm run all-hit: 0 miss, 0 reject, 0 fresh flowpipes *)
+  cr_detail : string;
+  cr_cold_counters : (string * int) list;
+  cr_warm_counters : (string * int) list;
+}
+
+let counted_timed f =
+  Dwv_util.Counters.reset ();
+  let r, t = timed f in
+  (r, t, Dwv_util.Counters.snapshot ())
+
+let count counters key = Option.value ~default:0 (List.assoc_opt key counters)
+
+let certs_gate_rule =
+  "initset warm >= 2x cold; warm runs all-hit (0 miss, 0 reject, 0 fresh \
+   flowpipes, hits = cold lookups); cold/warm results bit-identical; tampered \
+   certificate rejected and recomputed to the identical result"
+
+let write_certs_json ~workloads ~tamper_rejects ~tamper_match ~initset_speedup_ok
+    ~passed path =
+  let b = Buffer.create 2048 in
+  Printf.bprintf b "{\n  \"version\": 1,\n  \"workloads\": [\n";
+  List.iteri
+    (fun i w ->
+      Printf.bprintf b
+        "    {\"name\": \"%s\", \"cold_seconds\": %.6f, \"warm_seconds\": %.6f, \
+         \"speedup\": %.3f, \"match\": %b, \"warm_clean\": %b, \"detail\": \"%s\",\n     \
+         \"counters_cold\": "
+        (json_escape w.cr_name) w.cr_cold w.cr_warm
+        (if w.cr_warm > 0.0 then w.cr_cold /. w.cr_warm else Float.nan)
+        w.cr_match w.cr_clean (json_escape w.cr_detail);
+      bprint_counters b w.cr_cold_counters;
+      Printf.bprintf b ", \"counters_warm\": ";
+      bprint_counters b w.cr_warm_counters;
+      Printf.bprintf b "}%s\n" (if i = List.length workloads - 1 then "" else ","))
+    workloads;
+  Printf.bprintf b
+    "  ],\n  \"tamper\": {\"rejects\": %d, \"match\": %b},\n  \"gate\": {\"rule\": \
+     \"%s\", \"initset_speedup_ok\": %b, \"passed\": %b}\n}\n"
+    tamper_rejects tamper_match (json_escape certs_gate_rule) initset_speedup_ok passed;
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc
+
+let print_certs () =
+  Fmt.pr "--- Certificates: cold vs warm cache, reject-on-tamper ---@.";
+  remove_tree cert_bench_dir;
+  let fresh_cache () = Some (Cert_cache.create ~dir:cert_bench_dir ()) in
+  let cert_workload name detail run equal =
+    let cold, t_cold, c_cold = counted_timed (fun () -> run (fresh_cache ())) in
+    let warm, t_warm, c_warm = counted_timed (fun () -> run (fresh_cache ())) in
+    let ok = equal cold warm in
+    (* the warm run must replay everything: every lookup hits, nothing is
+       recomputed, and the call accounting stays cache-blind *)
+    let clean =
+      count c_warm "cache_misses" = 0
+      && count c_warm "cache_rejects" = 0
+      && count c_warm "linear_flowpipes" = 0
+      && count c_warm "nn_flowpipes" = 0
+      && count c_warm "cache_hits" = count c_cold "cache_hits" + count c_cold "cache_misses"
+      && count c_warm "verifier_calls" = count c_cold "verifier_calls"
+    in
+    Fmt.pr "%-12s  cold %.3fs  warm %.3fs  speedup %.2fx  %s  %s@." name t_cold t_warm
+      (if t_warm > 0.0 then t_cold /. t_warm else Float.nan)
+      (if ok then "identical" else "MISMATCH")
+      (if clean then "all-hit" else "NOT-ALL-HIT");
+    ( { cr_name = name; cr_cold = t_cold; cr_warm = t_warm; cr_match = ok;
+        cr_clean = clean; cr_detail = detail cold;
+        cr_cold_counters = c_cold; cr_warm_counters = c_warm },
+      cold )
+  in
+  let initset_w, initset_cold =
+    cert_workload "initset"
+      (fun (r : Initset.result) ->
+        Fmt.str "acc depth 3, coverage=%.4f, %d calls" r.Initset.coverage
+          r.Initset.verifier_calls)
+      certs_initset initset_equal
+  in
+  let learn_w, _ =
+    cert_workload "learn"
+      (fun (r : Learner.result) ->
+        Fmt.str "acc coordinate, CI=%d, %d calls, %s" r.Learner.iterations
+          r.Learner.verifier_calls
+          (Dwv_reach.Verifier.verdict_to_string r.Learner.verdict))
+      certs_learn learn_equal
+  in
+  (* flip one byte in the middle of a stored certificate: the independent
+     checker must reject it (checksum), the rung recomputes fresh, and
+     the result is still bit-identical to the cold run *)
+  let tamper_file =
+    Sys.readdir cert_bench_dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".dwvcert")
+    |> List.sort compare
+    |> function
+    | [] -> None
+    | f :: _ -> Some (Filename.concat cert_bench_dir f)
+  in
+  let tamper_rejects, tamper_match =
+    match tamper_file with
+    | None -> (0, false)
+    | Some path ->
+      let bytes =
+        In_channel.with_open_bin path (fun ic ->
+            really_input_string ic (in_channel_length ic))
+      in
+      let buf = Bytes.of_string bytes in
+      let pos = Bytes.length buf / 2 in
+      Bytes.set buf pos (Char.chr (Char.code (Bytes.get buf pos) lxor 0x10));
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (Bytes.unsafe_to_string buf));
+      let tampered, _, c_tamper = counted_timed (fun () -> certs_initset (fresh_cache ())) in
+      (count c_tamper "cache_rejects", initset_equal initset_cold tampered)
+  in
+  Fmt.pr "tamper: %d reject(s), recomputed result %s@." tamper_rejects
+    (if tamper_match then "identical" else "MISMATCH");
+  let workloads = [ initset_w; learn_w ] in
+  let initset_speedup_ok = initset_w.cr_cold >= 2.0 *. initset_w.cr_warm in
+  let all_ok = List.for_all (fun w -> w.cr_match && w.cr_clean) workloads in
+  let passed = initset_speedup_ok && all_ok && tamper_rejects >= 1 && tamper_match in
+  write_certs_json ~workloads ~tamper_rejects ~tamper_match ~initset_speedup_ok ~passed
+    "BENCH_certs.json";
+  Fmt.pr "gate %s [BENCH_certs.json written]@."
+    (if passed then "passed"
+     else if not initset_speedup_ok then "FAILED (warm initset not 2x faster)"
+     else if not all_ok then "FAILED (warm run mismatched or not all-hit)"
+     else "FAILED (tampered certificate not rejected)");
+  if not passed then exit 1
+
+(* ---------------------------------------------------------------- *)
 
 let flush_section () = Format.pp_print_flush Format.std_formatter ()
 
@@ -820,13 +1024,14 @@ let () =
     match sections with
     | [] ->
       [ "table1"; "table2"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8"; "tightness";
-        "micro"; "parallel"; "hotpath" ]
+        "micro"; "parallel"; "hotpath"; "certs" ]
     | _ -> sections
   in
   let domains = Option.value domains ~default:(Pool.default_domains ()) in
   let want s = List.mem s sections in
   if want "parallel" then begin print_parallel ~domains (); flush_section () end;
   if want "hotpath" then begin print_hotpath ~domains (); flush_section () end;
+  if want "certs" then begin print_certs (); flush_section () end;
   if want "table2" then begin print_table2 (); flush_section () end;
   if want "micro" then begin print_micro (); flush_section () end;
   let acc = if List.exists want [ "table1"; "fig4"; "fig6" ] then Some (run_acc ()) else None in

@@ -4,7 +4,10 @@
      dwv verify   -s oscillator -t polar    verify the warm-start design
      dwv learn    -s acc -m G               run Algorithm 1
      dwv simulate -s threed -n 500          Monte-Carlo SC/GR rates
-     dwv initset  -s acc                    run Algorithm 2 *)
+     dwv initset  -s acc                    run Algorithm 2
+     dwv cert emit -s acc --cert-dir D      verify + deposit a certificate
+     dwv cert check FILE -s acc             independently re-check a certificate
+     dwv cert gc --cert-dir D --keep N      bound the on-disk store *)
 
 module Box = Dwv_interval.Box
 module Verifier = Dwv_reach.Verifier
@@ -20,17 +23,23 @@ module Dwv_error = Dwv_robust.Dwv_error
 module Budget = Dwv_robust.Budget
 module Fault = Dwv_robust.Fault
 module Pool = Dwv_parallel.Pool
+module Cert_cache = Dwv_cert.Cert_cache
+module Cert_check = Dwv_cert.Cert_check
 
 (* Uniform handle over the three benchmark systems. *)
 type system = {
   spec : Spec.t;
   sampled : Dwv_ode.Sampled_system.t;
+  dynamics : Dwv_expr.Expr.t array;
   init : Rng.t -> Controller.t;
   verify : Verifier.nn_method option -> Controller.t -> Flowpipe.t;
   verify_from : Verifier.nn_method option -> Box.t -> Controller.t -> Flowpipe.t;
   verify_robust :
-    Verifier.nn_method option -> Budget.t option -> Controller.t ->
-    Verifier.fallback_report;
+    Verifier.nn_method option -> Budget.t option -> Cert_cache.t option ->
+    Controller.t -> Verifier.fallback_report;
+  verify_robust_from :
+    Verifier.nn_method option -> Budget.t option -> Cert_cache.t option ->
+    Box.t -> Controller.t -> Verifier.fallback_report;
   sim : Controller.t -> float array -> float array;
   default_cfg : Learner.config;
 }
@@ -40,10 +49,13 @@ let acc_system =
   {
     spec = A.spec;
     sampled = A.sampled;
+    dynamics = A.dynamics;
     init = (fun _ -> A.initial_controller);
     verify = (fun _ c -> A.verify c);
     verify_from = (fun _ cell c -> A.verify_from cell c);
-    verify_robust = (fun _ budget c -> A.verify_robust ?budget c);
+    verify_robust = (fun _ budget cache c -> A.verify_robust ?budget ?cache c);
+    verify_robust_from =
+      (fun _ budget cache cell c -> A.verify_robust_from ?budget ?cache cell c);
     sim = A.sim_controller;
     default_cfg = { Learner.default_config with max_iters = 150; alpha = 0.2; beta = 0.2 };
   }
@@ -58,10 +70,13 @@ let oscillator_system =
   {
     spec = O.spec;
     sampled = O.sampled;
+    dynamics = O.dynamics;
     init = (fun rng -> O.pretrained_controller rng);
     verify = (fun m c -> O.verify ?method_:m c);
     verify_from = (fun m cell c -> O.verify_from ?method_:m cell c);
-    verify_robust = (fun m budget c -> O.verify_robust ?method_:m ?budget c);
+    verify_robust = (fun m budget cache c -> O.verify_robust ?method_:m ?budget ?cache c);
+    verify_robust_from =
+      (fun m budget cache cell c -> O.verify_robust_from ?method_:m ?budget ?cache cell c);
     sim = O.sim_controller;
     default_cfg = nn_cfg;
   }
@@ -71,10 +86,13 @@ let threed_system =
   {
     spec = T.spec;
     sampled = T.sampled;
+    dynamics = T.dynamics;
     init = (fun rng -> T.pretrained_controller rng);
     verify = (fun m c -> T.verify ?method_:m c);
     verify_from = (fun m cell c -> T.verify_from ?method_:m cell c);
-    verify_robust = (fun m budget c -> T.verify_robust ?method_:m ?budget c);
+    verify_robust = (fun m budget cache c -> T.verify_robust ?method_:m ?budget ?cache c);
+    verify_robust_from =
+      (fun m budget cache cell c -> T.verify_robust_from ?method_:m ?budget ?cache cell c);
     sim = T.sim_controller;
     default_cfg = nn_cfg;
   }
@@ -84,10 +102,13 @@ let pendulum_system =
   {
     spec = P.spec;
     sampled = P.sampled;
+    dynamics = P.dynamics;
     init = (fun rng -> P.pretrained_controller rng);
     verify = (fun m c -> P.verify ?method_:m c);
     verify_from = (fun m cell c -> P.verify_from ?method_:m cell c);
-    verify_robust = (fun m budget c -> P.verify_robust ?method_:m ?budget c);
+    verify_robust = (fun m budget cache c -> P.verify_robust ?method_:m ?budget ?cache c);
+    verify_robust_from =
+      (fun m budget cache cell c -> P.verify_robust_from ?method_:m ?budget ?cache cell c);
     sim = P.sim_controller;
     default_cfg = nn_cfg;
   }
@@ -163,9 +184,23 @@ let max_calls_arg =
 let fault_arg =
   let doc =
     "Inject a fault at verifier call $(i,IDX) (0-based): IDX:KIND with KIND one of \
-     nan, blowup, deadline, budget. Repeatable."
+     nan, blowup, deadline, budget, cert-corrupt, cert-stale, cert-io. Repeatable."
   in
   Arg.(value & opt_all string [] & info [ "fault" ] ~docv:"IDX:KIND" ~doc)
+
+let cert_dir_arg =
+  let doc =
+    "Consult (and grow) a crash-safe certificate cache rooted at this directory: \
+     verifier calls whose stored certificate re-validates are replayed bit-exactly \
+     instead of recomputed."
+  in
+  Arg.(value & opt (some string) None & info [ "cert-dir" ] ~docv:"DIR" ~doc)
+
+let cache_of_dir = Option.map (fun dir -> Cert_cache.create ~dir ())
+
+let report_cache_stats = function
+  | None -> ()
+  | Some cache -> Fmt.pr "certificate cache: %a@." Cert_cache.pp_stats (Cert_cache.stats cache)
 
 let plain_arg =
   let doc = "Bypass the fallback ladder (plain single-method verifier)." in
@@ -183,7 +218,7 @@ let parse_fault s =
       Error
         (`Msg
           ("bad --fault " ^ s ^ " (expected IDX:KIND, KIND in nan | blowup | \
-            deadline | budget)")))
+            deadline | budget | cert-corrupt | cert-stale | cert-io)")))
 
 let parse_faults specs = List.map (fun s -> or_die (parse_fault s)) specs
 
@@ -225,18 +260,19 @@ let info_cmd =
     Term.(const run $ system_arg)
 
 let verify_cmd =
-  let run name tool seed controller_file deadline fault_specs plain =
+  let run name tool seed controller_file deadline fault_specs plain cert_dir =
     let sys = or_die (system_of_name name) in
     let method_ = or_die (method_of_name name tool) in
     let faults = parse_faults fault_specs in
     let c = initial_controller sys ~controller_file ~seed in
+    let cache = cache_of_dir cert_dir in
     let t0 = Sys.time () in
     let pipe, injected =
       if plain then (sys.verify method_ c, [])
       else begin
         let budget = budget_of ~deadline ~max_calls:None in
         let report, injected =
-          with_fault_plan ~seed faults (fun () -> sys.verify_robust method_ budget c)
+          with_fault_plan ~seed faults (fun () -> sys.verify_robust method_ budget cache c)
         in
         (match report.Verifier.rung with
         | Some rung when report.Verifier.rung_index <> Some 0 ->
@@ -253,6 +289,7 @@ let verify_cmd =
     List.iter
       (fun (i, k) -> Fmt.pr "injected fault at call %d: %s@." i (Fault.kind_to_string k))
       injected;
+    report_cache_stats cache;
     Fmt.pr "%a@.verdict: %a (%.2fs cpu)@." Flowpipe.pp pipe Verifier.pp_verdict verdict
       (Sys.time () -. t0)
   in
@@ -260,7 +297,7 @@ let verify_cmd =
     (Cmd.info "verify" ~doc:"Verify a design once (warm start, or a saved controller)")
     Term.(
       const run $ system_arg $ tool_arg $ seed_arg $ controller_arg $ deadline_arg
-      $ fault_arg $ plain_arg)
+      $ fault_arg $ plain_arg $ cert_dir_arg)
 
 let learn_cmd =
   let metric_arg =
@@ -276,7 +313,7 @@ let learn_cmd =
       & info [ "save" ] ~docv:"FILE" ~doc:"Save the learned controller to this file.")
   in
   let run name tool metric_name iters seed controller_file save deadline max_calls
-      fault_specs plain domains =
+      fault_specs plain domains cert_dir =
     let sys = or_die (system_of_name name) in
     let method_ = or_die (method_of_name name tool) in
     let metric = or_die (metric_of_name metric_name) in
@@ -287,12 +324,13 @@ let learn_cmd =
       | None -> { sys.default_cfg with seed }
     in
     let budget = budget_of ~deadline ~max_calls in
+    let cache = cache_of_dir cert_dir in
     let rungs = Hashtbl.create 8 and failures = Hashtbl.create 8 in
     let tally_mu = Mutex.create () in
     let verify c =
       if plain then sys.verify method_ c
       else begin
-        let report = sys.verify_robust method_ budget c in
+        let report = sys.verify_robust method_ budget cache c in
         Mutex.lock tally_mu;
         bump rungs (Option.value ~default:"none" report.Verifier.rung);
         List.iter
@@ -318,6 +356,7 @@ let learn_cmd =
           Verifier.pp_verdict h.Learner.verdict)
       r.Learner.history;
     report_robustness ~rungs ~failures ~injected ();
+    report_cache_stats cache;
     if r.Learner.skipped_probes > 0 then
       Fmt.pr "gradient probes skipped (non-finite scores): %d@." r.Learner.skipped_probes;
     (match r.Learner.stopped with
@@ -332,7 +371,8 @@ let learn_cmd =
   Cmd.v (Cmd.info "learn" ~doc:"Run Algorithm 1 (verification-in-the-loop learning)")
     Term.(
       const run $ system_arg $ tool_arg $ metric_arg $ iters_arg $ seed_arg $ controller_arg
-      $ save_arg $ deadline_arg $ max_calls_arg $ fault_arg $ plain_arg $ domains_arg)
+      $ save_arg $ deadline_arg $ max_calls_arg $ fault_arg $ plain_arg $ domains_arg
+      $ cert_dir_arg)
 
 let simulate_cmd =
   let n_arg = Arg.(value & opt int 500 & info [ "n" ] ~docv:"N" ~doc:"Number of rollouts.") in
@@ -354,20 +394,132 @@ let initset_cmd =
   let depth_arg =
     Arg.(value & opt int 3 & info [ "depth" ] ~docv:"D" ~doc:"Max bisection depth.")
   in
-  let run name tool depth seed controller_file domains =
+  let run name tool depth seed controller_file domains cert_dir =
     let sys = or_die (system_of_name name) in
     let method_ = or_die (method_of_name name tool) in
     let c = initial_controller sys ~controller_file ~seed in
+    let cache = cache_of_dir cert_dir in
+    (* with a cache the per-cell verifier is the robust one (certificate
+       hits replay bit-exactly); without one we keep the plain verifier *)
+    let verify cell =
+      match cache with
+      | None -> sys.verify_from method_ cell c
+      | Some _ ->
+        (sys.verify_robust_from method_ None cache cell c).Verifier.pipe
+    in
     let r =
       with_domain_pool domains (fun pool ->
-          Initset.search ~max_depth:depth ~pool
-            ~verify:(fun cell -> sys.verify_from method_ cell c)
+          Initset.search ~max_depth:depth ~pool ~verify
             ~goal:sys.spec.Spec.goal ~x0:sys.spec.Spec.x0 ())
     in
+    report_cache_stats cache;
     Fmt.pr "%a@." Initset.pp_result r
   in
   Cmd.v (Cmd.info "initset" ~doc:"Run Algorithm 2 (reach-avoid initial-set search)")
-    Term.(const run $ system_arg $ tool_arg $ depth_arg $ seed_arg $ controller_arg $ domains_arg)
+    Term.(
+      const run $ system_arg $ tool_arg $ depth_arg $ seed_arg $ controller_arg $ domains_arg
+      $ cert_dir_arg)
+
+(* ---- certificate tooling: emit / check / gc ---- *)
+
+let cert_emit_cmd =
+  let dir_arg =
+    let doc = "Certificate store the emitted proof is deposited in." in
+    Arg.(required & opt (some string) None & info [ "cert-dir" ] ~docv:"DIR" ~doc)
+  in
+  let run name tool seed controller_file dir =
+    let sys = or_die (system_of_name name) in
+    let method_ = or_die (method_of_name name tool) in
+    let c = initial_controller sys ~controller_file ~seed in
+    let cache = Cert_cache.create ~dir () in
+    let report = sys.verify_robust method_ None (Some cache) c in
+    let verdict =
+      Verifier.check ~unsafe:sys.spec.Spec.unsafe ~goal:sys.spec.Spec.goal
+        report.Verifier.pipe
+    in
+    Fmt.pr "verdict: %a@." Verifier.pp_verdict verdict;
+    report_cache_stats (Some cache);
+    match Cert_cache.last_store_path cache with
+    | Some path -> Fmt.pr "certificate: %s@." path
+    | None ->
+      (match report.Verifier.rung with
+      | Some rung when rung = Dwv_robust.Robust_verify.cache_rung_name ->
+        Fmt.pr "certificate already cached (validated hit)@."
+      | _ ->
+        Fmt.epr "dwv: no certificate emitted (verification did not complete cleanly)@.";
+        exit 1)
+  in
+  Cmd.v
+    (Cmd.info "emit" ~doc:"Verify a design and deposit a replayable proof certificate")
+    Term.(const run $ system_arg $ tool_arg $ seed_arg $ controller_arg $ dir_arg)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let cert_check_cmd =
+  let file_arg =
+    Arg.(
+      required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Certificate file.")
+  in
+  let sys_arg =
+    let doc =
+      "System whose dynamics the Full-level flow replay uses; omit for a \
+       structural (Quick-level) check only."
+    in
+    Arg.(value & opt (some string) None & info [ "s"; "system" ] ~docv:"SYSTEM" ~doc)
+  in
+  let run path sys_name =
+    let bytes =
+      try read_file path
+      with Sys_error m ->
+        Fmt.epr "dwv: %s@." m;
+        exit 2
+    in
+    let level, f =
+      match sys_name with
+      | None -> (Cert_check.Quick, None)
+      | Some name ->
+        let sys = or_die (system_of_name name) in
+        (Cert_check.Full, Some sys.dynamics)
+    in
+    let verdict, report = Cert_check.validate ~level ?f bytes in
+    Fmt.pr "%s (%d steps checked, %d unchecked)@."
+      (Cert_check.verdict_check_to_string verdict)
+      report.Cert_check.checked report.Cert_check.unchecked;
+    match verdict with Cert_check.Valid -> () | _ -> exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Independently re-check a certificate with directed-rounding interval \
+          arithmetic (exit 1 unless Valid)")
+    Term.(const run $ file_arg $ sys_arg)
+
+let cert_gc_cmd =
+  let dir_arg =
+    let doc = "Certificate store to bound." in
+    Arg.(required & opt (some string) None & info [ "cert-dir" ] ~docv:"DIR" ~doc)
+  in
+  let keep_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "keep" ] ~docv:"N" ~doc:"Keep the N most recently written entries.")
+  in
+  let run dir keep =
+    let cache = Cert_cache.create ~dir () in
+    let removed = Cert_cache.gc cache ~keep in
+    Fmt.pr "removed %d certificate(s) from %s@." removed dir
+  in
+  Cmd.v (Cmd.info "gc" ~doc:"Delete all but the most recent N cached certificates")
+    Term.(const run $ dir_arg $ keep_arg)
+
+let cert_cmd =
+  Cmd.group
+    (Cmd.info "cert" ~doc:"Emit, independently re-check and garbage-collect proof certificates")
+    [ cert_emit_cmd; cert_check_cmd; cert_gc_cmd ]
 
 (* Parse-and-evaluate a dynamics expression: exposes the text front end
    for user-defined systems. *)
@@ -407,6 +559,6 @@ let () =
   let doc = "Design-while-verify: correct-by-construction control learning" in
   let main =
     Cmd.group (Cmd.info "dwv" ~doc)
-      [ info_cmd; verify_cmd; learn_cmd; simulate_cmd; initset_cmd; parse_cmd ]
+      [ info_cmd; verify_cmd; learn_cmd; simulate_cmd; initset_cmd; cert_cmd; parse_cmd ]
   in
   exit (Cmd.eval main)

@@ -33,6 +33,10 @@ let default_entries =
     "Bernstein.approximate";
     "Bernstein.remainder";
     "Bernstein.remainder_sampled";
+    "Cert.encode";
+    "Cert.decode";
+    "Cert_check.validate_cert";
+    "Cert_ival.eval_vec";
   ]
 
 (* Function arguments of these run once per element: allocation inside

@@ -16,6 +16,7 @@ let default_entries =
     "Pendulum.verify_robust"; "Pendulum.verify_robust_from";
     "Threed.verify_robust"; "Threed.verify_robust_from";
     "Learner.learn"; "Initset.search";
+    "Cert_check.validate"; "Cert_check.validate_cert";
   ]
 
 let targets =

@@ -1,0 +1,307 @@
+(* Versioned, checksummed certificate format. See DESIGN.md §13.
+
+   Floats travel as their IEEE bit patterns (Int64, little-endian), so
+   encode/decode round-trips are bit-exact and a cache hit reconstructs
+   the very flowpipe the prover produced. The footer is FNV-1a/64 over
+   everything before it: xor-then-multiply-by-odd-prime is injective in
+   the running state, so any single-byte substitution anywhere in the
+   payload provably changes the digest — the fuzz property in
+   test_certs.ml leans on this. *)
+
+module Interval = Dwv_interval.Interval
+module Box = Dwv_interval.Box
+
+let version = 1
+let magic = "DWVC"
+
+type verdict = Reach_avoid | Unsafe | Unknown
+
+let verdict_to_string = function
+  | Reach_avoid -> "reach-avoid"
+  | Unsafe -> "unsafe"
+  | Unknown -> "unknown"
+
+(* How control enters the flow obligations. [Affine rows]: u = row·[x;1]
+   per output, so the checker can re-derive the recorded control boxes
+   from the enclosure. [Opaque]: a sampled controller (NN); the recorded
+   per-step control boxes are trusted inputs of the flow check (they
+   bound the zero-order-hold control actually applied). *)
+type control_law = Opaque | Affine of float array array
+
+type t = {
+  fingerprint : int64;
+  backend : string;
+  params : string;
+  delta : float;
+  dim : int;
+  x0 : Box.t;
+  unsafe : Box.t;
+  goal : Box.t;
+  law : control_law;
+  verdict : verdict;
+  step_boxes : Box.t array;
+  segment_boxes : Box.t array;
+  controls : Box.t array;
+  enclosures : Box.t option array;
+  remainders : float array;
+}
+
+let fingerprint_hex fp = Printf.sprintf "%016Lx" fp
+
+(* ---- FNV-1a / 64 ---- *)
+
+let fnv_offset = 0xCBF29CE484222325L
+let fnv_prime = 0x100000001B3L
+
+let fnv64 ?(h0 = fnv_offset) (s : string) ~pos ~len =
+  let h = ref h0 in
+  for i = pos to pos + len - 1 do
+    h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code s.[i]))) fnv_prime
+  done;
+  !h
+
+(* ---- writer ---- *)
+
+let put_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let put_u16 b v =
+  put_u8 b (v land 0xff);
+  put_u8 b ((v lsr 8) land 0xff)
+
+let put_u32 b v =
+  put_u16 b (v land 0xffff);
+  put_u16 b ((v lsr 16) land 0xffff)
+
+let put_i64 b (v : int64) =
+  for k = 0 to 7 do
+    put_u8 b (Int64.to_int (Int64.shift_right_logical v (8 * k)) land 0xff)
+  done
+
+let put_f64 b v = put_i64 b (Int64.bits_of_float v)
+
+let put_string b s =
+  put_u16 b (String.length s);
+  Buffer.add_string b s
+
+let put_box b (box : Box.t) =
+  put_u16 b (Box.dim box);
+  Array.iter
+    (fun iv ->
+      put_f64 b (Interval.lo iv);
+      put_f64 b (Interval.hi iv))
+    box
+
+let encode (c : t) : string =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b magic;
+  put_u16 b version;
+  put_i64 b c.fingerprint;
+  put_string b c.backend;
+  put_string b c.params;
+  put_f64 b c.delta;
+  put_u16 b c.dim;
+  put_box b c.x0;
+  put_box b c.unsafe;
+  put_box b c.goal;
+  (match c.law with
+  | Opaque -> put_u8 b 0
+  | Affine rows ->
+    put_u8 b 1;
+    put_u32 b (Array.length rows);
+    Array.iter
+      (fun row ->
+        put_u16 b (Array.length row);
+        Array.iter (put_f64 b) row)
+      rows);
+  put_u8 b (match c.verdict with Reach_avoid -> 0 | Unsafe -> 1 | Unknown -> 2);
+  put_u32 b (Array.length c.step_boxes);
+  Array.iter (put_box b) c.step_boxes;
+  put_u32 b (Array.length c.segment_boxes);
+  Array.iter (put_box b) c.segment_boxes;
+  put_u32 b (Array.length c.controls);
+  Array.iter (put_box b) c.controls;
+  put_u32 b (Array.length c.enclosures);
+  Array.iter
+    (function
+      | None -> put_u8 b 0
+      | Some box ->
+        put_u8 b 1;
+        put_box b box)
+    c.enclosures;
+  put_u32 b (Array.length c.remainders);
+  Array.iter (put_f64 b) c.remainders;
+  let payload = Buffer.contents b in
+  put_i64 b (fnv64 payload ~pos:0 ~len:(String.length payload));
+  Buffer.contents b
+
+(* ---- reader ---- *)
+
+exception Parse of string
+
+type reader = { src : string; mutable pos : int; limit : int }
+
+let ensure r n =
+  if r.pos + n > r.limit then raise (Parse "truncated certificate")
+
+let get_u8 r =
+  ensure r 1;
+  let v = Char.code r.src.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let get_u16 r =
+  let a = get_u8 r in
+  let b = get_u8 r in
+  a lor (b lsl 8)
+
+let get_u32 r =
+  let a = get_u16 r in
+  let b = get_u16 r in
+  a lor (b lsl 16)
+
+let get_i64 r =
+  let v = ref 0L in
+  for k = 0 to 7 do
+    v := Int64.logor !v (Int64.shift_left (Int64.of_int (get_u8 r)) (8 * k))
+  done;
+  !v
+
+let get_f64 r = Int64.float_of_bits (get_i64 r)
+
+let get_string r =
+  let n = get_u16 r in
+  ensure r n;
+  let s = String.sub r.src r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let get_box r =
+  let d = get_u16 r in
+  if d > 4096 then raise (Parse "absurd box dimension");
+  Array.init d (fun _ ->
+      let lo = get_f64 r in
+      let hi = get_f64 r in
+      try Interval.make lo hi
+      with Invalid_argument m -> raise (Parse ("bad interval: " ^ m)))
+
+let get_count r what =
+  let n = get_u32 r in
+  (* every element is at least one byte; rejects pathological counts *)
+  if n > r.limit - r.pos then raise (Parse ("absurd count for " ^ what));
+  n
+
+let get_array r what f = Array.init (get_count r what) (fun _ -> f r)
+
+let decode (s : string) : (t, string) result =
+  try
+    let total = String.length s in
+    if total < String.length magic + 2 + 8 then raise (Parse "too short");
+    if String.sub s 0 4 <> magic then raise (Parse "bad magic");
+    let stored =
+      let r = { src = s; pos = total - 8; limit = total } in
+      get_i64 r
+    in
+    let computed = fnv64 s ~pos:0 ~len:(total - 8) in
+    if not (Int64.equal stored computed) then raise (Parse "checksum mismatch");
+    let r = { src = s; pos = 4; limit = total - 8 } in
+    let v = get_u16 r in
+    if v <> version then raise (Parse (Printf.sprintf "unsupported version %d" v));
+    let fingerprint = get_i64 r in
+    let backend = get_string r in
+    let params = get_string r in
+    let delta = get_f64 r in
+    if not (Float.is_finite delta && delta > 0.0) then raise (Parse "bad delta");
+    let dim = get_u16 r in
+    let x0 = get_box r in
+    let unsafe = get_box r in
+    let goal = get_box r in
+    let law =
+      match get_u8 r with
+      | 0 -> Opaque
+      | 1 ->
+        Affine
+          (get_array r "law rows" (fun r ->
+               let cols = get_u16 r in
+               Array.init cols (fun _ ->
+                   let v = get_f64 r in
+                   if Float.is_nan v then raise (Parse "NaN in control law");
+                   v)))
+      | _ -> raise (Parse "bad control-law tag")
+    in
+    let verdict =
+      match get_u8 r with
+      | 0 -> Reach_avoid
+      | 1 -> Unsafe
+      | 2 -> Unknown
+      | _ -> raise (Parse "bad verdict tag")
+    in
+    let step_boxes = get_array r "step boxes" get_box in
+    let segment_boxes = get_array r "segment boxes" get_box in
+    let controls = get_array r "control boxes" get_box in
+    let enclosures =
+      get_array r "enclosures" (fun r ->
+          match get_u8 r with
+          | 0 -> None
+          | 1 -> Some (get_box r)
+          | _ -> raise (Parse "bad enclosure flag"))
+    in
+    let remainders = get_array r "remainders" get_f64 in
+    if r.pos <> r.limit then raise (Parse "trailing bytes");
+    let check_dims what d boxes =
+      Array.iter
+        (fun b -> if Box.dim b <> d then raise (Parse ("dimension mismatch in " ^ what)))
+        boxes
+    in
+    check_dims "step boxes" dim step_boxes;
+    check_dims "segment boxes" dim segment_boxes;
+    check_dims "x0/unsafe/goal" dim [| x0; unsafe; goal |];
+    Array.iter
+      (function Some b -> check_dims "enclosures" dim [| b |] | None -> ())
+      enclosures;
+    if Array.length step_boxes = 0 then raise (Parse "no step boxes");
+    if Array.length step_boxes <> Array.length segment_boxes + 1 then
+      raise (Parse "step/segment count mismatch");
+    let nsegs = Array.length segment_boxes in
+    if Array.length enclosures <> 0 && Array.length enclosures <> nsegs then
+      raise (Parse "enclosure count mismatch");
+    if Array.length controls <> 0 && Array.length controls <> nsegs then
+      raise (Parse "control count mismatch");
+    if Array.length remainders <> 0 && Array.length remainders <> nsegs then
+      raise (Parse "remainder count mismatch");
+    Ok
+      {
+        fingerprint;
+        backend;
+        params;
+        delta;
+        dim;
+        x0;
+        unsafe;
+        goal;
+        law;
+        verdict;
+        step_boxes;
+        segment_boxes;
+        controls;
+        enclosures;
+        remainders;
+      }
+  with
+  | Parse msg -> Error msg
+  | Invalid_argument msg -> Error ("malformed: " ^ msg)
+
+(* Bit-exact structural equality: encoding is deterministic and total,
+   so byte equality of encodings is exactly field-by-field bit equality
+   (used by the round-trip qcheck property). *)
+let equal a b = String.equal (encode a) (encode b)
+
+let pp ppf (c : t) =
+  Fmt.pf ppf "cert{%s backend=%s verdict=%s steps=%d dim=%d delta=%g enclosed=%d/%d}"
+    (fingerprint_hex c.fingerprint)
+    c.backend (verdict_to_string c.verdict)
+    (Array.length c.segment_boxes)
+    c.dim c.delta
+    (Array.fold_left
+       (fun n e -> match e with Some _ -> n + 1 | None -> n)
+       0 c.enclosures)
+    (Array.length c.enclosures)

@@ -1,0 +1,65 @@
+(** Replayable proof certificates: the on-disk/in-memory artifact a
+    verification run emits and the independent checker re-validates.
+
+    Format (version 1): ["DWVC"] magic, u16 version, content-address
+    fingerprint, backend/params provenance strings, then the flowpipe
+    data — step boxes, segment boxes, per-step control enclosures,
+    per-step directed-rounding flow enclosures (optional per step), and
+    control-TM remainder widths — all floats as IEEE bit patterns
+    (little-endian Int64) so round-trips are bit-exact. The final 8
+    bytes are an FNV-1a/64 digest of everything before them; any
+    single-byte substitution changes the digest, so {!decode} returns
+    [Error] on every such mutation. *)
+
+module Box := Dwv_interval.Box
+
+val version : int
+
+type verdict = Reach_avoid | Unsafe | Unknown
+
+val verdict_to_string : verdict -> string
+
+(** How control enters the flow obligations. [Affine rows] is linear
+    state feedback u = row·[x; 1] (re-derivable by the checker);
+    [Opaque] marks a sampled controller whose recorded per-step control
+    boxes bound the zero-order-hold input actually applied. *)
+type control_law = Opaque | Affine of float array array
+
+type t = {
+  fingerprint : int64;  (** content address, see {!Cert_key} *)
+  backend : string;  (** rung that produced the flowpipe *)
+  params : string;  (** method/order parameter string *)
+  delta : float;
+  dim : int;
+  x0 : Box.t;
+  unsafe : Box.t;
+  goal : Box.t;
+  law : control_law;
+  verdict : verdict;
+  step_boxes : Box.t array;  (** length = steps + 1 *)
+  segment_boxes : Box.t array;  (** length = steps *)
+  controls : Box.t array;  (** per step, or [[||]] *)
+  enclosures : Box.t option array;
+      (** per-step directed-rounding flow enclosure synthesized at
+          emission; [None] where synthesis failed (that step is reported
+          unchecked, never invalid) *)
+  remainders : float array;  (** audit: control-TM remainder widths *)
+}
+
+val fingerprint_hex : int64 -> string
+
+(** FNV-1a/64 over a substring; exposed for the cache's file footers. *)
+val fnv64 : ?h0:int64 -> string -> pos:int -> len:int -> int64
+
+(** Deterministic, total binary encoding (checksum footer included). *)
+val encode : t -> string
+
+(** Total: never raises. Verifies magic, version, checksum, and every
+    structural invariant (finite ordered bounds, consistent dimensions
+    and counts) before returning [Ok]. *)
+val decode : string -> (t, string) result
+
+(** Bit-exact structural equality (via the deterministic encoding). *)
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,201 @@
+(* Independent certificate checker. See DESIGN.md §13 for the
+   independence argument; the short version: this module re-derives the
+   reach-avoid conclusion from the recorded boxes by pure set algebra,
+   and re-validates each step's flow enclosure with the directed-rounding
+   Cert_ival arithmetic only — no Taylor model is ever built, so the
+   prover's kernel cannot vouch for itself.
+
+   The per-step obligation is the classic Picard invariance condition:
+   given step box X, enclosure E and control range U, if
+
+       X ⊕ [0,δ]·f(E, U)  ⊆  E      (all operations outward-rounded)
+
+   then every solution from X under any measurable u(t) ∈ U stays in E
+   on [0,δ]. Enclosures are synthesized at emission time by {!enclose}
+   with the same deterministic arithmetic the checker replays, so a
+   clean certificate validates with zero rejects by construction; steps
+   where synthesis failed carry no enclosure and are reported as
+   unchecked rather than invalid. *)
+
+module Di = Cert_ival
+module Box = Dwv_interval.Box
+module Budget = Dwv_robust.Budget
+module Dwv_error = Dwv_robust.Dwv_error
+
+type verdict_check =
+  | Valid
+  | Tampered of string
+  | Stale of string
+  | Malformed of string
+
+let verdict_check_to_string = function
+  | Valid -> "valid"
+  | Tampered site -> "tampered: " ^ site
+  | Stale reason -> "stale: " ^ reason
+  | Malformed reason -> "malformed: " ^ reason
+
+type level = Quick | Full
+
+type control = Const of Box.t | Affine_law of float array array
+
+(* ---- claim re-derivation (mirrors Verifier.check on raw boxes) ---- *)
+
+let all_boxes (c : Cert.t) =
+  if Array.length c.segment_boxes = 0 then c.step_boxes else c.segment_boxes
+
+let derive_verdict (c : Cert.t) : Cert.verdict =
+  let all = all_boxes c in
+  if Array.exists (fun b -> Box.subset b c.unsafe) all then Cert.Unsafe
+  else if Array.exists (fun b -> Box.intersects b c.unsafe) all then Cert.Unknown
+  else begin
+    (* first sample instant inside the goal; index 0 never counts *)
+    let n = Array.length c.step_boxes in
+    let rec find i =
+      if i >= n then Cert.Unknown
+      else if Box.subset c.step_boxes.(i) c.goal then Cert.Reach_avoid
+      else find (i + 1)
+    in
+    find 1
+  end
+
+(* ---- flow obligations ---- *)
+
+let flow_candidate ~f ~delta ~(x : Di.box) ~(e : Di.box) ~(u : Di.box) : Di.box =
+  let fr = Di.eval_vec f ~x:e ~u in
+  let tau = Di.make 0.0 delta in
+  Array.mapi (fun i xi -> Di.add xi (Di.mul tau fr.(i))) x
+
+(* Emission-side synthesis: inflate a candidate until the invariance
+   condition closes (or give up). The final check is the exact
+   computation {!validate} replays, so acceptance here is acceptance
+   there, bit for bit. *)
+let enclose ~f ~delta ~(x : Box.t) ~(control : control) ~(hint : Box.t) () :
+    (Box.t * Box.t) option =
+  let eval_u e =
+    match control with
+    | Const u -> Di.of_box u
+    | Affine_law rows -> Di.affine_range rows e
+  in
+  let xd = Di.of_box x in
+  let rec go e k =
+    if k > 30 then None
+    else begin
+      let u = eval_u e in
+      let cand = flow_candidate ~f ~delta ~x:xd ~e ~u in
+      if Di.box_is_finite e && Di.box_subset cand e then
+        Some (Di.to_box e, Di.to_box u)
+      else
+        go (Di.box_scale_about_center 1.3 (Di.box_widen 1e-9 (Di.box_hull e cand))) (k + 1)
+    end
+  in
+  try go (Di.box_widen 1e-6 (Di.box_hull xd (Di.of_box hint))) 0
+  with Di.Undefined _ -> None
+
+type step_report = { checked : int; unchecked : int }
+
+(* ---- validation ---- *)
+
+let validate_cert ?budget ?(level = Full) ?expected ?f (c : Cert.t) :
+    verdict_check * step_report =
+  let where = "Cert_check.validate" in
+  let nsegs = Array.length c.segment_boxes in
+  let none = { checked = 0; unchecked = nsegs } in
+  let budget_check () =
+    match budget with
+    | None -> Ok ()
+    | Some b -> Budget.check ~where b
+  in
+  let spend () =
+    match budget with
+    | None -> Ok ()
+    | Some b -> Budget.spend_steps ~where b
+  in
+  match budget_check () with
+  | Error e -> (Stale ("budget: " ^ Dwv_error.to_string e), none)
+  | Ok () -> begin
+    match expected with
+    | Some fp when not (Int64.equal fp c.fingerprint) ->
+      ( Stale
+          (Printf.sprintf "fingerprint %s does not match expected %s"
+             (Cert.fingerprint_hex c.fingerprint)
+             (Cert.fingerprint_hex fp)),
+        none )
+    | _ ->
+      if not (Box.equal c.x0 c.step_boxes.(0)) then
+        (Tampered "x0 disagrees with the first step box", none)
+      else if derive_verdict c <> c.verdict then
+        (Tampered "recorded verdict disagrees with the recorded boxes", none)
+      else begin
+        match (level, f) with
+        | Quick, _ | Full, None -> (Valid, none)
+        | Full, Some f ->
+          let checked = ref 0 and unchecked = ref 0 in
+          let result = ref Valid in
+          (try
+             for i = 0 to nsegs - 1 do
+               if !result <> Valid then raise Exit;
+               match
+                 if Array.length c.enclosures = 0 then None else c.enclosures.(i)
+               with
+               | None -> incr unchecked
+               | Some e -> begin
+                 (match spend () with
+                 | Error err ->
+                   result := Stale ("budget: " ^ Dwv_error.to_string err);
+                   raise Exit
+                 | Ok () -> ());
+                 let site fmt = Printf.ksprintf (fun s -> s) fmt in
+                 let ed = Di.of_box e in
+                 let xd = Di.of_box c.step_boxes.(i) in
+                 let u =
+                   if Array.length c.controls > 0 then Some (Di.of_box c.controls.(i))
+                   else
+                     match c.law with
+                     | Cert.Affine rows -> Some (Di.affine_range rows ed)
+                     | Cert.Opaque -> None
+                 in
+                 match u with
+                 | None -> incr unchecked (* opaque law without recorded controls *)
+                 | Some u -> begin
+                   try
+                     if not (Di.box_subset xd ed) then
+                       result := Tampered (site "step %d: step box escapes its enclosure" i)
+                     else begin
+                       (match c.law with
+                       | Cert.Affine rows when Array.length c.controls > 0 ->
+                         let rederived = Di.affine_range rows ed in
+                         if not (Di.box_subset rederived u) then
+                           result :=
+                             Tampered
+                               (site "step %d: control box misses the affine feedback range" i)
+                       | _ -> ());
+                       if !result = Valid then begin
+                         let cand = flow_candidate ~f ~delta:c.delta ~x:xd ~e:ed ~u in
+                         if not (Di.box_subset cand ed) then
+                           result := Tampered (site "step %d: flow invariance fails" i)
+                         else if not (Di.box_intersects (Di.of_box c.step_boxes.(i + 1)) ed)
+                         then
+                           result :=
+                             Tampered (site "step %d: next step box disjoint from enclosure" i)
+                         else if not (Di.box_intersects (Di.of_box c.segment_boxes.(i)) ed)
+                         then
+                           result :=
+                             Tampered (site "step %d: segment box disjoint from enclosure" i)
+                         else incr checked
+                       end
+                     end
+                   with Di.Undefined what ->
+                     result := Tampered (site "step %d: arithmetic undefined (%s)" i what)
+                 end
+               end
+             done
+           with Exit -> ());
+          (!result, { checked = !checked; unchecked = !unchecked })
+      end
+  end
+
+let validate ?budget ?level ?expected ?f (bytes : string) : verdict_check * step_report
+    =
+  match Cert.decode bytes with
+  | Error reason -> (Malformed reason, { checked = 0; unchecked = 0 })
+  | Ok c -> validate_cert ?budget ?level ?expected ?f c

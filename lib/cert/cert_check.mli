@@ -1,0 +1,78 @@
+(** Independent certificate validation.
+
+    Uses only directed-rounding interval arithmetic ({!Cert_ival}) and
+    pure set algebra over the recorded boxes — no [Taylor_model] /
+    [Taylor_reach] dependency — so the proving kernel never vouches for
+    its own output. Levels: [Quick] re-derives the reach-avoid claim
+    from the recorded boxes (what every cache hit pays); [Full]
+    additionally replays each step's Picard invariance obligation
+    [X ⊕ [0,δ]·f(E,U) ⊆ E] in outward-rounded arithmetic. *)
+
+module Box := Dwv_interval.Box
+
+type verdict_check =
+  | Valid
+  | Tampered of string  (** a recorded obligation fails; site named *)
+  | Stale of string
+      (** wrong fingerprint for this use site, or budget ran out before
+          the replay finished — either way: do not reuse *)
+  | Malformed of string  (** decode failure: bad magic/version/checksum/structure *)
+
+val verdict_check_to_string : verdict_check -> string
+
+type level = Quick | Full
+
+(** Control model for {!enclose}: a constant (zero-order-hold) range, or
+    an affine law re-evaluated over the candidate enclosure. *)
+type control = Const of Box.t | Affine_law of float array array
+
+(** Re-derivation of the reach-avoid conclusion from the recorded boxes
+    (mirrors [Verifier.check] semantics exactly). *)
+val derive_verdict : Cert.t -> Cert.verdict
+
+(** One outward-rounded Picard candidate [x ⊕ [0,δ]·f(e,u)]; exposed so
+    emission and replay share the identical computation. *)
+val flow_candidate :
+  f:Dwv_expr.Expr.t array ->
+  delta:float ->
+  x:Cert_ival.box ->
+  e:Cert_ival.box ->
+  u:Cert_ival.box ->
+  Cert_ival.box
+
+(** Emission-side synthesis of a step enclosure: inflate from [hint]
+    until the invariance condition closes. Returns [(enclosure,
+    control_range)], or [None] when it will not close (the step is then
+    stored without an enclosure and reported unchecked, never invalid).
+    Acceptance here is bit-for-bit acceptance in {!validate}. *)
+val enclose :
+  f:Dwv_expr.Expr.t array ->
+  delta:float ->
+  x:Box.t ->
+  control:control ->
+  hint:Box.t ->
+  unit ->
+  (Box.t * Box.t) option
+
+type step_report = { checked : int; unchecked : int }
+
+(** Validate a decoded certificate. [expected] is the content address
+    the use site computed for its own inputs (mismatch ⇒ [Stale]); [f]
+    enables the [Full] flow replay; [budget] bounds the replay (spends
+    one step per obligation; exhaustion ⇒ [Stale], never an exception). *)
+val validate_cert :
+  ?budget:Dwv_robust.Budget.t ->
+  ?level:level ->
+  ?expected:int64 ->
+  ?f:Dwv_expr.Expr.t array ->
+  Cert.t ->
+  verdict_check * step_report
+
+(** Decode + {!validate_cert}; total (decode failures ⇒ [Malformed]). *)
+val validate :
+  ?budget:Dwv_robust.Budget.t ->
+  ?level:level ->
+  ?expected:int64 ->
+  ?f:Dwv_expr.Expr.t array ->
+  string ->
+  verdict_check * step_report

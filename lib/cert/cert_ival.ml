@@ -1,0 +1,199 @@
+(* Directed outward-rounded interval arithmetic for the certificate
+   checker. Independent of lib/interval's Interval.t semantics: that
+   module rounds to nearest and compensates with a fixed widen epsilon,
+   which is fine for the prover but is exactly the machinery a checker
+   must not share. Here every operation steps its bounds outward with
+   Float.pred/Float.succ (two ulps after libm transcendentals, whose
+   results are not correctly rounded but are well within 1 ulp), so the
+   result interval always contains the true real-arithmetic image.
+
+   The checker evaluates dynamics through Expr.fold over this domain and
+   never constructs a Taylor model. *)
+
+type t = { dlo : float; dhi : float }
+
+exception Undefined of string
+
+let guard name v =
+  if Float.is_nan v.dlo || Float.is_nan v.dhi || v.dlo > v.dhi then
+    raise (Undefined name)
+  else v
+
+(* Outward steps. Infinite bounds stay infinite (pred/succ would pull
+   them back to max_float, which is unsound for an upper bound). *)
+let down x = if Float.is_finite x then Float.pred x else x
+let up x = if Float.is_finite x then Float.succ x else x
+let down2 x = down (down x)
+let up2 x = up (up x)
+
+let make lo hi = guard "make" { dlo = lo; dhi = hi }
+let point v = make v v
+let lo v = v.dlo
+let hi v = v.dhi
+let width v = up (v.dhi -. v.dlo)
+let is_finite v = Float.is_finite v.dlo && Float.is_finite v.dhi
+
+let of_interval (i : Dwv_interval.Interval.t) =
+  make (Dwv_interval.Interval.lo i) (Dwv_interval.Interval.hi i)
+
+let to_interval v =
+  if not (is_finite v) then raise (Undefined "to_interval");
+  Dwv_interval.Interval.make v.dlo v.dhi
+
+let neg v = { dlo = -.v.dhi; dhi = -.v.dlo }
+
+let add a b = guard "add" { dlo = down (a.dlo +. b.dlo); dhi = up (a.dhi +. b.dhi) }
+let sub a b = guard "sub" { dlo = down (a.dlo -. b.dhi); dhi = up (a.dhi -. b.dlo) }
+
+let mul a b =
+  let p1 = a.dlo *. b.dlo and p2 = a.dlo *. b.dhi in
+  let p3 = a.dhi *. b.dlo and p4 = a.dhi *. b.dhi in
+  (* 0 * inf = nan under IEEE; for intervals that product is 0 *)
+  let z v = if Float.is_nan v then 0.0 else v in
+  let p1 = z p1 and p2 = z p2 and p3 = z p3 and p4 = z p4 in
+  guard "mul"
+    {
+      dlo = down (Float.min (Float.min p1 p2) (Float.min p3 p4));
+      dhi = up (Float.max (Float.max p1 p2) (Float.max p3 p4));
+    }
+
+let scale k v = mul (point k) v
+
+let inv v =
+  if v.dlo <= 0.0 && v.dhi >= 0.0 then raise (Undefined "inv: contains zero");
+  guard "inv" { dlo = down (1.0 /. v.dhi); dhi = up (1.0 /. v.dlo) }
+
+let div a b = mul a (inv b)
+
+let rec pow_int v k =
+  if k < 0 then inv (pow_int v (-k))
+  else if k = 0 then point 1.0
+  else if k = 1 then v
+  else if k land 1 = 0 then
+    let h = pow_int v (k asr 1) in
+    let sq = mul h h in
+    (* even power of any interval is non-negative *)
+    if v.dlo <= 0.0 && v.dhi >= 0.0 then { sq with dlo = Float.max 0.0 sq.dlo }
+    else sq
+  else mul v (pow_int v (k - 1))
+
+(* Monotone libm function, outward by two ulps. *)
+let mono f v = guard "mono" { dlo = down2 (f v.dlo); dhi = up2 (f v.dhi) }
+
+let exp_ v = let r = mono Stdlib.exp v in { r with dlo = Float.max 0.0 r.dlo }
+
+let tanh_ v =
+  let r = mono Stdlib.tanh v in
+  { dlo = Float.max (-1.0) r.dlo; dhi = Float.min 1.0 r.dhi }
+
+let two_pi = 6.283185307179586476925286766559
+
+(* Does [c + k*period] for some integer k possibly intersect [a,b]?
+   Conservative: the division is rounded, so widen the window by a
+   relative slack before deciding — a spurious "yes" only widens the
+   result to a still-sound bound. *)
+let maybe_contains_crit ~c ~period a b =
+  if not (Float.is_finite a && Float.is_finite b) then true
+  else begin
+    let slack = 1e-9 *. (1.0 +. Float.abs a +. Float.abs b) in
+    let k_min = Float.ceil ((a -. slack -. c) /. period) in
+    let k_max = Float.floor ((b +. slack -. c) /. period) in
+    k_min <= k_max
+  end
+
+let half_pi = 1.5707963267948966192313216916398
+
+let trig f ~max_at ~min_at v =
+  if not (is_finite v) || v.dhi -. v.dlo >= two_pi then make (-1.0) 1.0
+  else begin
+    let cands = [ f v.dlo; f v.dhi ] in
+    let lo0 = List.fold_left Float.min Float.infinity cands in
+    let hi0 = List.fold_left Float.max Float.neg_infinity cands in
+    let hi0 =
+      if maybe_contains_crit ~c:max_at ~period:two_pi v.dlo v.dhi then 1.0
+      else hi0
+    in
+    let lo0 =
+      if maybe_contains_crit ~c:min_at ~period:two_pi v.dlo v.dhi then -1.0
+      else lo0
+    in
+    guard "trig"
+      { dlo = Float.max (-1.0) (down2 lo0); dhi = Float.min 1.0 (up2 hi0) }
+  end
+
+let sin_ v = trig Stdlib.sin ~max_at:half_pi ~min_at:(-.half_pi) v
+let cos_ v = trig Stdlib.cos ~max_at:0.0 ~min_at:(2.0 *. half_pi) v
+
+let hull a b =
+  { dlo = Float.min a.dlo b.dlo; dhi = Float.max a.dhi b.dhi }
+
+let subset a b = a.dlo >= b.dlo && a.dhi <= b.dhi
+let intersects a b = a.dlo <= b.dhi && b.dlo <= a.dhi
+
+let widen eps v = guard "widen" { dlo = down (v.dlo -. eps); dhi = up (v.dhi +. eps) }
+
+let scale_about_center k v =
+  if not (is_finite v) then v
+  else begin
+    let c = 0.5 *. (v.dlo +. v.dhi) in
+    let r = Float.abs (0.5 *. (v.dhi -. v.dlo) *. k) in
+    guard "scale_about_center" { dlo = down (c -. r); dhi = up (c +. r) }
+  end
+
+let pp ppf v = Fmt.pf ppf "[%.17g, %.17g]" v.dlo v.dhi
+
+(* ---- box (vector) layer ---- *)
+
+type box = t array
+
+let of_box (b : Dwv_interval.Box.t) = Array.map of_interval b
+
+let to_box (b : box) = Array.map to_interval b
+
+let box_subset a b =
+  Array.length a = Array.length b
+  && (let ok = ref true in
+      Array.iteri (fun i ai -> if not (subset ai b.(i)) then ok := false) a;
+      !ok)
+
+let box_intersects a b =
+  Array.length a = Array.length b
+  && (let ok = ref true in
+      Array.iteri (fun i ai -> if not (intersects ai b.(i)) then ok := false) a;
+      !ok)
+
+let box_hull a b = Array.mapi (fun i ai -> hull ai b.(i)) a
+let box_widen eps b = Array.map (widen eps) b
+let box_scale_about_center k b = Array.map (scale_about_center k) b
+let box_is_finite b = Array.for_all is_finite b
+
+(* Evaluate one dynamics component over directed intervals via the Expr
+   catamorphism; no Taylor machinery anywhere on this path. *)
+let eval (e : Dwv_expr.Expr.t) ~(x : box) ~(u : box) =
+  Dwv_expr.Expr.fold
+    ~const:point
+    ~var:(fun i ->
+      if i < 0 || i >= Array.length x then raise (Undefined "var index")
+      else x.(i))
+    ~input:(fun i ->
+      if i < 0 || i >= Array.length u then raise (Undefined "input index")
+      else u.(i))
+    ~add ~sub ~mul ~div ~neg
+    ~pow:pow_int ~sin:sin_ ~cos:cos_ ~exp:exp_ ~tanh:tanh_
+    e
+
+let eval_vec (f : Dwv_expr.Expr.t array) ~x ~u = Array.map (fun e -> eval e ~x ~u) f
+
+(* u(t) = row·[x(t); 1] for each row: the affine feedback range over a
+   state box, used to re-derive recorded control enclosures. *)
+let affine_range (rows : float array array) (x : box) : box =
+  Array.map
+    (fun row ->
+      let n = Array.length row - 1 in
+      if n <> Array.length x then raise (Undefined "affine_range: arity");
+      let acc = ref (point row.(n)) in
+      for i = 0 to n - 1 do
+        acc := add !acc (scale row.(i) x.(i))
+      done;
+      !acc)
+    rows

@@ -1,0 +1,67 @@
+(** Directed outward-rounded interval arithmetic for the certificate
+    checker.
+
+    Independent of [lib/interval]: every bound is stepped outward with
+    [Float.pred]/[Float.succ] (two ulps after libm transcendentals), so
+    the result always encloses the true real-arithmetic image. The
+    checker evaluates dynamics through {!eval_vec} (an [Expr.fold]
+    algebra) and never touches Taylor machinery. *)
+
+type t = { dlo : float; dhi : float }
+
+(** Raised when an operation leaves the domain (NaN, empty interval,
+    division through zero, out-of-range variable). Checker code catches
+    it and treats the obligation as unverifiable. *)
+exception Undefined of string
+
+val make : float -> float -> t
+val point : float -> t
+val lo : t -> float
+val hi : t -> float
+val width : t -> float
+val is_finite : t -> bool
+val of_interval : Dwv_interval.Interval.t -> t
+
+(** Raises {!Undefined} on non-finite bounds. *)
+val to_interval : t -> Dwv_interval.Interval.t
+
+val neg : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val scale : float -> t -> t
+val inv : t -> t
+val div : t -> t -> t
+val pow_int : t -> int -> t
+val exp_ : t -> t
+val tanh_ : t -> t
+val sin_ : t -> t
+val cos_ : t -> t
+val hull : t -> t -> t
+val subset : t -> t -> bool
+val intersects : t -> t -> bool
+val widen : float -> t -> t
+val scale_about_center : float -> t -> t
+val pp : Format.formatter -> t -> unit
+
+(** {1 Vector layer} *)
+
+type box = t array
+
+val of_box : Dwv_interval.Box.t -> box
+val to_box : box -> Dwv_interval.Box.t
+val box_subset : box -> box -> bool
+val box_intersects : box -> box -> bool
+val box_hull : box -> box -> box
+val box_widen : float -> box -> box
+val box_scale_about_center : float -> box -> box
+val box_is_finite : box -> bool
+
+(** Sound range of one dynamics component over directed boxes. *)
+val eval : Dwv_expr.Expr.t -> x:box -> u:box -> t
+
+val eval_vec : Dwv_expr.Expr.t array -> x:box -> u:box -> box
+
+(** [affine_range rows x]: range of u = row·[x; 1] per row (the last
+    coefficient is the constant term). *)
+val affine_range : float array array -> box -> box

@@ -1,0 +1,70 @@
+(* Content address for certificates.
+
+   Expr.id is process-global intern order — stable within a run, not
+   across processes — so the on-disk address hashes the expression
+   *structure* instead: a post-order FNV-style fold with per-constructor
+   tags and float bit patterns. Hash-consing makes structurally equal
+   dynamics share ids within a process, so the fold is memoized per
+   Expr.id in domain-local storage and costs one table lookup on the
+   hot path. *)
+
+module Expr = Dwv_expr.Expr
+module Interval = Dwv_interval.Interval
+module Box = Dwv_interval.Box
+
+let prime = 0x100000001B3L
+
+let mix h k = Int64.mul (Int64.logxor h k) prime
+
+let mix_int h i = mix h (Int64.of_int i)
+let mix_float h v = mix h (Int64.bits_of_float v)
+
+let structural_fingerprint_uncached (e : Expr.t) : int64 =
+  Expr.fold
+    ~const:(fun c -> mix_float 1L c)
+    ~var:(fun i -> mix_int 2L i)
+    ~input:(fun i -> mix_int 3L i)
+    ~add:(fun a b -> mix (mix 4L a) b)
+    ~sub:(fun a b -> mix (mix 5L a) b)
+    ~mul:(fun a b -> mix (mix 6L a) b)
+    ~div:(fun a b -> mix (mix 7L a) b)
+    ~neg:(fun a -> mix 8L a)
+    ~pow:(fun a k -> mix_int (mix 9L a) k)
+    ~sin:(fun a -> mix 10L a)
+    ~cos:(fun a -> mix 11L a)
+    ~exp:(fun a -> mix 12L a)
+    ~tanh:(fun a -> mix 13L a)
+    e
+
+let memo_key = Domain.DLS.new_key (fun () : (int, int64) Hashtbl.t -> Hashtbl.create 64)
+
+let expr_fingerprint (e : Expr.t) : int64 =
+  let memo = Domain.DLS.get memo_key in
+  let id = Expr.id e in
+  match Hashtbl.find_opt memo id with
+  | Some fp -> fp
+  | None ->
+    let fp = structural_fingerprint_uncached e in
+    Hashtbl.replace memo id fp;
+    fp
+
+let mix_box h (b : Box.t) =
+  Array.fold_left
+    (fun h iv -> mix_float (mix_float h (Interval.lo iv)) (Interval.hi iv))
+    (mix_int h (Box.dim b))
+    b
+
+let mix_string h s = Cert.fnv64 ~h0:h s ~pos:0 ~len:(String.length s)
+
+let fingerprint ~(f : Expr.t array) ~(theta : float array) ~(x0 : Box.t)
+    ~(unsafe : Box.t) ~(goal : Box.t) ~(delta : float) ~(steps : int)
+    ~(tag : string) : int64 =
+  let h = mix_int (mix_string 0xD3F1A2B4C5D6E7L "dwvcert") Cert.version in
+  let h = mix_string h tag in
+  let h = mix_float h delta in
+  let h = mix_int h steps in
+  let h = Array.fold_left (fun h e -> mix h (expr_fingerprint e)) (mix_int h (Array.length f)) f in
+  let h = Array.fold_left mix_float (mix_int h (Array.length theta)) theta in
+  let h = mix_box h x0 in
+  let h = mix_box h unsafe in
+  mix_box h goal

@@ -1,0 +1,27 @@
+(** Content addresses for certificates.
+
+    [Expr.id] is process-global intern order — stable within a run but
+    not across processes — so the on-disk address hashes expression
+    {e structure}: a post-order FNV-style fold with per-constructor tags
+    and float bit patterns, memoized per [Expr.id] in domain-local
+    storage (hash-consing makes the id a valid within-process key). *)
+
+(** Process-stable structural fingerprint of one expression. *)
+val expr_fingerprint : Dwv_expr.Expr.t -> int64
+
+(** Content address over dynamics structure, controller parameters, the
+    initial box, the spec boxes, the step size/count, and a free-form
+    [tag] carrying method/order parameters. Any difference in any
+    component changes the address, so a cache can never serve a
+    certificate for different inputs ([Cert_check] additionally rejects
+    such a hit as [Stale]). *)
+val fingerprint :
+  f:Dwv_expr.Expr.t array ->
+  theta:float array ->
+  x0:Dwv_interval.Box.t ->
+  unsafe:Dwv_interval.Box.t ->
+  goal:Dwv_interval.Box.t ->
+  delta:float ->
+  steps:int ->
+  tag:string ->
+  int64

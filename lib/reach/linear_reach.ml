@@ -69,8 +69,11 @@ let box_is_sane ~blowup_width b =
     b
   && Box.max_width b <= blowup_width
 
+let c_linear_flowpipes = Dwv_util.Counters.counter "linear_flowpipes"
+
 (* Full flowpipe for [steps] periods under u = gain * x (ZOH). *)
 let flowpipe ?(blowup_width = 1e7) ~sys ~gain ~x0 ~delta ~steps () =
+  Dwv_util.Counters.incr c_linear_flowpipes;
   let ad, bd = discretize ~delta sys in
   let acl = Mat.add ad (Mat.matmul bd gain) in
   let step_boxes = ref [] and segment_boxes = ref [] in

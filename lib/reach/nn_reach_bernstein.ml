@@ -44,8 +44,18 @@ let poly_on_models ~poly ~box (x : Tm_vec.t) =
     ~var_pow:(fun i k -> Tm.pow t.(i) k)
     ~add:Tm.add ~mul:Tm.mul
 
+let c_bernstein_abstractions = Dwv_util.Counters.counter "bernstein_abstractions"
+
+(* Compact parameter tag for certificate content addresses. *)
+let config_tag config =
+  Fmt.str "deg=[%s] samples=%d"
+    (String.concat ","
+       (Array.to_list (Array.map string_of_int config.degrees)))
+    config.samples_per_dim
+
 (* Control models u = output_scale * net(x) over the symbolic state. *)
 let control_models ~net ~output_scale ~config (x : Tm_vec.t) : Tm_vec.t =
+  Dwv_util.Counters.incr c_bernstein_abstractions;
   let x_box = Tm_vec.bound_box x in
   (* local Lipschitz over the current reach box: the first-order
      remainder driver; the curvature bound (available for smooth

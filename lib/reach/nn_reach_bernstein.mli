@@ -9,6 +9,10 @@ type config = {
 (** Degree 3 per dimension, 6 remainder samples per dimension. *)
 val default_config : n:int -> config
 
+(** Compact parameter tag (degrees + samples) for certificate content
+    addresses. *)
+val config_tag : config -> string
+
 (** Evaluate a polynomial in normalized [0,1]ⁿ grid coordinates on the
     state models of the given box. *)
 val poly_on_models :

@@ -30,8 +30,11 @@ let affine (weights : Mat.t) (bias : float array) (h : Tm.t array) =
       done;
       !acc)
 
+let c_polar_abstractions = Dwv_util.Counters.counter "polar_abstractions"
+
 (* Control models u = output_scale * net(x) on the symbolic state. *)
 let control_models ~net ~output_scale (x : Tm_vec.t) : Tm_vec.t =
+  Dwv_util.Counters.incr c_polar_abstractions;
   let h = ref (Array.copy x) in
   Array.iter
     (fun (layer : Mlp.layer) ->

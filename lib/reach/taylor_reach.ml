@@ -79,7 +79,9 @@ let apriori_enclosure ~f ~x_box ~u_box ~delta =
   in
   refine (Box.bloat 1e-6 x_box) 0
 
-type step_result = { state : Tm_vec.t; segment : Box.t }
+type step_result = { state : Tm_vec.t; segment : Box.t; enclosure : Box.t }
+
+let c_taylor_steps = Dwv_util.Counters.counter "taylor_steps"
 
 (* One sampling period. [x] are the Taylor models of the state in the
    initial-set variables, [u] the (already abstracted) control models.
@@ -93,6 +95,7 @@ let step ?budget ~f ~lie ~delta (x : Tm_vec.t) (u : Tm_vec.t) =
   with
   | Error e -> Error e
   | Ok () ->
+  Dwv_util.Counters.incr c_taylor_steps;
   let order = Tm.order x.(0) in
   let n = Tm_vec.dim x in
   let x_box = Tm_vec.bound_box x in
@@ -150,4 +153,4 @@ let step ?budget ~f ~lie ~delta (x : Tm_vec.t) (u : Tm_vec.t) =
                back to the Picard enclosure *)
             enclosure.(i))
     in
-    Ok { state; segment }
+    Ok { state; segment; enclosure }

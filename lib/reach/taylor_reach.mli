@@ -21,6 +21,10 @@ val apriori_enclosure :
 type step_result = {
   state : Dwv_taylor.Tm_vec.t;    (** models of x(delta) *)
   segment : Dwv_interval.Box.t;   (** enclosure of x(t), t in [0, delta] *)
+  enclosure : Dwv_interval.Box.t;
+      (** the Picard a-priori enclosure itself: certificate emission
+          records it as the hint for the independent checker's
+          directed-rounding flow replay *)
 }
 
 (** One sampling period under the (already abstracted) control models [u].

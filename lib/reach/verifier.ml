@@ -13,11 +13,19 @@
 
 module Box = Dwv_interval.Box
 module Setops = Dwv_geometry.Setops
+module Tm = Dwv_taylor.Taylor_model
 module Tm_vec = Dwv_taylor.Tm_vec
 module Dwv_error = Dwv_robust.Dwv_error
 module Budget = Dwv_robust.Budget
 module Fault = Dwv_robust.Fault
 module Robust_verify = Dwv_robust.Robust_verify
+module Cert = Dwv_cert.Cert
+module Cert_key = Dwv_cert.Cert_key
+module Cert_check = Dwv_cert.Cert_check
+module Cert_cache = Dwv_cert.Cert_cache
+module Counters = Dwv_util.Counters
+
+let c_nn_flowpipes = Counters.counter "nn_flowpipes"
 
 type verdict = Reach_avoid | Unsafe | Unknown
 
@@ -73,9 +81,22 @@ let box_finite b =
       && Float.is_finite (Dwv_interval.Interval.hi iv))
     b
 
+(* Certificate emission tap: when a [recorder] is passed, each completed
+   step appends its ZOH control range, its Picard enclosure (the hint
+   the independent checker inflates from) and the control-TM remainder
+   width. Lists are reversed (newest first) and per-call local. *)
+type recorder = {
+  mutable rec_controls : Box.t list;
+  mutable rec_hints : Box.t list;
+  mutable rec_remainders : float list;
+}
+
+let new_recorder () = { rec_controls = []; rec_hints = []; rec_remainders = [] }
+
 let nn_flowpipe_outcome ?(blowup_width = 1e4) ?(order = 3) ?(disturbance_slots = 8)
-    ?(substeps = 1) ?budget ~f ~delta ~steps ~net ~output_scale ~method_ ~x0 () =
+    ?(substeps = 1) ?budget ?record ~f ~delta ~steps ~net ~output_scale ~method_ ~x0 () =
   if substeps < 1 then invalid_arg "Verifier.nn_flowpipe: substeps must be >= 1";
+  Counters.incr c_nn_flowpipes;
   let backend = nn_method_name method_ in
   let where = "Verifier.nn_flowpipe" in
   (* Fault injection (tests / CLI --fault): a NaN-weights fault armed for
@@ -128,28 +149,37 @@ let nn_flowpipe_outcome ?(blowup_width = 1e4) ?(order = 3) ?(disturbance_slots =
              !tm)
              !x;
          let u = control !x in
+         let rem_width = ref 0.0 in
          let u =
            Array.mapi
              (fun j tm ->
-               Dwv_taylor.Taylor_model.symbolize_remainder ~slot:(slot_base + j)
-                 (Dwv_taylor.Taylor_model.sweep tm))
+               let tm = Tm.sweep tm in
+               rem_width :=
+                 Float.max !rem_width
+                   (Dwv_interval.Interval.width (Tm.remainder tm));
+               Tm.symbolize_remainder ~slot:(slot_base + j) tm)
              u
          in
+         let u_box = Tm_vec.bound_box u in
          (* control is held (ZOH) over the whole period; the validated
             Taylor step may subdivide it to shrink the Lagrange remainder
             (the "+tight" fallback rung) without changing the sampled-
             data semantics *)
          let sub_delta = delta /. float_of_int substeps in
-         let state = ref !x and segment = ref None in
+         let state = ref !x and segment = ref None and picard = ref None in
+         let hull_into acc seg =
+           Some (match acc with None -> seg | Some acc -> Box.hull acc seg)
+         in
          let rec sub s =
-           if s > substeps then Ok (!state, Option.get !segment)
+           if s > substeps then
+             Ok (!state, Option.get !segment, Option.get !picard, u_box, !rem_width)
            else
              match Taylor_reach.step ?budget ~f ~lie ~delta:sub_delta !state u with
              | Error e -> Error e
-             | Ok { state = st; segment = seg } ->
+             | Ok { state = st; segment = seg; enclosure = enc } ->
                state := st;
-               segment :=
-                 Some (match !segment with None -> seg | Some acc -> Box.hull acc seg);
+               segment := hull_into !segment seg;
+               picard := hull_into !picard enc;
                sub (s + 1)
          in
          sub 1
@@ -161,7 +191,7 @@ let nn_flowpipe_outcome ?(blowup_width = 1e4) ?(order = 3) ?(disturbance_slots =
              step =
                (match e.Dwv_error.step with Some _ as s -> s | None -> Some !step_index);
            }
-       | Ok (state, segment) ->
+       | Ok (state, segment, picard, u_box, rem_width) ->
          let next_box = Tm_vec.bound_box state in
          if not (box_finite next_box && box_finite segment) then
            fail (Dwv_error.non_finite ~backend ~step:!step_index ~where "reach box")
@@ -174,6 +204,12 @@ let nn_flowpipe_outcome ?(blowup_width = 1e4) ?(order = 3) ?(disturbance_slots =
                 ~backend ~step:!step_index ~where ());
          segment_boxes := segment :: !segment_boxes;
          step_boxes := next_box :: !step_boxes;
+         (match record with
+         | Some r ->
+           r.rec_controls <- u_box :: r.rec_controls;
+           r.rec_hints <- picard :: r.rec_hints;
+           r.rec_remainders <- rem_width :: r.rec_remainders
+         | None -> ());
          x := state
        | exception ((Invalid_argument _ | Failure _) as exn) ->
          fail (Dwv_error.of_exn ~backend ~step:!step_index ~where exn)
@@ -261,17 +297,106 @@ let outcome_rung ~name k =
         | None -> Ok o.Flowpipe.pipe);
   }
 
+(* ------------------------------------------------------------------ *)
+(* Certificate integration: reconstruct a flowpipe from a validated
+   certificate (cache hit) and emit one from a fresh run (cache store).
+   The checker-side enclosures are synthesized here, at emission, by
+   Cert_check.enclose — the exact computation Cert_check.validate
+   replays — so a clean certificate full-validates with zero rejects. *)
+
+let cert_verdict_of = function
+  | Reach_avoid -> Cert.Reach_avoid
+  | Unsafe -> Cert.Unsafe
+  | Unknown -> Cert.Unknown
+
+(* Bit-exact reconstruction: the cert stored the prover's boxes as raw
+   IEEE bits, so verdicts and scores downstream are identical to the
+   cold run's. [None] on any shape mismatch (the caller recomputes). *)
+let pipe_of_cert ~delta (c : Cert.t) =
+  if c.Cert.delta <> delta then None
+  else
+    match
+      Flowpipe.make ~step_boxes:c.Cert.step_boxes ~segment_boxes:c.Cert.segment_boxes
+        ~delta:c.Cert.delta ~diverged:false
+    with
+    | pipe -> Some pipe
+    | exception Invalid_argument _ -> None
+
+let cert_of_pipe ~fingerprint ~backend ~params ~f ~unsafe ~goal ~law
+    ?(controls = [||]) ?(hints = [||]) ?(remainders = [||]) pipe =
+  if Flowpipe.diverged pipe then None
+  else begin
+    let step_boxes = Array.of_list (Flowpipe.step_boxes pipe) in
+    let segment_boxes = Array.of_list (Flowpipe.segment_boxes pipe) in
+    let nsegs = Array.length segment_boxes in
+    if nsegs = 0 || Array.length step_boxes <> nsegs + 1 then None
+    else begin
+      let delta = Flowpipe.delta pipe in
+      let have_controls = Array.length controls = nsegs in
+      let enclosures =
+        Array.init nsegs (fun i ->
+            let hint =
+              let base =
+                Box.hull step_boxes.(i) (Box.hull segment_boxes.(i) step_boxes.(i + 1))
+              in
+              if Array.length hints = nsegs then Box.hull base hints.(i) else base
+            in
+            let control =
+              if have_controls then Some (Cert_check.Const controls.(i))
+              else
+                match law with
+                | Cert.Affine rows -> Some (Cert_check.Affine_law rows)
+                | Cert.Opaque -> None
+            in
+            match control with
+            | None -> None
+            | Some control ->
+              Option.map fst
+                (Cert_check.enclose ~f ~delta ~x:step_boxes.(i) ~control ~hint ()))
+      in
+      Some
+        {
+          Cert.fingerprint;
+          backend;
+          params;
+          delta;
+          dim = Box.dim step_boxes.(0);
+          x0 = step_boxes.(0);
+          unsafe;
+          goal;
+          law;
+          verdict = cert_verdict_of (check ~unsafe ~goal pipe);
+          step_boxes;
+          segment_boxes;
+          controls = (if have_controls then controls else [||]);
+          enclosures;
+          remainders = (if Array.length remainders = nsegs then remainders else [||]);
+        }
+    end
+  end
+
+(* Where a robust NN verification should look for / deposit its
+   certificates, plus the spec boxes its claim is judged against (both
+   enter the content address). *)
+type cert_site = { cc_cache : Cert_cache.t; cc_unsafe : Box.t; cc_goal : Box.t }
+
 let nn_flowpipe_robust ?(blowup_width = 1e4) ?(order = 3) ?(disturbance_slots = 8)
-    ?budget ~f ~delta ~steps ~net ~output_scale ~method_ ~x0 () =
+    ?budget ?cert ~f ~delta ~steps ~net ~output_scale ~method_ ~x0 () =
   (* the primary rung's (possibly truncated) pipe is kept: when the whole
      ladder fails, its graded progress is still the best gradient signal
      the metric can extract (Metrics.diverged_scores) *)
   let primary_pipe = ref None in
+  (* (backend name, emission recorder) of the most recent rung attempt;
+     per-call local, and the rungs of one call run sequentially, so on a
+     ladder success this names the rung that produced the value. *)
+  let last_rung = ref None in
   let tm ?(remember = false) name method_ ~slots ~substeps () =
     outcome_rung ~name (fun () ->
+        let record = Option.map (fun _ -> new_recorder ()) cert in
+        last_rung := Some (name, record);
         let o =
           nn_flowpipe_outcome ~blowup_width ~order ~disturbance_slots:slots ~substeps
-            ?budget ~f ~delta ~steps ~net ~output_scale ~method_ ~x0 ()
+            ?budget ?record ~f ~delta ~steps ~net ~output_scale ~method_ ~x0 ()
         in
         if remember && !primary_pipe = None then primary_pipe := Some o.Flowpipe.pipe;
         o)
@@ -289,9 +414,53 @@ let nn_flowpipe_robust ?(blowup_width = 1e4) ?(order = 3) ?(disturbance_slots = 
         ~substeps:2 ();
       tm cross_name cross_method ~slots:disturbance_slots ~substeps:1 ();
       outcome_rung ~name:"interval" (fun () ->
+          last_rung := Some ("interval", None);
           Interval_reach.nn_flowpipe_outcome ~blowup_width ~order ?budget ~f ~delta
             ~steps ~net ~output_scale ~x0 ());
     ]
   in
-  let o = Robust_verify.run ?budget rungs in
+  let cache =
+    Option.map
+      (fun site ->
+        let params =
+          Fmt.str "%s order=%d slots=%d substeps=1 scale=%h blowup=%h"
+            (nn_method_name method_) order disturbance_slots output_scale blowup_width
+          ^
+          match method_ with
+          | Polar -> ""
+          | Bernstein config -> " " ^ Nn_reach_bernstein.config_tag config
+        in
+        let fp =
+          Cert_key.fingerprint ~f ~theta:(Dwv_nn.Mlp.flatten net) ~x0
+            ~unsafe:site.cc_unsafe ~goal:site.cc_goal ~delta ~steps ~tag:params
+        in
+        {
+          Robust_verify.lookup =
+            (fun () ->
+              Option.bind (Cert_cache.find site.cc_cache ~fingerprint:fp)
+                (pipe_of_cert ~delta));
+          store =
+            (fun pipe ->
+              let backend, record =
+                match !last_rung with Some (b, r) -> (b, r) | None -> ("?", None)
+              in
+              let controls, hints, remainders =
+                match record with
+                | Some r ->
+                  ( Array.of_list (List.rev r.rec_controls),
+                    Array.of_list (List.rev r.rec_hints),
+                    Array.of_list (List.rev r.rec_remainders) )
+                | None -> ([||], [||], [||])
+              in
+              match
+                cert_of_pipe ~fingerprint:fp ~backend ~params ~f
+                  ~unsafe:site.cc_unsafe ~goal:site.cc_goal ~law:Cert.Opaque
+                  ~controls ~hints ~remainders pipe
+              with
+              | Some c -> Cert_cache.store site.cc_cache c
+              | None -> ());
+        })
+      cert
+  in
+  let o = Robust_verify.run ?budget ?cache rungs in
   report_of_outcome ?fallback:!primary_pipe ~x0 ~delta o

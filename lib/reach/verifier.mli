@@ -28,6 +28,14 @@ type nn_method =
 
 val nn_method_name : nn_method -> string
 
+(** Certificate-emission tap for {!nn_flowpipe_outcome}: each completed
+    step appends its ZOH control range, its Picard enclosure (the
+    checker's inflation hint) and the control-TM remainder width.
+    Per-call; create with {!new_recorder}. *)
+type recorder
+
+val new_recorder : unit -> recorder
+
 (** Closed-loop flowpipe of x' = f(x, u), u = output_scale·net(x) sampled
     with ZOH, with the structured failure cause attached (total). [order]
     is the Taylor-model order (default 3); the pipe is marked diverged
@@ -45,6 +53,7 @@ val nn_flowpipe_outcome :
   ?disturbance_slots:int ->
   ?substeps:int ->
   ?budget:Dwv_robust.Budget.t ->
+  ?record:recorder ->
   f:Dwv_expr.Expr.t array ->
   delta:float ->
   steps:int ->
@@ -115,17 +124,59 @@ val report_of_outcome :
   Flowpipe.t Dwv_robust.Robust_verify.outcome ->
   fallback_report
 
+(** {1 Certificates} *)
+
+val cert_verdict_of : verdict -> Dwv_cert.Cert.verdict
+
+(** Bit-exact flowpipe reconstruction from a validated certificate
+    (cache hit); [None] on any shape/delta mismatch — the caller then
+    recomputes fresh. *)
+val pipe_of_cert : delta:float -> Dwv_cert.Cert.t -> Flowpipe.t option
+
+(** Emit a certificate from a fresh, non-diverged flowpipe: records the
+    boxes, re-judges the claim, and synthesizes the per-step
+    directed-rounding enclosures with [Cert_check.enclose] (exactly what
+    the checker replays, so clean certificates full-validate with zero
+    rejects). [controls]/[hints]/[remainders] come from a {!recorder}
+    when the backend was a Taylor rung; with an [Affine] law the checker
+    re-derives controls itself. [None] for diverged or zero-step pipes. *)
+val cert_of_pipe :
+  fingerprint:int64 ->
+  backend:string ->
+  params:string ->
+  f:Dwv_expr.Expr.t array ->
+  unsafe:Dwv_interval.Box.t ->
+  goal:Dwv_interval.Box.t ->
+  law:Dwv_cert.Cert.control_law ->
+  ?controls:Dwv_interval.Box.t array ->
+  ?hints:Dwv_interval.Box.t array ->
+  ?remainders:float array ->
+  Flowpipe.t ->
+  Dwv_cert.Cert.t option
+
+(** Where a robust NN verification looks for / deposits certificates,
+    plus the spec boxes its claim is judged against (both enter the
+    content address). *)
+type cert_site = {
+  cc_cache : Dwv_cert.Cert_cache.t;
+  cc_unsafe : Dwv_interval.Box.t;
+  cc_goal : Dwv_interval.Box.t;
+}
+
 (** NN closed-loop flowpipe with the degradation ladder: the requested
     settings first, then tighter Taylor sub-stepping with more
     disturbance slots, then the other controller abstraction
     (POLAR <-> Bernstein), then the interval-only pipe. With no failures
     the first rung runs exactly the settings of {!nn_flowpipe}, so
-    verdicts are unchanged. *)
+    verdicts are unchanged. With [cert], a validated cache hit
+    short-circuits the ladder (rung ["cache"], bit-identical pipe) and a
+    clean success is emitted back to the cache. *)
 val nn_flowpipe_robust :
   ?blowup_width:float ->
   ?order:int ->
   ?disturbance_slots:int ->
   ?budget:Dwv_robust.Budget.t ->
+  ?cert:cert_site ->
   f:Dwv_expr.Expr.t array ->
   delta:float ->
   steps:int ->

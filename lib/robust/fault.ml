@@ -11,6 +11,12 @@
      Deadline_hit — the call fails immediately with a deadline error
      Budget_hit   — the call fails immediately with a budget-exhausted
                     error
+     Cert_corrupt — a stored certificate is read back with one seeded
+                    bit flipped (the checker must reject it)
+     Cert_stale   — a cache lookup validates against a mismatched
+                    fingerprint (must be rejected as stale)
+     Cert_io      — certificate reads/writes fail as if the disk did
+                    (must degrade to a fresh computation)
 
    Call-index addressing is sequentially consistent even when calls run
    on several domains at once: parallel fan-out sites ([Learner],
@@ -28,19 +34,32 @@
 
 module Rng = Dwv_util.Rng
 
-type kind = Nan_theta | Tm_blowup | Deadline_hit | Budget_hit
+type kind =
+  | Nan_theta
+  | Tm_blowup
+  | Deadline_hit
+  | Budget_hit
+  | Cert_corrupt
+  | Cert_stale
+  | Cert_io
 
 let kind_to_string = function
   | Nan_theta -> "nan"
   | Tm_blowup -> "blowup"
   | Deadline_hit -> "deadline"
   | Budget_hit -> "budget"
+  | Cert_corrupt -> "cert-corrupt"
+  | Cert_stale -> "cert-stale"
+  | Cert_io -> "cert-io"
 
 let kind_of_string = function
   | "nan" | "nan-theta" -> Some Nan_theta
   | "blowup" | "tm-blowup" -> Some Tm_blowup
   | "deadline" -> Some Deadline_hit
   | "budget" -> Some Budget_hit
+  | "cert-corrupt" -> Some Cert_corrupt
+  | "cert-stale" -> Some Cert_stale
+  | "cert-io" -> Some Cert_io
   | _ -> None
 
 type armed = {
@@ -146,3 +165,22 @@ let nan_corrupt arr =
       arr.(Rng.int rng (Array.length arr)) <- Float.nan
     end;
     arr
+
+(* Flip one seeded bit of an encoded artifact (a copy; used by the
+   [Cert_corrupt] fault to simulate silent storage corruption). The
+   position is drawn exactly like [nan_corrupt]'s, so it replays
+   identically at any domain count. Identity when no plan is armed. *)
+let byte_corrupt s =
+  match Atomic.get state with
+  | None -> s
+  | Some a ->
+    if String.length s = 0 then s
+    else begin
+      let idx = match !(Domain.DLS.get inflight) with Some (i, _) -> i | None -> 0 in
+      let rng = Rng.create ((a.seed * 0x10001) + idx + 1) in
+      let pos = Rng.int rng (String.length s) in
+      let bit = Rng.int rng 8 in
+      let b = Bytes.of_string s in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
+      Bytes.unsafe_to_string b
+    end

@@ -7,6 +7,9 @@ type kind =
   | Tm_blowup     (** primary fallback rung reports flowpipe divergence *)
   | Deadline_hit  (** the call fails with a deadline error *)
   | Budget_hit    (** the call fails with a budget-exhausted error *)
+  | Cert_corrupt  (** a stored certificate is read back with one bit flipped *)
+  | Cert_stale    (** a cache lookup validates against a mismatched fingerprint *)
+  | Cert_io       (** certificate reads/writes fail as if the disk did *)
 
 val kind_to_string : kind -> string
 
@@ -53,3 +56,7 @@ val injected : unit -> (int * kind) list
 (** NaN-corrupt one seeded position of a parameter vector (returns a
     copy); identity when no plan is armed. *)
 val nan_corrupt : float array -> float array
+
+(** Flip one seeded bit of an encoded artifact (returns a copy);
+    identity when no plan is armed. Used by the [Cert_corrupt] fault. *)
+val byte_corrupt : string -> string

@@ -26,7 +26,18 @@ let succeeded o = Option.is_some o.value
 let all_failed ?fault failures =
   { value = None; rung = None; rung_index = None; failures; fault }
 
-let run ?budget rungs =
+(* Optional certificate-cache hook (built by Verifier/Acc over
+   Cert_cache; kept abstract here so the robust layer stays below
+   lib/cert in the dependency order). [lookup] must return only
+   validated values; [store] must tolerate any IO failure silently. *)
+type 'a cache = { lookup : unit -> 'a option; store : 'a -> unit }
+
+let cache_rung_name = "cache"
+
+let c_verifier_calls = Dwv_util.Counters.counter "verifier_calls"
+
+let run ?budget ?cache rungs =
+  Dwv_util.Counters.incr c_verifier_calls;
   let fault = Fault.begin_call () in
   Fun.protect ~finally:Fault.end_call @@ fun () ->
   let where = "Robust_verify.run" in
@@ -48,6 +59,25 @@ let run ?budget rungs =
   match (spend, synthesized) with
   | Error e, _ | Ok (), Some e -> all_failed ?fault [ ("budget", e) ]
   | Ok (), None ->
+    (* Faults that must corrupt the *computation* bypass the cache: a
+       hit would sidestep the very path the fault plan is probing. The
+       cert-* faults, by contrast, target the cache itself, so they
+       flow through [lookup]/[store]. *)
+    let cache =
+      match fault with
+      | Some (Fault.Nan_theta | Fault.Tm_blowup) -> None
+      | _ -> cache
+    in
+    let cached =
+      match cache with
+      | None -> None
+      | Some c -> ( try c.lookup () with _ -> None)
+    in
+    (match cached with
+    | Some v ->
+      { value = Some v; rung = Some cache_rung_name; rung_index = Some (-1);
+        failures = []; fault }
+    | None ->
     let rec go i failures = function
       | [] -> all_failed ?fault (List.rev failures)
       | r :: rest -> (
@@ -70,4 +100,10 @@ let run ?budget rungs =
               failures = List.rev failures; fault }
           | Error e -> go (i + 1) ((r.name, e) :: failures) rest))
     in
-    go 0 [] rungs
+    let o = go 0 [] rungs in
+    (* Store only clean successes: a faulted call must never poison the
+       cache, and store failures degrade silently (the value stands). *)
+    (match (cache, o.value, fault) with
+    | Some c, Some v, None -> ( try c.store v with _ -> ())
+    | _ -> ());
+    o)

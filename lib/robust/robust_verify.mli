@@ -18,7 +18,24 @@ type 'a outcome = {
 
 val succeeded : 'a outcome -> bool
 
+(** Certificate-cache hook built by the reach/systems layer over
+    [Cert_cache]; abstract here so this layer stays below [lib/cert].
+    [lookup] must return only validated values and [store] must tolerate
+    failure silently — both are additionally guarded in {!run}. *)
+type 'a cache = { lookup : unit -> 'a option; store : 'a -> unit }
+
+(** Provenance name recorded when a validated cache hit short-circuits
+    the ladder ({!outcome}[.rung_index] is [Some (-1)] in that case). *)
+val cache_rung_name : string
+
 (** Run the rungs in order until one succeeds. Spends one verifier call
     on [budget] and re-checks its deadline before each rung; exceptions
-    escaping a rung become [Backend_failure] values. *)
-val run : ?budget:Budget.t -> 'a rung list -> 'a outcome
+    escaping a rung become [Backend_failure] values.
+
+    When [cache] is given, a validated hit (after the budget spend, so
+    accounting is cache-blind) returns immediately with rung
+    {!cache_rung_name}; a clean success is stored back. Lookup is
+    bypassed while a computation-corrupting fault ([Nan_theta] /
+    [Tm_blowup]) is armed, and nothing is stored from any faulted call,
+    so fault runs are bit-identical with and without a cache. *)
+val run : ?budget:Budget.t -> ?cache:'a cache -> 'a rung list -> 'a outcome

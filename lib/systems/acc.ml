@@ -83,12 +83,46 @@ let verify_from x0 controller =
 
 let verify controller = verify_from spec.Spec.x0 controller
 
+(* Certificate hook for the linear controller: the content address
+   covers dynamics structure, θ, the cell, the spec boxes and the
+   step grid; the law is recorded as affine feedback so the independent
+   checker re-derives the control range from its own enclosure. *)
+let cert_hook cache x0 controller =
+  match controller with
+  | Controller.Linear _ ->
+    let theta = Controller.params controller in
+    let fp =
+      Dwv_cert.Cert_key.fingerprint ~f:dynamics ~theta ~x0
+        ~unsafe:spec.Spec.unsafe ~goal:spec.Spec.goal ~delta
+        ~steps:spec.Spec.steps ~tag:"acc zonotope"
+    in
+    Some
+      {
+        Dwv_robust.Robust_verify.lookup =
+          (fun () ->
+            Option.bind
+              (Dwv_cert.Cert_cache.find cache ~fingerprint:fp)
+              (Dwv_reach.Verifier.pipe_of_cert ~delta));
+        store =
+          (fun pipe ->
+            match
+              Dwv_reach.Verifier.cert_of_pipe ~fingerprint:fp ~backend:"zonotope"
+                ~params:"acc zonotope" ~f:dynamics ~unsafe:spec.Spec.unsafe
+                ~goal:spec.Spec.goal
+                ~law:(Dwv_cert.Cert.Affine [| theta |])
+                pipe
+            with
+            | Some c -> Dwv_cert.Cert_cache.store cache c
+            | None -> ());
+      }
+  | Controller.Net _ -> None
+
 (* Fault-tolerant verifier. The zonotope engine has no cheaper sound
    sibling, so the ladder has a single rung; what the robust wrapper adds
    is totality — an injected NaN gain or a blown budget comes back as a
    structured failure with a conservatively diverged stub pipe instead of
    poisoning downstream scores. *)
-let verify_robust_from ?budget x0 controller =
+let verify_robust_from ?budget ?cache x0 controller =
   let box_finite b =
     Array.for_all
       (fun iv ->
@@ -115,10 +149,12 @@ let verify_robust_from ?budget x0 controller =
                ~where:"Acc.verify_robust" "reach box")
         else Ok pipe)
   in
-  let o = Dwv_robust.Robust_verify.run ?budget [ rung ] in
+  let cache = Option.bind cache (fun c -> cert_hook c x0 controller) in
+  let o = Dwv_robust.Robust_verify.run ?budget ?cache [ rung ] in
   Dwv_reach.Verifier.report_of_outcome ~x0 ~delta o
 
-let verify_robust ?budget controller = verify_robust_from ?budget spec.Spec.x0 controller
+let verify_robust ?budget ?cache controller =
+  verify_robust_from ?budget ?cache spec.Spec.x0 controller
 
 (* Control law on the 2-D simulation state (appends the constant 1). *)
 let sim_controller controller x =

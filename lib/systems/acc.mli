@@ -37,9 +37,13 @@ val verify : Dwv_core.Controller.t -> Dwv_reach.Flowpipe.t
 
 (** Fault-tolerant verifier: the zonotope engine as a single ladder rung
     (it has no cheaper sound sibling), made total — NaN gains and blown
-    budgets come back as structured failures with a diverged stub pipe. *)
+    budgets come back as structured failures with a diverged stub pipe.
+    With [cache], a validated certificate hit replays the stored
+    flowpipe bit-exactly (rung ["cache"]) and clean runs emit an
+    affine-law certificate back to the cache. *)
 val verify_robust_from :
   ?budget:Dwv_robust.Budget.t ->
+  ?cache:Dwv_cert.Cert_cache.t ->
   Dwv_interval.Box.t ->
   Dwv_core.Controller.t ->
   Dwv_reach.Verifier.fallback_report
@@ -47,6 +51,7 @@ val verify_robust_from :
 (** {!verify_robust_from} from X₀. *)
 val verify_robust :
   ?budget:Dwv_robust.Budget.t ->
+  ?cache:Dwv_cert.Cert_cache.t ->
   Dwv_core.Controller.t ->
   Dwv_reach.Verifier.fallback_report
 

@@ -55,11 +55,14 @@ val verify :
   Dwv_reach.Flowpipe.t
 
 (** Fault-tolerant verifier: {!verify_from} settings as the primary rung
-    of the degradation ladder, with budget enforcement. *)
+    of the degradation ladder, with budget enforcement. With [cache], a
+    validated certificate hit replays the stored flowpipe bit-exactly
+    (rung ["cache"]) and clean runs deposit certificates. *)
 val verify_robust_from :
   ?method_:Dwv_reach.Verifier.nn_method ->
   ?slots:int ->
   ?budget:Dwv_robust.Budget.t ->
+  ?cache:Dwv_cert.Cert_cache.t ->
   Dwv_interval.Box.t ->
   Dwv_core.Controller.t ->
   Dwv_reach.Verifier.fallback_report
@@ -69,6 +72,7 @@ val verify_robust :
   ?method_:Dwv_reach.Verifier.nn_method ->
   ?slots:int ->
   ?budget:Dwv_robust.Budget.t ->
+  ?cache:Dwv_cert.Cert_cache.t ->
   Dwv_core.Controller.t ->
   Dwv_reach.Verifier.fallback_report
 

@@ -72,16 +72,22 @@ let verify ?method_ ?slots controller = verify_from ?method_ ?slots spec.Spec.x0
 
 (* Fault-tolerant verifier: primary settings as [verify_from] plus the
    degradation ladder and budget enforcement. *)
-let verify_robust_from ?(method_ = Verifier.Polar) ?(slots = fast_slots) ?budget x0
+let verify_robust_from ?(method_ = Verifier.Polar) ?(slots = fast_slots) ?budget ?cache x0
     controller =
   match controller with
   | Controller.Net { net; output_scale } ->
-    Verifier.nn_flowpipe_robust ~order:tm_order ~disturbance_slots:slots ?budget
+    let cert =
+      Option.map
+        (fun c ->
+          { Verifier.cc_cache = c; cc_unsafe = spec.Spec.unsafe; cc_goal = spec.Spec.goal })
+        cache
+    in
+    Verifier.nn_flowpipe_robust ~order:tm_order ~disturbance_slots:slots ?budget ?cert
       ~f:dynamics ~delta ~steps:spec.Spec.steps ~net ~output_scale ~method_ ~x0 ()
   | Controller.Linear _ ->
     invalid_arg "Pendulum.verify_from: the pendulum study uses NN controllers"
 
-let verify_robust ?method_ ?slots ?budget controller =
-  verify_robust_from ?method_ ?slots ?budget spec.Spec.x0 controller
+let verify_robust ?method_ ?slots ?budget ?cache controller =
+  verify_robust_from ?method_ ?slots ?budget ?cache spec.Spec.x0 controller
 
 let sim_controller = Controller.eval

@@ -44,6 +44,7 @@ val verify_robust_from :
   ?method_:Dwv_reach.Verifier.nn_method ->
   ?slots:int ->
   ?budget:Dwv_robust.Budget.t ->
+  ?cache:Dwv_cert.Cert_cache.t ->
   Dwv_interval.Box.t ->
   Dwv_core.Controller.t ->
   Dwv_reach.Verifier.fallback_report
@@ -53,6 +54,7 @@ val verify_robust :
   ?method_:Dwv_reach.Verifier.nn_method ->
   ?slots:int ->
   ?budget:Dwv_robust.Budget.t ->
+  ?cache:Dwv_cert.Cert_cache.t ->
   Dwv_core.Controller.t ->
   Dwv_reach.Verifier.fallback_report
 

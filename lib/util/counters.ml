@@ -1,0 +1,44 @@
+(* Deterministic event counters for the bench gates.
+
+   The counted events (verifier calls, validated Taylor steps, cache
+   hits/misses/rejects, ...) are *scheduled* deterministically — the
+   learner and initset fan-outs pre-assign work by index — so their
+   totals must be bit-identical at any domain count even though the
+   increments interleave arbitrarily. The bench sections snapshot these
+   around each workload and gate on exact equality (the nim-ci_bench
+   idea: exact counters survive host-load noise that wall-clock numbers
+   do not).
+
+   Handles are atomics resolved once per registration; the registry is
+   a CAS-swapped immutable list so lookups never race a resize (OCaml
+   Hashtbl is not safe under concurrent mutation). [reset] zeroes the
+   counters in place: handles cached by hot modules stay valid. *)
+
+type handle = int Atomic.t
+
+let registry : (string * handle) list Atomic.t = Atomic.make []
+
+let rec counter name =
+  let current = Atomic.get registry in
+  match List.assoc_opt name current with
+  | Some h -> h
+  | None ->
+    let h = Atomic.make 0 in
+    if Atomic.compare_and_set registry current ((name, h) :: current) then h
+    else counter name (* another domain registered concurrently; retry *)
+
+let incr h = ignore (Atomic.fetch_and_add h 1)
+let add h n = ignore (Atomic.fetch_and_add h n)
+let value h = Atomic.get h
+
+let get name =
+  match List.assoc_opt name (Atomic.get registry) with
+  | Some h -> Atomic.get h
+  | None -> 0
+
+let reset () = List.iter (fun (_, h) -> Atomic.set h 0) (Atomic.get registry)
+
+let snapshot () =
+  Atomic.get registry
+  |> List.map (fun (name, h) -> (name, Atomic.get h))
+  |> List.sort compare

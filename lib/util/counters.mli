@@ -1,0 +1,27 @@
+(** Process-global named event counters with deterministic totals.
+
+    The counted events are scheduled deterministically (pre-assigned
+    probe/cell indices), so totals are bit-identical at any domain
+    count; the bench sections snapshot them around each workload and
+    gate on exact equality — a load-independent regression signal next
+    to the wall-clock numbers. *)
+
+type handle
+
+(** Resolve (registering on first use) the counter named [name]. Cache
+    the handle at module level on hot paths; it stays valid across
+    {!reset}. *)
+val counter : string -> handle
+
+val incr : handle -> unit
+val add : handle -> int -> unit
+val value : handle -> int
+
+(** Current value by name (0 when never registered). *)
+val get : string -> int
+
+(** Zero every registered counter (handles stay valid). *)
+val reset : unit -> unit
+
+(** All counters as a sorted [(name, value)] list. *)
+val snapshot : unit -> (string * int) list

@@ -185,10 +185,10 @@ let test_nn_robust_blowup_uses_fallback_rung () =
 let acc_cfg =
   { Learner.default_config with Learner.max_iters = 5; alpha = 0.2; beta = 0.2; seed = 7 }
 
-let acc_learn_under ?(domains = 1) faults =
+let acc_learn_under ?(domains = 1) ?cache faults =
   let module A = Dwv_systems.Acc in
   let module Pool = Dwv_parallel.Pool in
-  let verify c = (A.verify_robust c).Verifier.pipe in
+  let verify c = (A.verify_robust ?cache c).Verifier.pipe in
   Fault.with_faults ~seed:1 faults (fun () ->
       Pool.with_pool ~oversubscribe:true ~domains (fun pool ->
           let r =
@@ -341,6 +341,84 @@ let test_evaluate_nan_trajectory_is_unsafe () =
   Alcotest.(check bool) "NaN rollout is not safe" false r.Evaluate.safe;
   Alcotest.(check bool) "NaN rollout reaches nothing" false r.Evaluate.reached
 
+(* ---------------- certificate-cache faults ---------------- *)
+
+module Cert = Dwv_cert.Cert
+module Cert_cache = Dwv_cert.Cert_cache
+
+let rec remove_tree path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> remove_tree (Filename.concat path f)) (Sys.readdir path);
+      try Sys.rmdir path with Sys_error _ -> ()
+    end
+    else try Sys.remove path with Sys_error _ -> ()
+
+let fresh_cert_dir tag =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dwv_faults_%s_%d" tag (Unix.getpid ()))
+  in
+  remove_tree dir;
+  dir
+
+(* The checker must reject EVERY seeded single-bit corruption, wherever
+   the bit lands: flip one seeded bit of a real emitted certificate for
+   25 different seeds and decode each copy. The FNV footer makes any
+   substitution detectable, so none may parse. *)
+let test_checker_rejects_every_seeded_corruption () =
+  let module A = Dwv_systems.Acc in
+  let dir = fresh_cert_dir "corrupt" in
+  let cache = Cert_cache.create ~dir () in
+  ignore (A.verify_robust ~cache A.initial_controller : Verifier.fallback_report);
+  let path =
+    match Cert_cache.last_store_path cache with
+    | Some p -> p
+    | None -> Alcotest.fail "no certificate stored"
+  in
+  let raw = In_channel.with_open_bin path In_channel.input_all in
+  Alcotest.(check bool) "clean bytes decode" true (Result.is_ok (Cert.decode raw));
+  for seed = 0 to 24 do
+    Fault.with_faults ~seed [] (fun () ->
+        let bad = Fault.byte_corrupt raw in
+        Alcotest.(check bool) "corruption changed a byte" true (bad <> raw);
+        match Cert.decode bad with
+        | Ok _ -> Alcotest.failf "seed %d: corrupted certificate decoded" seed
+        | Error _ -> ())
+  done;
+  remove_tree dir
+
+(* Under each injected cert fault the cache must degrade to a fresh
+   computation, so the learner's result is bit-identical to the
+   cache-disabled run — and the degradation must show up in the cache
+   stats (rejects for corrupt/stale reads, io_failures for dead disks)
+   while the unfaulted calls keep hitting. *)
+let test_learner_bit_identical_under_cert_faults () =
+  List.iter
+    (fun kind ->
+      let name = Fault.kind_to_string kind in
+      let faults = [ (1, kind); (4, kind) ] in
+      let baseline = acc_learn_under faults in
+      let dir = fresh_cert_dir ("learn_" ^ name) in
+      let cache = Cert_cache.create ~dir () in
+      ignore (acc_learn_under ~cache []);
+      Cert_cache.reset_stats cache;
+      let cached = acc_learn_under ~cache faults in
+      check_same_under_faults ("cert fault " ^ name) baseline cached;
+      let s = Cert_cache.stats cache in
+      (match kind with
+      | Fault.Cert_corrupt | Fault.Cert_stale ->
+        Alcotest.(check int) (name ^ ": both faulted reads rejected") 2
+          s.Cert_cache.rejects
+      | Fault.Cert_io ->
+        Alcotest.(check bool) (name ^ ": io failures recorded") true
+          (s.Cert_cache.io_failures >= 2)
+      | _ -> Alcotest.fail "not a cert fault");
+      Alcotest.(check bool) (name ^ ": clean calls still hit") true
+        (s.Cert_cache.hits > 0);
+      remove_tree dir)
+    [ Fault.Cert_corrupt; Fault.Cert_stale; Fault.Cert_io ]
+
 (* ---------------- budgeted initset search ---------------- *)
 
 let test_initset_budget_rejects_remainder () =
@@ -393,6 +471,10 @@ let suite =
     Alcotest.test_case "nan trajectory is unsafe" `Quick test_evaluate_nan_trajectory_is_unsafe;
     Alcotest.test_case "initset budget rejects remainder" `Quick
       test_initset_budget_rejects_remainder;
+    Alcotest.test_case "checker rejects every seeded corruption" `Quick
+      test_checker_rejects_every_seeded_corruption;
+    Alcotest.test_case "learner bit-identical under cert faults" `Quick
+      test_learner_bit_identical_under_cert_faults;
   ]
 
 let () = Alcotest.run "dwv-faults" [ ("faults", suite) ]

@@ -147,7 +147,7 @@ let test_taylor_step_matches_exponential () =
   let x = Tm_vec.of_box ~order:4 x0 in
   match Taylor_reach.step ~f ~lie ~delta:0.1 x [||] with
   | Error _ -> Alcotest.fail "step failed"
-  | Ok { state; segment } ->
+  | Ok { state; segment; _ } ->
     let final = Tm_vec.bound_box state in
     List.iter
       (fun x0p ->
@@ -268,7 +268,7 @@ let prop_taylor_step_sound_fuzz =
       let u = [| Tm.const ~nvars:2 ~order:4 u_val |] in
       match Taylor_reach.step ~f ~lie ~delta:0.1 x u with
       | Error _ -> false
-      | Ok { state; segment } ->
+      | Ok { state; segment; _ } ->
         let final = Tm_vec.bound_box state in
         let rng = Rng.create seed in
         let p = Box.sample rng x0 in
