@@ -1001,6 +1001,142 @@ let print_certs () =
   if not passed then exit 1
 
 (* ---------------------------------------------------------------- *)
+(* Section: scenarios — the scenario farm (SCENARIOS_report.json).
+   A 500-case seeded fuzz campaign runs the full DwV loop per scenario
+   with the differential soundness oracle; the campaign is replayed at
+   domains=1 and domains=N and every record (minus wall-clock) must be
+   bit-identical. The four committed benchmark DSL files must verify
+   Reach_avoid, and the regression corpus (scenarios that once exposed
+   soundness bugs) must examine clean. Any oracle violation, verdict
+   drift, or determinism mismatch fails the gate. *)
+
+module Scenario = Dwv_scenario.Scenario
+module Scn_registry = Dwv_scenario.Scn_registry
+module Scn_fuzz = Dwv_scenario.Scn_fuzz
+module Scn_verify = Dwv_scenario.Scn_verify
+
+let scenarios_seed = 42
+let scenarios_count = 500
+
+let scenarios_gate_rule =
+  "500-case campaign has zero soundness-oracle violations; records are \
+   bit-identical (minus latency) at domains 1 vs N; every committed \
+   benchmark scenario verifies Reach_avoid; every corpus scenario examines \
+   clean"
+
+let scenario_files dir ext =
+  if Sys.file_exists dir && Sys.is_directory dir then
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ext)
+    |> List.sort compare
+    |> List.map (Filename.concat dir)
+  else []
+
+let write_scenarios_json ~campaign_json ~det_match ~benchmarks ~corpus ~passed
+    path =
+  let b = Buffer.create 4096 in
+  Printf.bprintf b "{\n  \"version\": 1,\n  \"benchmarks\": [\n";
+  List.iteri
+    (fun i (name, verdict, rung, seconds) ->
+      Printf.bprintf b
+        "    {\"name\": \"%s\", \"verdict\": \"%s\", \"rung\": \"%s\", \
+         \"seconds\": %.6f}%s\n"
+        (json_escape name) (json_escape verdict) (json_escape rung) seconds
+        (if i = List.length benchmarks - 1 then "" else ","))
+    benchmarks;
+  Printf.bprintf b "  ],\n  \"corpus\": [\n";
+  List.iteri
+    (fun i (name, oracle) ->
+      Printf.bprintf b "    {\"name\": \"%s\", \"oracle\": %s}%s\n"
+        (json_escape name)
+        (match oracle with
+        | None -> "null"
+        | Some r -> Printf.sprintf "\"%s\"" (json_escape r))
+        (if i = List.length corpus - 1 then "" else ","))
+    corpus;
+  Printf.bprintf b
+    "  ],\n  \"campaign\": %s,\n  \"gate\": {\"rule\": \"%s\", \
+     \"determinism_match\": %b, \"passed\": %b}\n}\n"
+    (String.trim campaign_json) (json_escape scenarios_gate_rule) det_match
+    passed;
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc
+
+let print_scenarios ~domains () =
+  Fmt.pr "--- Scenario farm: fuzz campaign, benchmarks, corpus ---@.";
+  let seq = Scn_fuzz.run ~count:scenarios_count ~seed:scenarios_seed () in
+  let par =
+    Pool.with_pool ~domains (fun pool ->
+        Scn_fuzz.run ~pool ~count:scenarios_count ~seed:scenarios_seed ())
+  in
+  let keys r = Array.map Scn_fuzz.determinism_key r.Scn_fuzz.records in
+  let det_match = keys seq = keys par in
+  let v_seq = Scn_fuzz.violations seq and v_par = Scn_fuzz.violations par in
+  Fmt.pr "campaign: %d scenarios (seed %d), %d violation(s) seq, %d par, \
+          domains 1 vs %d %s@."
+    scenarios_count scenarios_seed v_seq v_par domains
+    (if det_match then "identical" else "MISMATCH");
+  let benchmarks =
+    List.map
+      (fun path ->
+        let entry = Scn_registry.of_file path in
+        let scn = entry.Scn_registry.scenario in
+        let controller =
+          entry.Scn_registry.init (Dwv_util.Rng.create scenarios_seed)
+        in
+        let report, seconds =
+          timed (fun () -> entry.Scn_registry.verify_robust controller)
+        in
+        let verdict =
+          Dwv_reach.Verifier.verdict_to_string report.Scn_verify.verdict
+        in
+        let rung =
+          Option.value ~default:"-"
+            report.Scn_verify.fallback.Dwv_reach.Verifier.rung
+        in
+        Fmt.pr "benchmark %-10s %-11s (rung %s, %.3fs)@." scn.Scenario.name
+          verdict rung seconds;
+        (scn.Scenario.name, verdict, rung, seconds))
+      (scenario_files "examples/scenarios" ".scn")
+  in
+  let corpus =
+    List.map
+      (fun path ->
+        let scn = Scenario.of_file path in
+        let result =
+          Scn_fuzz.examine ~rng:(Dwv_util.Rng.create scenarios_seed) scn
+        in
+        Fmt.pr "corpus    %-22s %s@." scn.Scenario.name
+          (match result.Scn_fuzz.oracle with
+          | None -> "clean"
+          | Some r -> "VIOLATION: " ^ r);
+        (scn.Scenario.name, result.Scn_fuzz.oracle))
+      (scenario_files "test/scenarios/corpus" ".scn")
+  in
+  let benchmarks_ok =
+    benchmarks <> []
+    && List.for_all (fun (_, v, _, _) -> v = "reach-avoid") benchmarks
+  in
+  let corpus_ok =
+    corpus <> [] && List.for_all (fun (_, o) -> o = None) corpus
+  in
+  let passed =
+    v_seq = 0 && v_par = 0 && det_match && benchmarks_ok && corpus_ok
+  in
+  write_scenarios_json
+    ~campaign_json:(Scn_fuzz.report_json ~domains:1 seq)
+    ~det_match ~benchmarks ~corpus ~passed "SCENARIOS_report.json";
+  Fmt.pr "gate %s [SCENARIOS_report.json written]@."
+    (if passed then "passed"
+     else if v_seq > 0 || v_par > 0 then "FAILED (soundness-oracle violations)"
+     else if not det_match then "FAILED (domains 1 vs N records differ)"
+     else if not benchmarks_ok then
+       "FAILED (benchmark scenario not reach-avoid)"
+     else "FAILED (corpus scenario not clean)");
+  if not passed then exit 1
+
+(* ---------------------------------------------------------------- *)
 
 let flush_section () = Format.pp_print_flush Format.std_formatter ()
 
@@ -1024,7 +1160,7 @@ let () =
     match sections with
     | [] ->
       [ "table1"; "table2"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8"; "tightness";
-        "micro"; "parallel"; "hotpath"; "certs" ]
+        "micro"; "parallel"; "hotpath"; "certs"; "scenarios" ]
     | _ -> sections
   in
   let domains = Option.value domains ~default:(Pool.default_domains ()) in
@@ -1032,6 +1168,7 @@ let () =
   if want "parallel" then begin print_parallel ~domains (); flush_section () end;
   if want "hotpath" then begin print_hotpath ~domains (); flush_section () end;
   if want "certs" then begin print_certs (); flush_section () end;
+  if want "scenarios" then begin print_scenarios ~domains (); flush_section () end;
   if want "table2" then begin print_table2 (); flush_section () end;
   if want "micro" then begin print_micro (); flush_section () end;
   let acc = if List.exists want [ "table1"; "fig4"; "fig6" ] then Some (run_acc ()) else None in

@@ -521,6 +521,165 @@ let cert_cmd =
     (Cmd.info "cert" ~doc:"Emit, independently re-check and garbage-collect proof certificates")
     [ cert_emit_cmd; cert_check_cmd; cert_gc_cmd ]
 
+(* ---- scenario farm ---- *)
+
+module Scenario = Dwv_scenario.Scenario
+module Scn_registry = Dwv_scenario.Scn_registry
+module Scn_fuzz = Dwv_scenario.Scn_fuzz
+
+let scenario_entry name file =
+  match (name, file) with
+  | Some n, None -> (
+    match Scn_registry.find n with
+    | Some e -> e
+    | None ->
+      (* not a built-in: treat the name as a DSL file path *)
+      if Sys.file_exists n then Scn_registry.of_file n
+      else begin
+        Fmt.epr "dwv: unknown scenario %s (built-ins: %s)@." n
+          (String.concat ", " (Scn_registry.names ()));
+        exit 2
+      end)
+  | None, Some path -> Scn_registry.of_file path
+  | _ ->
+    Fmt.epr "dwv: give exactly one of -s NAME or --file FILE@.";
+    exit 2
+
+let scenario_name_arg =
+  let doc = "Built-in scenario name (acc, pendulum, oscillator, threed) or a DSL file." in
+  Arg.(value & opt (some string) None & info [ "s"; "scenario" ] ~docv:"NAME" ~doc)
+
+let scenario_file_arg =
+  let doc = "Scenario DSL file to load." in
+  Arg.(value & opt (some file) None & info [ "file" ] ~docv:"FILE" ~doc)
+
+let scenario_list_cmd =
+  let run () =
+    List.iter
+      (fun (name, e) ->
+        Fmt.pr "%-12s %a@." name Scenario.pp e.Scn_registry.scenario)
+      Scn_registry.builtins
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the built-in scenarios of the farm")
+    Term.(const run $ const ())
+
+let scenario_run_cmd =
+  let run name file seed controller_file deadline max_calls cert_dir rollouts =
+    let entry = scenario_entry name file in
+    let scn = entry.Scn_registry.scenario in
+    Fmt.pr "scenario %a@." Scenario.pp scn;
+    let c =
+      match controller_file with
+      | Some path -> Controller.load path
+      | None -> entry.Scn_registry.init (Rng.create seed)
+    in
+    let budget = budget_of ~deadline ~max_calls in
+    let cache = cache_of_dir cert_dir in
+    let t0 = Unix.gettimeofday () in
+    let report = entry.Scn_registry.verify_robust ?budget ?cache c in
+    let dt = Unix.gettimeofday () -. t0 in
+    let fb = report.Dwv_scenario.Scn_verify.fallback in
+    Fmt.pr "verdict: %a (rung %s, %.3f s)@." Verifier.pp_verdict
+      report.Dwv_scenario.Scn_verify.verdict
+      (Option.value fb.Verifier.rung ~default:"-")
+      dt;
+    (match fb.Verifier.error with
+    | Some e -> Fmt.pr "failure: %a@." Dwv_error.pp e
+    | None -> ());
+    let rates =
+      Evaluate.rates ~n:rollouts
+        ~avoid:(Scenario.avoid_total scn)
+        ~rng:(Rng.create (seed + 1))
+        ~sys:(Scenario.sampled scn)
+        ~controller:(entry.Scn_registry.sim c)
+        ~spec:(Scenario.spec scn) ()
+    in
+    Fmt.pr "%a@." Evaluate.pp_rates rates;
+    report_cache_stats cache
+  in
+  let rollouts_arg =
+    Arg.(value & opt int 200 & info [ "n" ] ~docv:"N" ~doc:"Monte-Carlo rollouts.")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Verify a scenario (built-in or DSL file) and report SC/GR rates")
+    Term.(
+      const run $ scenario_name_arg $ scenario_file_arg $ seed_arg
+      $ controller_arg $ deadline_arg $ max_calls_arg $ cert_dir_arg
+      $ rollouts_arg)
+
+let scenario_fuzz_cmd =
+  let count_arg =
+    Arg.(value & opt int 200 & info [ "n"; "count" ] ~docv:"N" ~doc:"Scenarios to fuzz.")
+  in
+  let rollouts_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "rollouts" ] ~docv:"N" ~doc:"Oracle rollouts per scenario.")
+  in
+  let report_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "report" ] ~docv:"FILE" ~doc:"Write the JSON campaign report here.")
+  in
+  let corpus_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR" ~doc:"Write shrunk reproducer DSL files here.")
+  in
+  let run seed count rollouts domains report_file corpus =
+    let result =
+      with_domain_pool domains (fun pool ->
+          Scn_fuzz.run ~pool ~rollouts ~count ~seed ())
+    in
+    let tally = Hashtbl.create 8 in
+    Array.iter (fun r -> bump tally r.Scn_fuzz.verdict) result.Scn_fuzz.records;
+    Fmt.pr "fuzzed %d scenarios (seed %d): %a@." count seed pp_tally tally;
+    let nviol = Scn_fuzz.violations result in
+    (match report_file with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Scn_fuzz.report_json result);
+      close_out oc;
+      Fmt.pr "report: %s@." path
+    | None -> ());
+    (match corpus with
+    | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      List.iter
+        (fun rep ->
+          let path =
+            Filename.concat dir (Fmt.str "repro-%d.scn" rep.Scn_fuzz.rep_index)
+          in
+          let oc = open_out path in
+          output_string oc (Fmt.str ";; %s\n%s" rep.Scn_fuzz.reason rep.Scn_fuzz.dsl);
+          close_out oc;
+          Fmt.pr "reproducer: %s@." path)
+        result.Scn_fuzz.reproducers
+    | None -> ());
+    if nviol > 0 then begin
+      Fmt.epr "dwv: %d soundness-oracle violation(s)@." nviol;
+      List.iter
+        (fun rep ->
+          Fmt.epr "  [%d] %s@." rep.Scn_fuzz.rep_index rep.Scn_fuzz.reason)
+        result.Scn_fuzz.reproducers;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Fuzz random scenarios through the loop with the soundness oracle")
+    Term.(
+      const run $ seed_arg $ count_arg $ rollouts_arg $ domains_arg
+      $ report_arg $ corpus_arg)
+
+let scenario_cmd =
+  Cmd.group
+    (Cmd.info "scenario"
+       ~doc:"The scenario farm: list built-ins, run DSL scenarios, fuzz the loop")
+    [ scenario_list_cmd; scenario_run_cmd; scenario_fuzz_cmd ]
+
 (* Parse-and-evaluate a dynamics expression: exposes the text front end
    for user-defined systems. *)
 let parse_cmd =
@@ -559,6 +718,6 @@ let () =
   let doc = "Design-while-verify: correct-by-construction control learning" in
   let main =
     Cmd.group (Cmd.info "dwv" ~doc)
-      [ info_cmd; verify_cmd; learn_cmd; simulate_cmd; initset_cmd; cert_cmd; parse_cmd ]
+      [ info_cmd; verify_cmd; learn_cmd; simulate_cmd; initset_cmd; cert_cmd; scenario_cmd; parse_cmd ]
   in
   exit (Cmd.eval main)

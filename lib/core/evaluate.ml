@@ -14,14 +14,15 @@ type rollout = { safe : bool; reached : bool; trace : Sampled_system.trace }
 
 let point_finite p = Array.for_all Float.is_finite p
 
-let rollout ?substeps ~sys ~controller ~(spec : Spec.t) x0 =
+let rollout ?substeps ?avoid ~sys ~controller ~(spec : Spec.t) x0 =
+  let avoid = match avoid with Some l -> l | None -> [ spec.Spec.unsafe ] in
   let trace = Sampled_system.simulate ?substeps sys ~controller ~x0 ~steps:spec.Spec.steps in
   (* a NaN state would vacuously pass the box membership tests (NaN
      compares false against every bound), counting a blown-up simulation
      as safe; a non-finite trajectory is unsafe and never goal-reaching *)
   let safe =
     Array.for_all
-      (fun p -> point_finite p && Spec.point_safe spec p)
+      (fun p -> point_finite p && not (List.exists (fun b -> Box.contains b p) avoid))
       trace.Sampled_system.dense
   in
   let reached =
@@ -33,7 +34,7 @@ let rollout ?substeps ~sys ~controller ~(spec : Spec.t) x0 =
 
 type rates = { safe_percent : float; goal_percent : float; n : int }
 
-let rates ?(n = 500) ?substeps ?pool ~rng ~sys ~controller ~spec () =
+let rates ?(n = 500) ?substeps ?avoid ?pool ~rng ~sys ~controller ~spec () =
   if n < 1 then invalid_arg "Evaluate.rates: need at least one rollout";
   (* one child stream per rollout, split from [rng] before any simulation:
      rollout i's initial state is a pure function of the parent seed and i,
@@ -43,7 +44,7 @@ let rates ?(n = 500) ?substeps ?pool ~rng ~sys ~controller ~spec () =
   let streams = Rng.split_n rng n in
   let one i =
     let x0 = Box.sample streams.(i) spec.Spec.x0 in
-    let r = rollout ?substeps ~sys ~controller ~spec x0 in
+    let r = rollout ?substeps ?avoid ~sys ~controller ~spec x0 in
     (r.safe, r.reached)
   in
   let indices = Array.init n (fun i -> i) in

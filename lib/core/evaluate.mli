@@ -2,14 +2,17 @@
     Carlo rollouts of the discretized closed loop. *)
 
 type rollout = {
-  safe : bool;     (** no densely-sampled state entered the unsafe box *)
+  safe : bool;     (** no densely-sampled state entered the avoid set *)
   reached : bool;  (** some state entered the goal box within the horizon *)
   trace : Dwv_ode.Sampled_system.trace;
 }
 
-(** One rollout from a concrete initial state. *)
+(** One rollout from a concrete initial state. [avoid] is the multi-box
+    avoid set (default: the spec's single unsafe box); a non-finite
+    trajectory is conservatively unsafe and never goal-reaching. *)
 val rollout :
   ?substeps:int ->
+  ?avoid:Dwv_interval.Box.t list ->
   sys:Dwv_ode.Sampled_system.t ->
   controller:(float array -> float array) ->
   spec:Spec.t ->
@@ -26,6 +29,7 @@ type rates = { safe_percent : float; goal_percent : float; n : int }
 val rates :
   ?n:int ->
   ?substeps:int ->
+  ?avoid:Dwv_interval.Box.t list ->
   ?pool:Dwv_parallel.Pool.t ->
   rng:Dwv_util.Rng.t ->
   sys:Dwv_ode.Sampled_system.t ->

@@ -36,19 +36,29 @@ let signed_distance (box : Box.t) x =
   end
 
 type property =
-  | Safety          (* falsified when some state enters the unsafe box *)
+  | Safety          (* falsified when some state enters the avoid set *)
   | Goal_reaching   (* falsified when no state ever enters the goal box *)
 
-(* Trace robustness: positive iff the property holds on this rollout.
-   Safety: min over the dense trace of the distance to the unsafe box.
-   Goal-reaching: -(min distance to the goal box): positive iff some
-   state is strictly inside. *)
-let robustness ~sys ~controller ~(spec : Spec.t) ~property x0 =
+(* Signed distance to a union of boxes: the minimum of the per-box signed
+   distances (negative inside any member, positive Euclidean gap to the
+   nearest member outside all of them). *)
+let avoid_distance avoid x =
+  List.fold_left (fun acc box -> Float.min acc (signed_distance box x)) infinity avoid
+
+(* Trace robustness. Safety: min over the dense trace of the distance to
+   the avoid set ([avoid] defaults to the spec's single unsafe box;
+   obstacle-rich scenarios pass their whole multi-box avoid list).
+   Goal-reaching: -(min distance to the goal box). Both boxes are closed
+   (Box.contains / Verifier.goal_step semantics), so the boundary cases
+   differ: robustness 0 means *touching* — which already violates safety
+   but still counts as reaching the goal. See [falsified] below. *)
+let robustness ?avoid ~sys ~controller ~(spec : Spec.t) ~property x0 =
+  let avoid = match avoid with Some l -> l | None -> [ spec.Spec.unsafe ] in
   let trace = Sampled_system.simulate sys ~controller ~x0 ~steps:spec.Spec.steps in
   match property with
   | Safety ->
     Array.fold_left
-      (fun acc x -> Float.min acc (signed_distance spec.Spec.unsafe x))
+      (fun acc x -> Float.min acc (avoid_distance avoid x))
       infinity trace.Sampled_system.dense
   | Goal_reaching ->
     let closest =
@@ -65,10 +75,10 @@ type counterexample = {
 }
 
 (* Coordinate hill climbing within X_0, shrinking the step geometrically. *)
-let refine ~sys ~controller ~spec ~property ~iters x0 =
+let refine ?avoid ~sys ~controller ~spec ~property ~iters x0 =
   let x = Array.copy x0 in
   let n = Array.length x in
-  let rob = ref (robustness ~sys ~controller ~spec ~property x) in
+  let rob = ref (robustness ?avoid ~sys ~controller ~spec ~property x) in
   let widths = Box.widths spec.Spec.x0 in
   let lo = Box.lo spec.Spec.x0 and hi = Box.hi spec.Spec.x0 in
   let step = ref 0.25 in
@@ -77,7 +87,7 @@ let refine ~sys ~controller ~spec ~property ~iters x0 =
       let try_delta d =
         let old = x.(i) in
         x.(i) <- Dwv_util.Floatx.clamp ~lo:lo.(i) ~hi:hi.(i) (old +. d);
-        let r = robustness ~sys ~controller ~spec ~property x in
+        let r = robustness ?avoid ~sys ~controller ~spec ~property x in
         if r < !rob then rob := r else x.(i) <- old
       in
       let d = !step *. widths.(i) in
@@ -88,24 +98,34 @@ let refine ~sys ~controller ~spec ~property ~iters x0 =
   done;
   (x, !rob)
 
-let search ?(attempts = 50) ?(refine_iters = 8) ~rng ~sys ~controller ~(spec : Spec.t)
-    ~property () =
+(* Closed-box boundary semantics: a trace touching the avoid set is
+   unsafe (r = 0 falsifies Safety), but a trace touching the goal box has
+   reached it (Goal_reaching needs r < 0 strictly — otherwise the hill
+   climber "falsifies" scenarios whose trajectories merely graze a goal
+   face, e.g. an uncertain parameter pushed to its range edge inside the
+   augmented goal). *)
+let falsified ~property r =
+  match property with Safety -> r <= 0.0 | Goal_reaching -> r < 0.0
+
+let search ?(attempts = 50) ?(refine_iters = 8) ?avoid ~rng ~sys ~controller
+    ~(spec : Spec.t) ~property () =
   (* random multistart, keep the most promising candidate *)
   let best_x = ref (Box.center spec.Spec.x0) in
-  let best_r = ref (robustness ~sys ~controller ~spec ~property !best_x) in
+  let best_r = ref (robustness ?avoid ~sys ~controller ~spec ~property !best_x) in
   for _ = 2 to attempts do
     let x0 = Box.sample rng spec.Spec.x0 in
-    let r = robustness ~sys ~controller ~spec ~property x0 in
+    let r = robustness ?avoid ~sys ~controller ~spec ~property x0 in
     if r < !best_r then begin
       best_r := r;
       best_x := x0
     end
   done;
   let x, r =
-    if !best_r <= 0.0 then (!best_x, !best_r)
-    else refine ~sys ~controller ~spec ~property ~iters:refine_iters !best_x
+    if falsified ~property !best_r then (!best_x, !best_r)
+    else refine ?avoid ~sys ~controller ~spec ~property ~iters:refine_iters !best_x
   in
-  if r <= 0.0 then Some { x0 = x; robustness = r; property } else None
+  if falsified ~property r then Some { x0 = x; robustness = r; property }
+  else None
 
 let pp_counterexample ppf c =
   Fmt.pf ppf "%s falsified from x0 = [%a] (robustness %.4g)"

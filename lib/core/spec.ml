@@ -34,3 +34,82 @@ let point_in_goal t x = Box.contains t.goal x
 let pp ppf t =
   Fmt.pf ppf "@[<v>%s:@ X0 = %a@ Xu = %a@ Xg = %a@ delta = %g, steps = %d (T = %g)@]"
     t.name Box.pp t.x0 Box.pp t.unsafe Box.pp t.goal t.delta t.steps (horizon t)
+
+(* ---- exact text serialization ----
+
+   Every float is written as the 16-hex-digit Int64 bit pattern of its
+   IEEE-754 representation (the same trick the certificate format uses),
+   so round-trips are bit-perfect — including -0., subnormals and NaN
+   payloads — where a %g pretty-print would lose mantissa bits. *)
+
+let float_bits v = Fmt.str "%016Lx" (Int64.bits_of_float v)
+
+let float_of_bits_str ~what s =
+  if String.length s <> 16 then
+    failwith (Fmt.str "Spec.of_string: %s: expected 16 hex digits, got %S" what s);
+  match Int64.of_string_opt ("0x" ^ s) with
+  | Some b -> Int64.float_of_bits b
+  | None -> failwith (Fmt.str "Spec.of_string: %s: bad float bit pattern %S" what s)
+
+let box_fields b =
+  let lo = Box.lo b and hi = Box.hi b in
+  String.concat " "
+    (List.concat (List.init (Box.dim b) (fun i -> [ float_bits lo.(i); float_bits hi.(i) ])))
+
+let box_of_fields ~what fields =
+  let n = List.length fields in
+  if n = 0 || n mod 2 <> 0 then
+    failwith (Fmt.str "Spec.of_string: %s: expected an even, positive number of words" what);
+  let words = Array.of_list fields in
+  let dim = n / 2 in
+  let lo = Array.init dim (fun i -> float_of_bits_str ~what words.(2 * i)) in
+  let hi = Array.init dim (fun i -> float_of_bits_str ~what words.(2 * i + 1)) in
+  Box.make ~lo ~hi
+
+let to_string t =
+  String.concat "\n"
+    [
+      "spec/1";
+      "name " ^ t.name;
+      "delta " ^ float_bits t.delta;
+      "steps " ^ string_of_int t.steps;
+      "x0 " ^ box_fields t.x0;
+      "unsafe " ^ box_fields t.unsafe;
+      "goal " ^ box_fields t.goal;
+      "";
+    ]
+
+let of_string s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  let field key line =
+    let prefix = key ^ " " in
+    let pl = String.length prefix in
+    if String.length line > pl && String.sub line 0 pl = prefix then
+      String.sub line pl (String.length line - pl)
+    else failwith (Fmt.str "Spec.of_string: expected %S line, got %S" key line)
+  in
+  match lines with
+  | [ header; name_l; delta_l; steps_l; x0_l; unsafe_l; goal_l ] ->
+    if header <> "spec/1" then
+      failwith (Fmt.str "Spec.of_string: bad header %S (expected \"spec/1\")" header);
+    let name = field "name" name_l in
+    let delta = float_of_bits_str ~what:"delta" (field "delta" delta_l) in
+    let steps =
+      match int_of_string_opt (field "steps" steps_l) with
+      | Some n -> n
+      | None -> failwith (Fmt.str "Spec.of_string: bad steps line %S" steps_l)
+    in
+    let box key line =
+      box_of_fields ~what:key
+        (String.split_on_char ' ' (field key line) |> List.filter (fun w -> w <> ""))
+    in
+    let x0 = box "x0" x0_l in
+    let unsafe = box "unsafe" unsafe_l in
+    let goal = box "goal" goal_l in
+    (try make ~name ~x0 ~unsafe ~goal ~delta ~steps
+     with Invalid_argument m -> failwith ("Spec.of_string: " ^ m))
+  | _ -> failwith "Spec.of_string: expected 7 non-empty lines (spec/1 format)"

@@ -34,3 +34,14 @@ val point_safe : t -> float array -> bool
 val point_in_goal : t -> float array -> bool
 
 val pp : Format.formatter -> t -> unit
+
+(** {1 Exact text serialization}
+
+    Floats are written as 16-hex-digit IEEE-754 bit patterns (as in the
+    certificate format), so [of_string (to_string t)] reproduces every
+    interval endpoint and the sampling period bit-for-bit — no
+    pretty-printer rounding. [of_string] re-validates through {!make}
+    and raises [Failure] on malformed input. *)
+
+val to_string : t -> string
+val of_string : string -> t

@@ -1,0 +1,132 @@
+(** First-class scenarios: the declarative unit of the scenario farm.
+
+    A scenario bundles dynamics, a reach-avoid spec with a possibly
+    multi-box avoid set, uncertain parameters, a controller shape and a
+    verification method, all parsed from a small s-expression DSL.
+    Uncertain parameters are encoded as extra state dimensions with zero
+    dynamics, so every downstream layer (simulation, flowpipes,
+    certificates) handles uncertainty unchanged. *)
+
+type controller_shape =
+  | Affine of float array array
+      (** [m] rows of [n_total + 1] gains; the last entry of each row is
+          the bias: u_j = row · [x; 1]. *)
+  | Net of {
+      sizes : int list;
+      acts : Dwv_nn.Activation.t list;
+      scale : float;
+    }
+
+type method_spec =
+  | M_taylor of { order : int }
+  | M_interval of { order : int }
+  | M_polar of { order : int; slots : int }
+  | M_zonotope
+
+type t = {
+  name : string;
+  dim : int;                          (** physical state dimensions *)
+  m : int;                            (** control inputs *)
+  delta : float;
+  steps : int;
+  f : Dwv_expr.Expr.t array;          (** length [dim]; uncertain parameter
+                                          [i] appears as [x(dim + i)] *)
+  init : Dwv_interval.Box.t;          (** physical ([dim]-dimensional) *)
+  goal : Dwv_interval.Box.t;
+  avoid : Dwv_interval.Box.t list;
+  params : Dwv_interval.Interval.t array;
+  controller : controller_shape;
+  method_ : method_spec;
+}
+
+(** Validating constructor; raises [Failure] on any inconsistency
+    (dimension mismatches, out-of-range variable references, bad
+    controller shapes, non-positive delta/steps). *)
+val make :
+  name:string ->
+  dim:int ->
+  m:int ->
+  delta:float ->
+  steps:int ->
+  f:Dwv_expr.Expr.t array ->
+  init:Dwv_interval.Box.t ->
+  goal:Dwv_interval.Box.t ->
+  avoid:Dwv_interval.Box.t list ->
+  params:Dwv_interval.Interval.t array ->
+  controller:controller_shape ->
+  method_:method_spec ->
+  unit ->
+  t
+
+(** {1 Augmented views} — over [dim + |params|] dimensions *)
+
+val n_total : t -> int
+
+(** Dynamics extended with zero rows for the uncertain parameters. *)
+val f_total : t -> Dwv_expr.Expr.t array
+
+val init_total : t -> Dwv_interval.Box.t
+val goal_total : t -> Dwv_interval.Box.t
+
+(** The avoid set, augmented by the parameter ranges; never empty (a
+    far-away placeholder box is synthesized when the DSL declares no
+    obstacles). *)
+val avoid_total : t -> Dwv_interval.Box.t list
+
+(** The [Spec.t] the rest of the stack consumes; its single [unsafe] box
+    is the primary avoid box ([List.hd (avoid_total t)]). *)
+val spec : t -> Dwv_core.Spec.t
+
+val sampled : t -> Dwv_ode.Sampled_system.t
+
+(** Instantiate the controller shape (net weights drawn from the rng). *)
+val make_controller : t -> Dwv_util.Rng.t -> Dwv_core.Controller.t
+
+(** Control law on the augmented simulation state (appends the
+    homogeneous 1 for linear gains). *)
+val sim : t -> Dwv_core.Controller.t -> float array -> float array
+
+(** Input expressions u_j(x) of an affine controller's rows. *)
+val affine_input_exprs : t -> float array array -> Dwv_expr.Expr.t array
+
+(** Autonomous closed-loop dynamics with the affine controller
+    substituted in; [None] for net controllers. *)
+val closed_loop : t -> Dwv_expr.Expr.t array option
+
+(** {1 DSL} *)
+
+(** Parse [(scenario (name ...) (dim ...) ...)]; raises [Failure] with a
+    descriptive message on malformed input. *)
+val of_sexp : Sexpr.t -> t
+
+val of_string : string -> t
+val of_file : string -> t
+val to_sexp : t -> Sexpr.t
+
+(** Exact round-trip: [equal (of_string (to_string t)) t] always holds
+    (floats print as shortest exact decimals or [#x] bit patterns). *)
+val to_string : t -> string
+
+(** {1 Utilities} *)
+
+(** Structural equality, bit-exact on floats. *)
+val equal : t -> t -> bool
+
+(** Rebuild an expression substituting states and inputs. *)
+val substitute :
+  var:(int -> Dwv_expr.Expr.t) ->
+  input:(int -> Dwv_expr.Expr.t) ->
+  Dwv_expr.Expr.t ->
+  Dwv_expr.Expr.t
+
+(** Shortest exact float literal (decimal when it round-trips, else a
+    [#x] hex bit pattern) and its reader. *)
+val float_lit : float -> string
+
+val float_of_lit : string -> float option
+
+(** Parseable expression text: feeding the output back through the Expr
+    parser yields the identical hash-consed node. *)
+val expr_to_string : Dwv_expr.Expr.t -> string
+
+val pp : Format.formatter -> t -> unit

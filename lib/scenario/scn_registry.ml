@@ -1,0 +1,93 @@
+(* The registry: one uniform handle per scenario — built-ins re-register
+   through their DSL text (cross-checked against the module constants by
+   the farm tests), and any DSL file loads into the same shape — so the
+   CLI, the benchmarks and the fuzzer drive every system through one
+   interface. *)
+
+module Controller = Dwv_core.Controller
+module Rng = Dwv_util.Rng
+module Acc = Dwv_systems.Acc
+module Pendulum = Dwv_systems.Pendulum
+module Oscillator = Dwv_systems.Oscillator
+module Threed = Dwv_systems.Threed
+
+type entry = {
+  scenario : Scenario.t;
+  init : Rng.t -> Controller.t;
+  verify_robust :
+    ?budget:Dwv_robust.Budget.t ->
+    ?cache:Dwv_cert.Cert_cache.t ->
+    Controller.t ->
+    Scn_verify.report;
+  sim : Controller.t -> float array -> float array;
+}
+
+(* Generic entry for a parsed DSL scenario: verification through the
+   scenario ladder, simulation through the scenario control law. *)
+let of_scenario scenario =
+  {
+    scenario;
+    init = Scenario.make_controller scenario;
+    verify_robust =
+      (fun ?budget ?cache c -> Scn_verify.verify_robust ?budget ?cache scenario c);
+    sim = Scenario.sim scenario;
+  }
+
+let of_string src = of_scenario (Scenario.of_string src)
+let of_file path = of_scenario (Scenario.of_file path)
+
+(* Built-ins keep their own (specialized) verifiers — the zonotope engine
+   for acc, the tuned NN ladders for the rest — but expose them through
+   the same handle, judged with the same multi-box check. *)
+let wrap scenario (fb : Dwv_reach.Verifier.fallback_report) =
+  { Scn_verify.verdict = Scn_verify.check scenario fb.Dwv_reach.Verifier.pipe;
+    fallback = fb }
+
+let acc =
+  let scenario = Scenario.of_string Acc.dsl in
+  {
+    scenario;
+    init = (fun _rng -> Acc.initial_controller);
+    verify_robust =
+      (fun ?budget ?cache c -> wrap scenario (Acc.verify_robust ?budget ?cache c));
+    sim = Acc.sim_controller;
+  }
+
+let pendulum =
+  let scenario = Scenario.of_string Pendulum.dsl in
+  {
+    scenario;
+    init = Pendulum.initial_controller;
+    verify_robust =
+      (fun ?budget ?cache c ->
+        wrap scenario (Pendulum.verify_robust ?budget ?cache c));
+    sim = Pendulum.sim_controller;
+  }
+
+let oscillator =
+  let scenario = Scenario.of_string Oscillator.dsl in
+  {
+    scenario;
+    init = Oscillator.initial_controller;
+    verify_robust =
+      (fun ?budget ?cache c ->
+        wrap scenario (Oscillator.verify_robust ?budget ?cache c));
+    sim = Oscillator.sim_controller;
+  }
+
+let threed =
+  let scenario = Scenario.of_string Threed.dsl in
+  {
+    scenario;
+    init = Threed.initial_controller;
+    verify_robust =
+      (fun ?budget ?cache c -> wrap scenario (Threed.verify_robust ?budget ?cache c));
+    sim = Threed.sim_controller;
+  }
+
+let builtins =
+  [ ("acc", acc); ("pendulum", pendulum); ("oscillator", oscillator);
+    ("threed", threed) ]
+
+let find name = List.assoc_opt name builtins
+let names () = List.map fst builtins

@@ -1,0 +1,28 @@
+(** One uniform handle per scenario: the four built-in systems
+    re-register through their DSL text, and any DSL file loads into the
+    same shape, so the CLI / benchmarks / fuzzer drive everything through
+    one interface. *)
+
+type entry = {
+  scenario : Scenario.t;
+  init : Dwv_util.Rng.t -> Dwv_core.Controller.t;
+  verify_robust :
+    ?budget:Dwv_robust.Budget.t ->
+    ?cache:Dwv_cert.Cert_cache.t ->
+    Dwv_core.Controller.t ->
+    Scn_verify.report;
+  sim : Dwv_core.Controller.t -> float array -> float array;
+}
+
+(** Generic entry for a parsed DSL scenario (scenario ladder verifier). *)
+val of_scenario : Scenario.t -> entry
+
+val of_string : string -> entry
+val of_file : string -> entry
+
+(** Built-in entries, with their specialized verifiers behind the common
+    interface. *)
+val builtins : (string * entry) list
+
+val find : string -> entry option
+val names : unit -> string list

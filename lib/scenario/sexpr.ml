@@ -1,0 +1,107 @@
+(* Minimal s-expressions for the scenario DSL: atoms, double-quoted
+   strings (dynamics expressions contain spaces and parentheses) and
+   lists, with ';' line comments. Error messages carry the character
+   offset, matching the Expr parser's style. *)
+
+type t =
+  | Atom of string        (* bare word: names, numbers, keywords *)
+  | Str of string         (* "quoted": expression text *)
+  | List of t list
+
+exception Parse_error of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Parse_error s)) fmt
+let fail_at pos fmt = Fmt.kstr (fun s -> fail "at offset %d: %s" pos s) fmt
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+let is_atom_char c = (not (is_space c)) && c <> '(' && c <> ')' && c <> '"' && c <> ';'
+
+(* One pass over the source: returns the toplevel forms. *)
+let parse_many src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let rec skip_ws () =
+    if !pos < n then
+      if is_space src.[!pos] then begin incr pos; skip_ws () end
+      else if src.[!pos] = ';' then begin
+        while !pos < n && src.[!pos] <> '\n' do incr pos done;
+        skip_ws ()
+      end
+  in
+  let rec value () =
+    skip_ws ();
+    if !pos >= n then fail_at n "unexpected end of input"
+    else
+      match src.[!pos] with
+      | '(' ->
+        let start = !pos in
+        incr pos;
+        let items = ref [] in
+        let rec loop () =
+          skip_ws ();
+          if !pos >= n then fail_at start "unclosed '('"
+          else if src.[!pos] = ')' then incr pos
+          else begin
+            items := value () :: !items;
+            loop ()
+          end
+        in
+        loop ();
+        List (List.rev !items)
+      | ')' -> fail_at !pos "unexpected ')'"
+      | '"' ->
+        let start = !pos in
+        incr pos;
+        let buf = Buffer.create 16 in
+        let rec loop () =
+          if !pos >= n then fail_at start "unclosed string"
+          else
+            match src.[!pos] with
+            | '"' -> incr pos
+            | '\\' when !pos + 1 < n ->
+              Buffer.add_char buf src.[!pos + 1];
+              pos := !pos + 2;
+              loop ()
+            | c ->
+              Buffer.add_char buf c;
+              incr pos;
+              loop ()
+        in
+        loop ();
+        Str (Buffer.contents buf)
+      | _ ->
+        let start = !pos in
+        while !pos < n && is_atom_char src.[!pos] do incr pos done;
+        if !pos = start then fail_at start "unexpected character %C" src.[!pos];
+        Atom (String.sub src start (!pos - start))
+  in
+  let forms = ref [] in
+  skip_ws ();
+  while !pos < n do
+    forms := value () :: !forms;
+    skip_ws ()
+  done;
+  List.rev !forms
+
+let parse src =
+  match parse_many src with
+  | [ v ] -> Ok v
+  | [] -> Error "empty input"
+  | _ :: _ -> Error "expected exactly one toplevel form"
+  | exception Parse_error msg -> Error msg
+
+let escape_str s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      if c = '"' || c = '\\' then Buffer.add_char buf '\\';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec pp ppf = function
+  | Atom a -> Fmt.string ppf a
+  | Str s -> Fmt.pf ppf "\"%s\"" (escape_str s)
+  | List items -> Fmt.pf ppf "(@[<hv>%a@])" Fmt.(list ~sep:sp pp) items
+
+let to_string v = Fmt.str "%a" pp v

@@ -1,0 +1,18 @@
+(** Minimal s-expressions for the scenario DSL: atoms, double-quoted
+    strings, lists, and [;] line comments. *)
+
+type t =
+  | Atom of string
+  | Str of string
+  | List of t list
+
+exception Parse_error of string
+
+(** Parse exactly one toplevel form. *)
+val parse : string -> (t, string) result
+
+(** Parse every toplevel form; raises {!Parse_error} on bad input. *)
+val parse_many : string -> t list
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -159,3 +159,19 @@ let verify_robust ?budget ?cache controller =
 (* Control law on the 2-D simulation state (appends the constant 1). *)
 let sim_controller controller x =
   Controller.eval controller [| x.(0); x.(1); 1.0 |]
+
+(* The same study expressed in the scenario DSL; the scenario-farm tests
+   cross-check this text against the constants above, so the two
+   registrations can never drift apart. *)
+let dsl =
+  {|(scenario
+  (name acc)
+  (dim 2) (inputs 1)
+  (delta 0.1) (steps 120)
+  (dynamics "40 - x1" "-0.2 * x1 + u0")
+  (init (122 124) (48 52))
+  (goal (145 155) (39.5 40.5))
+  (avoid ((0 120) (-100 200)))
+  (controller (affine (0.1 -0.5 0)))
+  (method zonotope))
+|}

@@ -57,3 +57,7 @@ val verify_robust :
 
 (** Control law on the 2-D simulation state. *)
 val sim_controller : Dwv_core.Controller.t -> float array -> float array
+
+(** The same study expressed in the scenario DSL (the scenario farm
+    cross-checks this text against the module constants). *)
+val dsl : string

@@ -117,3 +117,17 @@ let verify_robust ?method_ ?slots ?budget ?cache controller =
   verify_robust_from ?method_ ?slots ?budget ?cache spec.Spec.x0 controller
 
 let sim_controller = Controller.eval
+
+(* Scenario-DSL registration, cross-checked against the constants above. *)
+let dsl =
+  {|(scenario
+  (name oscillator)
+  (dim 2) (inputs 1)
+  (delta 0.1) (steps 36)
+  (dynamics "x1" "(1 - x0^2) * x1 - x0 + u0")
+  (init (-0.51 -0.49) (0.49 0.51))
+  (goal (-0.05 0.05) (-0.05 0.05))
+  (avoid ((-0.3 -0.25) (0.2 0.35)))
+  (controller (net (sizes 2 8 1) (acts tanh tanh) (scale 4)))
+  (method (polar (order 3) (slots 6))))
+|}

@@ -78,3 +78,7 @@ val verify_robust :
 
 (** Control law on the simulation state. *)
 val sim_controller : Dwv_core.Controller.t -> float array -> float array
+
+(** The same study expressed in the scenario DSL (the scenario farm
+    cross-checks this text against the module constants). *)
+val dsl : string

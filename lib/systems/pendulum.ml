@@ -91,3 +91,17 @@ let verify_robust ?method_ ?slots ?budget ?cache controller =
   verify_robust_from ?method_ ?slots ?budget ?cache spec.Spec.x0 controller
 
 let sim_controller = Controller.eval
+
+(* Scenario-DSL registration, cross-checked against the constants above. *)
+let dsl =
+  {|(scenario
+  (name pendulum)
+  (dim 2) (inputs 1)
+  (delta 0.1) (steps 30)
+  (dynamics "x1" "-sin(x0) - 0.5 * x1 + u0")
+  (init (0.9 1.1) (-0.05 0.05))
+  (goal (-0.1 0.1) (-0.1 0.1))
+  (avoid ((0.25 0.4) (-1.05 -0.85)))
+  (controller (net (sizes 2 8 1) (acts tanh tanh) (scale 3)))
+  (method (polar (order 3) (slots 6))))
+|}

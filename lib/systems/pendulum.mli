@@ -59,3 +59,7 @@ val verify_robust :
   Dwv_reach.Verifier.fallback_report
 
 val sim_controller : Dwv_core.Controller.t -> float array -> float array
+
+(** The same study expressed in the scenario DSL (the scenario farm
+    cross-checks this text against the module constants). *)
+val dsl : string

@@ -113,3 +113,17 @@ let verify_robust ?method_ ?slots ?budget ?cache controller =
   verify_robust_from ?method_ ?slots ?budget ?cache spec.Spec.x0 controller
 
 let sim_controller = Controller.eval
+
+(* Scenario-DSL registration, cross-checked against the constants above. *)
+let dsl =
+  {|(scenario
+  (name threed)
+  (dim 3) (inputs 1)
+  (delta 0.2) (steps 15)
+  (dynamics "x2^3 - x1" "x2" "u0")
+  (init (0.38 0.4) (0.45 0.47) (0.25 0.27))
+  (goal (-0.5 -0.28) (0 0.28) (-5 5))
+  (avoid ((-0.1 0.2) (0.55 0.6) (-5 5)))
+  (controller (net (sizes 3 8 1) (acts tanh tanh) (scale 2)))
+  (method (polar (order 3) (slots 6))))
+|}

@@ -426,6 +426,189 @@ let test_evaluate_rollout_fields () =
   Alcotest.(check bool) "safe" true r.Evaluate.safe;
   Alcotest.(check bool) "reached" true r.Evaluate.reached
 
+(* ---------------- spec serialization ---------------- *)
+
+let nasty_floats =
+  [| 0.1; -0.0; 1e-300; 4e-324; Float.pi; 1.0 +. epsilon_float; 1e17;
+     0x1.fffffffffffffp+2; 123.456789012345678 |]
+
+let test_spec_roundtrip_nasty () =
+  (* endpoints chosen to defeat any decimal pretty-printer rounding: the
+     hex bit-pattern serialization must reproduce them bit-for-bit *)
+  let n = Array.length nasty_floats in
+  for i = 0 to n - 1 do
+    let a = nasty_floats.(i) and b = nasty_floats.((i + 1) mod n) in
+    let lo = Float.min a b and hi = Float.max a b in
+    let box = Box.make ~lo:[| lo |] ~hi:[| hi |] in
+    let spec =
+      Spec.make ~name:(Fmt.str "nasty-%d" i) ~x0:box ~unsafe:box ~goal:box
+        ~delta:(Float.max 1e-9 (Float.abs a)) ~steps:(1 + i)
+    in
+    let back = Spec.of_string (Spec.to_string spec) in
+    let bits f = Int64.bits_of_float f in
+    let box_bits b = (Array.map bits (Box.lo b), Array.map bits (Box.hi b)) in
+    Alcotest.(check bool)
+      "round-trips bit-for-bit" true
+      (back.Spec.name = spec.Spec.name
+      && back.Spec.steps = spec.Spec.steps
+      && bits back.Spec.delta = bits spec.Spec.delta
+      && box_bits back.Spec.x0 = box_bits spec.Spec.x0
+      && box_bits back.Spec.unsafe = box_bits spec.Spec.unsafe
+      && box_bits back.Spec.goal = box_bits spec.Spec.goal)
+  done
+
+let prop_spec_roundtrip =
+  QCheck.Test.make ~name:"spec to_string/of_string round-trips" ~count:200
+    QCheck.(triple (pair float float) (pair float float) (int_range 1 50))
+    (fun ((a, b), (c, d), steps) ->
+      QCheck.assume
+        (Float.is_finite a && Float.is_finite b && Float.is_finite c
+       && Float.is_finite d);
+      let lo1 = Float.min a b and hi1 = Float.max a b in
+      let lo2 = Float.min c d and hi2 = Float.max c d in
+      let x0 = Box.make ~lo:[| lo1; lo2 |] ~hi:[| hi1; hi2 |] in
+      let spec =
+        Spec.make ~name:"prop" ~x0 ~unsafe:x0 ~goal:x0 ~delta:0.125 ~steps
+      in
+      let back = Spec.of_string (Spec.to_string spec) in
+      let bits f = Int64.bits_of_float f in
+      Array.for_all2
+        (fun x y -> bits x = bits y)
+        (Box.lo back.Spec.x0) (Box.lo spec.Spec.x0)
+      && Array.for_all2
+           (fun x y -> bits x = bits y)
+           (Box.hi back.Spec.x0) (Box.hi spec.Spec.x0)
+      && back.Spec.steps = spec.Spec.steps)
+
+let test_spec_of_string_garbage () =
+  List.iter
+    (fun s ->
+      match Spec.of_string s with
+      | exception Failure _ -> ()
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail ("accepted garbage: " ^ s))
+    [ ""; "spec v9"; "spec v1\nname x"; "not a spec at all" ]
+
+let test_spec_zero_steps_rejected () =
+  let b = Box.make ~lo:[| 0.0 |] ~hi:[| 1.0 |] in
+  Alcotest.check_raises "zero steps"
+    (Invalid_argument "Spec.make: need at least one step") (fun () ->
+      ignore (Spec.make ~name:"z" ~x0:b ~unsafe:b ~goal:b ~delta:0.1 ~steps:0))
+
+(* ---------------- falsifier: multi-box avoid + refine ---------------- *)
+
+let test_falsifier_multibox_avoid () =
+  (* u = +x grows only to ~2.7 from the largest x0 over this horizon: the
+     spec's unsafe band [30,40] is unreachable, but the extra avoid box
+     [2.5,2.8] on the way up is — only the multi-box search may find it *)
+  let short =
+    Spec.make ~name:"multibox" ~x0:fals_spec.Spec.x0
+      ~unsafe:(Box.make ~lo:[| 30.0 |] ~hi:[| 40.0 |])
+      ~goal:fals_spec.Spec.goal ~delta:0.2 ~steps:3
+  in
+  let controller x = [| x.(0) |] in
+  let extra = Box.make ~lo:[| 2.5 |] ~hi:[| 2.8 |] in
+  Alcotest.(check bool)
+    "single unsafe box: no counterexample" true
+    (Falsifier.search ~attempts:30 ~rng:(Rng.create 7) ~sys:fals_sys
+       ~controller ~spec:short ~property:Falsifier.Safety ()
+    = None);
+  match
+    Falsifier.search ~attempts:30
+      ~avoid:[ short.Spec.unsafe; extra ]
+      ~rng:(Rng.create 7) ~sys:fals_sys ~controller ~spec:short
+      ~property:Falsifier.Safety ()
+  with
+  | None -> Alcotest.fail "expected a counterexample against the avoid set"
+  | Some c ->
+    let r =
+      Falsifier.robustness
+        ~avoid:[ short.Spec.unsafe; extra ]
+        ~sys:fals_sys ~controller ~spec:short ~property:Falsifier.Safety
+        c.Falsifier.x0
+    in
+    Alcotest.(check bool) "witness reproduces on the avoid set" true (r <= 0.0)
+
+let test_falsifier_refine_descends () =
+  (* hill climbing from the center must not increase robustness, must
+     stay inside X0, and must find the violating corner here *)
+  let controller x = [| x.(0) |] in
+  let start = Box.center fals_spec.Spec.x0 in
+  let r0 =
+    Falsifier.robustness ~sys:fals_sys ~controller ~spec:fals_spec
+      ~property:Falsifier.Safety start
+  in
+  let x, r =
+    Falsifier.refine ~sys:fals_sys ~controller ~spec:fals_spec
+      ~property:Falsifier.Safety ~iters:8 start
+  in
+  Alcotest.(check bool) "robustness non-increasing" true (r <= r0);
+  Alcotest.(check bool) "stays in X0" true (Box.contains fals_spec.Spec.x0 x);
+  Alcotest.(check bool) "finds the violation" true (r <= 0.0)
+
+let test_falsifier_goal_boundary_not_falsified () =
+  (* closed-box semantics: a trajectory that reaches the goal face with
+     robustness exactly 0 has reached the goal — Goal_reaching must not
+     report it as falsified (regression for the fuzzer's grazing bug) *)
+  let spec =
+    Spec.make ~name:"graze" ~x0:(Box.make ~lo:[| 1.0 |] ~hi:[| 1.0 |])
+      ~unsafe:(Box.make ~lo:[| 30.0 |] ~hi:[| 40.0 |])
+      ~goal:(Box.make ~lo:[| 0.0 |] ~hi:[| 1.0 |])
+      ~delta:0.2 ~steps:2
+  in
+  (* u = 0 holds x at 1.0: exactly on the goal's upper face, robustness 0 *)
+  let controller _ = [| 0.0 |] in
+  Alcotest.(check (float 1e-12))
+    "grazing robustness is exactly 0" 0.0
+    (Falsifier.robustness ~sys:fals_sys ~controller ~spec
+       ~property:Falsifier.Goal_reaching [| 1.0 |]);
+  Alcotest.(check bool)
+    "not declared falsified" true
+    (Falsifier.search ~attempts:10 ~rng:(Rng.create 8) ~sys:fals_sys
+       ~controller ~spec ~property:Falsifier.Goal_reaching ()
+    = None)
+
+(* ---------------- evaluate: edge cases ---------------- *)
+
+let test_evaluate_point_x0 () =
+  (* a degenerate (point) initial box: sampling and rollouts must work *)
+  let spec =
+    Spec.make ~name:"point" ~x0:(Box.make ~lo:[| 0.7 |] ~hi:[| 0.7 |])
+      ~unsafe:eval_spec.Spec.unsafe ~goal:eval_spec.Spec.goal ~delta:0.2
+      ~steps:40
+  in
+  let controller x = [| -.x.(0) |] in
+  let r = Evaluate.rates ~n:20 ~rng:(Rng.create 9) ~sys:eval_sys ~controller ~spec () in
+  Alcotest.(check (float 1e-9)) "SC 100" 100.0 r.Evaluate.safe_percent;
+  Alcotest.(check (float 1e-9)) "GR 100" 100.0 r.Evaluate.goal_percent
+
+let test_evaluate_nan_dynamics_conservative () =
+  (* NaN compares false against every box bound, so a naive membership
+     test would count a blown-up trajectory as safe; the rollout must
+     classify it unsafe and not-reaching, and must not crash *)
+  let sys =
+    Dwv_ode.Sampled_system.make ~f:[| Expr.const Float.nan |] ~n:1 ~m:1
+      ~delta:0.2
+  in
+  let controller _ = [| 0.0 |] in
+  let r = Evaluate.rollout ~sys ~controller ~spec:eval_spec [| 0.7 |] in
+  Alcotest.(check bool) "NaN trace is unsafe" false r.Evaluate.safe;
+  Alcotest.(check bool) "NaN trace never reaches" false r.Evaluate.reached
+
+let test_evaluate_multibox_avoid () =
+  (* the extra avoid box sits on the stabilizing trajectory: with ~avoid
+     the rollout is unsafe, without it the same rollout is safe *)
+  let controller x = [| -.x.(0) |] in
+  let extra = Box.make ~lo:[| 0.3 |] ~hi:[| 0.4 |] in
+  let plain = Evaluate.rollout ~sys:eval_sys ~controller ~spec:eval_spec [| 0.7 |] in
+  let multi =
+    Evaluate.rollout
+      ~avoid:[ eval_spec.Spec.unsafe; extra ]
+      ~sys:eval_sys ~controller ~spec:eval_spec [| 0.7 |]
+  in
+  Alcotest.(check bool) "safe without the extra box" true plain.Evaluate.safe;
+  Alcotest.(check bool) "unsafe against the avoid set" false multi.Evaluate.safe
+
 let suite =
   [
     Alcotest.test_case "spec accessors" `Quick test_spec_accessors;
@@ -463,4 +646,14 @@ let suite =
     Alcotest.test_case "evaluate stabilizing" `Quick test_evaluate_stabilizing;
     Alcotest.test_case "evaluate unsafe" `Quick test_evaluate_unsafe_controller;
     Alcotest.test_case "evaluate rollout" `Quick test_evaluate_rollout_fields;
+    Alcotest.test_case "spec round-trip nasty floats" `Quick test_spec_roundtrip_nasty;
+    QCheck_alcotest.to_alcotest prop_spec_roundtrip;
+    Alcotest.test_case "spec of_string garbage" `Quick test_spec_of_string_garbage;
+    Alcotest.test_case "spec zero steps" `Quick test_spec_zero_steps_rejected;
+    Alcotest.test_case "falsifier multi-box avoid" `Quick test_falsifier_multibox_avoid;
+    Alcotest.test_case "falsifier refine descends" `Quick test_falsifier_refine_descends;
+    Alcotest.test_case "falsifier goal boundary" `Quick test_falsifier_goal_boundary_not_falsified;
+    Alcotest.test_case "evaluate point x0" `Quick test_evaluate_point_x0;
+    Alcotest.test_case "evaluate NaN dynamics" `Quick test_evaluate_nan_dynamics_conservative;
+    Alcotest.test_case "evaluate multi-box avoid" `Quick test_evaluate_multibox_avoid;
   ]
