@@ -696,8 +696,8 @@ let bprint_counters b counters =
   Printf.bprintf b "}"
 
 let write_hotpath_json ~domains_requested ~cores ~effective_domains ~aggregate_speedup
-    ~all_match ~slowdown_ok ~baseline_cores ~baseline_aggregate ~baseline_ok ~passed
-    workloads path =
+    ~all_match ~slowdown_ok ~baseline_cores ~baseline_aggregate ~baseline_ok
+    ~counters_ok ~passed workloads path =
   let b = Buffer.create 2048 in
   Printf.bprintf b
     "{\n  \"version\": 1,\n  \"domains_requested\": %d,\n  \"cores\": %d,\n  \
@@ -728,8 +728,9 @@ let write_hotpath_json ~domains_requested ~cores ~effective_domains ~aggregate_s
     Printf.bprintf b
       "    \"baseline_cores\": %d,\n    \"baseline_aggregate\": %.3f,\n" bc ba
   | _ -> ());
-  Printf.bprintf b "    \"baseline_ok\": %b,\n    \"passed\": %b\n  }\n}\n"
-    baseline_ok passed;
+  Printf.bprintf b
+    "    \"baseline_ok\": %b,\n    \"counters_ok\": %b,\n    \"passed\": %b\n  }\n}\n"
+    baseline_ok counters_ok passed;
   let oc = open_out path in
   output_string oc (Buffer.contents b);
   close_out oc
@@ -801,10 +802,19 @@ let print_hotpath ~domains () =
     | Some bc, Some ba when bc = cores -> aggregate_speedup >= 0.9 *. ba
     | _ -> true (* first run, or baseline from different hardware *)
   in
-  let passed = all_match && slowdown_ok && baseline_ok in
+  (* deterministic-counter ratchet: the seq snapshots are load-independent,
+     so any growth against the committed history is a real regression even
+     when the wall-clock gate is green *)
+  let ratchet =
+    Dwv_util.Trend.record ~path:"COUNTERS_history.json" ~section:"hotpath"
+      (List.map (fun w -> (w.p_name, w.p_counters_seq)) workloads)
+  in
+  List.iter (Fmt.pr "counters ratchet: %s@.") ratchet;
+  let counters_ok = ratchet = [] in
+  let passed = all_match && slowdown_ok && baseline_ok && counters_ok in
   write_hotpath_json ~domains_requested:domains ~cores ~effective_domains:effective
     ~aggregate_speedup ~all_match ~slowdown_ok ~baseline_cores ~baseline_aggregate
-    ~baseline_ok ~passed workloads baseline_path;
+    ~baseline_ok ~counters_ok ~passed workloads baseline_path;
   Fmt.pr "aggregate speedup %.2fx%s, all results %s, gate %s [BENCH_hotpath.json written]@."
     aggregate_speedup
     (match (baseline_cores, baseline_aggregate) with
@@ -815,6 +825,8 @@ let print_hotpath ~domains () =
     (if passed then "passed"
      else if not slowdown_ok then "FAILED (parallel slower than sequential)"
      else if not baseline_ok then "FAILED (>10% regression vs baseline)"
+     else if not counters_ok then
+       "FAILED (deterministic-counter regression vs COUNTERS_history.json)"
      else "FAILED (seq/par mismatch)");
   if not passed then exit 1
 
@@ -888,10 +900,11 @@ let count counters key = Option.value ~default:0 (List.assoc_opt key counters)
 let certs_gate_rule =
   "initset warm >= 2x cold; warm runs all-hit (0 miss, 0 reject, 0 fresh \
    flowpipes, hits = cold lookups); cold/warm results bit-identical; tampered \
-   certificate rejected and recomputed to the identical result"
+   certificate rejected and recomputed to the identical result; counter totals \
+   no worse than the last committed COUNTERS_history.json entry"
 
 let write_certs_json ~workloads ~tamper_rejects ~tamper_match ~initset_speedup_ok
-    ~passed path =
+    ~counters_ok ~passed path =
   let b = Buffer.create 2048 in
   Printf.bprintf b "{\n  \"version\": 1,\n  \"workloads\": [\n";
   List.iteri
@@ -910,8 +923,9 @@ let write_certs_json ~workloads ~tamper_rejects ~tamper_match ~initset_speedup_o
     workloads;
   Printf.bprintf b
     "  ],\n  \"tamper\": {\"rejects\": %d, \"match\": %b},\n  \"gate\": {\"rule\": \
-     \"%s\", \"initset_speedup_ok\": %b, \"passed\": %b}\n}\n"
-    tamper_rejects tamper_match (json_escape certs_gate_rule) initset_speedup_ok passed;
+     \"%s\", \"initset_speedup_ok\": %b, \"counters_ok\": %b, \"passed\": %b}\n}\n"
+    tamper_rejects tamper_match (json_escape certs_gate_rule) initset_speedup_ok
+    counters_ok passed;
   let oc = open_out path in
   output_string oc (Buffer.contents b);
   close_out oc
@@ -990,13 +1004,28 @@ let print_certs () =
   let workloads = [ initset_w; learn_w ] in
   let initset_speedup_ok = initset_w.cr_cold >= 2.0 *. initset_w.cr_warm in
   let all_ok = List.for_all (fun w -> w.cr_match && w.cr_clean) workloads in
-  let passed = initset_speedup_ok && all_ok && tamper_rejects >= 1 && tamper_match in
-  write_certs_json ~workloads ~tamper_rejects ~tamper_match ~initset_speedup_ok ~passed
-    "BENCH_certs.json";
+  let ratchet =
+    Dwv_util.Trend.record ~path:"COUNTERS_history.json" ~section:"certs"
+      (List.concat_map
+         (fun w ->
+           [ (w.cr_name ^ "/cold", w.cr_cold_counters);
+             (w.cr_name ^ "/warm", w.cr_warm_counters) ])
+         workloads)
+  in
+  List.iter (Fmt.pr "counters ratchet: %s@.") ratchet;
+  let counters_ok = ratchet = [] in
+  let passed =
+    initset_speedup_ok && all_ok && tamper_rejects >= 1 && tamper_match
+    && counters_ok
+  in
+  write_certs_json ~workloads ~tamper_rejects ~tamper_match ~initset_speedup_ok
+    ~counters_ok ~passed "BENCH_certs.json";
   Fmt.pr "gate %s [BENCH_certs.json written]@."
     (if passed then "passed"
      else if not initset_speedup_ok then "FAILED (warm initset not 2x faster)"
      else if not all_ok then "FAILED (warm run mismatched or not all-hit)"
+     else if not counters_ok then
+       "FAILED (deterministic-counter regression vs COUNTERS_history.json)"
      else "FAILED (tampered certificate not rejected)");
   if not passed then exit 1
 
@@ -1022,7 +1051,8 @@ let scenarios_gate_rule =
   "500-case campaign has zero soundness-oracle violations; records are \
    bit-identical (minus latency) at domains 1 vs N; every committed \
    benchmark scenario verifies Reach_avoid; every corpus scenario examines \
-   clean"
+   clean; campaign counter totals no worse than the last committed \
+   COUNTERS_history.json entry"
 
 let scenario_files dir ext =
   if Sys.file_exists dir && Sys.is_directory dir then
@@ -1032,8 +1062,8 @@ let scenario_files dir ext =
     |> List.map (Filename.concat dir)
   else []
 
-let write_scenarios_json ~campaign_json ~det_match ~benchmarks ~corpus ~passed
-    path =
+let write_scenarios_json ~campaign_json ~det_match ~benchmarks ~corpus
+    ~counters_ok ~passed path =
   let b = Buffer.create 4096 in
   Printf.bprintf b "{\n  \"version\": 1,\n  \"benchmarks\": [\n";
   List.iteri
@@ -1056,16 +1086,21 @@ let write_scenarios_json ~campaign_json ~det_match ~benchmarks ~corpus ~passed
     corpus;
   Printf.bprintf b
     "  ],\n  \"campaign\": %s,\n  \"gate\": {\"rule\": \"%s\", \
-     \"determinism_match\": %b, \"passed\": %b}\n}\n"
+     \"determinism_match\": %b, \"counters_ok\": %b, \"passed\": %b}\n}\n"
     (String.trim campaign_json) (json_escape scenarios_gate_rule) det_match
-    passed;
+    counters_ok passed;
   let oc = open_out path in
   output_string oc (Buffer.contents b);
   close_out oc
 
 let print_scenarios ~domains () =
   Fmt.pr "--- Scenario farm: fuzz campaign, benchmarks, corpus ---@.";
+  (* counters around the sequential campaign only: its totals are a pure
+     function of (seed, count), so the ratchet below sees a
+     load-independent signature of the whole fuzz pipeline *)
+  Dwv_util.Counters.reset ();
   let seq = Scn_fuzz.run ~count:scenarios_count ~seed:scenarios_seed () in
+  let campaign_counters = Dwv_util.Counters.snapshot () in
   let par =
     Pool.with_pool ~domains (fun pool ->
         Scn_fuzz.run ~pool ~count:scenarios_count ~seed:scenarios_seed ())
@@ -1121,18 +1156,27 @@ let print_scenarios ~domains () =
   let corpus_ok =
     corpus <> [] && List.for_all (fun (_, o) -> o = None) corpus
   in
+  let ratchet =
+    Dwv_util.Trend.record ~path:"COUNTERS_history.json" ~section:"scenarios"
+      [ ("campaign", campaign_counters) ]
+  in
+  List.iter (Fmt.pr "counters ratchet: %s@.") ratchet;
+  let counters_ok = ratchet = [] in
   let passed =
     v_seq = 0 && v_par = 0 && det_match && benchmarks_ok && corpus_ok
+    && counters_ok
   in
   write_scenarios_json
     ~campaign_json:(Scn_fuzz.report_json ~domains:1 seq)
-    ~det_match ~benchmarks ~corpus ~passed "SCENARIOS_report.json";
+    ~det_match ~benchmarks ~corpus ~counters_ok ~passed "SCENARIOS_report.json";
   Fmt.pr "gate %s [SCENARIOS_report.json written]@."
     (if passed then "passed"
      else if v_seq > 0 || v_par > 0 then "FAILED (soundness-oracle violations)"
      else if not det_match then "FAILED (domains 1 vs N records differ)"
      else if not benchmarks_ok then
        "FAILED (benchmark scenario not reach-avoid)"
+     else if not counters_ok then
+       "FAILED (deterministic-counter regression vs COUNTERS_history.json)"
      else "FAILED (corpus scenario not clean)");
   if not passed then exit 1
 

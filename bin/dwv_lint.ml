@@ -24,6 +24,7 @@ module D = Dwv_analysis.Diagnostics
 module Model_check = Dwv_analysis.Model_check
 module Ast_lint = Dwv_analysis.Ast_lint
 module Typed_lint = Dwv_analysis.Typed_lint
+module Sound_lint = Dwv_analysis.Sound_lint
 module Alloc_profile = Dwv_analysis.Alloc_profile
 module Registry = Dwv_analysis.Registry
 module Box = Dwv_interval.Box
@@ -134,28 +135,35 @@ let plain_arg =
        & info [ "plain" ]
            ~doc:"With text output, print one diagnostic per line and omit hint lines.")
 
-type engine_choice = Src of Ast_lint.engine | Typed
+type engine_choice = Src of Ast_lint.engine | Typed | Sound
 
 let engine_conv =
   Arg.conv
     ( (fun s ->
         if s = "typed" then Ok Typed
+        else if s = "sound" then Ok Sound
         else
           match Ast_lint.engine_of_string s with
           | Some e -> Ok (Src e)
           | None ->
-            Error (`Msg ("unknown engine " ^ s ^ " (expected ast | regex | both | typed)"))),
+            Error
+              (`Msg
+                ("unknown engine " ^ s ^ " (expected ast | regex | both | typed | sound)"))),
       fun ppf e ->
         Fmt.string ppf
-          (match e with Src e -> Ast_lint.engine_label e | Typed -> "typed") )
+          (match e with
+          | Src e -> Ast_lint.engine_label e
+          | Typed -> "typed"
+          | Sound -> "sound") )
 
 let engine_arg =
   Arg.(value & opt engine_conv (Src Ast_lint.Both)
        & info [ "engine" ] ~docv:"ENGINE"
            ~doc:"Source engine: ast (Parsetree analyses), regex (layer-2 patterns), \
-                 both (ast plus a differential regex shadow run), or typed (both plus \
+                 both (ast plus a differential regex shadow run), typed (both plus \
                  the layer-4 cmt analyses: budget-threading, allocation profile, \
-                 type-aware phys-equality exemption).")
+                 type-aware phys-equality exemption), or sound (only the layer-5 \
+                 semantic soundness analyses: rounding-flow, cache-purity).")
 
 let build_dir_arg =
   Arg.(value & opt (some string) None
@@ -225,6 +233,10 @@ let lint_sources ~engine ~exclude ?build_dir ?alloc_report ?alloc_baseline paths
         (fun file -> write_file file (Alloc_profile.report_to_json r.Typed_lint.sites))
         alloc_report;
       r.Typed_lint.diags
+    | exception Invalid_argument m -> usage_die m)
+  | Sound -> (
+    match Sound_lint.lint_tree ?build_dir ~exclude ~roots () with
+    | ds -> ds
     | exception Invalid_argument m -> usage_die m)
 
 let source_cmd =

@@ -37,6 +37,8 @@ let default_entries =
     "Cert.decode";
     "Cert_check.validate_cert";
     "Cert_ival.eval_vec";
+    "Scn_verify.verify_robust";
+    "Scn_fuzz.run";
   ]
 
 (* Function arguments of these run once per element: allocation inside

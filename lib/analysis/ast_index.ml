@@ -298,8 +298,10 @@ let rec binding_name (p : Parsetree.pattern) =
 (* Creator applications whose result is shared mutable state (or a
    guarded flavor of it). Creations hidden behind helper functions
    ([let t = make_table ()]) are NOT recognized — a documented
-   false-negative shape. *)
-let creation_of name =
+   false-negative shape. [table_modules] holds local functor instances
+   of [Hashtbl.Make]/[MakeSeeded], whose [create] is a hashtable maker
+   under a non-standard module name. *)
+let creation_of_std name =
   match normalize_name name with
   | "ref" -> Some (Ref, Unguarded)
   | "Hashtbl.create" -> Some (Hashtable, Unguarded)
@@ -316,7 +318,18 @@ let creation_of name =
     Some (Sync_t, Sync_primitive)
   | _ -> None
 
-let classify_binding ~mutable_fields (vb : Parsetree.value_binding) =
+let creation_of ?(table_modules = SSet.empty) name =
+  match creation_of_std name with
+  | Some _ as r -> r
+  | None -> (
+    match String.rindex_opt name '.' with
+    | Some i
+      when String.sub name (i + 1) (String.length name - i - 1) = "create"
+           && SSet.mem (String.sub name 0 i) table_modules ->
+      Some (Hashtable, Unguarded)
+    | _ -> None)
+
+let classify_binding ~mutable_fields ~table_modules (vb : Parsetree.value_binding) =
   match binding_name vb.Parsetree.pvb_pat with
   | None | Some "" -> `Skip
   | Some name -> (
@@ -324,7 +337,7 @@ let classify_binding ~mutable_fields (vb : Parsetree.value_binding) =
     match e.Parsetree.pexp_desc with
     | Parsetree.Pexp_apply
         ({ Parsetree.pexp_desc = Parsetree.Pexp_ident { txt; _ }; _ }, args) -> (
-      match creation_of (Src_ast.name_of txt) with
+      match creation_of ~table_modules (Src_ast.name_of txt) with
       | Some (kind, guard) ->
         let init_idents =
           List.fold_left
@@ -350,6 +363,7 @@ let of_parsed (file : Src_ast.parsed) =
   let module_name = Src_ast.module_of_path file.Src_ast.path in
   (* pass 1: module aliases and mutable record fields *)
   let aliases = ref [] and mutable_fields = ref SSet.empty in
+  let table_modules = ref SSet.empty in
   List.iter
     (fun (item : Parsetree.structure_item) ->
       match item.Parsetree.pstr_desc with
@@ -360,6 +374,22 @@ let of_parsed (file : Src_ast.parsed) =
             _;
           } ->
         aliases := (alias, Longident.last txt) :: !aliases
+      | Parsetree.Pstr_module
+          {
+            Parsetree.pmb_name = { txt = Some m; _ };
+            pmb_expr =
+              {
+                Parsetree.pmod_desc =
+                  Parsetree.Pmod_apply
+                    ( { Parsetree.pmod_desc = Parsetree.Pmod_ident { txt; _ }; _ },
+                      _ );
+                _;
+              };
+            _;
+          }
+        when List.mem (Src_ast.name_of txt) [ "Hashtbl.Make"; "Hashtbl.MakeSeeded" ]
+        ->
+        table_modules := SSet.add m !table_modules
       | Parsetree.Pstr_type (_, decls) ->
         List.iter
           (fun (d : Parsetree.type_declaration) ->
@@ -385,7 +415,10 @@ let of_parsed (file : Src_ast.parsed) =
       | Parsetree.Pstr_value (_, vbs) ->
         List.iter
           (fun (vb : Parsetree.value_binding) ->
-            match classify_binding ~mutable_fields:!mutable_fields vb with
+            match
+              classify_binding ~mutable_fields:!mutable_fields
+                ~table_modules:!table_modules vb
+            with
             | `Skip -> ()
             | `Mutable (name, kind, guard, init_idents) ->
               mutables :=

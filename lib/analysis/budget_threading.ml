@@ -17,6 +17,7 @@ let default_entries =
     "Threed.verify_robust"; "Threed.verify_robust_from";
     "Learner.learn"; "Initset.search";
     "Cert_check.validate"; "Cert_check.validate_cert";
+    "Scn_verify.verify_robust"; "Scn_fuzz.run";
   ]
 
 let targets =

@@ -21,11 +21,14 @@ type call = {
   c_args : call_arg list;
 }
 
+type ref_site = { r_name : string; r_internal : bool; r_loc : Location.t }
+
 type tfn = {
   t_name : string;
   t_loc : Location.t;
   t_params : param list;
   t_calls : call list;
+  t_refs : ref_site list;
   t_body : Typedtree.expression;
 }
 
@@ -257,10 +260,40 @@ let calls_of_body t u body =
   iter.expr iter body;
   List.rev !calls
 
+(* Every identifier the body mentions, canonically resolved — a strict
+   superset of the call heads in [calls_of_body]. The purity pass scans
+   these so an eta-passed impure function ([List.map Sys.getenv ...]) or
+   a bare mutable-global read is seen even though it is not a call. *)
+let refs_of_body t u body =
+  let refs = ref [] in
+  let open Tast_iterator in
+  let iter =
+    {
+      default_iterator with
+      expr =
+        (fun self e ->
+          (match e.Typedtree.exp_desc with
+          | Typedtree.Texp_ident (p, { loc; _ }, _) ->
+            let name, internal = resolve_callee t u p in
+            if name <> "" then
+              refs := { r_name = name; r_internal = internal; r_loc = loc } :: !refs
+          | _ -> ());
+          default_iterator.expr self e);
+    }
+  in
+  iter.expr iter body;
+  List.rev !refs
+
 let rec binding_name (p : Typedtree.pattern) =
   match p.Typedtree.pat_desc with
   | Typedtree.Tpat_var (id, _) -> Some (Ident.name id)
-  | Typedtree.Tpat_alias (p', _, _) -> binding_name p'
+  | Typedtree.Tpat_alias (p', id, _) -> (
+    (* a constrained binding [let x : t = e] elaborates to an alias
+       whose *alias ident* is the binder (the inner pattern is a
+       wildcard), so fall back to it *)
+    match binding_name p' with
+    | Some _ as n -> n
+    | None -> Some (Ident.name id))
   | _ -> None
 
 let aliases_of_structure (str : Typedtree.structure) =
@@ -327,6 +360,7 @@ let fns_of_unit t u_skeleton structure =
                   t_loc = vb.Typedtree.vb_loc;
                   t_params = params_of_type t u_skeleton body.Typedtree.exp_type;
                   t_calls = [];
+                  t_refs = [];
                   t_body = body;
                 }
                 :: !fns)
@@ -374,7 +408,12 @@ let of_raw raws =
       let name = canon_unit_of_modname raw.r_modname in
       let u = Hashtbl.find t.by_name name in
       let fns =
-        List.map (fun fn -> { fn with t_calls = calls_of_body t u fn.t_body }) u.u_fns
+        List.map
+          (fun fn ->
+            { fn with
+              t_calls = calls_of_body t u fn.t_body;
+              t_refs = refs_of_body t u fn.t_body })
+          u.u_fns
       in
       Hashtbl.replace t.by_name name { u with u_fns = fns })
     raws;

@@ -30,11 +30,21 @@ type call = {
   c_args : call_arg list;
 }
 
+type ref_site = {
+  r_name : string;      (** canonical dotted name, as in [c_callee] *)
+  r_internal : bool;    (** resolves to a scanned unit's top-level binding *)
+  r_loc : Location.t;
+}
+
 type tfn = {
   t_name : string;       (** binding name within its unit *)
   t_loc : Location.t;
   t_params : param list; (** the arrow spine of the binding's type *)
   t_calls : call list;
+  t_refs : ref_site list;
+      (** every identifier the body mentions, canonically resolved — a
+          superset of the call heads, so purity passes see eta-passed
+          functions and bare global reads *)
   t_body : Typedtree.expression;  (** for the allocation pass *)
 }
 
@@ -93,6 +103,12 @@ val load_errors : t -> (string * string) list
 
 val canon_ident : t -> unit_info -> Path.t -> string
 
+(** Canonical callee name for an applied (or mentioned) identifier path,
+    with the [c_internal]/[r_internal] flag. Unlike {!canon_ident} this
+    shortens to the last two components ("Unit.fn") and qualifies
+    unit-local bindings with their unit name. *)
+val resolve_callee : t -> unit_info -> Path.t -> string * bool
+
 (** Canonical head-constructor name of a type, [""] for non-[Tconstr]
     types ('a, arrows, tuples). *)
 val type_head : t -> unit_info -> Types.type_expr -> string
@@ -106,3 +122,6 @@ val type_mentions_float : Types.type_expr -> bool
 
 (** 1-based line/col location for a typed-tree node of [u]. *)
 val file_loc : unit_info -> Location.t -> Diagnostics.location
+
+(** The variable a pattern binds ([Tpat_var]/[Tpat_alias]), if simple. *)
+val binding_name : Typedtree.pattern -> string option

@@ -46,6 +46,9 @@ let default_hot_modules =
     "Nn_reach_bernstein";
     "Cert_check";
     "Cert_cache";
+    "Scn_verify";
+    "Scn_fuzz";
+    "Scn_registry";
   ]
 
 (* Leaf modules whose raises are their documented contract (mirrors the

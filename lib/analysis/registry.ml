@@ -1,7 +1,7 @@
 (* Check registry. Names live here (not scattered through Model_check) so
    that `dwv_lint checks`, the docs and the tests all read one list. *)
 
-type layer = Model_layer | Source_layer | Ast_layer | Typed_layer
+type layer = Model_layer | Source_layer | Ast_layer | Typed_layer | Sound_layer
 
 type entry = { name : string; layer : layer; description : string }
 
@@ -26,6 +26,9 @@ let engine_diff = "engine-diff"
 let alloc_hotspot = "alloc-hotspot"
 let budget_threading = "budget-threading"
 let cmt_missing = "cmt-missing"
+let rounding_flow = "rounding-flow"
+let cache_purity = "cache-purity"
+let sound_allow = "sound-allow"
 
 let model_entries =
   [
@@ -70,6 +73,21 @@ let typed_entries =
        build @check` first)" );
   ]
 
+let sound_entries =
+  [
+    ( rounding_flow,
+      "no raw round-to-nearest float arithmetic on enclosure/remainder \
+       dataflow outside the audited widening primitives (widen, Cert_ival \
+       ulp steppers)" );
+    ( cache_purity,
+      "every function reachable from Cert_key fingerprints and cert \
+       validation reads no clock, RNG, Domain identity, environment or \
+       unkeyed mutable global" );
+    ( sound_allow,
+      "every layer-5 allowlist entry still matches a real site (stale \
+       entries are errors)" );
+  ]
+
 let all =
   List.map
     (fun (name, description) -> { name; layer = Model_layer; description })
@@ -91,9 +109,13 @@ let all =
   @ List.map
       (fun (name, description) -> { name; layer = Typed_layer; description })
       typed_entries
+  @ List.map
+      (fun (name, description) -> { name; layer = Sound_layer; description })
+      sound_entries
 
 let layer_label = function
   | Model_layer -> "model"
   | Source_layer -> "source"
   | Ast_layer -> "ast"
   | Typed_layer -> "typed"
+  | Sound_layer -> "sound"

@@ -4,7 +4,7 @@
     Layer-2 (source) entries are derived from {!Source_rules.builtin} so
     the listing can never drift from the rule table. *)
 
-type layer = Model_layer | Source_layer | Ast_layer | Typed_layer
+type layer = Model_layer | Source_layer | Ast_layer | Typed_layer | Sound_layer
 
 type entry = { name : string; layer : layer; description : string }
 
@@ -40,6 +40,12 @@ val engine_diff : string
 val alloc_hotspot : string
 val budget_threading : string
 val cmt_missing : string
+
+(** {1 Layer-5 (semantic soundness) check names} *)
+
+val rounding_flow : string
+val cache_purity : string
+val sound_allow : string
 
 (** Every check, model layer first. *)
 val all : entry list

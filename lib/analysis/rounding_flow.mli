@@ -1,0 +1,40 @@
+(** Layer-5 rounding-discipline analysis over the typed index.
+
+    The validated-numerics soundness model (interval.ml header, DESIGN.md
+    §15): every enclosure bound produced with round-to-nearest float
+    arithmetic must be discharged through an audited outward primitive —
+    [Interval.widen], whose eps-scale slack dominates the 1/2-ulp
+    rounding error, or the [Cert_ival] directed ulp steppers. This pass
+    machine-checks the discipline: it tracks dataflow into enclosure
+    bounds (fields of [Interval.t]/[Cert_ival.t] record literals,
+    arguments of bound constructors such as [Interval.make]) and flags
+    raw float arithmetic ([+.], [*.], libm calls, [Float.*] arithmetic)
+    and midpoint/heuristic computations ([Interval.mid], [Interval.rad])
+    reaching a bound without passing through an outward primitive.
+
+    Functions with documented exceptions carry allow entries (the
+    analogue of {!Typed_rules.expr_phys_eq_allow}); every entry must
+    still match a flagged site or it is reported as stale
+    ({!Registry.sound_allow}). *)
+
+type allow = {
+  a_fn : string;      (** "Unit.fn" whose flagged sites are accepted *)
+  a_reason : string;  (** why the sites are sound; mirrored in-source *)
+}
+
+type config = {
+  bound_types : string list;   (** canonical type heads whose record fields are bounds *)
+  constructors : string list;  (** functions whose arguments are bound dataflow *)
+  outward : string list;       (** audited primitives discharging their argument subtree *)
+  raw : string list;           (** round-to-nearest operations and functions *)
+  heuristics : string list;    (** midpoint/metric helpers, flagged when feeding a bound *)
+  allow : allow list;
+}
+
+val default_allow : allow list
+val default_config : config
+
+(** All {!Registry.rounding_flow} violations plus {!Registry.sound_allow}
+    staleness errors, in {!Diagnostics.sort} order (deterministic across
+    runs). *)
+val analyze : ?config:config -> Cmt_index.t -> Diagnostics.t list

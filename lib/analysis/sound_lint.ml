@@ -1,0 +1,43 @@
+(* Layer-5 engine driver. See the .mli. *)
+
+module D = Diagnostics
+
+let ast_of_tree ?(exclude = []) roots =
+  let parsed = ref [] in
+  List.iter
+    (fun path ->
+      if Filename.check_suffix path ".ml" then
+        match Src_ast.parse_file path with
+        | Ok p -> parsed := p :: !parsed
+        | Error _ -> () (* the parse failure is ast-lint's diagnostic, not ours *))
+    (Source_lint.collect_tree ~exclude roots);
+  Ast_index.of_files (List.rev !parsed)
+
+let lint_tree ?build_dir ?(exclude = []) ?rounding ?purity ~roots () =
+  let idx = Cmt_index.scan ?build_dir ~exclude ~roots () in
+  if Cmt_index.units idx = [] then
+    [
+      D.error ~check:Registry.cmt_missing
+        ~loc:(D.Model "sound/cmt-index")
+        (Fmt.str "no .cmt files found under %s for roots %s"
+           (match build_dir with
+           | Some d -> d
+           | None -> Cmt_index.default_build_dir ())
+           (String.concat " " roots))
+        ~hint:"run `dune build @check` first; executables only get .cmts from \
+               the @check alias";
+    ]
+  else begin
+    let cmt_diags =
+      List.map
+        (fun (path, msg) ->
+          D.warn ~check:Registry.cmt_missing
+            ~loc:(D.Model ("sound/cmt-index/" ^ Filename.basename path))
+            (Fmt.str "unreadable cmt %s: %s" path msg))
+        (Cmt_index.load_errors idx)
+    in
+    let ast = ast_of_tree ~exclude roots in
+    let rounding_diags = Rounding_flow.analyze ?config:rounding idx in
+    let purity_diags = Cache_purity.analyze ?config:purity ~ast idx in
+    D.sort (cmt_diags @ rounding_diags @ purity_diags)
+  end

@@ -1,0 +1,17 @@
+(** Layer-5 engine driver: {!Rounding_flow} + {!Cache_purity} over one
+    [Cmt_index.scan], with the layer-3 {!Ast_index} rebuilt from source
+    for the mutable-global inventory. This is what
+    [dwv_lint --engine sound] runs.
+
+    Like the layer-4 driver, it needs the [.cmt] files dune produces
+    under [@check]; with none found it reports a single
+    {!Registry.cmt_missing} error. *)
+
+val lint_tree :
+  ?build_dir:string ->
+  ?exclude:string list ->
+  ?rounding:Rounding_flow.config ->
+  ?purity:Cache_purity.config ->
+  roots:string list ->
+  unit ->
+  Diagnostics.t list

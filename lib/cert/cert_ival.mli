@@ -25,6 +25,22 @@ val of_interval : Dwv_interval.Interval.t -> t
 (** Raises {!Undefined} on non-finite bounds. *)
 val to_interval : t -> Dwv_interval.Interval.t
 
+(** {1 Outward ulp steppers}
+
+    The audited rounding primitives the layer-5 [Rounding_flow]
+    discipline recognizes: a value stepped through these dominates the
+    1/2-ulp round-to-nearest error of the operation that produced it
+    (two steps after a libm transcendental). *)
+
+val down : float -> float
+val up : float -> float
+val down2 : float -> float
+val up2 : float -> float
+
+(** [mono f v]: image of a monotone-increasing libm function, outward
+    by two ulps at each endpoint. *)
+val mono : (float -> float) -> t -> t
+
 val neg : t -> t
 val add : t -> t -> t
 val sub : t -> t -> t

@@ -43,8 +43,9 @@ let mix h k = (h * 0x01000193) lxor k
 let fin tag h = (((h lxor (h lsr 16)) * 0x45d9f3b) + tag) land max_int
 
 (* Constants hash and compare by bit pattern: [const] canonicalizes NaN
-   below, so this agrees with [Float.equal] semantics (every NaN equal,
-   -0. distinct from 0.). *)
+   below, so every NaN interns to one node, while -0. stays distinct
+   from 0. (they are not interchangeable under division, so IEEE
+   equality — which identifies them — would be unsound here). *)
 let float_bits c = Int64.to_int (Int64.bits_of_float c)
 
 let node_hash = function

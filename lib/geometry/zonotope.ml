@@ -39,7 +39,9 @@ let to_box z =
       for j = 0 to m - 1 do
         r := !r +. Float.abs (Mat.get z.generators i j)
       done;
-      I.make (z.center.(i) -. !r) (z.center.(i) +. !r))
+      (* the generator-magnitude sum and the endpoint arithmetic round
+         to nearest; the eps-scale widening restores outwardness *)
+      I.widen (I.make (z.center.(i) -. !r) (z.center.(i) +. !r)))
 
 (* Exact image under a linear map. *)
 let linear_map a z =

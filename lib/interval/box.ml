@@ -95,12 +95,13 @@ let translate v b =
   Array.mapi (fun i iv -> Interval.shift v.(i) iv) b
 
 (* Uniform additive bloating by [eps] in every direction (inter-sample
-   flowpipe padding). *)
+   flowpipe padding). Rounding_flow allow: rounding lo -. eps to nearest
+   can never land above lo, so the result still contains the input. *)
 let bloat eps b =
   if eps < 0.0 then invalid_arg "Box.bloat: negative epsilon";
   Array.map (fun iv -> Interval.make (Interval.lo iv -. eps) (Interval.hi iv +. eps)) b
 
-(* Per-dimension bloating. *)
+(* Per-dimension bloating; same outward-padding argument as [bloat]. *)
 let bloat_vec eps b =
   if dim b <> Array.length eps then invalid_arg "Box.bloat_vec: dimension mismatch";
   Array.mapi
@@ -109,7 +110,9 @@ let bloat_vec eps b =
       Interval.make (Interval.lo iv -. eps.(i)) (Interval.hi iv +. eps.(i)))
     b
 
-(* Multiplicative inflation about the center, factor >= 1 grows the box. *)
+(* Multiplicative inflation about the center, factor >= 1 grows the box.
+   Rounding_flow allow: an inflation heuristic seeding Picard iteration —
+   the downstream subset test certifies the candidate, not this step. *)
 let scale_about_center factor b =
   Array.map
     (fun iv ->
@@ -117,7 +120,9 @@ let scale_about_center factor b =
       Interval.make (c -. r) (c +. r))
     b
 
-(* Split along the widest dimension into two halves. *)
+(* Split along the widest dimension into two halves. Rounding_flow
+   allow: the split point need not be the exact midpoint — both halves
+   share the same computed value, so their union is the input box. *)
 let bisect b =
   let widest = ref 0 in
   Array.iteri
@@ -131,7 +136,9 @@ let bisect b =
   (left, right)
 
 (* Even grid partition: [parts.(i)] cells along dimension i. Used by the
-   X_I search (Algorithm 2) and by the Bernstein remainder sampling. *)
+   X_I search (Algorithm 2) and by the Bernstein remainder sampling.
+   Rounding_flow allow: every cell is separately certified by the
+   downstream subset tests, so rounded cell edges cannot leak. *)
 let partition parts b =
   if dim b <> Array.length parts then invalid_arg "Box.partition: dimension mismatch";
   Array.iter (fun p -> if p < 1 then invalid_arg "Box.partition: parts must be >= 1") parts;

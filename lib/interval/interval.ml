@@ -5,7 +5,15 @@
    the standard compromise for research reimplementations of Flow*-style
    tools on platforms without directed rounding control; the paper's
    reachable-set over-approximations dominate this error by many orders of
-   magnitude. *)
+   magnitude.
+
+   Since PR 9 the model is machine-checked by the layer-5 Rounding_flow
+   analysis (`dwv_lint --engine sound`): every bound produced with a
+   rounding operation must route through [widen] (whose slack dominates
+   the 1/2-ulp round-to-nearest error of the ops it covers) or through
+   the Cert_ival ulp steppers. Exact IEEE operations — negation, abs,
+   min/max selection, comparisons — need no compensation and are not
+   widened. *)
 
 type t = { lo : float; hi : float }
 
@@ -30,8 +38,12 @@ let is_point t = t.lo = t.hi
 
 let widen_eps = 1e-14
 
-(* Outward widening proportional to magnitude, used after compound
-   operations when strict conservativeness matters. *)
+(* Outward widening proportional to magnitude: the audited primitive
+   every rounding operation below discharges through. The body itself is
+   allowlisted in Rounding_flow (the root of trust): s >= eps >= 1e-14
+   dominates the 1/2 ulp the final round-to-nearest subtraction can lose,
+   and rounding lo -. s to nearest can never land above lo, so the result
+   always strictly contains [t]. *)
 let widen ?(eps = widen_eps) t =
   let s = eps *. Float.max 1.0 (Float.max (Float.abs t.lo) (Float.abs t.hi)) in
   { lo = t.lo -. s; hi = t.hi +. s }
@@ -50,30 +62,38 @@ let hull a b = { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
 
 let neg t = { lo = -.t.hi; hi = -.t.lo }
 
-let add a b = { lo = a.lo +. b.lo; hi = a.hi +. b.hi }
+let add a b = widen { lo = a.lo +. b.lo; hi = a.hi +. b.hi }
 
-let sub a b = { lo = a.lo -. b.hi; hi = a.hi -. b.lo }
+let sub a b = widen { lo = a.lo -. b.hi; hi = a.hi -. b.lo }
 
-let scale s t = if s >= 0.0 then { lo = s *. t.lo; hi = s *. t.hi } else { lo = s *. t.hi; hi = s *. t.lo }
+let scale s t =
+  if s >= 0.0 then widen { lo = s *. t.lo; hi = s *. t.hi }
+  else widen { lo = s *. t.hi; hi = s *. t.lo }
 
-let shift s t = { lo = t.lo +. s; hi = t.hi +. s }
+let shift s t = widen { lo = t.lo +. s; hi = t.hi +. s }
 
 let mul a b =
   let p1 = a.lo *. b.lo and p2 = a.lo *. b.hi and p3 = a.hi *. b.lo and p4 = a.hi *. b.hi in
-  { lo = Float.min (Float.min p1 p2) (Float.min p3 p4);
-    hi = Float.max (Float.max p1 p2) (Float.max p3 p4) }
+  widen
+    { lo = Float.min (Float.min p1 p2) (Float.min p3 p4);
+      hi = Float.max (Float.max p1 p2) (Float.max p3 p4) }
 
 let inv t =
   if contains t 0.0 then failwith "Interval.inv: interval contains zero";
-  { lo = 1.0 /. t.hi; hi = 1.0 /. t.lo }
+  widen { lo = 1.0 /. t.hi; hi = 1.0 /. t.lo }
 
 let div a b = mul a (inv b)
 
+(* The true range of x^2 over any interval is non-negative, so clamping
+   the widened lower bound back up to 0 stays an enclosure. *)
 let sqr t =
   let l = Float.abs t.lo and h = Float.abs t.hi in
   let m = Float.max l h in
-  if contains t 0.0 then { lo = 0.0; hi = m *. m }
-  else (let small = Float.min l h in { lo = small *. small; hi = m *. m })
+  let w =
+    if contains t 0.0 then widen { lo = 0.0; hi = m *. m }
+    else (let small = Float.min l h in widen { lo = small *. small; hi = m *. m })
+  in
+  { w with lo = Float.max 0.0 w.lo }
 
 let rec pow_int t n =
   if n < 0 then inv (pow_int t (-n))
@@ -87,11 +107,16 @@ let abs t =
   else if t.hi <= 0.0 then neg t
   else { lo = 0.0; hi = Float.max (-.t.lo) t.hi }
 
+(* sqrt ranges are non-negative, so the widened lower bound clamps back
+   up to 0 like [sqr]'s. *)
 let sqrt_ t =
   if t.lo < 0.0 then failwith "Interval.sqrt: negative lower bound";
-  { lo = sqrt t.lo; hi = sqrt t.hi }
+  let w = widen { lo = sqrt t.lo; hi = sqrt t.hi } in
+  { w with lo = Float.max 0.0 w.lo }
 
-(* Monotone increasing functions lift directly. *)
+(* Monotone increasing functions lift directly. Raw (round-to-nearest at
+   the endpoints): every caller must widen the result — Rounding_flow
+   classifies this lift itself as a raw computation. *)
 let mono_incr f t = { lo = f t.lo; hi = f t.hi }
 
 let exp_ t = widen (mono_incr exp t)

@@ -42,14 +42,16 @@ let act_deriv_range (act : Activation.t) (pre : I.t) =
     let m = Float.min (Float.abs (I.lo pre)) (Float.abs (I.hi pre)) in
     let m = if I.contains pre 0.0 then 0.0 else m in
     let biggest = Float.max (Float.abs (I.lo pre)) (Float.abs (I.hi pre)) in
-    I.make (1.0 -. (tanh biggest ** 2.0)) (1.0 -. (tanh m ** 2.0))
+    (* the endpoints are computed with round-to-nearest libm calls; the
+       eps-scale widening dominates their few-ulp error *)
+    I.widen (I.make (1.0 -. (tanh biggest ** 2.0)) (1.0 -. (tanh m ** 2.0)))
   | Activation.Sigmoid ->
     let s x = Dwv_util.Floatx.sigmoid x in
     let d x = s x *. (1.0 -. s x) in
     let m = if I.contains pre 0.0 then 0.0
             else Float.min (Float.abs (I.lo pre)) (Float.abs (I.hi pre)) in
     let biggest = Float.max (Float.abs (I.lo pre)) (Float.abs (I.hi pre)) in
-    I.make (d biggest) (d m)
+    I.widen (I.make (d biggest) (d m))
 
 (* Interval forward pass returning the pre-activation ranges per layer
    (interval bound propagation; see Ibp). *)

@@ -48,10 +48,12 @@ let field_range { a; b } ~(x : Box.t) ~(u : Box.t) =
 let intersample_enclosure sys ~x_box ~x_next_box ~u_box ~delta =
   let candidate_of e =
     let fr = field_range sys ~x:e ~u:u_box in
+    (* Outward-rounded Picard candidate; see Taylor_reach.apriori_enclosure. *)
     Array.init (Box.dim x_box) (fun i ->
-        I.make
-          (I.lo x_box.(i) +. Float.min 0.0 (delta *. I.lo fr.(i)))
-          (I.hi x_box.(i) +. Float.max 0.0 (delta *. I.hi fr.(i))))
+        I.widen
+          (I.make
+             (I.lo x_box.(i) +. Float.min 0.0 (delta *. I.lo fr.(i)))
+             (I.hi x_box.(i) +. Float.max 0.0 (delta *. I.hi fr.(i)))))
   in
   let rec refine e iter =
     if iter > 30 then None

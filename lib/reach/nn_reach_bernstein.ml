@@ -61,14 +61,22 @@ let control_models ~net ~output_scale ~config (x : Tm_vec.t) : Tm_vec.t =
      remainder driver; the curvature bound (available for smooth
      single-hidden-layer nets) is quadratic in the box width and usually
      much tighter on small reach boxes *)
-  let lipschitz = Float.abs output_scale *. Lipschitz.local_bound net x_box in
+  (* the |scale|·bound products feed the remainder width: step them one
+     ulp outward so the round-to-nearest multiply cannot shrink them *)
+  let lipschitz =
+    Float.succ (Float.abs output_scale *. Lipschitz.local_bound net x_box)
+  in
   let hessian_diag =
     Option.map
-      (Array.map (fun m -> Float.abs output_scale *. m))
+      (Array.map (fun m -> Float.succ (Float.abs output_scale *. m)))
       (Dwv_nn.Lipschitz.hessian_diag_bound net)
   in
   let n_out = Mlp.n_out net in
   Array.init n_out (fun k ->
+      (* Rounding_flow allow: f as computed *is* the function being
+         approximated — the remainder is measured against the same
+         floating-point evaluation, so its rounding is part of the
+         modeled function, not an enclosure step *)
       let f point = output_scale *. (Mlp.forward net point).(k) in
       let approx = Bernstein.approximate ~f ~degrees:config.degrees x_box in
       let poly = Bernstein.to_poly approx in

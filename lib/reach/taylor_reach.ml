@@ -63,10 +63,14 @@ let factorial k =
 let apriori_enclosure ~f ~x_box ~u_box ~delta =
   let candidate_of e =
     let fr = Expr.ieval_vec f ~x:e ~u:u_box in
+    (* The candidate is what the subset test certifies, so it must be an
+       outward rounding of the true Picard image: widen past the
+       round-to-nearest of the additions. *)
     Array.init (Box.dim x_box) (fun i ->
-        I.make
-          (I.lo x_box.(i) +. Float.min 0.0 (delta *. I.lo fr.(i)))
-          (I.hi x_box.(i) +. Float.max 0.0 (delta *. I.hi fr.(i))))
+        I.widen
+          (I.make
+             (I.lo x_box.(i) +. Float.min 0.0 (delta *. I.lo fr.(i)))
+             (I.hi x_box.(i) +. Float.max 0.0 (delta *. I.hi fr.(i)))))
   in
   let rec refine e iter =
     if iter > 30 then None

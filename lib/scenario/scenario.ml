@@ -216,7 +216,8 @@ let init_total t = augment t t.init
 let goal_total t = augment t t.goal
 
 (* A far-away placeholder when the DSL declares no obstacles: keeps the
-   single-unsafe-box Spec honest without ever intersecting anything. *)
+   single-unsafe-box Spec honest without ever intersecting anything.
+   Rounding_flow allow: built from literals, no computed bound flows in. *)
 let far_box n =
   Box.make
     ~lo:(Array.make n 1e12)

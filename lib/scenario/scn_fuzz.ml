@@ -59,6 +59,10 @@ let nominal_trace scn_f ~nt ~delta ~steps ~row x0 =
   in
   (Sampled_system.simulate sys ~controller ~x0 ~steps).Sampled_system.states
 
+(* Rounding_flow allow: all raw float arithmetic below builds fuzz
+   *inputs* (initial/goal/avoid boxes), not claimed enclosures — any box
+   is a legitimate test case and the differential oracle re-checks every
+   verdict produced from it. *)
 let generate rng index =
   let dim = 1 + Rng.int rng 3 in
   let n_params = if Rng.int rng 4 = 0 then 1 else 0 in
@@ -181,7 +185,7 @@ let analysis_errors scn controller =
 (* Re-check a scenario end to end and cross-examine the verdict. [rng]
    drives the Monte-Carlo evidence; everything else is deterministic in
    the scenario itself. Returns the first oracle disagreement, if any. *)
-let examine ?(rollouts = 50) ~rng scn =
+let examine ?budget ?(rollouts = 50) ~rng scn =
   let controller = Scenario.make_controller scn rng in
   match analysis_errors scn controller with
   | d :: _ ->
@@ -190,7 +194,7 @@ let examine ?(rollouts = 50) ~rng scn =
                        d.Diagnostics.message) }
   | [] ->
     let cache = Cert_cache.create () in
-    let report = Scn_verify.verify_robust ~cache scn controller in
+    let report = Scn_verify.verify_robust ?budget ~cache scn controller in
     let verdict = report.Scn_verify.verdict in
     let rung = report.Scn_verify.fallback.Verifier.rung in
     (* certificate replay: anything the verification deposited must
@@ -203,7 +207,7 @@ let examine ?(rollouts = 50) ~rng scn =
         | None -> ("absent", None)
         | Some c -> (
           match
-            Cert_check.validate_cert ~level:Cert_check.Full ~expected:fp
+            Cert_check.validate_cert ?budget ~level:Cert_check.Full ~expected:fp
               ~f:(Scenario.f_total scn) c
           with
           | Cert_check.Valid, _ -> ("valid", None)
@@ -273,9 +277,11 @@ let examine ?(rollouts = 50) ~rng scn =
    probe re-runs the full pipeline with a fresh rng of the given seed, so
    shrinking is deterministic. *)
 
-let still_violates ~rollouts ~probe_seed scn =
-  (examine ~rollouts ~rng:(Rng.create probe_seed) scn).oracle <> None
+let still_violates ?budget ~rollouts ~probe_seed scn =
+  (examine ?budget ~rollouts ~rng:(Rng.create probe_seed) scn).oracle <> None
 
+(* Rounding_flow allow: shrinking is a search heuristic — each candidate
+   box is only reported after the oracle re-confirms the failure on it. *)
 let shrink_candidates (scn : Scenario.t) =
   let remake ?steps ?init ?avoid ?params ?f () =
     try
@@ -363,13 +369,13 @@ let shrink_candidates (scn : Scenario.t) =
   in
   List.filter_map Fun.id (fewer_steps @ fewer_avoid @ frozen_params @ tighter_init)
 
-let shrink ?(rollouts = 50) ~probe_seed scn =
+let shrink ?budget ?(rollouts = 50) ~probe_seed scn =
   let rec loop scn fuel =
     if fuel = 0 then scn
     else
       match
         List.find_opt
-          (still_violates ~rollouts ~probe_seed)
+          (still_violates ?budget ~rollouts ~probe_seed)
           (shrink_candidates scn)
       with
       | Some smaller -> loop smaller (fuel - 1)
@@ -412,16 +418,16 @@ let determinism_key r =
     (Option.value r.rung ~default:"-")
     r.cert r.oracle r.violation
 
-let run_one ?(rollouts = 50) ~seed ~rng index =
+let run_one ?budget ?(rollouts = 50) ~seed ~rng index =
   let t0 = Unix.gettimeofday () in
   let scn = generate rng index in
-  let res = examine ~rollouts ~rng scn in
+  let res = examine ?budget ~rollouts ~rng scn in
   let reproducer =
     match res.oracle with
     | None -> None
     | Some reason ->
       let probe_seed = seed + (7919 * (index + 1)) in
-      let minimal = shrink ~rollouts ~probe_seed scn in
+      let minimal = shrink ?budget ~rollouts ~probe_seed scn in
       Some { rep_index = index; reason; dsl = Scenario.to_string minimal }
   in
   let latency_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
@@ -441,13 +447,13 @@ let run_one ?(rollouts = 50) ~seed ~rng index =
     },
     reproducer )
 
-let run ?pool ?(rollouts = 50) ?(count = 200) ~seed () =
+let run ?budget ?pool ?(rollouts = 50) ?(count = 200) ~seed () =
   if count < 1 then invalid_arg "Scn_fuzz.run: need at least one scenario";
   (* one child stream per scenario, split before any work: scenario i is
      a pure function of (seed, i), so the campaign shards across domains
      without changing a single bit of any record *)
   let streams = Rng.split_n (Rng.create seed) count in
-  let one i = run_one ~rollouts ~seed ~rng:streams.(i) i in
+  let one i = run_one ?budget ~rollouts ~seed ~rng:streams.(i) i in
   let indices = Array.init count (fun i -> i) in
   let outcomes =
     match pool with

@@ -24,12 +24,22 @@ type check_result = {
 (** Run the full pipeline on one scenario — layer-1 analysis, the robust
     verification ladder with an in-memory certificate cache, certificate
     replay, and the Monte-Carlo / falsification oracle. *)
-val examine : ?rollouts:int -> rng:Dwv_util.Rng.t -> Scenario.t -> check_result
+val examine :
+  ?budget:Dwv_robust.Budget.t ->
+  ?rollouts:int ->
+  rng:Dwv_util.Rng.t ->
+  Scenario.t ->
+  check_result
 
 (** Greedily simplify a disagreeing scenario (halve steps, drop avoid
     boxes, freeze parameters to midpoints, tighten the initial box) while
     the disagreement persists under a deterministic probe seed. *)
-val shrink : ?rollouts:int -> probe_seed:int -> Scenario.t -> Scenario.t
+val shrink :
+  ?budget:Dwv_robust.Budget.t ->
+  ?rollouts:int ->
+  probe_seed:int ->
+  Scenario.t ->
+  Scenario.t
 
 type record = {
   index : int;
@@ -62,6 +72,7 @@ val determinism_key : record -> string
 (** Run a campaign of [count] scenarios (default 200) from [seed],
     optionally sharded over [pool]. *)
 val run :
+  ?budget:Dwv_robust.Budget.t ->
   ?pool:Dwv_parallel.Pool.t ->
   ?rollouts:int ->
   ?count:int ->

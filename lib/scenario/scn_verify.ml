@@ -287,9 +287,19 @@ let flowpipe_robust ?budget ?cache scn controller =
   | Controller.Linear _ ->
     (match scn.Scenario.method_ with
     | Scenario.M_zonotope ->
-      failwith
-        "Scn_verify: the zonotope method is reserved for built-in LTI \
-         systems (use their registry entry)"
+      (* structured failure, not an escaping raise: the fault ladder can
+         then report Unknown instead of crashing the campaign *)
+      Robust_verify.run ?budget
+        [
+          Robust_verify.rung ~name:"zonotope" (fun () ->
+              Error
+                (Dwv_error.backend_failure ~backend:"zonotope"
+                   ~where:"Scn_verify.flowpipe_robust"
+                   "the zonotope method is reserved for built-in LTI \
+                    systems (use their registry entry)"));
+        ]
+      |> Verifier.report_of_outcome ~x0:(Scenario.init_total scn)
+           ~delta:scn.Scenario.delta
     | _ -> affine_report ?budget ?cache scn controller)
   | Controller.Net { net; output_scale } ->
     let order = method_order scn.Scenario.method_ in

@@ -33,10 +33,12 @@ let const ~nvars ~order c = { poly = Poly.const nvars c; rem = I.zero; order }
 
 let var ~nvars ~order i = { poly = Poly.var nvars i; rem = I.zero; order }
 
-(* Abstract an interval as a Taylor model with no symbolic dependency. *)
+(* Abstract an interval as a Taylor model with no symbolic dependency.
+   The symmetrized remainder is widened: mid and rad round to nearest, so
+   mid +- rad can undershoot the original bounds by 1/2 ulp each. *)
 let of_interval ~nvars ~order iv =
   { poly = Poly.const nvars (I.mid iv);
-    rem = I.make (-.I.rad iv) (I.rad iv);
+    rem = I.widen (I.make (-.I.rad iv) (I.rad iv));
     order }
 
 (* Sound range enclosure. *)
@@ -326,7 +328,7 @@ let relu tm =
     let gap = hi *. -.lo /. (hi -. lo) in
     let chord = shift (-.(lambda *. lo)) (scale lambda tm) in
     let centered = shift (-.(gap /. 2.0)) chord in
-    add_remainder (I.make (-.(gap /. 2.0)) (gap /. 2.0)) centered
+    add_remainder (I.widen (I.make (-.(gap /. 2.0)) (gap /. 2.0))) centered
   end
 
 (* Evaluate a dynamics expression with Taylor models substituted for the

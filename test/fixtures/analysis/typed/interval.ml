@@ -1,0 +1,21 @@
+(* Interval mimic for the layer-5 rounding-flow fixtures: just enough
+   surface for sf_ival.ml to exercise bound-constructor arguments,
+   bound-typed record fields, the widen discharge, the midpoint
+   heuristic classification, and local-let flow tracking. The shapes
+   (names, the eps-scale widen) mirror lib/interval. *)
+
+type t = { lo : float; hi : float }
+
+let make lo hi = { lo; hi }
+let of_point x = { lo = x; hi = x }
+let lo t = t.lo
+let hi t = t.hi
+
+(* Root of trust, exactly like the real Interval.widen: the fixture
+   test config carries the matching allow entry. *)
+let widen ?(eps = 1e-14) t =
+  let s = eps *. Float.max 1.0 (Float.max (Float.abs t.lo) (Float.abs t.hi)) in
+  { lo = t.lo -. s; hi = t.hi +. s }
+
+let mid t = 0.5 *. (t.lo +. t.hi)
+let width t = t.hi -. t.lo

@@ -1,0 +1,37 @@
+(* Layer-5 cache-purity fixture: a miniature fingerprint/validate stack
+   with seeded determinism violations. test_sound.ml supplies the entry
+   list and pins each finding; keep the layout stable. *)
+
+let table : (int, float) Hashtbl.t = Hashtbl.create 16
+let salt = ref 0
+
+(* VIOLATION (transitive): reads the wall clock. *)
+let stamp () = Unix.gettimeofday ()
+
+let mix a b = (a * 31) + b
+
+(* VIOLATION: clock read via stamp + unkeyed mutable global read. *)
+let fingerprint (xs : int list) =
+  let h = List.fold_left mix (int_of_float (stamp ())) xs in
+  mix h !salt
+
+(* VIOLATION: RNG state read on the validation path. *)
+let jitter () = Random.float 1.0
+
+let validate (key : int) (v : float) =
+  let noisy = v +. jitter () in
+  (match Hashtbl.find_opt table key with Some _ -> () | None -> ());
+  noisy > 0.0
+
+(* CLEAN: pure mixing path. *)
+let pure_fingerprint (xs : int list) = List.fold_left mix 17 xs
+
+(* Boundary demo: the cache helper reads the clock internally (think
+   eviction timestamp), but the test config lists it as a trust
+   boundary, so the closure must not descend into it. *)
+let cache_find (k : int) =
+  let _ = Unix.gettimeofday () in
+  Hashtbl.find_opt table k
+
+let check_cached (k : int) =
+  match cache_find k with Some _ -> true | None -> false

@@ -1,0 +1,29 @@
+(* Layer-5 rounding-flow fixture: seeded violations next to clean
+   shapes. test_sound.ml pins each site by line; keep the layout
+   stable. *)
+
+(* VIOLATION x2: raw arithmetic directly in bound-constructor args. *)
+let bad_pad (t : Interval.t) (e : float) =
+  Interval.make (Interval.lo t -. e) (Interval.hi t +. e)
+
+(* VIOLATION: midpoint heuristic flowing into a bound via a local let. *)
+let bad_mid_flow (t : Interval.t) =
+  let m = Interval.mid t in
+  Interval.make (Interval.lo t) m
+
+(* CLEAN: the same raw arithmetic discharged through widen. *)
+let ok_widened (t : Interval.t) (e : float) =
+  Interval.widen (Interval.make (Interval.lo t -. e) (Interval.hi t +. e))
+
+(* CLEAN: midpoint feeding a metric, never a bound. *)
+let ok_mid_metric (t : Interval.t) = Interval.mid t *. 2.0
+
+(* VIOLATION: raw arithmetic in a bound-typed record literal field. *)
+let bad_record (t : Interval.t) (e : float) : Interval.t =
+  { Interval.lo = t.Interval.lo -. e; hi = t.Interval.hi +. e }
+
+(* ALLOWED: same shape as bad_mid_flow; the test config carries an
+   allow entry for this function, so it must stay silent there. *)
+let allowed_split (t : Interval.t) =
+  let m = Interval.mid t in
+  (Interval.make (Interval.lo t) m, Interval.make m (Interval.hi t))

@@ -282,7 +282,10 @@ let initset_verify cell =
 
 let test_initset_partial_coverage () =
   let x0 = box2 0.0 1.0 0.0 1.0 in
-  let goal = box2 1.0 1.5 0.0 1.0 in
+  (* [Box.translate] widens outward, so a goal whose boundary coincides
+     exactly with a translated cell edge is (soundly) unprovable; test
+     against the open cover instead *)
+  let goal = Box.bloat 1e-9 (box2 1.0 1.5 0.0 1.0) in
   let r = Initset.search ~max_depth:4 ~verify:initset_verify ~goal ~x0 () in
   Alcotest.(check bool) "coverage close to half" true
     (r.Initset.coverage > 0.4 && r.Initset.coverage < 0.6);
@@ -305,7 +308,7 @@ let test_initset_even_matches_adaptive () =
      certify (approximately) the same region - even partition at round r
      equals bisection depth 2r in 2-D, so compare coverages *)
   let x0 = box2 0.0 1.0 0.0 1.0 in
-  let goal = box2 1.0 1.5 0.0 1.0 in
+  let goal = Box.bloat 1e-9 (box2 1.0 1.5 0.0 1.0) in
   let adaptive = Initset.search ~max_depth:6 ~verify:initset_verify ~goal ~x0 () in
   let even = Initset.search_even ~max_rounds:4 ~verify:initset_verify ~goal ~x0 () in
   Alcotest.(check bool) "coverage agrees within a grid cell" true

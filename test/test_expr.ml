@@ -289,14 +289,34 @@ let gen_recipe =
                (1, map (fun a -> R_tanh a) sub);
              ])
 
-let arb_recipe = QCheck.make gen_recipe
+let rec recipe_to_string = function
+  | R_const c -> Fmt.str "%h" c
+  | R_var i -> Fmt.str "x%d" i
+  | R_input j -> Fmt.str "u%d" j
+  | R_add (a, b) -> Fmt.str "(%s + %s)" (recipe_to_string a) (recipe_to_string b)
+  | R_sub (a, b) -> Fmt.str "(%s - %s)" (recipe_to_string a) (recipe_to_string b)
+  | R_mul (a, b) -> Fmt.str "(%s * %s)" (recipe_to_string a) (recipe_to_string b)
+  | R_div (a, b) -> Fmt.str "(%s / %s)" (recipe_to_string a) (recipe_to_string b)
+  | R_neg a -> Fmt.str "(- %s)" (recipe_to_string a)
+  | R_pow (a, k) -> Fmt.str "%s^%d" (recipe_to_string a) k
+  | R_sin a -> Fmt.str "sin(%s)" (recipe_to_string a)
+  | R_cos a -> Fmt.str "cos(%s)" (recipe_to_string a)
+  | R_exp a -> Fmt.str "exp(%s)" (recipe_to_string a)
+  | R_tanh a -> Fmt.str "tanh(%s)" (recipe_to_string a)
 
-(* Deep structural equality with [Float.equal] constants: the oracle the
-   interner must agree with. Physical identity is observed through
-   [Expr.id], which is unique per interned node. *)
+let arb_recipe = QCheck.make ~print:recipe_to_string gen_recipe
+
+(* Deep structural equality with bit-pattern constants: the oracle the
+   interner must agree with. [Float.equal] would not do — it identifies
+   -0. with 0. (IEEE equality), which the interner must keep distinct
+   because they are not interchangeable under division. NaN is
+   canonicalized by [Expr.const], so bit equality sees all NaNs as one
+   constant. Physical identity is observed through [Expr.id], which is
+   unique per interned node. *)
 let rec structural_eq (a : Expr.t) (b : Expr.t) =
   match (a.Expr.node, b.Expr.node) with
-  | Expr.Const x, Expr.Const y -> Float.equal x y
+  | Expr.Const x, Expr.Const y ->
+    Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
   | Expr.Var i, Expr.Var j | Expr.Input i, Expr.Input j -> i = j
   | Expr.Add (a1, a2), Expr.Add (b1, b2)
   | Expr.Sub (a1, a2), Expr.Sub (b1, b2)

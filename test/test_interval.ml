@@ -23,22 +23,27 @@ let test_basic_accessors () =
   Alcotest.(check bool) "contains" true (I.contains t 2.5);
   Alcotest.(check bool) "not contains" false (I.contains t 3.5)
 
+(* Rounding ops widen outward by an eps-scale slack (the layer-5
+   soundness model), so expected values are matched up to that slack. *)
+let eqw = I.equal ~eps:1e-12
+
 let test_add_sub () =
   let a = iv 1.0 2.0 and b = iv (-1.0) 3.0 in
-  Alcotest.(check bool) "add" true (I.equal (I.add a b) (iv 0.0 5.0));
-  Alcotest.(check bool) "sub" true (I.equal (I.sub a b) (iv (-2.0) 3.0))
+  Alcotest.(check bool) "add" true (eqw (I.add a b) (iv 0.0 5.0));
+  Alcotest.(check bool) "sub" true (eqw (I.sub a b) (iv (-2.0) 3.0))
 
 let test_mul_signs () =
-  Alcotest.(check bool) "pos*pos" true (I.equal (I.mul (iv 1.0 2.0) (iv 3.0 4.0)) (iv 3.0 8.0));
+  Alcotest.(check bool) "pos*pos" true (eqw (I.mul (iv 1.0 2.0) (iv 3.0 4.0)) (iv 3.0 8.0));
   Alcotest.(check bool) "neg*pos" true
-    (I.equal (I.mul (iv (-2.0) (-1.0)) (iv 3.0 4.0)) (iv (-8.0) (-3.0)));
+    (eqw (I.mul (iv (-2.0) (-1.0)) (iv 3.0 4.0)) (iv (-8.0) (-3.0)));
   Alcotest.(check bool) "straddle" true
-    (I.equal (I.mul (iv (-1.0) 2.0) (iv (-3.0) 4.0)) (iv (-6.0) 8.0))
+    (eqw (I.mul (iv (-1.0) 2.0) (iv (-3.0) 4.0)) (iv (-6.0) 8.0))
 
 let test_sqr_tight () =
   (* sqr must be tighter than mul t t when t straddles zero *)
   let t = iv (-1.0) 2.0 in
-  Alcotest.(check bool) "sqr lower bound 0" true (I.equal (I.sqr t) (iv 0.0 4.0));
+  Alcotest.(check bool) "sqr lower bound 0" true (eqw (I.sqr t) (iv 0.0 4.0));
+  Alcotest.(check bool) "sqr lo clamped" true (I.lo (I.sqr t) = 0.0);
   Alcotest.(check bool) "mul is looser" true (I.lo (I.mul t t) < 0.0)
 
 let test_div_by_zero_raises () =
@@ -47,9 +52,9 @@ let test_div_by_zero_raises () =
 
 let test_pow_int () =
   Alcotest.(check bool) "cube of negative" true
-    (I.equal (I.pow_int (iv (-2.0) (-1.0)) 3) (iv (-8.0) (-1.0)));
+    (eqw (I.pow_int (iv (-2.0) (-1.0)) 3) (iv (-8.0) (-1.0)));
   Alcotest.(check bool) "even power straddle" true
-    (I.equal (I.pow_int (iv (-2.0) 1.0) 2) (iv 0.0 4.0));
+    (eqw (I.pow_int (iv (-2.0) 1.0) 2) (iv 0.0 4.0));
   Alcotest.(check bool) "power zero" true (I.equal (I.pow_int (iv (-2.0) 1.0) 0) I.one)
 
 let test_intersect_hull () =
@@ -115,6 +120,32 @@ let prop_mul_contains_products =
       List.for_all
         (fun (x, y) -> I.contains (I.widen p) (x *. y))
         [ (a_lo, b_lo); (a_lo, b_lo +. b_w); (a_lo +. a_w, b_lo); (a_lo +. a_w, b_lo +. b_w) ])
+
+(* Layer-5 containment oracle: every widened Interval op must contain
+   the independent directed-rounding enclosure (Cert_ival, outward
+   ulp-stepped) of the same operation — i.e. the eps-scale widening has
+   to dominate directed rounding, not merely round-to-nearest. *)
+module CIv = Dwv_cert.Cert_ival
+
+let prop_widen_contains_directed =
+  QCheck.Test.make ~name:"widened ops contain directed-rounding enclosure"
+    ~count:500
+    QCheck.(
+      quad (float_range (-3.0) 3.0) (float_range 0.0 2.0) (float_range (-3.0) 3.0)
+        (float_range 0.0 2.0))
+    (fun (a_lo, a_w, b_lo, b_w) ->
+      let a = iv a_lo (a_lo +. a_w) and b = iv b_lo (b_lo +. b_w) in
+      let ca = CIv.of_interval a and cb = CIv.of_interval b in
+      let contains i c = I.lo i <= CIv.lo c && CIv.hi c <= I.hi i in
+      contains (I.add a b) (CIv.add ca cb)
+      && contains (I.sub a b) (CIv.sub ca cb)
+      && contains (I.mul a b) (CIv.mul ca cb)
+      && contains (I.sqr a) (CIv.pow_int ca 2)
+      && contains (I.pow_int a 3) (CIv.pow_int ca 3)
+      && contains (I.scale 1.7 a) (CIv.scale 1.7 ca)
+      && contains (I.exp_ a) (CIv.exp_ ca)
+      && contains (I.tanh_ a) (CIv.tanh_ ca)
+      && (I.contains b 0.0 || contains (I.div a b) (CIv.div ca cb)))
 
 (* ---------------- boxes ---------------- *)
 
@@ -215,6 +246,7 @@ let suite =
     Alcotest.test_case "relu" `Quick test_relu;
     QCheck_alcotest.to_alcotest prop_interval_soundness;
     QCheck_alcotest.to_alcotest prop_mul_contains_products;
+    QCheck_alcotest.to_alcotest prop_widen_contains_directed;
     Alcotest.test_case "box volume" `Quick test_box_volume;
     Alcotest.test_case "box contains" `Quick test_box_contains;
     Alcotest.test_case "box intersection volume" `Quick test_box_intersection_volume;

@@ -20,5 +20,6 @@ let () =
       ("analysis", Test_analysis.suite);
       ("ast", Test_ast.suite);
       ("typed", Test_typed.suite);
+      ("sound", Test_sound.suite);
       ("integration", Test_integration.suite);
     ]

@@ -32,8 +32,8 @@ let test_index_units () =
   Alcotest.(check (list string))
     "fixture units, canonical names, sorted"
     [
-      "Budget"; "Expr"; "Pool"; "Rk45"; "Tf_boxed_loop"; "Tf_budget_drop";
-      "Tf_budget_ok"; "Tf_clean_loop";
+      "Budget"; "Expr"; "Interval"; "Pool"; "Rk45"; "Sf_cache"; "Sf_ival";
+      "Tf_boxed_loop"; "Tf_budget_drop"; "Tf_budget_ok"; "Tf_clean_loop";
     ]
     (List.map (fun u -> u.CI.u_name) (CI.units idx));
   Alcotest.(check (list (pair string string))) "no load errors" []

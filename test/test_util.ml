@@ -5,6 +5,7 @@ module Rng = Dwv_util.Rng
 module Stats = Dwv_util.Stats
 module Floatx = Dwv_util.Floatx
 module Table = Dwv_util.Table
+module Trend = Dwv_util.Trend
 
 let check_float = Alcotest.(check (float 1e-9))
 
@@ -188,6 +189,73 @@ let test_svg_file_save () =
       close_in ic;
       Alcotest.(check bool) "file non-empty" true (len > 100))
 
+(* ---------- counter trend ratchet ---------- *)
+
+let test_trend_regressions () =
+  let prev = [ ("cache_hits", 10); ("cache_misses", 2); ("nn_flowpipes", 5) ] in
+  Alcotest.(check (list string))
+    "identical snapshot is clean" []
+    (Trend.regressions ~prev prev);
+  Alcotest.(check (list string))
+    "more hits, fewer misses is clean" []
+    (Trend.regressions ~prev
+       [ ("cache_hits", 12); ("cache_misses", 0); ("nn_flowpipes", 5) ]);
+  let msgs =
+    Trend.regressions ~prev
+      [ ("cache_hits", 10); ("cache_misses", 3); ("nn_flowpipes", 6) ]
+  in
+  Alcotest.(check int) "miss growth + work growth + rate drop" 3 (List.length msgs);
+  Alcotest.(check bool)
+    "work counter named" true
+    (List.exists (fun m -> m = "nn_flowpipes increased 5 -> 6") msgs);
+  (* a counter absent from the history counts 0: new work is a regression *)
+  Alcotest.(check int)
+    "new counter flags" 1
+    (List.length (Trend.regressions ~prev (("taylor_steps", 1) :: prev)))
+
+let test_trend_record_roundtrip () =
+  let path = Filename.temp_file "dwv_trend" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let snap = [ ("cache_hits", 4); ("verifier_calls", 7) ] in
+      (* first run seeds the history without failing *)
+      Alcotest.(check (list string))
+        "seed run clean" []
+        (Trend.record ~path ~section:"hotpath" [ ("learn", snap) ]);
+      (* unchanged snapshot: nothing appended, nothing flagged *)
+      Alcotest.(check (list string))
+        "steady state clean" []
+        (Trend.record ~path ~section:"hotpath" [ ("learn", snap) ]);
+      Alcotest.(check int)
+        "one entry after steady state" 1
+        (List.length (Trend.load path));
+      (* same workload name in another section is an independent key *)
+      Alcotest.(check (list string))
+        "other section independent" []
+        (Trend.record ~path ~section:"certs"
+           [ ("learn", [ ("verifier_calls", 99) ]) ]);
+      (* growth against the last committed entry flags and appends *)
+      let msgs =
+        Trend.record ~path ~section:"hotpath"
+          [ ("learn", [ ("cache_hits", 4); ("verifier_calls", 8) ]) ]
+      in
+      Alcotest.(check (list string))
+        "regression message" [ "[hotpath/learn] verifier_calls increased 7 -> 8" ]
+        msgs;
+      (* the appended entry re-baselines: the same snapshot now passes *)
+      Alcotest.(check (list string))
+        "accepted after append" []
+        (Trend.record ~path ~section:"hotpath"
+           [ ("learn", [ ("cache_hits", 4); ("verifier_calls", 8) ]) ]);
+      let history = Trend.load path in
+      Alcotest.(check int) "three entries total" 3 (List.length history);
+      Alcotest.(check
+                  (option (list (pair string int))))
+        "last wins"
+        (Some [ ("cache_hits", 4); ("verifier_calls", 8) ])
+        (Trend.last history ~section:"hotpath" ~workload:"learn"))
+
 let suite =
   [
     Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
@@ -209,6 +277,8 @@ let suite =
     Alcotest.test_case "floatx sigmoid" `Quick test_floatx_sigmoid;
     Alcotest.test_case "floatx linspace" `Quick test_floatx_linspace;
     Alcotest.test_case "floatx kahan" `Quick test_floatx_kahan;
+    Alcotest.test_case "trend regressions" `Quick test_trend_regressions;
+    Alcotest.test_case "trend record roundtrip" `Quick test_trend_record_roundtrip;
     Alcotest.test_case "table render" `Quick test_table_render;
     Alcotest.test_case "table arity" `Quick test_table_arity_check;
     Alcotest.test_case "svg scene renders" `Quick test_svg_scene_renders;
