@@ -488,6 +488,8 @@ type pworkload = {
   p_detail : string;
   p_counters_seq : (string * int) list;  (* Counters snapshot of the seq run *)
   p_counters_par : (string * int) list;  (* ... and of the par run *)
+  p_phases_seq : (string * float) list;  (* Phases breakdown of the seq run *)
+  p_minor_words_seq : float;  (* Gc minor words of the seq run (informational) *)
 }
 
 (* Algorithm 1 on ACC: 3 coordinate probe pairs fan out per iteration. *)
@@ -501,7 +503,11 @@ let parallel_learn domains =
 (* Algorithm 2 on the oscillator warm start: frontier cells fan out per
    refinement level. The goal is shrunk to 40% width so the top-level
    cell fails and the search actually refines (the full goal certifies
-   X_0 in one call, leaving nothing to parallelize). *)
+   X_0 in one call, leaving nothing to parallelize). The verifier is the
+   warm-threading robust wrapper with the pool passed through, so this
+   workload exercises the whole incremental stack: parent-to-child
+   Picard warm starts (warm_hits counters) plus intra-call per-dimension
+   parallelism inside each flowpipe step. *)
 let parallel_initset domains =
   let c = osc_init_for_seed 1 in
   let g = Oscillator.spec.Spec.goal in
@@ -513,6 +519,9 @@ let parallel_initset domains =
   in
   Pool.with_pool ~domains (fun pool ->
       Initset.search ~max_depth:2 ~pool
+        ~verify_warm:(fun ?warm cell ->
+          Oscillator.verify_warm_from ~method_:Dwv_reach.Verifier.Polar ~pool ?warm
+            cell c)
         ~verify:(fun cell ->
           Oscillator.verify_from ~method_:Dwv_reach.Verifier.Polar cell c)
         ~goal ~x0:Oscillator.spec.Spec.x0 ())
@@ -572,7 +581,8 @@ let print_parallel ~domains () =
       (if ok then "identical" else "MISMATCH");
     { p_name = name; p_seq = t_seq; p_par = t_par; p_match = ok;
       p_detail = detail (if ok then seq else par);
-      p_counters_seq = []; p_counters_par = [] }
+      p_counters_seq = []; p_counters_par = [];
+      p_phases_seq = []; p_minor_words_seq = 0.0 }
   in
   let learn =
     workload "learn"
@@ -671,20 +681,27 @@ let read_hotpath_baseline path =
 (* Min-of-reps for sub-2s workloads: the first run also pays the
    one-time per-domain costs (DLS memo fills, Lie-table builds), which a
    steady-state throughput number should not include. The global event
-   counters are reset before and snapshot after the FIRST run only, so
-   the reported counts describe exactly one deterministic execution. *)
+   counters, the phase clocks and the minor-allocation meter are reset
+   before and read after the FIRST run only, so the reported counts
+   describe exactly one deterministic execution. Minor words are only
+   meaningful on the sequential path (arg = 1): pool workers allocate on
+   their own domains, invisible to this domain's Gc meter. *)
 let adaptive_timed run arg =
   Dwv_util.Counters.reset ();
+  Dwv_util.Phases.reset ();
+  let mw0 = Gc.minor_words () in
   let r, t0 = timed (fun () -> run arg) in
+  let minor_words = Gc.minor_words () -. mw0 in
   let counters = Dwv_util.Counters.snapshot () in
-  if t0 >= 2.0 then (r, t0, counters)
+  let phases = Dwv_util.Phases.snapshot () in
+  if t0 >= 2.0 then (r, t0, counters, phases, minor_words)
   else begin
     let best = ref t0 in
     for _ = 1 to 2 do
       let _, t = timed (fun () -> run arg) in
       if t < !best then best := t
     done;
-    (r, !best, counters)
+    (r, !best, counters, phases, minor_words)
   end
 
 let bprint_counters b counters =
@@ -695,12 +712,29 @@ let bprint_counters b counters =
     counters;
   Printf.bprintf b "}"
 
+(* Fixed pre-optimization reference for the initset workload: the
+   sequential wall time committed before the sparse-polynomial kernel
+   rewrite and the incremental re-verification work landed. The hotpath
+   gate requires the current sequential time to beat it by 3x on the
+   same class of runner (the measurement is sequential, so it does not
+   depend on the core count). *)
+let initset_reference_seq = 12.056345
+let initset_reference_required = 3.0
+
+let bprint_phases b phases =
+  Printf.bprintf b "{";
+  List.iteri
+    (fun i (k, v) ->
+      Printf.bprintf b "%s\"%s\": %.6f" (if i = 0 then "" else ", ") (json_escape k) v)
+    phases;
+  Printf.bprintf b "}"
+
 let write_hotpath_json ~domains_requested ~cores ~effective_domains ~aggregate_speedup
     ~all_match ~slowdown_ok ~baseline_cores ~baseline_aggregate ~baseline_ok
-    ~counters_ok ~passed workloads path =
+    ~counters_ok ~reference_speedup ~reference_ok ~passed workloads path =
   let b = Buffer.create 2048 in
   Printf.bprintf b
-    "{\n  \"version\": 1,\n  \"domains_requested\": %d,\n  \"cores\": %d,\n  \
+    "{\n  \"version\": 2,\n  \"domains_requested\": %d,\n  \"cores\": %d,\n  \
      \"effective_domains\": %d,\n  \"workloads\": [\n"
     domains_requested cores effective_domains;
   List.iteri
@@ -715,12 +749,18 @@ let write_hotpath_json ~domains_requested ~cores ~effective_domains ~aggregate_s
       bprint_counters b w.p_counters_seq;
       Printf.bprintf b ", \"counters_par\": ";
       bprint_counters b w.p_counters_par;
-      Printf.bprintf b ", \"counters_match\": %b}%s\n"
-        (w.p_counters_seq = w.p_counters_par)
+      Printf.bprintf b ", \"counters_match\": %b,\n     \"phases_seq\": "
+        (w.p_counters_seq = w.p_counters_par);
+      bprint_phases b w.p_phases_seq;
+      Printf.bprintf b ", \"minor_words_seq\": %.0f}%s\n" w.p_minor_words_seq
         (if i = List.length workloads - 1 then "" else ","))
     workloads;
   Printf.bprintf b "  ],\n  \"aggregate_speedup\": %.3f,\n  \"all_match\": %b,\n"
     aggregate_speedup all_match;
+  Printf.bprintf b
+    "  \"reference\": {\"workload\": \"initset\", \"reference_seq_seconds\": %.6f, \
+     \"speedup_vs_reference\": %.3f, \"required\": %.1f, \"ok\": %b},\n"
+    initset_reference_seq reference_speedup initset_reference_required reference_ok;
   Printf.bprintf b "  \"gate\": {\n    \"rule\": \"%s\",\n    \"slowdown_ok\": %b,\n"
     (json_escape gate_rule) slowdown_ok;
   (match (baseline_cores, baseline_aggregate) with
@@ -729,8 +769,9 @@ let write_hotpath_json ~domains_requested ~cores ~effective_domains ~aggregate_s
       "    \"baseline_cores\": %d,\n    \"baseline_aggregate\": %.3f,\n" bc ba
   | _ -> ());
   Printf.bprintf b
-    "    \"baseline_ok\": %b,\n    \"counters_ok\": %b,\n    \"passed\": %b\n  }\n}\n"
-    baseline_ok counters_ok passed;
+    "    \"baseline_ok\": %b,\n    \"counters_ok\": %b,\n    \"reference_ok\": %b,\n    \
+     \"passed\": %b\n  }\n}\n"
+    baseline_ok counters_ok reference_ok passed;
   let oc = open_out path in
   output_string oc (Buffer.contents b);
   close_out oc
@@ -745,15 +786,16 @@ let print_hotpath ~domains () =
   let baseline_cores_f, baseline_aggregate = read_hotpath_baseline baseline_path in
   let baseline_cores = Option.map int_of_float baseline_cores_f in
   let workload name detail run equal =
-    let seq, t_seq, c_seq = adaptive_timed run 1 in
-    let par, t_par, c_par = adaptive_timed run domains in
+    let seq, t_seq, c_seq, phases_seq, mw_seq = adaptive_timed run 1 in
+    let par, t_par, c_par, _, _ = adaptive_timed run domains in
     let ok = equal seq par && c_seq = c_par in
     Fmt.pr "%-12s  seq %.2fs  par %.2fs  speedup %.2fx  %s@." name t_seq t_par
       (if t_par > 0.0 then t_seq /. t_par else Float.nan)
       (if ok then "identical" else "MISMATCH");
     { p_name = name; p_seq = t_seq; p_par = t_par; p_match = ok;
       p_detail = detail (if ok then seq else par);
-      p_counters_seq = c_seq; p_counters_par = c_par }
+      p_counters_seq = c_seq; p_counters_par = c_par;
+      p_phases_seq = phases_seq; p_minor_words_seq = mw_seq }
   in
   let learn =
     workload "learn"
@@ -811,10 +853,18 @@ let print_hotpath ~domains () =
   in
   List.iter (Fmt.pr "counters ratchet: %s@.") ratchet;
   let counters_ok = ratchet = [] in
-  let passed = all_match && slowdown_ok && baseline_ok && counters_ok in
+  let reference_speedup =
+    if initset.p_seq > 0.0 then initset_reference_seq /. initset.p_seq else Float.nan
+  in
+  let reference_ok = reference_speedup >= initset_reference_required in
+  Fmt.pr "initset vs %.2fs reference: %.1fx (>= %.0fx required) %s@."
+    initset_reference_seq reference_speedup initset_reference_required
+    (if reference_ok then "ok" else "FAILED");
+  let passed = all_match && slowdown_ok && baseline_ok && counters_ok && reference_ok in
   write_hotpath_json ~domains_requested:domains ~cores ~effective_domains:effective
     ~aggregate_speedup ~all_match ~slowdown_ok ~baseline_cores ~baseline_aggregate
-    ~baseline_ok ~counters_ok ~passed workloads baseline_path;
+    ~baseline_ok ~counters_ok ~reference_speedup ~reference_ok ~passed workloads
+    baseline_path;
   Fmt.pr "aggregate speedup %.2fx%s, all results %s, gate %s [BENCH_hotpath.json written]@."
     aggregate_speedup
     (match (baseline_cores, baseline_aggregate) with
@@ -827,6 +877,8 @@ let print_hotpath ~domains () =
      else if not baseline_ok then "FAILED (>10% regression vs baseline)"
      else if not counters_ok then
        "FAILED (deterministic-counter regression vs COUNTERS_history.json)"
+     else if not reference_ok then
+       "FAILED (initset not 3x faster than the committed reference)"
      else "FAILED (seq/par mismatch)");
   if not passed then exit 1
 
@@ -1182,6 +1234,12 @@ let print_scenarios ~domains () =
 
 (* ---------------------------------------------------------------- *)
 
+let print_profile () =
+  Dwv_util.Phases.reset ();
+  let r, t = timed (fun () -> parallel_initset 1) in
+  Fmt.pr "initset seq: %.3fs (%d calls)@." t r.Initset.verifier_calls;
+  List.iter (fun (k, v) -> Fmt.pr "  %-28s %8.3fs@." k v) (Dwv_util.Phases.snapshot ())
+
 let flush_section () = Format.pp_print_flush Format.std_formatter ()
 
 let () =
@@ -1209,6 +1267,7 @@ let () =
   in
   let domains = Option.value domains ~default:(Pool.default_domains ()) in
   let want s = List.mem s sections in
+  if want "profile" then begin print_profile (); flush_section () end;
   if want "parallel" then begin print_parallel ~domains (); flush_section () end;
   if want "hotpath" then begin print_hotpath ~domains (); flush_section () end;
   if want "certs" then begin print_certs (); flush_section () end;

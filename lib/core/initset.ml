@@ -43,10 +43,23 @@ type result = {
   stopped : Dwv_robust.Dwv_error.t option;  (* budget cut the search short *)
 }
 
-let search ?(max_depth = 4) ?budget ?pool ~verify ~goal ~x0 () =
+let search ?(max_depth = 4) ?budget ?pool ?verify_warm ~verify ~goal ~x0 () =
   let calls = ref 0 in
   let verified = ref [] and rejected = ref [] in
   let stopped = ref None in
+  (* Incremental re-verification: the frontier carries each cell's
+     warm-start trace — the Picard enclosures its PARENT's verification
+     recorded. A child cell is half its parent, so the parent's
+     enclosures all but contain the child's flow and its Picard
+     iterations contract immediately; a stale trace only costs a few
+     wasted iterations (see Taylor_reach.apriori_enclosure). Traces are
+     attached when children are enqueued — before the next fan-out — so
+     hint assignment is deterministic at any domain count. *)
+  let vw =
+    match verify_warm with
+    | Some vw -> vw
+    | None -> fun ?warm:_ cell -> (verify cell, None)
+  in
   (* out of budget: the remaining cells are conservatively rejected — X_I
      only shrinks, the certificate on the certified cells still stands.
      Checked once per refinement level (between fan-outs), never inside
@@ -66,15 +79,18 @@ let search ?(max_depth = 4) ?budget ?pool ~verify ~goal ~x0 () =
   let rec refine depth frontier =
     match frontier with
     | [] -> ()
-    | _ when blown () -> rejected := List.rev_append frontier !rejected
+    | _ when blown () ->
+      rejected := List.rev_append (List.map fst frontier) !rejected
     | _ ->
       let cells = Array.of_list frontier in
-      let pipes = verify_frontier ?pool ~verify cells in
+      let results =
+        verify_frontier ?pool ~verify:(fun (cell, warm) -> vw ?warm cell) cells
+      in
       calls := !calls + Array.length cells;
       let next = ref [] in
       Array.iteri
-        (fun i pipe ->
-          let cell = cells.(i) in
+        (fun i (pipe, trace) ->
+          let cell = fst cells.(i) in
           let ok =
             (not (Flowpipe.diverged pipe)) && Verifier.goal_step ~goal pipe <> None
           in
@@ -82,12 +98,12 @@ let search ?(max_depth = 4) ?budget ?pool ~verify ~goal ~x0 () =
           else if depth >= max_depth then rejected := cell :: !rejected
           else begin
             let left, right = Box.bisect cell in
-            next := right :: left :: !next
+            next := (right, trace) :: (left, trace) :: !next
           end)
-        pipes;
+        results;
       refine (depth + 1) (List.rev !next)
   in
-  refine 0 [ x0 ];
+  refine 0 [ (x0, None) ];
   let covered = List.fold_left (fun acc b -> acc +. Box.volume b) 0.0 !verified in
   let total = Box.volume x0 in
   {

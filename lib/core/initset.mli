@@ -23,11 +23,24 @@ type result = {
     With [pool], each refinement level's frontier is verified as one
     parallel batch; results are consumed in cell order, so the certified
     set, coverage and call count are identical at any domain count
-    ([verify] must be domain-safe). *)
+    ([verify] must be domain-safe).
+
+    With [verify_warm] (which then supersedes [verify]), the search
+    passes each cell the warm-start trace its parent's verification
+    returned and enqueues the returned trace with the cell's children:
+    a child's Picard iterations re-verify incrementally against the
+    parent's enclosures instead of cold-starting. Traces are attached
+    before each fan-out, so results stay deterministic at any domain
+    count; soundness is untouched (every hinted iteration passes the
+    cold path's contraction test, see {!Dwv_reach.Warm}). *)
 val search :
   ?max_depth:int ->
   ?budget:Dwv_robust.Budget.t ->
   ?pool:Dwv_parallel.Pool.t ->
+  ?verify_warm:
+    (?warm:Dwv_reach.Warm.t ->
+     Dwv_interval.Box.t ->
+     Dwv_reach.Flowpipe.t * Dwv_reach.Warm.t option) ->
   verify:(Dwv_interval.Box.t -> Dwv_reach.Flowpipe.t) ->
   goal:Dwv_interval.Box.t ->
   x0:Dwv_interval.Box.t ->

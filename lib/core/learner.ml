@@ -189,15 +189,31 @@ let estimate_gradients ?budget ?pool cfg ~rng ~evaluate ~calls theta =
   in
   (fst g, snd g, !skipped, !stopped)
 
-let learn ?(log = false) ?budget ?pool cfg ~metric ~(spec : Spec.t) ~verify ~init =
+let learn ?(log = false) ?budget ?pool ?verify_warm cfg ~metric ~(spec : Spec.t)
+    ~verify ~init =
   let rng = Rng.create cfg.seed in
   let unsafe = spec.Spec.unsafe and goal = spec.Spec.goal in
   let calls = ref 0 in
   let skipped_probes = ref 0 in
   let stopped = ref None in
-  let evaluate theta =
-    Metrics.scores metric ~unsafe ~goal (verify (Controller.with_params init theta))
+  (* Incremental re-verification across probes: each iteration's central
+     verification donates its Picard trace, and every probe of that
+     iteration (theta +- p*d, a tiny parameter perturbation) seeds its
+     Picard iterations from it; the central call itself warms from the
+     previous iterate's trace. The hint is fixed data chosen BEFORE the
+     probe fan-out, so the batch stays a pure map over directions and
+     the theta trajectory is deterministic at any domain count.
+     Soundness is untouched (see Dwv_reach.Warm). *)
+  let vw =
+    match verify_warm with
+    | Some vw -> vw
+    | None -> fun ?warm:_ c -> (verify c, None)
   in
+  let evaluate_with hint theta =
+    Metrics.scores metric ~unsafe ~goal
+      (fst (vw ?warm:hint (Controller.with_params init theta)))
+  in
+  let central_warm = ref None in
   let theta = ref (Controller.params init) in
   let history = ref [] in
   (* Track the best-objective iterate: when the budget runs out without a
@@ -219,7 +235,8 @@ let learn ?(log = false) ?budget ?pool cfg ~metric ~(spec : Spec.t) ~verify ~ini
   in
   let rec iterate i =
     let controller = Controller.with_params init !theta in
-    let pipe = verify controller in
+    let pipe, central_trace = vw ?warm:!central_warm controller in
+    central_warm := central_trace;
     incr calls;
     let verdict = Verifier.check ~unsafe ~goal pipe in
     let scores = Metrics.scores metric ~unsafe ~goal pipe in
@@ -260,7 +277,8 @@ let learn ?(log = false) ?budget ?pool cfg ~metric ~(spec : Spec.t) ~verify ~ini
     end
     else begin
       let g_safety, g_goal, skipped, stop =
-        estimate_gradients ?budget ?pool cfg ~rng ~evaluate ~calls !theta
+        estimate_gradients ?budget ?pool cfg ~rng
+          ~evaluate:(evaluate_with central_trace) ~calls !theta
       in
       skipped_probes := !skipped_probes + skipped;
       (match stop with Some e when !stopped = None -> stopped := Some e | _ -> ());

@@ -58,11 +58,23 @@ type result = {
     combined in probe-index order, so the θ trajectory, iteration count
     and verdict are bit-identical at any domain count. [verify] must
     then be safe to call from several domains at once (every bundled
-    verifier is). *)
+    verifier is).
+
+    With [verify_warm] (which then supersedes [verify]), verification is
+    incremental across probes: each iteration's central call donates its
+    Picard trace ({!Dwv_reach.Warm}), every probe of that iteration
+    seeds from it, and the central call itself seeds from the previous
+    iterate's. The hint is fixed before the probe fan-out, so the θ
+    trajectory stays deterministic at any domain count; soundness never
+    rests on a hint. *)
 val learn :
   ?log:bool ->
   ?budget:Dwv_robust.Budget.t ->
   ?pool:Dwv_parallel.Pool.t ->
+  ?verify_warm:
+    (?warm:Dwv_reach.Warm.t ->
+     Controller.t ->
+     Dwv_reach.Flowpipe.t * Dwv_reach.Warm.t option) ->
   config ->
   metric:Metrics.kind ->
   spec:Spec.t ->

@@ -25,6 +25,21 @@ type t = {
 
 let default_domains () = Domain.recommended_domain_count ()
 
+(* Re-entrancy guard. Tasks of an outer [map] must not themselves fan
+   out through the pool: a nested map's help-drain would steal and run
+   OTHER outer-batch tasks on this domain, corrupting ambient per-domain
+   state (e.g. the fault-plan call base) those tasks rely on. The flag
+   makes nesting safe instead of forbidden — an inner map from inside a
+   task simply runs sequentially in its caller, which is also the right
+   schedule: the outer fan-out already owns every domain. *)
+let in_task_key : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let in_task () = Domain.DLS.get in_task_key
+
+let run_task task =
+  Domain.DLS.set in_task_key true;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set in_task_key false) task
+
 let worker pool =
   let rec loop () =
     Mutex.lock pool.mutex;
@@ -32,7 +47,7 @@ let worker pool =
       match Queue.take_opt pool.queue with
       | Some task ->
         Mutex.unlock pool.mutex;
-        task ();
+        run_task task;
         `Continue
       | None ->
         if pool.stopping then begin
@@ -93,7 +108,7 @@ let with_pool ?oversubscribe ?domains f =
 let mapi pool f items =
   let n = Array.length items in
   if n = 0 then [||]
-  else if pool.domains <= 1 || n = 1 then Array.mapi f items
+  else if pool.domains <= 1 || n = 1 || in_task () then Array.mapi f items
   else begin
     let results = Array.make n None in
     (* Work is enqueued as CHUNKS of contiguous index ranges — a few per
@@ -137,7 +152,7 @@ let mapi pool f items =
       match Queue.take_opt pool.queue with
       | Some task ->
         Mutex.unlock pool.mutex;
-        task ();
+        run_task task;
         Mutex.lock pool.mutex;
         help ()
       | None -> ()

@@ -14,9 +14,13 @@
     pool spawns [n - 1] workers and the calling domain participates in
     each batch, so [n] domains compute in total.
 
-    Pools are NOT reentrant: do not call [map] from inside a task of the
-    same pool, and do not share one pool between concurrently mapping
-    domains. *)
+    Pools are not truly reentrant — a nested [map] issued from inside a
+    pool task does not fan out again. Instead it detects the nesting
+    (see {!in_task}) and runs sequentially in its caller, which is both
+    safe (no cross-batch task stealing on a domain holding ambient
+    per-task state) and the right schedule: the outer fan-out already
+    occupies every domain. Do not share one pool between concurrently
+    mapping domains. *)
 
 type t
 
@@ -51,6 +55,13 @@ val map : t -> ('a -> 'b) -> 'a array -> 'b array
 
 (** [mapi pool f items] is [map] with the item index. *)
 val mapi : t -> (int -> 'a -> 'b) -> 'a array -> 'b array
+
+(** True while the current domain is executing a pool task. A [map] or
+    [mapi] issued in that state degrades to a sequential [Array.mapi] in
+    the caller, so inner fan-outs (e.g. the per-dimension parallelism
+    inside a flowpipe step) compose safely with outer ones (probe or
+    frontier batches). The output is bit-identical either way. *)
+val in_task : unit -> bool
 
 (** [map_reduce pool ~map ~reduce ~init items] maps in parallel, then
     folds the results sequentially in item order ([reduce] sees them

@@ -46,14 +46,24 @@ let multi_index degrees flat =
   done;
   idx
 
-let approximate ~f ~degrees box =
+(* Chunked parallel tabulation with index-ordered recombination: each
+   entry is a pure function of its flat index, so the pool schedule is
+   invisible in the output (bit-identical to the sequential loop). The
+   size floor keeps tiny grids off the queue. *)
+let par_tabulate pool size f =
+  match pool with
+  | Some p when size >= 64 ->
+    Dwv_parallel.Pool.mapi p (fun flat () -> f flat) (Array.make size ())
+  | _ -> Array.init size f
+
+let approximate ?pool ~f ~degrees box =
   if Array.length degrees <> Box.dim box then
     invalid_arg "Bernstein.approximate: dimension mismatch";
   Array.iter (fun d -> if d < 1 then invalid_arg "Bernstein.approximate: degree >= 1 required") degrees;
   let lo = Box.lo box and w = Box.widths box in
   let size = tensor_size degrees in
   let coeffs =
-    Array.init size (fun flat ->
+    par_tabulate pool size (fun flat ->
         let k = multi_index degrees flat in
         let x =
           Array.mapi
@@ -147,7 +157,7 @@ let remainder_lipschitz ~lipschitz a =
    neighbouring sample points (both f and B are Lipschitz, B with constant
    <= L_B bounded by L via the convex-combination property up to grid
    effects; we conservatively use 2L). The result is a sound bound. *)
-let remainder_sampled ~lipschitz ~f ~samples_per_dim a =
+let remainder_sampled ?pool ~lipschitz ~f ~samples_per_dim a =
   if samples_per_dim < 2 then invalid_arg "Bernstein.remainder_sampled: need >= 2 samples";
   let w = Box.widths a.box in
   let n = Box.dim a.box in
@@ -155,21 +165,49 @@ let remainder_sampled ~lipschitz ~f ~samples_per_dim a =
   Array.iter (fun wi -> h2 := !h2 +. Dwv_util.Floatx.sq (wi /. float_of_int (samples_per_dim - 1))) w;
   let pad = lipschitz *. sqrt !h2 in
   let lo = Box.lo a.box in
-  let worst = ref 0.0 in
-  let rec sweep i x =
-    if i = n then begin
+  (* The sample grid is enumerated by flat index (mixed radix, base
+     [samples_per_dim], last dimension fastest — the same point order as
+     the nested loops it replaces) so contiguous ranges can be swept by
+     different domains. Each range reports its own maximum; the ranges'
+     maxima combine to the grid maximum regardless of split, so the
+     parallel and sequential sweeps agree bitwise. *)
+  let total =
+    let acc = ref 1 in
+    for _ = 1 to n do acc := !acc * samples_per_dim done;
+    !acc
+  in
+  let decode flat x =
+    let rem = ref flat in
+    for i = n - 1 downto 0 do
+      let k = !rem mod samples_per_dim in
+      rem := !rem / samples_per_dim;
+      x.(i) <- lo.(i) +. (w.(i) *. float_of_int k /. float_of_int (samples_per_dim - 1))
+    done
+  in
+  let range_max (first, last) =
+    let x = Array.make n 0.0 in
+    let worst = ref 0.0 in
+    for flat = first to last - 1 do
+      decode flat x;
       let err = Float.abs (f x -. eval a x) in
       if err > !worst then worst := err
-    end
-    else
-      for k = 0 to samples_per_dim - 1 do
-        let xi = lo.(i) +. (w.(i) *. float_of_int k /. float_of_int (samples_per_dim - 1)) in
-        x.(i) <- xi;
-        sweep (i + 1) x
-      done
+    done;
+    !worst
   in
-  sweep 0 (Array.make n 0.0);
-  !worst +. pad
+  let worst =
+    match pool with
+    | Some p when total >= 64 ->
+      let chunks = min total (Dwv_parallel.Pool.domains p * 4) in
+      let ranges =
+        Array.init chunks (fun c -> (c * total / chunks, (c + 1) * total / chunks))
+      in
+      let maxima = Dwv_parallel.Pool.map p range_max ranges in
+      let acc = ref 0.0 in
+      Array.iter (fun m -> if m > !acc then acc := m) maxima;
+      !acc
+    | _ -> range_max (0, total)
+  in
+  worst +. pad
 
 (* Curvature (second-order) remainder: for f in C^2, the classical 1-D
    estimate |B_d f - f| <= w^2 sup|f''| / (8 d) tensorizes to
@@ -190,10 +228,10 @@ let remainder_curvature ~hessian_diag a =
   !acc
 
 (* Best available sound remainder. *)
-let remainder ?hessian_diag ~lipschitz ~f ~samples_per_dim a =
+let remainder ?pool ?hessian_diag ~lipschitz ~f ~samples_per_dim a =
   let base =
     Float.min (remainder_lipschitz ~lipschitz a)
-      (remainder_sampled ~lipschitz ~f ~samples_per_dim a)
+      (remainder_sampled ?pool ~lipschitz ~f ~samples_per_dim a)
   in
   match hessian_diag with
   | Some h -> Float.min base (remainder_curvature ~hessian_diag:h a)

@@ -14,8 +14,12 @@ type approx = {
 }
 
 (** [approximate ~f ~degrees box] samples [f] on the Bernstein grid of the
-    given per-dimension degrees. *)
+    given per-dimension degrees. [pool] splits the grid across domains
+    (index-ordered recombination: the tensor is bit-identical to the
+    sequential sampling; a nested call from inside a pool task degrades
+    to the sequential loop). *)
 val approximate :
+  ?pool:Dwv_parallel.Pool.t ->
   f:(float array -> float) -> degrees:int array -> Dwv_interval.Box.t -> approx
 
 (** Evaluate the Bernstein polynomial at a point of its box. *)
@@ -33,8 +37,11 @@ val to_poly : approx -> Poly.t
 val remainder_lipschitz : lipschitz:float -> approx -> float
 
 (** ReachNN-style sampled remainder: max error on a finer grid plus a
-    Lipschitz variation pad. Sound. *)
+    Lipschitz variation pad. Sound. [pool] sweeps contiguous index
+    ranges of the sample grid on different domains; the range maxima
+    combine to the same grid maximum for any split. *)
 val remainder_sampled :
+  ?pool:Dwv_parallel.Pool.t ->
   lipschitz:float -> f:(float array -> float) -> samples_per_dim:int -> approx -> float
 
 (** Second-order remainder Σᵢ wᵢ²·Mᵢ/(8dᵢ) from per-axis bounds
@@ -42,8 +49,10 @@ val remainder_sampled :
     back into flowpipe growth. *)
 val remainder_curvature : hessian_diag:float array -> approx -> float
 
-(** Minimum of the applicable bounds above (still sound). *)
+(** Minimum of the applicable bounds above (still sound); [pool] is
+    forwarded to {!remainder_sampled}. *)
 val remainder :
+  ?pool:Dwv_parallel.Pool.t ->
   ?hessian_diag:float array ->
   lipschitz:float ->
   f:(float array -> float) ->

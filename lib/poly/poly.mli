@@ -53,6 +53,13 @@ val truncate : order:int -> t -> t * t
 (** [split_var p i] = (terms without zᵢ, terms with zᵢ). *)
 val split_var : t -> int -> t * t
 
+(** [partition_coeffs keep p] = (terms whose coefficient satisfies [keep],
+    the rest); both sides preserve term order. *)
+val partition_coeffs : (float -> bool) -> t -> t * t
+
+(** Largest absolute coefficient (0 for the zero polynomial). *)
+val max_abs_coeff : t -> float
+
 (** Numeric evaluation. *)
 val eval : t -> float array -> float
 

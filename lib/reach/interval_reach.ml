@@ -32,7 +32,7 @@ let step ?budget ~f ~(lie : Taylor_reach.lie_table) ~delta (x : Box.t) (u : Box.
   with
   | Error e -> Error e
   | Ok () -> (
-    match Taylor_reach.apriori_enclosure ~f ~x_box:x ~u_box:u ~delta with
+    match Taylor_reach.apriori_enclosure ~f ~x_box:x ~u_box:u ~delta () with
     | None ->
       Error
         (Dwv_error.divergence ~backend:"interval"

@@ -53,8 +53,11 @@ let config_tag config =
        (Array.to_list (Array.map string_of_int config.degrees)))
     config.samples_per_dim
 
-(* Control models u = output_scale * net(x) over the symbolic state. *)
-let control_models ~net ~output_scale ~config (x : Tm_vec.t) : Tm_vec.t =
+(* Control models u = output_scale * net(x) over the symbolic state.
+   [pool] parallelizes the network-sampling grids (coefficient tensor
+   and remainder sweep) inside this single abstraction; both recombine
+   by index, so the models are bit-identical to the sequential ones. *)
+let control_models ?pool ~net ~output_scale ~config (x : Tm_vec.t) : Tm_vec.t =
   Dwv_util.Counters.incr c_bernstein_abstractions;
   let x_box = Tm_vec.bound_box x in
   (* local Lipschitz over the current reach box: the first-order
@@ -78,11 +81,11 @@ let control_models ~net ~output_scale ~config (x : Tm_vec.t) : Tm_vec.t =
          floating-point evaluation, so its rounding is part of the
          modeled function, not an enclosure step *)
       let f point = output_scale *. (Mlp.forward net point).(k) in
-      let approx = Bernstein.approximate ~f ~degrees:config.degrees x_box in
+      let approx = Bernstein.approximate ?pool ~f ~degrees:config.degrees x_box in
       let poly = Bernstein.to_poly approx in
       let tm = poly_on_models ~poly ~box:x_box x in
       let rem =
-        Bernstein.remainder ?hessian_diag ~lipschitz ~f
+        Bernstein.remainder ?pool ?hessian_diag ~lipschitz ~f
           ~samples_per_dim:config.samples_per_dim approx
       in
       Tm.add_remainder (I.make (-.rem) rem) tm)

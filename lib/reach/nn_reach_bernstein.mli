@@ -18,8 +18,12 @@ val config_tag : config -> string
 val poly_on_models :
   poly:Dwv_poly.Poly.t -> box:Dwv_interval.Box.t -> Dwv_taylor.Tm_vec.t -> Dwv_taylor.Taylor_model.t
 
-(** Models of u = output_scale · net(x) over the symbolic state [x]. *)
+(** Models of u = output_scale · net(x) over the symbolic state [x].
+    [pool] parallelizes the network-sampling grids (coefficient tensor,
+    remainder sweep) inside this one abstraction; the models are
+    bit-identical to the sequential ones. *)
 val control_models :
+  ?pool:Dwv_parallel.Pool.t ->
   net:Dwv_nn.Mlp.t ->
   output_scale:float ->
   config:config ->

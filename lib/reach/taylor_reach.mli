@@ -6,16 +6,33 @@
 (** [lie.(j).(i)] = j-th Lie derivative of coordinate i, j = 0..order+1. *)
 type lie_table = Dwv_expr.Expr.t array array
 
-(** Precompute Lie derivatives of the identity up to [order]+1. *)
+(** Precompute Lie derivatives of the identity up to [order]+1. Tables
+    are interned in a process-global publish-once registry keyed by the
+    hash-consed ids of [f] plus [order]: after the first build of a key,
+    every caller — any domain, any later verifier call — adopts the
+    published table instead of re-deriving it. *)
 val lie_table : f:Dwv_expr.Expr.t array -> order:int -> lie_table
 
+(** Number of distinct (dynamics, order) keys the registry has published
+    so far (introspection for the publish-once tests). *)
+val lie_registry_size : unit -> int
+
 (** A-priori enclosure of the flow over [0, delta] (interval Picard with
-    geometric inflation); [None] on failure. *)
+    geometric inflation); [None] on failure.
+
+    [hint] warm-starts the iteration with an enclosure certified for a
+    nearby problem (previous probe, parent cell). Soundness never rests
+    on the hint: the returned box passes the same contraction subset
+    test as a cold start, and a hint that fails to contract within a
+    few iterations falls back to the cold iteration (counted by the
+    [warm_hits] / [warm_poisoned] counters). *)
 val apriori_enclosure :
+  ?hint:Dwv_interval.Box.t ->
   f:Dwv_expr.Expr.t array ->
   x_box:Dwv_interval.Box.t ->
   u_box:Dwv_interval.Box.t ->
   delta:float ->
+  unit ->
   Dwv_interval.Box.t option
 
 type step_result = {
@@ -30,9 +47,19 @@ type step_result = {
 (** One sampling period under the (already abstracted) control models [u].
     [Error (Divergence _)] when the a-priori enclosure cannot be
     established (blow-up); when [budget] is given, one integration step is
-    spent per call and its deadline/step limits are enforced. *)
+    spent per call and its deadline/step limits are enforced.
+
+    [pool] splits the per-dimension work inside this one step — the
+    Taylor-coefficient columns, then the state/range recombination —
+    across the pool's domains, with results recombined by dimension
+    index: the step is bit-identical to the sequential one at any
+    domain count, and degrades to the sequential loop automatically
+    when invoked from inside an outer pool task. [hint] warm-starts the
+    a-priori enclosure, see {!apriori_enclosure}. *)
 val step :
   ?budget:Dwv_robust.Budget.t ->
+  ?pool:Dwv_parallel.Pool.t ->
+  ?hint:Dwv_interval.Box.t ->
   f:Dwv_expr.Expr.t array ->
   lie:lie_table ->
   delta:float ->

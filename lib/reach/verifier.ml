@@ -26,6 +26,8 @@ module Cert_cache = Dwv_cert.Cert_cache
 module Counters = Dwv_util.Counters
 
 let c_nn_flowpipes = Counters.counter "nn_flowpipes"
+let ph_abstraction = Dwv_util.Phases.phase "nn_abstraction"
+let ph_cert = Dwv_util.Phases.phase "cert_check"
 
 type verdict = Reach_avoid | Unsafe | Unknown
 
@@ -94,7 +96,8 @@ type recorder = {
 let new_recorder () = { rec_controls = []; rec_hints = []; rec_remainders = [] }
 
 let nn_flowpipe_outcome ?(blowup_width = 1e4) ?(order = 3) ?(disturbance_slots = 8)
-    ?(substeps = 1) ?budget ?record ~f ~delta ~steps ~net ~output_scale ~method_ ~x0 () =
+    ?(substeps = 1) ?budget ?record ?pool ?warm ?warm_rec ~f ~delta ~steps ~net
+    ~output_scale ~method_ ~x0 () =
   if substeps < 1 then invalid_arg "Verifier.nn_flowpipe: substeps must be >= 1";
   Counters.incr c_nn_flowpipes;
   let backend = nn_method_name method_ in
@@ -109,10 +112,17 @@ let nn_flowpipe_outcome ?(blowup_width = 1e4) ?(order = 3) ?(disturbance_slots =
   in
   let lie = Taylor_reach.lie_table ~f ~order in
   let control x =
+    Dwv_util.Phases.time ph_abstraction @@ fun () ->
     match method_ with
     | Polar -> Nn_reach_taylor.control_models ~net ~output_scale x
-    | Bernstein config -> Nn_reach_bernstein.control_models ~net ~output_scale ~config x
+    | Bernstein config ->
+      Nn_reach_bernstein.control_models ?pool ~net ~output_scale ~config x
   in
+  (* Warm start: sub-steps are numbered across the whole call; sub-step k
+     seeds its Picard iteration with the k-th enclosure of the donor
+     trace (same numbering, recorded below into [warm_rec]). *)
+  let sub_index = ref 0 in
+  let sub_hint () = Option.bind warm (fun w -> Warm.hint w !sub_index) in
   let n = Box.dim x0 in
   let m = Dwv_nn.Mlp.n_out net in
   let step_boxes = ref [ x0 ] and segment_boxes = ref [] in
@@ -174,9 +184,14 @@ let nn_flowpipe_outcome ?(blowup_width = 1e4) ?(order = 3) ?(disturbance_slots =
            if s > substeps then
              Ok (!state, Option.get !segment, Option.get !picard, u_box, !rem_width)
            else
-             match Taylor_reach.step ?budget ~f ~lie ~delta:sub_delta !state u with
+             match
+               Taylor_reach.step ?budget ?pool ?hint:(sub_hint ()) ~f ~lie
+                 ~delta:sub_delta !state u
+             with
              | Error e -> Error e
              | Ok { state = st; segment = seg; enclosure = enc } ->
+               incr sub_index;
+               (match warm_rec with Some r -> Warm.record r enc | None -> ());
                state := st;
                segment := hull_into !segment seg;
                picard := hull_into !picard enc;
@@ -224,10 +239,10 @@ let nn_flowpipe_outcome ?(blowup_width = 1e4) ?(order = 3) ?(disturbance_slots =
     error = !error;
   }
 
-let nn_flowpipe ?blowup_width ?order ?disturbance_slots ?substeps ?budget ~f ~delta
-    ~steps ~net ~output_scale ~method_ ~x0 () =
-  (nn_flowpipe_outcome ?blowup_width ?order ?disturbance_slots ?substeps ?budget ~f
-     ~delta ~steps ~net ~output_scale ~method_ ~x0 ())
+let nn_flowpipe ?blowup_width ?order ?disturbance_slots ?substeps ?budget ?pool ?warm
+    ?warm_rec ~f ~delta ~steps ~net ~output_scale ~method_ ~x0 () =
+  (nn_flowpipe_outcome ?blowup_width ?order ?disturbance_slots ?substeps ?budget ?pool
+     ?warm ?warm_rec ~f ~delta ~steps ~net ~output_scale ~method_ ~x0 ())
     .Flowpipe.pipe
 
 (* Convenience: run an NN flowpipe and judge it in one call. *)
@@ -253,12 +268,17 @@ type fallback_report = {
   rung_index : int option;
   failures : (string * Dwv_error.t) list;
   fault : Fault.kind option;
+  warm : Warm.t option;
+      (* Picard trace of the rung that produced [pipe]: the warm-start
+         donor for the caller's next nearby verification. [None] when the
+         pipe came from the certificate cache, the interval rung or a
+         total failure. *)
 }
 
 (* Package a ladder outcome as a report; [fallback] (default: a zero-step
    diverged stub on [x0]) is the pipe handed to the metric when every
    rung failed, so scoring stays total. *)
-let report_of_outcome ?fallback ~x0 ~delta (o : Flowpipe.t Robust_verify.outcome) =
+let report_of_outcome ?fallback ?warm ~x0 ~delta (o : Flowpipe.t Robust_verify.outcome) =
   let pipe, error =
     match o.Robust_verify.value with
     | Some pipe -> (pipe, None)
@@ -279,6 +299,7 @@ let report_of_outcome ?fallback ~x0 ~delta (o : Flowpipe.t Robust_verify.outcome
     rung_index = o.Robust_verify.rung_index;
     failures = o.Robust_verify.failures;
     fault = o.Robust_verify.fault;
+    warm = (if error = None then warm else None);
   }
 
 (* Lift an [Flowpipe.outcome]-producing analysis into a ladder rung: a
@@ -381,7 +402,7 @@ let cert_of_pipe ~fingerprint ~backend ~params ~f ~unsafe ~goal ~law
 type cert_site = { cc_cache : Cert_cache.t; cc_unsafe : Box.t; cc_goal : Box.t }
 
 let nn_flowpipe_robust ?(blowup_width = 1e4) ?(order = 3) ?(disturbance_slots = 8)
-    ?budget ?cert ~f ~delta ~steps ~net ~output_scale ~method_ ~x0 () =
+    ?budget ?cert ?pool ?warm ~f ~delta ~steps ~net ~output_scale ~method_ ~x0 () =
   (* the primary rung's (possibly truncated) pipe is kept: when the whole
      ladder fails, its graded progress is still the best gradient signal
      the metric can extract (Metrics.diverged_scores) *)
@@ -390,13 +411,21 @@ let nn_flowpipe_robust ?(blowup_width = 1e4) ?(order = 3) ?(disturbance_slots = 
      per-call local, and the rungs of one call run sequentially, so on a
      ladder success this names the rung that produced the value. *)
   let last_rung = ref None in
-  let tm ?(remember = false) name method_ ~slots ~substeps () =
+  (* Picard-trace recorder of the most recent rung attempt, same
+     discipline; the interval rung records nothing (it has no Picard
+     iteration), so a ladder that bottoms out there donates no trace. *)
+  let last_warm = ref None in
+  let tm ?(remember = false) ?(use_warm = false) name method_ ~slots ~substeps () =
     outcome_rung ~name (fun () ->
         let record = Option.map (fun _ -> new_recorder ()) cert in
         last_rung := Some (name, record);
+        let warm_rec = Warm.recorder () in
+        last_warm := Some warm_rec;
         let o =
           nn_flowpipe_outcome ~blowup_width ~order ~disturbance_slots:slots ~substeps
-            ?budget ?record ~f ~delta ~steps ~net ~output_scale ~method_ ~x0 ()
+            ?budget ?record ?pool
+            ?warm:(if use_warm then warm else None)
+            ~warm_rec ~f ~delta ~steps ~net ~output_scale ~method_ ~x0 ()
         in
         if remember && !primary_pipe = None then primary_pipe := Some o.Flowpipe.pipe;
         o)
@@ -406,15 +435,20 @@ let nn_flowpipe_robust ?(blowup_width = 1e4) ?(order = 3) ?(disturbance_slots = 
     | Polar -> (Bernstein (Nn_reach_bernstein.default_config ~n:(Box.dim x0)), "ReachNN")
     | Bernstein _ -> (Polar, "POLAR")
   in
+  (* The donor trace indexes sub-steps, so only rungs with the donor's
+     sub-step count (substeps = 1, the primary setting) consume it; the
+     "+tight" rung's doubled sub-stepping would read misaligned hints —
+     sound, but pure waste. *)
   let rungs =
     [
-      tm ~remember:true (nn_method_name method_) method_ ~slots:disturbance_slots
-        ~substeps:1 ();
+      tm ~remember:true ~use_warm:true (nn_method_name method_) method_
+        ~slots:disturbance_slots ~substeps:1 ();
       tm (nn_method_name method_ ^ "+tight") method_ ~slots:(disturbance_slots + 4)
         ~substeps:2 ();
-      tm cross_name cross_method ~slots:disturbance_slots ~substeps:1 ();
+      tm ~use_warm:true cross_name cross_method ~slots:disturbance_slots ~substeps:1 ();
       outcome_rung ~name:"interval" (fun () ->
           last_rung := Some ("interval", None);
+          last_warm := None;
           Interval_reach.nn_flowpipe_outcome ~blowup_width ~order ?budget ~f ~delta
             ~steps ~net ~output_scale ~x0 ());
     ]
@@ -437,6 +471,7 @@ let nn_flowpipe_robust ?(blowup_width = 1e4) ?(order = 3) ?(disturbance_slots = 
         {
           Robust_verify.lookup =
             (fun () ->
+              Dwv_util.Phases.time ph_cert @@ fun () ->
               Option.bind (Cert_cache.find site.cc_cache ~fingerprint:fp)
                 (pipe_of_cert ~delta));
           store =
@@ -463,4 +498,13 @@ let nn_flowpipe_robust ?(blowup_width = 1e4) ?(order = 3) ?(disturbance_slots = 
       cert
   in
   let o = Robust_verify.run ?budget ?cache rungs in
-  report_of_outcome ?fallback:!primary_pipe ~x0 ~delta o
+  let warm =
+    (* only a ladder success donates its trace; a cache hit ran no rung
+       (the stale [last_warm] belongs to no pipe), and a total failure's
+       partial trace records a blow-up — worse than a cold start *)
+    match o.Robust_verify.value, o.Robust_verify.rung with
+    | Some _, Some r when r <> "cache" && r <> "interval" ->
+      Option.map Warm.of_recorder !last_warm
+    | _ -> None
+  in
+  report_of_outcome ?fallback:!primary_pipe ?warm ~x0 ~delta o

@@ -46,7 +46,16 @@ val new_recorder : unit -> recorder
     period into that many validated Taylor steps under the same held
     control — sound, and shrinks the Lagrange remainder. When [budget] is
     given its step/deadline limits are enforced inside the integration
-    loop. *)
+    loop.
+
+    [pool] parallelizes the work INSIDE each step — controller-
+    abstraction sample grids and per-dimension Taylor columns — with
+    index-ordered recombination (bit-identical to sequential; degrades
+    to sequential automatically inside an outer pool task). [warm]
+    seeds each sub-step's Picard iteration from a donor trace
+    ({!Warm.t}), and [warm_rec] records this call's own trace;
+    sub-steps are numbered across the whole call, so donor and
+    recipient must use the same [substeps]. *)
 val nn_flowpipe_outcome :
   ?blowup_width:float ->
   ?order:int ->
@@ -54,6 +63,9 @@ val nn_flowpipe_outcome :
   ?substeps:int ->
   ?budget:Dwv_robust.Budget.t ->
   ?record:recorder ->
+  ?pool:Dwv_parallel.Pool.t ->
+  ?warm:Warm.t ->
+  ?warm_rec:Warm.recorder ->
   f:Dwv_expr.Expr.t array ->
   delta:float ->
   steps:int ->
@@ -71,6 +83,9 @@ val nn_flowpipe :
   ?disturbance_slots:int ->
   ?substeps:int ->
   ?budget:Dwv_robust.Budget.t ->
+  ?pool:Dwv_parallel.Pool.t ->
+  ?warm:Warm.t ->
+  ?warm_rec:Warm.recorder ->
   f:Dwv_expr.Expr.t array ->
   delta:float ->
   steps:int ->
@@ -112,13 +127,18 @@ type fallback_report = {
   rung_index : int option;
   failures : (string * Dwv_robust.Dwv_error.t) list;
   fault : Dwv_robust.Fault.kind option;
+  warm : Warm.t option;
+      (** Picard trace of the rung that produced [pipe] — the warm-start
+          donor for the next nearby verification. [None] on a cache hit,
+          an interval-rung verdict or a total failure. *)
 }
 
 (** Package a generic ladder outcome as a report; [fallback] is the pipe
     used when every rung failed (default: zero-step diverged stub on
-    [x0]). *)
+    [x0]); [warm] is attached to successful outcomes only. *)
 val report_of_outcome :
   ?fallback:Flowpipe.t ->
+  ?warm:Warm.t ->
   x0:Dwv_interval.Box.t ->
   delta:float ->
   Flowpipe.t Dwv_robust.Robust_verify.outcome ->
@@ -170,13 +190,20 @@ type cert_site = {
     the first rung runs exactly the settings of {!nn_flowpipe}, so
     verdicts are unchanged. With [cert], a validated cache hit
     short-circuits the ladder (rung ["cache"], bit-identical pipe) and a
-    clean success is emitted back to the cache. *)
+    clean success is emitted back to the cache.
+
+    [pool] parallelizes each rung's intra-step work (see
+    {!nn_flowpipe_outcome}). [warm] feeds a donor Picard trace to the
+    substeps=1 rungs; the report's [warm] field carries this call's own
+    trace back for the next nearby verification. *)
 val nn_flowpipe_robust :
   ?blowup_width:float ->
   ?order:int ->
   ?disturbance_slots:int ->
   ?budget:Dwv_robust.Budget.t ->
   ?cert:cert_site ->
+  ?pool:Dwv_parallel.Pool.t ->
+  ?warm:Warm.t ->
   f:Dwv_expr.Expr.t array ->
   delta:float ->
   steps:int ->

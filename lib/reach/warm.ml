@@ -1,0 +1,35 @@
+(* Warm-start trace: the incremental re-verification layer's payload.
+
+   A verifier call records the Picard a-priori enclosure of every
+   validated sub-step it completes, in execution order. A later call on
+   a NEARBY problem — the next gradient probe of the same iterate, or a
+   child cell of a bisected initial set — replays that trace as
+   per-sub-step hints: the k-th sub-step of the new flowpipe seeds its
+   Picard iteration with the k-th enclosure of the old one (see
+   Taylor_reach.apriori_enclosure). Soundness never rests on the trace:
+   every hinted iteration is certified by the same contraction subset
+   test as a cold start, and a stale or poisoned trace only costs the
+   few wasted warm iterations before the cold fallback.
+
+   Traces are plain immutable data created before any fan-out, so
+   hint assignment is deterministic at every domain count. *)
+
+module Box = Dwv_interval.Box
+
+type t = { enclosures : Box.t array }
+
+let length t = Array.length t.enclosures
+
+(* Hint for sub-step [k] (0-based, counted across the whole flowpipe);
+   [None] past the recorded horizon (e.g. the donor run diverged early). *)
+let hint t k = if k >= 0 && k < Array.length t.enclosures then Some t.enclosures.(k) else None
+
+(* Recorder threaded through one verifier call (per-call local, like
+   Verifier's certificate recorder). *)
+type recorder = { mutable trace_rev : Box.t list }
+
+let recorder () = { trace_rev = [] }
+
+let record r enclosure = r.trace_rev <- enclosure :: r.trace_rev
+
+let of_recorder r = { enclosures = Array.of_list (List.rev r.trace_rev) }

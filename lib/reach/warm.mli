@@ -1,0 +1,22 @@
+(** Warm-start traces for incremental re-verification: the per-sub-step
+    Picard enclosures of one verifier call, replayed as seeds by a later
+    call on a nearby problem (next probe, child cell). Soundness never
+    rests on a trace — every hinted Picard iteration passes the same
+    contraction subset test as a cold start, and a poisoned trace falls
+    back to the cold iteration (see {!Taylor_reach.apriori_enclosure}). *)
+
+type t = { enclosures : Dwv_interval.Box.t array }
+
+(** Number of recorded sub-steps. *)
+val length : t -> int
+
+(** Enclosure recorded for sub-step [k] (0-based across the whole
+    flowpipe); [None] past the recorded horizon. *)
+val hint : t -> int -> Dwv_interval.Box.t option
+
+(** Per-call trace recorder (create one per verifier call). *)
+type recorder
+
+val recorder : unit -> recorder
+val record : recorder -> Dwv_interval.Box.t -> unit
+val of_recorder : recorder -> t

@@ -42,6 +42,7 @@ type kind =
   | Cert_corrupt
   | Cert_stale
   | Cert_io
+  | Warm_poison
 
 let kind_to_string = function
   | Nan_theta -> "nan"
@@ -51,6 +52,7 @@ let kind_to_string = function
   | Cert_corrupt -> "cert-corrupt"
   | Cert_stale -> "cert-stale"
   | Cert_io -> "cert-io"
+  | Warm_poison -> "warm-poison"
 
 let kind_of_string = function
   | "nan" | "nan-theta" -> Some Nan_theta
@@ -60,6 +62,7 @@ let kind_of_string = function
   | "cert-corrupt" -> Some Cert_corrupt
   | "cert-stale" -> Some Cert_stale
   | "cert-io" -> Some Cert_io
+  | "warm-poison" -> Some Warm_poison
   | _ -> None
 
 type armed = {

@@ -10,6 +10,10 @@ type kind =
   | Cert_corrupt  (** a stored certificate is read back with one bit flipped *)
   | Cert_stale    (** a cache lookup validates against a mismatched fingerprint *)
   | Cert_io       (** certificate reads/writes fail as if the disk did *)
+  | Warm_poison
+      (** warm-start Picard hints are spoiled at the gate: every hinted
+          sub-step must degrade to the cold inflation search and produce
+          the bit-identical cold enclosure (counted by [warm_poisoned]) *)
 
 val kind_to_string : kind -> string
 

@@ -65,7 +65,7 @@ let run ?budget ?cache rungs =
        flow through [lookup]/[store]. *)
     let cache =
       match fault with
-      | Some (Fault.Nan_theta | Fault.Tm_blowup) -> None
+      | Some (Fault.Nan_theta | Fault.Tm_blowup | Fault.Warm_poison) -> None
       | _ -> cache
     in
     let cached =

@@ -73,7 +73,7 @@ let taylor_pipe ?budget ~order ~f ~u_exprs ~delta ~steps ~x0 () =
   (try
      for i = 1 to steps do
        match
-         let u = Tm_vec.eval_field ~f:u_exprs ~x:!x ~u:!x in
+         let u = Tm_vec.eval_field ~x:!x ~u:!x u_exprs in
          Taylor_reach.step ?budget ~f ~lie ~delta !x u
        with
        | Error e ->

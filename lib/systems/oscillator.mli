@@ -39,10 +39,13 @@ val fast_slots : int
 val tight_slots : int
 
 (** Verifier Ψ from an arbitrary initial cell (default method: POLAR,
-    default slots: {!fast_slots}). *)
+    default slots: {!fast_slots}). [pool] parallelizes the per-dimension
+    work inside each flowpipe step (bit-identical results at any domain
+    count). *)
 val verify_from :
   ?method_:Dwv_reach.Verifier.nn_method ->
   ?slots:int ->
+  ?pool:Dwv_parallel.Pool.t ->
   Dwv_interval.Box.t ->
   Dwv_core.Controller.t ->
   Dwv_reach.Flowpipe.t
@@ -51,18 +54,24 @@ val verify_from :
 val verify :
   ?method_:Dwv_reach.Verifier.nn_method ->
   ?slots:int ->
+  ?pool:Dwv_parallel.Pool.t ->
   Dwv_core.Controller.t ->
   Dwv_reach.Flowpipe.t
 
 (** Fault-tolerant verifier: {!verify_from} settings as the primary rung
     of the degradation ladder, with budget enforcement. With [cache], a
     validated certificate hit replays the stored flowpipe bit-exactly
-    (rung ["cache"]) and clean runs deposit certificates. *)
+    (rung ["cache"]) and clean runs deposit certificates. [warm] seeds
+    the Picard enclosures from a nearby verification's trace; the
+    report's [warm] field returns this call's own trace (see
+    {!Dwv_reach.Warm}). *)
 val verify_robust_from :
   ?method_:Dwv_reach.Verifier.nn_method ->
   ?slots:int ->
   ?budget:Dwv_robust.Budget.t ->
   ?cache:Dwv_cert.Cert_cache.t ->
+  ?pool:Dwv_parallel.Pool.t ->
+  ?warm:Dwv_reach.Warm.t ->
   Dwv_interval.Box.t ->
   Dwv_core.Controller.t ->
   Dwv_reach.Verifier.fallback_report
@@ -73,8 +82,24 @@ val verify_robust :
   ?slots:int ->
   ?budget:Dwv_robust.Budget.t ->
   ?cache:Dwv_cert.Cert_cache.t ->
+  ?pool:Dwv_parallel.Pool.t ->
+  ?warm:Dwv_reach.Warm.t ->
   Dwv_core.Controller.t ->
   Dwv_reach.Verifier.fallback_report
+
+(** Warm-threading adapter shaped for {!Dwv_core.Initset.search} and
+    {!Dwv_core.Learner.learn} [verify_warm] callbacks: runs
+    {!verify_robust_from} and pairs the pipe with the trace it donated. *)
+val verify_warm_from :
+  ?method_:Dwv_reach.Verifier.nn_method ->
+  ?slots:int ->
+  ?budget:Dwv_robust.Budget.t ->
+  ?cache:Dwv_cert.Cert_cache.t ->
+  ?pool:Dwv_parallel.Pool.t ->
+  ?warm:Dwv_reach.Warm.t ->
+  Dwv_interval.Box.t ->
+  Dwv_core.Controller.t ->
+  Dwv_reach.Flowpipe.t * Dwv_reach.Warm.t option
 
 (** Control law on the simulation state. *)
 val sim_controller : Dwv_core.Controller.t -> float array -> float array

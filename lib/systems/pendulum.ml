@@ -60,20 +60,21 @@ let tm_order = 3
 let fast_slots = 6
 let tight_slots = 8
 
-let verify_from ?(method_ = Verifier.Polar) ?(slots = fast_slots) x0 controller =
+let verify_from ?(method_ = Verifier.Polar) ?(slots = fast_slots) ?pool x0 controller =
   match controller with
   | Controller.Net { net; output_scale } ->
-    Verifier.nn_flowpipe ~order:tm_order ~disturbance_slots:slots ~f:dynamics ~delta
+    Verifier.nn_flowpipe ~order:tm_order ~disturbance_slots:slots ?pool ~f:dynamics ~delta
       ~steps:spec.Spec.steps ~net ~output_scale ~method_ ~x0 ()
   | Controller.Linear _ ->
     invalid_arg "Pendulum.verify_from: the pendulum study uses NN controllers"
 
-let verify ?method_ ?slots controller = verify_from ?method_ ?slots spec.Spec.x0 controller
+let verify ?method_ ?slots ?pool controller =
+  verify_from ?method_ ?slots ?pool spec.Spec.x0 controller
 
 (* Fault-tolerant verifier: primary settings as [verify_from] plus the
    degradation ladder and budget enforcement. *)
-let verify_robust_from ?(method_ = Verifier.Polar) ?(slots = fast_slots) ?budget ?cache x0
-    controller =
+let verify_robust_from ?(method_ = Verifier.Polar) ?(slots = fast_slots) ?budget ?cache
+    ?pool ?warm x0 controller =
   match controller with
   | Controller.Net { net; output_scale } ->
     let cert =
@@ -83,12 +84,19 @@ let verify_robust_from ?(method_ = Verifier.Polar) ?(slots = fast_slots) ?budget
         cache
     in
     Verifier.nn_flowpipe_robust ~order:tm_order ~disturbance_slots:slots ?budget ?cert
-      ~f:dynamics ~delta ~steps:spec.Spec.steps ~net ~output_scale ~method_ ~x0 ()
+      ?pool ?warm ~f:dynamics ~delta ~steps:spec.Spec.steps ~net ~output_scale ~method_
+      ~x0 ()
   | Controller.Linear _ ->
     invalid_arg "Pendulum.verify_from: the pendulum study uses NN controllers"
 
-let verify_robust ?method_ ?slots ?budget ?cache controller =
-  verify_robust_from ?method_ ?slots ?budget ?cache spec.Spec.x0 controller
+let verify_robust ?method_ ?slots ?budget ?cache ?pool ?warm controller =
+  verify_robust_from ?method_ ?slots ?budget ?cache ?pool ?warm spec.Spec.x0 controller
+
+(* Warm-threading adapter shaped for [Initset.search ?verify_warm] and
+   [Learner.learn ?verify_warm]. *)
+let verify_warm_from ?method_ ?slots ?budget ?cache ?pool ?warm x0 controller =
+  let report = verify_robust_from ?method_ ?slots ?budget ?cache ?pool ?warm x0 controller in
+  (report.Verifier.pipe, report.Verifier.warm)
 
 let sim_controller = Controller.eval
 

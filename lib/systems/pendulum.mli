@@ -28,6 +28,7 @@ val tight_slots : int
 val verify_from :
   ?method_:Dwv_reach.Verifier.nn_method ->
   ?slots:int ->
+  ?pool:Dwv_parallel.Pool.t ->
   Dwv_interval.Box.t ->
   Dwv_core.Controller.t ->
   Dwv_reach.Flowpipe.t
@@ -35,16 +36,21 @@ val verify_from :
 val verify :
   ?method_:Dwv_reach.Verifier.nn_method ->
   ?slots:int ->
+  ?pool:Dwv_parallel.Pool.t ->
   Dwv_core.Controller.t ->
   Dwv_reach.Flowpipe.t
 
 (** Fault-tolerant verifier: {!verify_from} settings as the primary rung
-    of the degradation ladder, with budget enforcement. *)
+    of the degradation ladder, with budget enforcement. [warm] seeds the
+    Picard enclosures from a nearby verification's trace; the report's
+    [warm] field returns this call's own (see {!Dwv_reach.Warm}). *)
 val verify_robust_from :
   ?method_:Dwv_reach.Verifier.nn_method ->
   ?slots:int ->
   ?budget:Dwv_robust.Budget.t ->
   ?cache:Dwv_cert.Cert_cache.t ->
+  ?pool:Dwv_parallel.Pool.t ->
+  ?warm:Dwv_reach.Warm.t ->
   Dwv_interval.Box.t ->
   Dwv_core.Controller.t ->
   Dwv_reach.Verifier.fallback_report
@@ -55,8 +61,23 @@ val verify_robust :
   ?slots:int ->
   ?budget:Dwv_robust.Budget.t ->
   ?cache:Dwv_cert.Cert_cache.t ->
+  ?pool:Dwv_parallel.Pool.t ->
+  ?warm:Dwv_reach.Warm.t ->
   Dwv_core.Controller.t ->
   Dwv_reach.Verifier.fallback_report
+
+(** Warm-threading adapter shaped for {!Dwv_core.Initset.search} and
+    {!Dwv_core.Learner.learn} [verify_warm] callbacks. *)
+val verify_warm_from :
+  ?method_:Dwv_reach.Verifier.nn_method ->
+  ?slots:int ->
+  ?budget:Dwv_robust.Budget.t ->
+  ?cache:Dwv_cert.Cert_cache.t ->
+  ?pool:Dwv_parallel.Pool.t ->
+  ?warm:Dwv_reach.Warm.t ->
+  Dwv_interval.Box.t ->
+  Dwv_core.Controller.t ->
+  Dwv_reach.Flowpipe.t * Dwv_reach.Warm.t option
 
 val sim_controller : Dwv_core.Controller.t -> float array -> float array
 

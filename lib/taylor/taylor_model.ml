@@ -73,20 +73,11 @@ let add_remainder iv tm = { tm with rem = I.add tm.rem iv }
    representation sparse (and hence the flowpipe fast) at a remainder cost
    bounded by the swept coefficients themselves. *)
 let sweep ?(tol = 1e-10) tm =
-  let scale =
-    Poly.to_terms tm.poly
-    |> List.fold_left (fun acc (_, c) -> Float.max acc (Float.abs c)) 1e-30
-  in
+  let scale = Float.max 1e-30 (Poly.max_abs_coeff tm.poly) in
   let cutoff = tol *. scale in
-  let keep, drop =
-    List.partition (fun (_, c) -> Float.abs c > cutoff) (Poly.to_terms tm.poly)
-  in
-  if drop = [] then tm
-  else begin
-    let kept = Poly.of_terms (nvars tm) keep in
-    let dropped = Poly.of_terms (nvars tm) drop in
-    { tm with poly = kept; rem = I.add tm.rem (Poly.bound_unit dropped) }
-  end
+  let kept, dropped = Poly.partition_coeffs (fun c -> Float.abs c > cutoff) tm.poly in
+  if Poly.is_zero dropped then tm
+  else { tm with poly = kept; rem = I.add tm.rem (Poly.bound_unit dropped) }
 
 (* Retire symbol i: bound every monomial involving z_i over the domain and
    fold it into the interval remainder. Used to recycle disturbance

@@ -31,9 +31,15 @@ let add (a : t) (b : t) : t = Array.map2 Taylor_model.add a b
 
 let scale s (v : t) : t = Array.map (Taylor_model.scale s) v
 
-(* Evaluate a vector field (array of expressions) on the symbolic state. *)
-let eval_field ~f ~(x : t) ~(u : t) : t =
-  Array.map (fun fi -> Taylor_model.of_expr ~x ~u fi) f
+(* Evaluate a vector field (array of expressions) on the symbolic state.
+   The components are independent of_expr evaluations, so [pool] maps
+   them across domains with index-ordered results — bit-identical to
+   the sequential map. *)
+let eval_field ?pool ~(x : t) ~(u : t) (f : Dwv_expr.Expr.t array) : t =
+  let one fi = Taylor_model.of_expr ~x ~u fi in
+  match pool with
+  | Some p when Array.length f > 1 -> Dwv_parallel.Pool.map p one f
+  | _ -> Array.map one f
 
 (* Widen every component's remainder by +-eps (used to guarantee progress
    in enclosure refinement). *)

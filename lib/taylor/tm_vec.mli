@@ -16,8 +16,11 @@ val map : (Taylor_model.t -> Taylor_model.t) -> t -> t
 val add : t -> t -> t
 val scale : float -> t -> t
 
-(** Evaluate a vector field of expressions on the symbolic state. *)
-val eval_field : f:Dwv_expr.Expr.t array -> x:t -> u:t -> t
+(** Evaluate a vector field of expressions on the symbolic state.
+    [pool] maps the (independent) components across domains; results
+    are recombined by index, bit-identical to the sequential map. *)
+val eval_field :
+  ?pool:Dwv_parallel.Pool.t -> x:t -> u:t -> Dwv_expr.Expr.t array -> t
 
 (** Widen every component remainder by ±eps. *)
 val widen : float -> t -> t

@@ -1,0 +1,42 @@
+(* Wall-clock phase accumulators for the bench breakdowns: where inside a
+   verifier call the time goes (lie-table build, Taylor steps, controller
+   abstraction, certificate checking). Unlike Counters these are
+   *informational* — wall-clock is load-dependent, so no gate compares
+   them for equality; they exist so a BENCH_hotpath.json regression
+   localizes to a phase without re-running a profiler.
+
+   Same registry discipline as Counters: handles are atomics resolved
+   once per registration, the registry is a CAS-swapped immutable list,
+   and [reset] zeroes in place so cached handles stay valid. Durations
+   accumulate as integer nanoseconds via fetch_and_add (atomic, no float
+   CAS loop needed). *)
+
+type handle = int Atomic.t
+
+let registry : (string * handle) list Atomic.t = Atomic.make []
+
+let rec phase name =
+  let current = Atomic.get registry in
+  match List.assoc_opt name current with
+  | Some h -> h
+  | None ->
+    let h = Atomic.make 0 in
+    if Atomic.compare_and_set registry current ((name, h) :: current) then h
+    else phase name (* another domain registered concurrently; retry *)
+
+let add_ns h ns = ignore (Atomic.fetch_and_add h ns)
+
+let time h f =
+  let t0 = Mono.now () in
+  Fun.protect ~finally:(fun () ->
+      add_ns h (int_of_float ((Mono.now () -. t0) *. 1e9)))
+    f
+
+let seconds h = float_of_int (Atomic.get h) *. 1e-9
+
+let reset () = List.iter (fun (_, h) -> Atomic.set h 0) (Atomic.get registry)
+
+let snapshot () =
+  Atomic.get registry
+  |> List.map (fun (name, h) -> (name, seconds h))
+  |> List.sort compare

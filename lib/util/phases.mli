@@ -1,0 +1,27 @@
+(** Process-global named wall-clock phase accumulators.
+
+    The bench breakdowns time the phases inside a verifier call
+    (lie-table build, Taylor steps, controller abstraction, certificate
+    checking) so a hot-path regression localizes without a profiler.
+    Wall-clock totals are load-dependent: they are reported, never
+    gated on equality. *)
+
+type handle
+
+(** Resolve (registering on first use) the phase named [name]. Cache
+    the handle at module level on hot paths; it stays valid across
+    {!reset}. *)
+val phase : string -> handle
+
+(** Run [f], accumulating its wall-clock duration into the phase
+    (exception-safe). *)
+val time : handle -> (unit -> 'a) -> 'a
+
+(** Accumulated seconds for a handle. *)
+val seconds : handle -> float
+
+(** Zero every registered phase (handles stay valid). *)
+val reset : unit -> unit
+
+(** All phases as a sorted [(name, seconds)] list. *)
+val snapshot : unit -> (string * float) list

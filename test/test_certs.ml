@@ -19,6 +19,7 @@ module Controller = Dwv_core.Controller
 module Learner = Dwv_core.Learner
 module Metrics = Dwv_core.Metrics
 module Pool = Dwv_parallel.Pool
+module Fault = Dwv_robust.Fault
 module A = Dwv_systems.Acc
 
 (* ---------------- scratch directories ---------------- *)
@@ -298,6 +299,64 @@ let test_misfiled_cert_is_rejected () =
   Alcotest.(check int) "reject counted" 1 (Cert_cache.stats cache).Cert_cache.rejects;
   remove_tree dir
 
+(* ---------------- probe-adjacency fast tier ---------------- *)
+
+let test_fast_tier_repeat_lookup () =
+  let dir, cache, cert, _raw = emitted_cert "fast" in
+  Cert_cache.reset_stats cache;
+  let fingerprint = cert.Cert.fingerprint in
+  (* the first lookup travels the full decode+validate route and seeds
+     the validated tier *)
+  (match Cert_cache.find cache ~fingerprint with
+  | Some c -> Alcotest.(check bool) "first hit bit-identical" true (Cert.equal c cert)
+  | None -> Alcotest.fail "expected a hit");
+  Alcotest.(check int) "first hit is not fast" 0
+    (Cert_cache.stats cache).Cert_cache.fast_hits;
+  (* probe adjacency: the repeat lookup of unchanged bytes only compares
+     them for equality before reusing the decoded certificate *)
+  (match Cert_cache.find cache ~fingerprint with
+  | Some c -> Alcotest.(check bool) "fast hit bit-identical" true (Cert.equal c cert)
+  | None -> Alcotest.fail "expected a fast hit");
+  let s = Cert_cache.stats cache in
+  Alcotest.(check int) "fast hit counted" 1 s.Cert_cache.fast_hits;
+  Alcotest.(check int) "fast hits included in hits" 2 s.Cert_cache.hits;
+  (* a store deposits fresh, never-validated bytes: the fast tier must
+     drop its entry so the next lookup revalidates *)
+  Cert_cache.store cache cert;
+  (match Cert_cache.find cache ~fingerprint with
+  | Some c ->
+    Alcotest.(check bool) "revalidated hit bit-identical" true (Cert.equal c cert)
+  | None -> Alcotest.fail "expected a hit after store");
+  Alcotest.(check int) "store invalidated the fast tier" 1
+    (Cert_cache.stats cache).Cert_cache.fast_hits;
+  remove_tree dir
+
+let test_fast_tier_fault_bypass () =
+  let dir, cache, cert, _raw = emitted_cert "fastfault" in
+  let fingerprint = cert.Cert.fingerprint in
+  (* seed the validated tier with a clean full-route hit *)
+  ignore (Cert_cache.find cache ~fingerprint : Cert.t option);
+  Cert_cache.reset_stats cache;
+  (* an armed cert fault must bypass the fast tier: the corruption
+     targets the decode+validate route, and a byte-compare shortcut
+     would hide it *)
+  Fault.with_faults ~seed:5 [ (0, Fault.Cert_corrupt) ] (fun () ->
+      ignore (Fault.begin_call () : Fault.kind option);
+      Fun.protect ~finally:Fault.end_call (fun () ->
+          Alcotest.(check bool) "corrupted bytes rejected" true
+            (Cert_cache.find cache ~fingerprint = None)));
+  let s = Cert_cache.stats cache in
+  Alcotest.(check int) "no fast hit under an armed cert fault" 0 s.Cert_cache.fast_hits;
+  Alcotest.(check int) "reject counted" 1 s.Cert_cache.rejects;
+  (* the reject dropped the memory tiers, not the disk copy: a clean
+     lookup revalidates the clean bytes off disk via the full route *)
+  (match Cert_cache.find cache ~fingerprint with
+  | Some c -> Alcotest.(check bool) "clean bytes survive the fault" true (Cert.equal c cert)
+  | None -> Alcotest.fail "expected a clean disk hit");
+  Alcotest.(check int) "recovery hit was a full validation" 0
+    (Cert_cache.stats cache).Cert_cache.fast_hits;
+  remove_tree dir
+
 (* ---------------- cache-hit equality across domain counts ---------------- *)
 
 let acc_cfg =
@@ -365,6 +424,9 @@ let suite =
       Alcotest.test_case "garbage disk file rejected" `Quick
         test_garbage_disk_file_rejected;
       Alcotest.test_case "misfiled cert rejected" `Quick test_misfiled_cert_is_rejected;
+      Alcotest.test_case "fast tier: repeat lookup" `Quick test_fast_tier_repeat_lookup;
+      Alcotest.test_case "fast tier: armed fault bypasses" `Quick
+        test_fast_tier_fault_bypass;
       Alcotest.test_case "cache-hit equality at domains 1/4" `Quick
         test_cache_hit_equality_across_domains;
     ]

@@ -18,6 +18,11 @@ module Metrics = Dwv_core.Metrics
 module Initset = Dwv_core.Initset
 module Evaluate = Dwv_core.Evaluate
 module Pool = Dwv_parallel.Pool
+module Expr = Dwv_expr.Expr
+module Fault = Dwv_robust.Fault
+module Flowpipe = Dwv_reach.Flowpipe
+module Taylor_reach = Dwv_reach.Taylor_reach
+module Warm = Dwv_reach.Warm
 module Acc = Dwv_systems.Acc
 module Oscillator = Dwv_systems.Oscillator
 module Threed = Dwv_systems.Threed
@@ -284,6 +289,201 @@ let acc_initset_even_at domains =
 let test_acc_initset_even_domains_1_vs_4 () =
   check_same_initset "acc even partition" (acc_initset_even_at 1) (acc_initset_even_at 4)
 
+(* ---------------- intra-call flowpipe parallelism ---------------- *)
+
+(* Compare flowpipes through their step boxes (plain floats): TM
+   structural equality is unreliable because bound caches fill lazily. *)
+let check_same_pipe label a b =
+  Alcotest.(check bool) (label ^ ": same divergence flag") (Flowpipe.diverged a)
+    (Flowpipe.diverged b);
+  let ba = Flowpipe.step_boxes a and bb = Flowpipe.step_boxes b in
+  Alcotest.(check int) (label ^ ": same step count") (List.length ba) (List.length bb);
+  List.iter2
+    (fun x y -> Alcotest.(check bool) (label ^ ": bit-identical step box") true (x = y))
+    ba bb
+
+(* Behavior cloning is seeded, so every domain count sees the identical
+   controller. *)
+let osc_controller = lazy (Oscillator.pretrained_controller (Rng.create 1))
+
+let osc_pipe_at ~method_ domains =
+  Pool.with_pool ~oversubscribe:true ~domains (fun pool ->
+      Oscillator.verify ~method_ ~pool (Lazy.force osc_controller))
+
+let test_intra_call_polar_domains_1_vs_4 () =
+  check_same_pipe "polar intra-call"
+    (osc_pipe_at ~method_:Verifier.Polar 1)
+    (osc_pipe_at ~method_:Verifier.Polar 4)
+
+let test_intra_call_bernstein_domains_1_vs_4 () =
+  (* samples_per_dim = 10 on a 2-D plant is a 100-point remainder grid,
+     over the parallel-tabulation threshold, so the pool path engages *)
+  let method_ = Verifier.Bernstein { degrees = [| 2; 2 |]; samples_per_dim = 10 } in
+  check_same_pipe "bernstein intra-call" (osc_pipe_at ~method_ 1) (osc_pipe_at ~method_ 4)
+
+let test_lie_table_published_once () =
+  (* the registry is publish-once and process-global: after the first
+     build of a (dynamics, order) key, repeated calls and every pool
+     worker adopt the published table instead of re-deriving it, so the
+     registry size must not move *)
+  let t1 = Taylor_reach.lie_table ~f:Oscillator.dynamics ~order:3 in
+  let published = Taylor_reach.lie_registry_size () in
+  let t2 = Taylor_reach.lie_table ~f:Oscillator.dynamics ~order:3 in
+  Alcotest.(check int) "repeat call publishes nothing" published
+    (Taylor_reach.lie_registry_size ());
+  Alcotest.(check bool) "repeat call returns the published table" true (t1 = t2);
+  Pool.with_pool ~oversubscribe:true ~domains:4 (fun pool ->
+      let tables =
+        Pool.map pool
+          (fun () -> Taylor_reach.lie_table ~f:Oscillator.dynamics ~order:3)
+          (Array.make 8 ())
+      in
+      Alcotest.(check int) "no worker republishes the table" published
+        (Taylor_reach.lie_registry_size ());
+      Array.iter
+        (fun t -> Alcotest.(check bool) "workers see the same table" true (t = t1))
+        tables);
+  (* a key nobody has asked for yet really is a fresh entry *)
+  let fresh_f = [| Expr.neg (Expr.var 1); Expr.var 0 |] in
+  ignore (Taylor_reach.lie_table ~f:fresh_f ~order:2 : Taylor_reach.lie_table);
+  Alcotest.(check int) "an unseen key publishes one entry" (published + 1)
+    (Taylor_reach.lie_registry_size ())
+
+(* ---------------- incremental re-verification (warm starts) ---------------- *)
+
+(* Small closed loop (short horizon, tiny net) so the robust verifier is
+   cheap enough for property-based warm-vs-cold comparison. *)
+let warm_x0 = Box.make ~lo:[| 0.0; 0.0 |] ~hi:[| 0.02; 0.02 |]
+let warm_unsafe = Box.of_intervals (Array.make 2 (I.make 5.0 6.0))
+let warm_goal = Box.of_intervals (Array.make 2 (I.make (-0.5) 0.5))
+
+let warm_net =
+  lazy (Mlp.create ~sizes:[ 2; 4; 1 ] ~acts:[ Activation.Tanh; Activation.Tanh ] (Rng.create 5))
+
+let warm_robust ?warm x0 =
+  Verifier.nn_flowpipe_robust ~order:2 ~disturbance_slots:4 ?warm ~f:Oscillator.dynamics
+    ~delta:0.1 ~steps:6 ~net:(Lazy.force warm_net) ~output_scale:1.0 ~method_:Verifier.Polar
+    ~x0 ()
+
+let warm_donor = lazy (warm_robust warm_x0)
+let warm_verdict p = Verifier.check ~unsafe:warm_unsafe ~goal:warm_goal p
+
+let test_warm_trace_replay_hits_every_substep () =
+  let donor = Lazy.force warm_donor in
+  (match donor.Verifier.warm with
+  | None -> Alcotest.fail "successful robust call must donate a trace"
+  | Some w -> Alcotest.(check int) "one enclosure per sub-step" 6 (Warm.length w));
+  Dwv_util.Counters.reset ();
+  let again = warm_robust ?warm:donor.Verifier.warm warm_x0 in
+  Alcotest.(check int) "every sub-step warm-started" 6 (Dwv_util.Counters.get "warm_hits");
+  Alcotest.(check int) "no hint degraded" 0 (Dwv_util.Counters.get "warm_poisoned");
+  (* warmth changes only the search for the a-priori enclosure, never
+     the judgement *)
+  Alcotest.(check bool) "same verdict as the donor" true
+    (warm_verdict again.Verifier.pipe = warm_verdict donor.Verifier.pipe)
+
+let prop_warm_verdict_matches_cold =
+  QCheck.Test.make ~name:"warm-started verification agrees with cold on nearby cells"
+    ~count:20
+    QCheck.(pair (int_range 0 100) (int_range 0 100))
+    (fun (a, b) ->
+      let donor = Lazy.force warm_donor in
+      (* a nearby cell: translated and slightly reshaped, the situation
+         of a child frontier cell or the next gradient probe *)
+      let dx = 0.0001 *. float_of_int a and dy = 0.0001 *. float_of_int b in
+      let lo = Box.lo warm_x0 and hi = Box.hi warm_x0 in
+      let cell =
+        Box.make
+          ~lo:[| lo.(0) +. dx; lo.(1) +. dy |]
+          ~hi:[| hi.(0) +. dx; hi.(1) +. (0.5 *. dy) |]
+      in
+      Dwv_util.Counters.reset ();
+      let w = warm_robust ?warm:donor.Verifier.warm cell in
+      let attempted =
+        Dwv_util.Counters.get "warm_hits" + Dwv_util.Counters.get "warm_poisoned"
+      in
+      let c = warm_robust cell in
+      attempted > 0
+      && warm_verdict w.Verifier.pipe = warm_verdict c.Verifier.pipe
+      && Flowpipe.diverged w.Verifier.pipe = Flowpipe.diverged c.Verifier.pipe)
+
+let test_warm_poison_degrades_to_cold () =
+  let donor = Lazy.force warm_donor in
+  let cold = warm_robust warm_x0 in
+  Dwv_util.Counters.reset ();
+  let poisoned =
+    Fault.with_faults ~seed:11 [ (0, Fault.Warm_poison) ] (fun () ->
+        warm_robust ?warm:donor.Verifier.warm warm_x0)
+  in
+  Alcotest.(check int) "no warm hit survives the poison" 0
+    (Dwv_util.Counters.get "warm_hits");
+  Alcotest.(check int) "every hint counted as poisoned" 6
+    (Dwv_util.Counters.get "warm_poisoned");
+  (* the gate discards spoiled hints before they can touch the
+     iteration, so the result is the bit-identical cold pipe *)
+  check_same_pipe "poisoned warm = cold" cold.Verifier.pipe poisoned.Verifier.pipe
+
+let warm_learn_at domains =
+  (* a goal the tiny controller cannot reach, so the learner runs its
+     full probe fan-out instead of certifying the start cell at once *)
+  let far_goal = Box.of_intervals (Array.make 2 (I.make 0.3 0.4)) in
+  let spec =
+    Spec.make ~name:"warm-learn" ~x0:warm_x0 ~unsafe:warm_unsafe ~goal:far_goal ~delta:0.1
+      ~steps:6
+  in
+  let vw ?warm c =
+    match c with
+    | Controller.Net { net; output_scale } ->
+      let r =
+        Verifier.nn_flowpipe_robust ~order:2 ~disturbance_slots:4 ?warm
+          ~f:Oscillator.dynamics ~delta:0.1 ~steps:6 ~net ~output_scale
+          ~method_:Verifier.Polar ~x0:warm_x0 ()
+      in
+      (r.Verifier.pipe, r.Verifier.warm)
+    | Controller.Linear _ -> Alcotest.fail "NN controller expected"
+  in
+  let cfg =
+    { Learner.default_config with
+      Learner.max_iters = 3; gradient_mode = Learner.Spsa 2; seed = 3 }
+  in
+  Pool.with_pool ~oversubscribe:true ~domains (fun pool ->
+      Learner.learn ~pool ~verify_warm:vw cfg ~metric:Metrics.Geometric ~spec
+        ~verify:(fun c -> fst (vw c))
+        ~init:(Controller.net ~output_scale:1.0 (Lazy.force warm_net)))
+
+let test_warm_learner_domains_1_vs_4 () =
+  Dwv_util.Counters.reset ();
+  let d1 = warm_learn_at 1 in
+  Alcotest.(check bool) "probes actually warm-start" true
+    (Dwv_util.Counters.get "warm_hits" > 0);
+  check_same_learn "warm learner" d1 (warm_learn_at 4)
+
+(* Tightened goal (as in the acc initset tests) so the top cell fails
+   and the search refines: children then re-verify incrementally against
+   their parent's trace. *)
+let osc_tight_goal =
+  let g = Oscillator.spec.Spec.goal in
+  let lo = Box.lo g and hi = Box.hi g in
+  Box.make
+    ~lo:(Array.mapi (fun i l -> l +. (0.3 *. (hi.(i) -. l))) lo)
+    ~hi:(Array.mapi (fun i h -> h -. (0.3 *. (h -. (Box.lo g).(i)))) hi)
+
+let osc_warm_initset_at domains =
+  let c = Lazy.force osc_controller in
+  Pool.with_pool ~oversubscribe:true ~domains (fun pool ->
+      Initset.search ~max_depth:2 ~pool
+        ~verify_warm:(fun ?warm cell -> Oscillator.verify_warm_from ~pool ?warm cell c)
+        ~verify:(fun cell -> Oscillator.verify_from ~pool cell c)
+        ~goal:osc_tight_goal ~x0:Oscillator.spec.Spec.x0 ())
+
+let test_warm_initset_domains_1_vs_4 () =
+  Dwv_util.Counters.reset ();
+  let d1 = osc_warm_initset_at 1 in
+  Alcotest.(check bool) "warm search refined" true (d1.Initset.verifier_calls > 1);
+  Alcotest.(check bool) "children warm-start from parents" true
+    (Dwv_util.Counters.get "warm_hits" > 0);
+  check_same_initset "oscillator warm initset" d1 (osc_warm_initset_at 4)
+
 (* ---------------- Monte-Carlo rate determinism ---------------- *)
 
 let rates_at ~sys ~spec ~controller domains =
@@ -352,6 +552,18 @@ let suite =
     Alcotest.test_case "acc initset: domains 1 = 4" `Quick test_acc_initset_domains_1_vs_4;
     Alcotest.test_case "acc even partition: domains 1 = 4" `Quick
       test_acc_initset_even_domains_1_vs_4;
+    Alcotest.test_case "intra-call polar step: domains 1 = 4" `Quick
+      test_intra_call_polar_domains_1_vs_4;
+    Alcotest.test_case "intra-call bernstein grid: domains 1 = 4" `Quick
+      test_intra_call_bernstein_domains_1_vs_4;
+    Alcotest.test_case "lie table published once" `Quick test_lie_table_published_once;
+    Alcotest.test_case "warm trace replay hits every sub-step" `Quick
+      test_warm_trace_replay_hits_every_substep;
+    QCheck_alcotest.to_alcotest prop_warm_verdict_matches_cold;
+    Alcotest.test_case "poisoned warm hints degrade to the cold pipe" `Quick
+      test_warm_poison_degrades_to_cold;
+    Alcotest.test_case "warm learner: domains 1 = 4" `Quick test_warm_learner_domains_1_vs_4;
+    Alcotest.test_case "warm initset: domains 1 = 4" `Quick test_warm_initset_domains_1_vs_4;
     Alcotest.test_case "acc rates: domains 1 = 2 = 4" `Quick test_acc_rates_domains_1_vs_2_vs_4;
     Alcotest.test_case "oscillator rates: domains 1 = 4" `Quick
       test_oscillator_rates_domains_1_vs_4;

@@ -133,7 +133,7 @@ let test_lie_table_sizes () =
 let test_apriori_enclosure_exists () =
   let f = [| Expr.neg (Expr.var 0) |] in
   let x_box = Box.make ~lo:[| 1.0 |] ~hi:[| 1.1 |] in
-  match Taylor_reach.apriori_enclosure ~f ~x_box ~u_box:[||] ~delta:0.1 with
+  match Taylor_reach.apriori_enclosure ~f ~x_box ~u_box:[||] ~delta:0.1 () with
   | None -> Alcotest.fail "no enclosure"
   | Some e ->
     Alcotest.(check bool) "contains start" true (Box.subset x_box (Box.bloat 1e-9 e));
